@@ -1,0 +1,302 @@
+(* Command-line front-end for the diagnosis library.
+
+   Circuits are given either as an ISCAS89 .bench file path or as one of
+   the built-in names (s27, g1423, g6669, g38417, rca<W>, alu<W>, mul<W>,
+   parity<N>).  See `diagnose --help`. *)
+
+let load_circuit ?(scale = 1.0) spec =
+  if Sys.file_exists spec then
+    (Core.Bench_format.parse_file spec).Core.Bench_format.circuit
+  else
+    match Bench_suite.Embedded.by_name spec ~scale with
+    | c -> c
+    | exception Not_found ->
+        let prefix p =
+          if String.length spec > String.length p
+             && String.sub spec 0 (String.length p) = p
+          then int_of_string_opt
+                 (String.sub spec (String.length p)
+                    (String.length spec - String.length p))
+          else None
+        in
+        (match (prefix "rca", prefix "alu", prefix "mul", prefix "parity") with
+        | Some w, _, _, _ -> Core.Generators.ripple_carry_adder w
+        | _, Some w, _, _ -> Core.Generators.alu w
+        | _, _, Some w, _ -> Core.Generators.multiplier w
+        | _, _, _, Some n -> Core.Generators.parity_tree n
+        | None, None, None, None ->
+            Fmt.failwith "unknown circuit %S (not a file or builtin)" spec)
+
+let pp_solution c ppf sol =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    (List.map (fun g -> c.Core.Circuit.names.(g)) sol)
+
+(* ---------- info ---------- *)
+
+let info_cmd_run spec scale =
+  let c = load_circuit ~scale spec in
+  Fmt.pr "%a@." Core.Circuit.pp_stats c;
+  let dom = Core.Dominators.compute c in
+  Fmt.pr "dominator skeleton: %d gates@."
+    (List.length (Core.Dominators.nontrivial dom));
+  0
+
+(* ---------- generate ---------- *)
+
+let generate_cmd_run spec scale out =
+  let c = load_circuit ~scale spec in
+  Core.Bench_format.write_file out c;
+  Fmt.pr "wrote %s (%a)@." out Core.Circuit.pp_stats c;
+  0
+
+(* ---------- inject ---------- *)
+
+let inject_cmd_run spec scale errors seed out =
+  let c = load_circuit ~scale spec in
+  let faulty, errs = Core.Injector.inject ~seed ~num_errors:errors c in
+  List.iter (fun e -> Fmt.pr "injected %a@." (Core.Fault.pp c) e) errs;
+  Core.Bench_format.write_file out faulty;
+  Fmt.pr "wrote %s@." out;
+  0
+
+(* ---------- run (diagnosis) ---------- *)
+
+type approach = Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist
+
+let approach_conv =
+  let parse = function
+    | "bsim" -> Ok Bsim
+    | "cov" -> Ok Cov
+    | "bsat" -> Ok Bsat
+    | "advsim" -> Ok Advsim
+    | "advsat" -> Ok Advsat
+    | "hybrid" -> Ok Hybrid
+    | "xlist" -> Ok Xlist
+    | s -> Error (`Msg (Printf.sprintf "unknown approach %S" s))
+  in
+  let print ppf a =
+    Fmt.string ppf
+      (match a with
+      | Bsim -> "bsim" | Cov -> "cov" | Bsat -> "bsat" | Advsim -> "advsim"
+      | Advsat -> "advsat" | Hybrid -> "hybrid" | Xlist -> "xlist")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let report_solutions faulty tests label solutions =
+  Fmt.pr "%s: %d solution(s)@." label (List.length solutions);
+  List.iter
+    (fun sol ->
+      let valid = Core.Validity.check_sat faulty tests sol in
+      Fmt.pr "  %a%s@." (pp_solution faulty) sol
+        (if valid then "" else "  [not a valid correction]"))
+    solutions
+
+let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
+    max_solutions =
+  let golden = load_circuit ~scale golden_spec in
+  let faulty, injected =
+    match faulty_spec with
+    | Some spec -> (load_circuit ~scale spec, [])
+    | None ->
+        let f, errs = Core.Injector.inject ~seed ~num_errors:errors golden in
+        List.iter (fun e -> Fmt.pr "injected %a@." (Core.Fault.pp golden) e) errs;
+        (f, errs)
+  in
+  let tests =
+    Core.Testgen.generate ~seed:(seed + 1) ~max_vectors:(1 lsl 16) ~wanted:m
+      ~golden ~faulty
+  in
+  Fmt.pr "%d failing test(s) found@." (List.length tests);
+  if tests = [] then begin
+    Fmt.pr "nothing to diagnose@.";
+    0
+  end
+  else begin
+    let k = match k with Some k -> k | None -> max 1 errors in
+    (match approach with
+    | Bsim ->
+        let r = Core.Bsim.diagnose faulty tests in
+        Fmt.pr "BSIM: |union|=%d, max marks=%d@."
+          (List.length r.Core.Bsim.union)
+          r.Core.Bsim.max_marks;
+        Fmt.pr "G_max = %a@." (pp_solution faulty) r.Core.Bsim.gmax
+    | Cov ->
+        let r = Core.Cover.diagnose ~max_solutions ~k faulty tests in
+        report_solutions faulty tests "COV" r.Core.Cover.solutions
+    | Bsat ->
+        let r = Core.Bsat.diagnose ~max_solutions ~k faulty tests in
+        report_solutions faulty tests "BSAT" r.Core.Bsat.solutions
+    | Advsim ->
+        let r = Core.Advanced_sim.diagnose ~max_solutions ~k faulty tests in
+        report_solutions faulty tests "advanced-sim"
+          r.Core.Advanced_sim.solutions
+    | Advsat ->
+        let r =
+          Core.Advanced_sat.diagnose_dominators ~max_solutions ~k faulty tests
+        in
+        report_solutions faulty tests "advanced-sat (2-pass)"
+          r.Core.Advanced_sat.solutions
+    | Hybrid ->
+        let cov = Core.Cover.diagnose ~max_solutions:1 ~k faulty tests in
+        (match cov.Core.Cover.solutions with
+        | [] -> Fmt.pr "no COV seed available@."
+        | seed_sol :: _ -> (
+            Fmt.pr "COV seed: %a@." (pp_solution faulty) seed_sol;
+            match Core.Hybrid.repair ~k ~seed:seed_sol faulty tests with
+            | None -> Fmt.pr "no valid correction of size <= %d@." k
+            | Some r ->
+                Fmt.pr "repaired: %a (dropped %d, added %d)@."
+                  (pp_solution faulty) r.Core.Hybrid.correction
+                  r.Core.Hybrid.dropped r.Core.Hybrid.added))
+    | Xlist ->
+        let r = Core.Xlist.diagnose faulty tests in
+        Fmt.pr "Xlist: |union|=%d@." (List.length r.Core.Xlist.union));
+    (match injected with
+    | [] -> ()
+    | errs ->
+        Fmt.pr "actual error sites: %a@." (pp_solution faulty)
+          (Core.Fault.sites errs));
+    0
+  end
+
+(* ---------- coverage (production test) ---------- *)
+
+let coverage_cmd_run spec scale vectors seed use_atpg =
+  let c = load_circuit ~scale spec in
+  let faults = Core.Stuck_at.all_faults c in
+  Fmt.pr "%a@." Core.Circuit.pp_stats c;
+  Fmt.pr "fault universe: %d single stuck-at faults@." (List.length faults);
+  if use_atpg then begin
+    let r = Core.Atpg.cover_stuck_at c in
+    Fmt.pr "ATPG: %d deterministic vectors, %d untestable fault(s)@."
+      (List.length r.Core.Atpg.tests)
+      (List.length r.Core.Atpg.untestable);
+    let testable = List.length faults - List.length r.Core.Atpg.untestable in
+    Fmt.pr "coverage: %d/%d testable faults (100%% by construction)@."
+      testable testable
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let vecs =
+      List.init vectors (fun _ ->
+          Array.init (Core.Circuit.num_inputs c) (fun _ ->
+              Random.State.bool rng))
+    in
+    let r = Core.Fault_sim.run c ~vectors:vecs ~faults in
+    Fmt.pr "random: %d vectors, coverage %.1f%% (%d undetected)@." vectors
+      (100.0 *. r.Core.Fault_sim.coverage)
+      (List.length r.Core.Fault_sim.undetected)
+  end;
+  0
+
+(* ---------- export-cnf ---------- *)
+
+let export_cmd_run golden_spec scale errors seed k m out =
+  let golden = load_circuit ~scale golden_spec in
+  let faulty, _ = Core.Injector.inject ~seed ~num_errors:errors golden in
+  let tests =
+    Core.Testgen.generate ~seed:(seed + 1) ~max_vectors:(1 lsl 16) ~wanted:m
+      ~golden ~faulty
+  in
+  if tests = [] then begin
+    Fmt.epr "no failing tests; nothing to export@.";
+    1
+  end
+  else begin
+    let k = match k with Some k -> k | None -> max 1 errors in
+    let dimacs = Core.Muxed.export_dimacs ~k faulty tests in
+    let oc = open_out out in
+    output_string oc dimacs;
+    close_out oc;
+    Fmt.pr "wrote %s (%d tests, k=%d; DIMACS vars 1..%d are the selects)@."
+      out (List.length tests) k
+      (Array.length (Core.Circuit.gate_ids faulty));
+    0
+  end
+
+(* ---------- experiment ---------- *)
+
+let experiment_cmd_run scale max_solutions time_limit small =
+  let specs =
+    if small then Bench_suite.Workload.small_specs ()
+    else Bench_suite.Workload.paper_specs ~scale
+  in
+  let rows =
+    List.concat_map
+      (fun spec ->
+        let prepared = Bench_suite.Workload.prepare spec in
+        Bench_suite.Runner.run ~max_solutions ~time_limit prepared)
+      specs
+  in
+  Fmt.pr "== Table 2: runtimes (s) ==@.%a@." Bench_suite.Report.pp_table2 rows;
+  Fmt.pr "== Table 3: quality ==@.%a@." Bench_suite.Report.pp_table3 rows;
+  Fmt.pr "== Figure 6 ==@.%a@." Bench_suite.Report.pp_figure6 rows;
+  0
+
+(* ---------- cmdliner plumbing ---------- *)
+
+open Cmdliner
+
+let scale =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Scale factor for builtin synthetic circuits")
+
+let circuit_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+       ~doc:"A .bench file or builtin name")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+let errors = Arg.(value & opt int 1 & info [ "errors"; "p" ] ~doc:"Number of injected errors")
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Print circuit statistics")
+    Term.(const info_cmd_run $ circuit_pos $ scale)
+
+let generate_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output .bench file") in
+  Cmd.v (Cmd.info "generate" ~doc:"Write a builtin circuit as .bench")
+    Term.(const generate_cmd_run $ circuit_pos $ scale $ out)
+
+let inject_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output .bench file") in
+  Cmd.v (Cmd.info "inject" ~doc:"Inject gate-change errors and write the faulty circuit")
+    Term.(const inject_cmd_run $ circuit_pos $ scale $ errors $ seed $ out)
+
+let run_cmd =
+  let faulty = Arg.(value & opt (some string) None & info [ "faulty" ] ~docv:"CIRCUIT" ~doc:"Faulty implementation (default: inject errors into CIRCUIT)") in
+  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist") in
+  let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit (default: number of injected errors)") in
+  let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
+  let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in
+  Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
+    Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
+          $ approach $ k $ m $ max_solutions)
+
+let coverage_cmd =
+  let vectors = Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~doc:"Random vectors to grade") in
+  let atpg = Arg.(value & flag & info [ "atpg" ] ~doc:"Generate a deterministic test set instead (SAT-based ATPG)") in
+  Cmd.v (Cmd.info "coverage" ~doc:"Stuck-at fault simulation / ATPG coverage")
+    Term.(const coverage_cmd_run $ circuit_pos $ scale $ vectors $ seed $ atpg)
+
+let export_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output DIMACS file") in
+  let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit") in
+  let m = Arg.(value & opt int 8 & info [ "tests"; "m" ] ~doc:"Number of failing tests") in
+  Cmd.v (Cmd.info "export-cnf" ~doc:"Export the BSAT diagnosis instance as DIMACS")
+    Term.(const export_cmd_run $ circuit_pos $ scale $ errors $ seed $ k $ m $ out)
+
+let experiment_cmd =
+  let max_solutions = Arg.(value & opt int 20000 & info [ "max-solutions" ] ~doc:"Per-run solution cap") in
+  let time_limit = Arg.(value & opt float 120.0 & info [ "time-limit" ] ~doc:"Per-run time limit (s)") in
+  let small = Arg.(value & flag & info [ "small" ] ~doc:"Use the quick structured-circuit workloads") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce the paper's Tables 2/3 and Figure 6")
+    Term.(const experiment_cmd_run $ scale $ max_solutions $ time_limit $ small)
+
+let main =
+  Cmd.group
+    (Cmd.info "diagnose" ~version:Core.version
+       ~doc:"Simulation-based and SAT-based circuit diagnosis")
+    [ info_cmd; generate_cmd; inject_cmd; run_cmd; coverage_cmd; export_cmd;
+      experiment_cmd ]
+
+let () = exit (Cmd.eval' main)

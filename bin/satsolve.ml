@@ -1,0 +1,52 @@
+(* DIMACS CNF front-end for the CDCL solver.  Exit code 10 = SAT,
+   20 = UNSAT (the conventional SAT-competition codes). *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run path print_model =
+  let cnf = Sat.Cnf.of_dimacs (read_file path) in
+  let solver = Sat.Solver.create () in
+  Sat.Solver.add_cnf solver cnf;
+  match Sat.Solver.solve solver with
+  | Sat.Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+  | Sat.Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      if print_model then begin
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "v";
+        for v = 0 to cnf.Sat.Cnf.num_vars - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf " %d"
+               (if Sat.Solver.value solver v then v + 1 else -(v + 1)))
+        done;
+        Buffer.add_string buf " 0";
+        print_endline (Buffer.contents buf)
+      end;
+      let st = Sat.Solver.stats solver in
+      Printf.printf "c decisions=%d propagations=%d conflicts=%d restarts=%d\n"
+        st.Sat.Solver.decisions st.Sat.Solver.propagations
+        st.Sat.Solver.conflicts st.Sat.Solver.restarts;
+      exit 10
+
+open Cmdliner
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"DIMACS CNF file")
+
+let model =
+  Arg.(value & flag & info [ "model"; "m" ] ~doc:"Print a satisfying assignment")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "satsolve" ~doc:"CDCL SAT solver on DIMACS CNF")
+    Term.(const run $ path $ model)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,185 @@
+type t = int
+
+let bdd_false = 0
+let bdd_true = 1
+let of_bool b = if b then bdd_true else bdd_false
+
+type manager = {
+  mutable vars : int array;   (* node -> variable (max_int on terminals) *)
+  mutable lows : int array;
+  mutable highs : int array;
+  mutable count : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let manager () =
+  let m =
+    {
+      vars = Array.make 1024 max_int;
+      lows = Array.make 1024 0;
+      highs = Array.make 1024 0;
+      count = 2;
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+    }
+  in
+  m.vars.(0) <- max_int;
+  m.vars.(1) <- max_int;
+  m
+
+let grow m =
+  if m.count = Array.length m.vars then begin
+    let n = 2 * m.count in
+    let copy a fill =
+      let a' = Array.make n fill in
+      Array.blit a 0 a' 0 m.count;
+      a'
+    in
+    m.vars <- copy m.vars max_int;
+    m.lows <- copy m.lows 0;
+    m.highs <- copy m.highs 0
+  end
+
+(* hash-consed constructor; enforces reduction (low <> high) *)
+let mk m v low high =
+  if low = high then low
+  else
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+        grow m;
+        let id = m.count in
+        m.vars.(id) <- v;
+        m.lows.(id) <- low;
+        m.highs.(id) <- high;
+        m.count <- id + 1;
+        Hashtbl.add m.unique key id;
+        id
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk m i bdd_false bdd_true
+
+let rec ite m f g h =
+  (* terminal cases *)
+  if f = bdd_true then g
+  else if f = bdd_false then h
+  else if g = h then g
+  else if g = bdd_true && h = bdd_false then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let top =
+          min m.vars.(f) (min m.vars.(g) m.vars.(h))
+        in
+        let cofactor x =
+          if m.vars.(x) = top then (m.lows.(x), m.highs.(x)) else (x, x)
+        in
+        let f0, f1 = cofactor f in
+        let g0, g1 = cofactor g in
+        let h0, h1 = cofactor h in
+        let r0 = ite m f0 g0 h0 in
+        let r1 = ite m f1 g1 h1 in
+        let r = mk m top r0 r1 in
+        Hashtbl.add m.ite_cache key r;
+        r
+  end
+
+let not_ m f = ite m f bdd_false bdd_true
+let and_ m f g = ite m f g bdd_false
+let or_ m f g = ite m f bdd_true g
+let xor_ m f g = ite m f (not_ m g) g
+let xnor_ m f g = ite m f g (not_ m g)
+
+let equal (a : t) (b : t) = a = b
+
+let eval m f assignment =
+  let rec walk n =
+    if n = bdd_false then false
+    else if n = bdd_true then true
+    else if assignment.(m.vars.(n)) then walk m.highs.(n)
+    else walk m.lows.(n)
+  in
+  walk f
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if n > 1 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      visit m.lows.(n);
+      visit m.highs.(n)
+    end
+  in
+  visit f;
+  Hashtbl.length seen
+
+let live_nodes m = m.count - 2
+
+let sat_count m ~num_vars f =
+  (* density: probability of satisfaction under uniform assignments *)
+  let memo = Hashtbl.create 64 in
+  let rec density n =
+    if n = bdd_false then 0.0
+    else if n = bdd_true then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some d -> d
+      | None ->
+          let d = 0.5 *. (density m.lows.(n) +. density m.highs.(n)) in
+          Hashtbl.add memo n d;
+          d
+  in
+  density f *. (2.0 ** float_of_int num_vars)
+
+let any_sat m f =
+  if f = bdd_false then None
+  else
+    let rec walk acc n =
+      if n = bdd_true then List.rev acc
+      else if m.highs.(n) <> bdd_false then
+        walk ((m.vars.(n), true) :: acc) m.highs.(n)
+      else walk ((m.vars.(n), false) :: acc) m.lows.(n)
+    in
+    Some (walk [] f)
+
+let of_circuit m (c : Netlist.Circuit.t) =
+  let module Circuit = Netlist.Circuit in
+  let module Gate = Netlist.Gate in
+  let values = Array.make (Circuit.size c) bdd_false in
+  Array.iteri (fun i g -> values.(g) <- var m i) c.Circuit.inputs;
+  let fold op init args =
+    Array.fold_left (fun acc x -> op m acc values.(x)) init args
+  in
+  Array.iter
+    (fun g ->
+      let fanins = c.Circuit.fanins.(g) in
+      match c.Circuit.kinds.(g) with
+      | Gate.Input -> ()
+      | Gate.Const0 -> values.(g) <- bdd_false
+      | Gate.Const1 -> values.(g) <- bdd_true
+      | Gate.Buf -> values.(g) <- values.(fanins.(0))
+      | Gate.Not -> values.(g) <- not_ m values.(fanins.(0))
+      | Gate.And -> values.(g) <- fold and_ bdd_true fanins
+      | Gate.Nand -> values.(g) <- not_ m (fold and_ bdd_true fanins)
+      | Gate.Or -> values.(g) <- fold or_ bdd_false fanins
+      | Gate.Nor -> values.(g) <- not_ m (fold or_ bdd_false fanins)
+      | Gate.Xor -> values.(g) <- fold xor_ bdd_false fanins
+      | Gate.Xnor -> values.(g) <- not_ m (fold xor_ bdd_false fanins))
+    c.Circuit.topo;
+  Array.map (fun g -> values.(g)) c.Circuit.outputs
+
+let check_equivalence a b =
+  let module Circuit = Netlist.Circuit in
+  if
+    Circuit.num_inputs a <> Circuit.num_inputs b
+    || Circuit.num_outputs a <> Circuit.num_outputs b
+  then invalid_arg "Bdd.check_equivalence: interface mismatch";
+  let m = manager () in
+  let oa = of_circuit m a in
+  let ob = of_circuit m b in
+  Array.for_all2 equal oa ob

@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams.
+
+    The substrate behind the BDD-based diagnosis/verification approaches
+    the paper contrasts with (§1: "for large designs BDD-based
+    approaches suffer from space complexity issues").  A classical
+    unique-table + ITE-cache implementation, fixed variable order, no
+    complement edges — enough to check equivalence symbolically, count
+    satisfying assignments, and *measure* the space blow-up claim against
+    the SAT encodings (see the [related] benchmark).
+
+    All operations are canonical: two functions are equal iff their node
+    handles are equal. *)
+
+type manager
+
+type t = private int
+(** Node handle, valid only with the manager that created it. *)
+
+val manager : unit -> manager
+
+val bdd_false : t
+val bdd_true : t
+val of_bool : bool -> t
+
+val var : manager -> int -> t
+(** The projection function of variable [i] (also fixes the order: lower
+    index = closer to the root). *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val xnor_ : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Function equality (canonicity). *)
+
+val eval : manager -> t -> bool array -> bool
+(** Evaluate under an assignment indexed by variable. *)
+
+val size : manager -> t -> int
+(** Nodes reachable from this root (terminals excluded). *)
+
+val live_nodes : manager -> int
+(** Total nodes ever created in the manager — the space measure. *)
+
+val sat_count : manager -> num_vars:int -> t -> float
+(** Number of satisfying assignments over [num_vars] variables. *)
+
+val any_sat : manager -> t -> (int * bool) list option
+(** A partial satisfying assignment ([None] for the constant-false
+    function); unmentioned variables are don't-cares. *)
+
+val of_circuit : manager -> Netlist.Circuit.t -> t array
+(** Symbolic simulation: one BDD per primary output, primary input [i]
+    mapped to variable [i].  Raises through {!Stack_overflow} or memory
+    pressure on circuits where BDDs blow up — that is the point the
+    benchmark demonstrates. *)
+
+val check_equivalence :
+  Netlist.Circuit.t -> Netlist.Circuit.t -> bool
+(** BDD-based combinational equivalence over a fresh manager (positional
+    interface correspondence, same checks as {!Encode.Miter}). *)

@@ -1,0 +1,51 @@
+let s27_text =
+  "# s27 (ISCAS89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let s27 () =
+  (Netlist.Bench_format.parse_string ~name:"s27" s27_text).Netlist.Bench_format.circuit
+
+let scaled ~scale n = max 4 (int_of_float (float_of_int n *. scale))
+
+let synthetic ~name ~seed ~inputs ~gates ~outputs ~scale =
+  Netlist.Generators.random_dag ~name ~seed
+    ~num_inputs:(scaled ~scale inputs)
+    ~num_gates:(scaled ~scale gates)
+    ~num_outputs:(scaled ~scale outputs)
+    ()
+
+let g1423 ?(scale = 1.0) () =
+  synthetic ~name:"g1423" ~seed:1423 ~inputs:91 ~gates:657 ~outputs:79 ~scale
+
+let g6669 ?(scale = 1.0) () =
+  synthetic ~name:"g6669" ~seed:6669 ~inputs:322 ~gates:3080 ~outputs:294
+    ~scale
+
+let g38417 ?(scale = 1.0) () =
+  synthetic ~name:"g38417" ~seed:38417 ~inputs:1664 ~gates:22179 ~outputs:1742
+    ~scale
+
+let by_name name ~scale =
+  match name with
+  | "s27" -> s27 ()
+  | "g1423" -> g1423 ~scale ()
+  | "g6669" -> g6669 ~scale ()
+  | "g38417" -> g38417 ~scale ()
+  | _ -> raise Not_found

@@ -1,0 +1,26 @@
+(** Benchmark circuits.
+
+    [s27] is the real tiny ISCAS89 netlist (embedded source text).  The
+    [g*] constructors are seeded synthetic stand-ins for the ISCAS89
+    circuits the paper evaluates — same node counts and interface sizes,
+    sequential elements already in the pseudo-PI/PO view (see DESIGN.md,
+    substitution table).  [scale] shrinks them proportionally for quick
+    runs ([scale = 1.0] is the paper-sized instance). *)
+
+val s27 : unit -> Netlist.Circuit.t
+
+val s27_text : string
+(** The embedded [.bench] source. *)
+
+val g1423 : ?scale:float -> unit -> Netlist.Circuit.t
+(** Stand-in for s1423: 91 inputs (17 PI + 74 DFF), 657 gates, 79 outputs. *)
+
+val g6669 : ?scale:float -> unit -> Netlist.Circuit.t
+(** Stand-in for s6669: 322 inputs, 3080 gates, 294 outputs. *)
+
+val g38417 : ?scale:float -> unit -> Netlist.Circuit.t
+(** Stand-in for s38417: 1664 inputs, 22179 gates, 1742 outputs. *)
+
+val by_name : string -> scale:float -> Netlist.Circuit.t
+(** Look up ["s27" | "g1423" | "g6669" | "g38417"].
+    @raise Not_found otherwise. *)

@@ -1,0 +1,47 @@
+module B = Netlist.Builder
+module G = Netlist.Gate
+
+(* Figure 5(a): output D = AND(B, C) with B = AND(A', i2), C = AND(A', i3),
+   A' = NOT(i1).  Under i = (1,1,1) every internal value is 0 while the
+   output should be 1.  Both fanins of D carry the controlling value, so
+   PT marks one of B/C; covering that set with {B} alone cannot rectify
+   the test (D's other fanin stays 0). *)
+let fig5a =
+  let b = B.create ~name:"fig5a" in
+  let i1 = B.input ~name:"i1" b in
+  let i2 = B.input ~name:"i2" b in
+  let i3 = B.input ~name:"i3" b in
+  let a = B.gate ~name:"A" b G.Not [ i1 ] in
+  let bb = B.gate ~name:"B" b G.And [ a; i2 ] in
+  let c = B.gate ~name:"C" b G.And [ a; i3 ] in
+  let d = B.gate ~name:"D" b G.And [ bb; c ] in
+  B.output b d;
+  let circuit = B.build b in
+  let test =
+    { Sim.Testgen.vector = [| true; true; true |]; po_index = 0;
+      expected = true }
+  in
+  (circuit, test)
+
+(* Figure 5(b): E = OR(D, C), D = AND(A, B), C = NOT(y), A = AND(x, y),
+   B = BUF(x).  Under (x,y) = (0,1) the output is 0 instead of 1.  PT
+   marks E, D, C, A (B hides behind D's first controlling input), yet
+   {A, B} is a valid correction of size 2 — and essential, since neither
+   {A} nor {B} rectifies the test. *)
+let fig5b =
+  let b = B.create ~name:"fig5b" in
+  let x = B.input ~name:"x" b in
+  let y = B.input ~name:"y" b in
+  let a = B.gate ~name:"A" b G.And [ x; y ] in
+  let bb = B.gate ~name:"B" b G.Buf [ x ] in
+  let d = B.gate ~name:"D" b G.And [ a; bb ] in
+  let c = B.gate ~name:"C" b G.Not [ y ] in
+  let e = B.gate ~name:"E" b G.Or [ d; c ] in
+  B.output b e;
+  let circuit = B.build b in
+  let test =
+    { Sim.Testgen.vector = [| false; true |]; po_index = 0; expected = true }
+  in
+  (circuit, test)
+
+let gate c name = Netlist.Circuit.id_of_name c name

@@ -1,0 +1,16 @@
+(** The example circuits of the paper's Figure 5, with the single test
+    each lemma uses.  These witness Lemma 2 (a cover that is not a valid
+    correction) and Lemma 4 (a valid correction the covering approach
+    cannot produce), hence Theorems 1 and 2. *)
+
+val fig5a : Netlist.Circuit.t * Sim.Testgen.test
+(** Gates A,B,C,D; the test drives the output to 0 where 1 is expected.
+    PathTrace marks A,B,D (first-input tie break); the cover {B} is not a
+    valid correction. *)
+
+val fig5b : Netlist.Circuit.t * Sim.Testgen.test
+(** Gates A,B,C,D,E; PathTrace marks A,C,D,E only, yet {A,B} is a valid
+    essential correction for k = 2. *)
+
+val gate : Netlist.Circuit.t -> string -> int
+(** Gate id by name (convenience for the named gates above). *)

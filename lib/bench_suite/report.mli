@@ -1,0 +1,21 @@
+(** Paper-style rendering of experiment rows: Table 2 (runtimes), Table 3
+    (quality) and the Figure 6 scatter series. *)
+
+val pp_table2 : Format.formatter -> Runner.row list -> unit
+(** Columns: I, p, m, BSIM, COV CNF/One/All, BSAT CNF/One/All (seconds). *)
+
+val pp_table3 : Format.formatter -> Runner.row list -> unit
+(** Columns: I, p, m, BSIM |∪Ci|/avgA/Gmax/min/max/avgG,
+    COV #sol/min/max/avg, BSAT #sol/min/max/avg. *)
+
+val figure6_series : Runner.row list -> (float * float) list * (int * int) list
+(** [(avg pairs, #sol pairs)]: per row, (COV value, BSAT value) — the
+    coordinates of Figure 6(a) and 6(b). *)
+
+val pp_figure6 : Format.formatter -> Runner.row list -> unit
+(** The two series as aligned columns plus an ASCII scatter of 6(a). *)
+
+val pp_scatter :
+  width:int -> height:int -> xlabel:string -> ylabel:string ->
+  Format.formatter -> (float * float) list -> unit
+(** Generic ASCII scatter with a diagonal reference line. *)

@@ -1,0 +1,27 @@
+(** Sequential diagnosis workloads (extension experiment: the paper notes
+    both approaches apply to sequential problems, citing the ICCAD'04
+    SAT-based sequential debug work). *)
+
+val synthetic_machine :
+  seed:int -> inputs:int -> gates:int -> outputs:int -> state:int ->
+  Sim.Sequential.t
+(** A random combinational core whose last [state] inputs/outputs are
+    paired up as flip-flops. *)
+
+type row = {
+  label : string;
+  frames : int;
+  m : int;
+  bsim_union : int;
+  cov_count : int;
+  bsat_count : int;
+  bsat_time : float;
+  site_hit : bool;  (** some BSAT solution contains the real site *)
+}
+
+val run :
+  label:string -> seed:int -> frames:int -> wanted:int ->
+  Sim.Sequential.t -> row option
+(** Inject one core error, collect failing sequences, run the three
+    sequential approaches.  [None] when the error is undetectable within
+    the budget. *)

@@ -1,0 +1,52 @@
+type spec = {
+  label : string;
+  circuit : Netlist.Circuit.t;
+  num_errors : int;
+  test_counts : int list;
+  seed : int;
+}
+
+type prepared = {
+  spec : spec;
+  faulty : Netlist.Circuit.t;
+  errors : Sim.Fault.error list;
+  tests : Sim.Testgen.test list;
+}
+
+let prepare spec =
+  let faulty, errors =
+    Sim.Injector.inject ~seed:spec.seed ~num_errors:spec.num_errors
+      spec.circuit
+  in
+  let wanted = List.fold_left max 0 spec.test_counts in
+  let tests =
+    Sim.Testgen.generate ~seed:(spec.seed + 1) ~max_vectors:(1 lsl 16) ~wanted
+      ~golden:spec.circuit ~faulty
+  in
+  { spec; faulty; errors; tests }
+
+let default_counts = [ 4; 8; 16; 32 ]
+
+let paper_specs ~scale =
+  [
+    { label = "g1423"; circuit = Embedded.g1423 ~scale ();
+      num_errors = 4; test_counts = default_counts; seed = 101 };
+    { label = "g6669"; circuit = Embedded.g6669 ~scale ();
+      num_errors = 3; test_counts = default_counts; seed = 102 };
+    { label = "g38417"; circuit = Embedded.g38417 ~scale ();
+      num_errors = 2; test_counts = default_counts; seed = 103 };
+  ]
+
+let small_specs () =
+  [
+    { label = "rca8"; circuit = Netlist.Generators.ripple_carry_adder 8;
+      num_errors = 1; test_counts = default_counts; seed = 201 };
+    { label = "alu4"; circuit = Netlist.Generators.alu 4;
+      num_errors = 2; test_counts = default_counts; seed = 202 };
+    { label = "mul4"; circuit = Netlist.Generators.multiplier 4;
+      num_errors = 2; test_counts = default_counts; seed = 203 };
+    { label = "rand300"; circuit =
+        Netlist.Generators.random_dag ~seed:300 ~num_inputs:24 ~num_gates:300
+          ~num_outputs:12 ();
+      num_errors = 3; test_counts = default_counts; seed = 204 };
+  ]

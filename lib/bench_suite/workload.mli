@@ -1,0 +1,30 @@
+(** Experiment configuration: the paper's setup (§5) — inject p gate-change
+    errors, diagnose with k = p and m ∈ {4, 8, 16, 32} tests, prefixes of
+    one shared test set per faulty circuit. *)
+
+type spec = {
+  label : string;
+  circuit : Netlist.Circuit.t;  (** golden implementation *)
+  num_errors : int;             (** p, also used as the limit k *)
+  test_counts : int list;       (** the m values *)
+  seed : int;
+}
+
+type prepared = {
+  spec : spec;
+  faulty : Netlist.Circuit.t;
+  errors : Sim.Fault.error list;
+  tests : Sim.Testgen.test list;  (** shared test set, max m triples *)
+}
+
+val prepare : spec -> prepared
+(** Injects errors and generates the shared test set (prefixes of which
+    are the per-m test sets). *)
+
+val paper_specs : scale:float -> spec list
+(** The Table 2/3 workloads: g1423 with p=4, g6669 with p=3, g38417 with
+    p=2, each at m ∈ {4,8,16,32}. *)
+
+val small_specs : unit -> spec list
+(** Laptop-quick workloads over structured circuits (adder, ALU,
+    multiplier, random DAGs) for the extended experiments. *)

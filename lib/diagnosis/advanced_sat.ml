@@ -1,0 +1,89 @@
+module Dominators = Netlist.Dominators
+
+type result = {
+  solutions : int list list;
+  pass1_solutions : int list list;
+  total_time : float;
+  stats : Sat.Solver.stats;
+}
+
+let diagnose_dominators ?max_solutions ?time_limit ~k c tests =
+  let t0 = Sys.time () in
+  let dom = Dominators.compute c in
+  let skeleton = Dominators.nontrivial dom in
+  let pass1 =
+    Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
+      ?time_limit ~k c tests
+  in
+  (* refine: multiplexers at every implicated dominator and everything it
+     dominates *)
+  let implicated =
+    List.concat_map
+      (fun sol ->
+        List.concat_map (fun d -> d :: Dominators.region dom d) sol)
+      pass1.Bsat.solutions
+    |> List.sort_uniq Int.compare
+    |> List.filter (fun g -> not (Netlist.Circuit.is_input c g))
+  in
+  let pass2 =
+    match implicated with
+    | [] -> pass1
+    | _ ->
+        Bsat.diagnose ~candidates:implicated ~force_zero:true ?max_solutions
+          ?time_limit ~k c tests
+  in
+  {
+    solutions = pass2.Bsat.solutions;
+    pass1_solutions = pass1.Bsat.solutions;
+    total_time = Sys.time () -. t0;
+    stats = pass2.Bsat.stats;
+  }
+
+let chunks n xs =
+  let rec go acc cur count = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if count = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ~k c tests =
+  let t0 = Sys.time () in
+  let slices = chunks slice tests in
+  match slices with
+  | [] ->
+      {
+        solutions = [];
+        pass1_solutions = [];
+        total_time = 0.0;
+        stats = Sat.Solver.stats (Sat.Solver.create ());
+      }
+  | first :: rest ->
+      let r0 =
+        Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit ~k c first
+      in
+      let narrow result next_tests =
+        let cands =
+          List.concat result.Bsat.solutions |> List.sort_uniq Int.compare
+        in
+        match cands with
+        | [] -> result
+        | _ ->
+            Bsat.diagnose ~candidates:cands ~force_zero:true ?max_solutions
+              ?time_limit ~k c next_tests
+      in
+      (* each slice shrinks the candidate pool; solve the next slice over
+         the survivors only *)
+      let final = List.fold_left narrow r0 rest in
+      (* validate survivors against the complete test set *)
+      let solutions =
+        List.filter (fun sol -> Validity.check_sat c tests sol)
+          final.Bsat.solutions
+      in
+      {
+        solutions;
+        pass1_solutions = r0.Bsat.solutions;
+        total_time = Sys.time () -. t0;
+        stats = final.Bsat.stats;
+      }

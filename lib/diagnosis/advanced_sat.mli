@@ -1,0 +1,44 @@
+(** Advanced SAT-based diagnosis heuristics (§2.3, after Smith et al.).
+
+    Three techniques on top of BSAT, none of which changes the reported
+    solutions being valid corrections:
+
+    - [force_zero] clauses (s=0 ⇒ c=0), available directly through
+      {!Bsat.diagnose};
+    - two-pass dominator diagnosis: multiplexers first only at the
+      dominator skeleton (gates that dominate others, plus outputs), then
+      refinement with multiplexers inside the implicated dominated
+      regions;
+    - test-set partitioning: enumerate on a slice of the tests, keep the
+      candidates, refine with the next slice, and finally validate
+      against the complete test set.
+
+    The two-pass and partitioned variants are sound (every returned set
+    is a valid correction, SAT-checked against all tests) but — as in the
+    original tool — the refinement is heuristic, so rare corrections
+    outside the implicated regions can be missed. *)
+
+type result = {
+  solutions : int list list;
+  pass1_solutions : int list list; (** coarse (dominator / first-slice) *)
+  total_time : float;
+  stats : Sat.Solver.stats;        (** from the final pass *)
+}
+
+val diagnose_dominators :
+  ?max_solutions:int ->
+  ?time_limit:float ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  result
+
+val diagnose_partitioned :
+  ?slice:int ->
+  ?max_solutions:int ->
+  ?time_limit:float ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  result
+(** [slice] — number of tests per partition (default 8). *)

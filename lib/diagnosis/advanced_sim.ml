@@ -1,0 +1,82 @@
+type result = {
+  bsim : Bsim.result;
+  solutions : int list list;
+  sim_time : float;
+  search_time : float;
+  truncated : bool;
+}
+
+let diagnose ?tie_break ?(max_solutions = max_int) ?(time_limit = infinity)
+    ~k c tests =
+  let t0 = Sys.time () in
+  let bsim = Bsim.diagnose ?tie_break c tests in
+  let sim_time = Sys.time () -. t0 in
+  let tests_arr = Array.of_list tests in
+  let sets = bsim.Bsim.candidate_sets in
+  let marks = bsim.Bsim.marks in
+  let by_marks gs =
+    List.sort (fun a b -> compare (marks.(b), a) (marks.(a), b)) gs
+  in
+  let start = Sys.time () in
+  let visited = Hashtbl.create 256 in
+  let solutions = ref [] in
+  let truncated = ref false in
+  let exception Budget in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let record sol =
+    (* shrink to an essential subset before recording (Definition 4) *)
+    let sol =
+      Validity.essentialize ~check:(fun s -> Validity.check_sim c tests s) sol
+    in
+    if not (List.exists (fun s -> subset s sol) !solutions) then
+      solutions := sol :: !solutions
+  in
+  (* indices of tests not rectifiable by the candidate set *)
+  let unrectified chosen =
+    List.filter
+      (fun i ->
+        not
+          (Validity.check_sim c [ tests_arr.(i) ] chosen))
+      (List.init (Array.length tests_arr) Fun.id)
+  in
+  let rec go chosen =
+    if List.length !solutions >= max_solutions
+       || Sys.time () -. start > time_limit
+    then begin
+      truncated := true;
+      raise Budget
+    end;
+    let key = List.sort Int.compare chosen in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      if List.exists (fun s -> subset s key) !solutions then ()
+      else
+        match unrectified chosen with
+        | [] -> if chosen <> [] then record key
+        | failing when List.length chosen < k ->
+            let pool =
+              List.concat_map (fun i -> sets.(i)) failing
+              |> List.sort_uniq Int.compare
+              |> List.filter (fun g -> not (List.mem g chosen))
+              |> by_marks
+            in
+            List.iter (fun g -> go (g :: chosen)) pool
+        | _ -> ()
+    end
+  in
+  (try go [] with Budget -> ());
+  (* a larger solution may have been recorded before a subset was found *)
+  let essential_only =
+    List.filter
+      (fun s ->
+        not (List.exists (fun s' -> s' <> s && subset s' s) !solutions))
+      !solutions
+    |> List.sort_uniq compare
+  in
+  {
+    bsim;
+    solutions = essential_only;
+    sim_time;
+    search_time = Sys.time () -. start;
+    truncated = !truncated;
+  }

@@ -1,0 +1,40 @@
+module Circuit = Netlist.Circuit
+
+type outcome =
+  | Test of bool array
+  | Untestable
+
+let distinguish golden variant =
+  match Encode.Miter.check ~spec:golden ~impl:variant with
+  | Encode.Miter.Equivalent -> Untestable
+  | Encode.Miter.Counterexample t -> Test t.Sim.Testgen.vector
+
+let for_stuck_at c f = distinguish c (Sim.Stuck_at.apply c f)
+let for_gate_change c e = distinguish c (Sim.Fault.apply c [ e ])
+
+type coverage_result = {
+  tests : bool array list;
+  untestable : Sim.Stuck_at.fault list;
+  aborted : Sim.Stuck_at.fault list;
+}
+
+let cover_stuck_at ?faults c =
+  let faults =
+    match faults with Some fs -> fs | None -> Sim.Stuck_at.all_faults c
+  in
+  (* greedy loop: target one live fault, then drop everything the new
+     vector detects as well *)
+  let rec loop tests untestable live =
+    match live with
+    | [] -> { tests = List.rev tests; untestable = List.rev untestable;
+              aborted = [] }
+    | f :: rest -> (
+        match for_stuck_at c f with
+        | Untestable -> loop tests (f :: untestable) rest
+        | Test v ->
+            let run =
+              Sim.Fault_sim.run c ~vectors:[ v ] ~faults:rest
+            in
+            loop (v :: tests) untestable run.Sim.Fault_sim.undetected)
+  in
+  loop [] [] faults

@@ -1,0 +1,33 @@
+(** SAT-based deterministic test generation (ATPG).
+
+    For a target fault, a miter between the fault-free and the faulty
+    machine is solved: a model is an input vector detecting the fault, an
+    UNSAT answer proves the fault untestable (redundant).  Complements
+    the random generator: the paper's experiments rely on test sets that
+    actually excite the error, and diagnosis resolution grows with
+    targeted tests. *)
+
+type outcome =
+  | Test of bool array   (** a detecting input vector *)
+  | Untestable           (** proven redundant *)
+
+val for_stuck_at : Netlist.Circuit.t -> Sim.Stuck_at.fault -> outcome
+
+val for_gate_change :
+  Netlist.Circuit.t -> Sim.Fault.error -> outcome
+(** A vector distinguishing the circuit from its gate-changed variant. *)
+
+type coverage_result = {
+  tests : bool array list;      (** compact deterministic test set *)
+  untestable : Sim.Stuck_at.fault list;
+  aborted : Sim.Stuck_at.fault list;  (** resource-limited (none today) *)
+}
+
+val cover_stuck_at :
+  ?faults:Sim.Stuck_at.fault list ->
+  Netlist.Circuit.t ->
+  coverage_result
+(** Deterministic test set for (by default) the full single-stuck-at
+    universe: repeatedly fault-simulate the tests found so far (with
+    dropping) and target one remaining fault with the SAT engine.
+    Guarantees 100% coverage of testable faults. *)

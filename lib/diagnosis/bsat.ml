@@ -1,0 +1,121 @@
+type result = {
+  solutions : int list list;
+  cnf_time : float;
+  one_time : float;
+  all_time : float;
+  truncated : bool;
+  stats : Sat.Solver.stats;
+}
+
+type hints = {
+  priority : (int * float) list;
+  prefer_selected : int list;
+}
+
+let no_hints = { priority = []; prefer_selected = [] }
+
+let apply_hints solver inst hints =
+  List.iter
+    (fun (g, w) ->
+      match Encode.Muxed.select_lit inst g with
+      | l -> Sat.Solver.bump_priority solver (Sat.Lit.var l) w
+      | exception Not_found -> ())
+    hints.priority;
+  List.iter
+    (fun g ->
+      match Encode.Muxed.select_lit inst g with
+      | l -> Sat.Solver.set_default_phase solver (Sat.Lit.var l) true
+      | exception Not_found -> ())
+    hints.prefer_selected
+
+type strategy = Incremental_k | Minimize_single_pass
+
+(* Shrink a model's select set to an essential subset inside the same
+   instance: candidate gates outside the set are pinned off, members are
+   dropped one at a time while the instance stays satisfiable. *)
+let shrink_in_instance inst sol =
+  let keep_off kept =
+    Array.to_list (Encode.Muxed.candidate_gates inst)
+    |> List.filter_map (fun g ->
+           if List.mem g kept then None
+           else Some (Sat.Lit.negate (Encode.Muxed.select_lit inst g)))
+  in
+  let rec drop kept = function
+    | [] -> kept
+    | g :: rest ->
+        let candidate = kept @ rest in
+        let extra =
+          List.map (Encode.Muxed.select_lit inst) candidate @ keep_off candidate
+        in
+        (match
+           Encode.Muxed.solve_at_most ~extra inst (List.length candidate)
+         with
+        | Sat.Solver.Sat -> drop kept rest
+        | Sat.Solver.Unsat -> drop (kept @ [ g ]) rest)
+  in
+  drop [] sol
+
+let diagnose ?candidates ?force_zero ?(hints = no_hints)
+    ?(strategy = Incremental_k) ?(max_solutions = max_int)
+    ?(time_limit = infinity) ~k c tests =
+  let t0 = Sys.time () in
+  let solver = Sat.Solver.create () in
+  let inst = Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests in
+  apply_hints solver inst hints;
+  let cnf_time = Sys.time () -. t0 in
+  let start = Sys.time () in
+  let solutions = ref [] in
+  let nsol = ref 0 in
+  let one_time = ref 0.0 in
+  let truncated = ref false in
+  let out_of_budget () =
+    !nsol >= max_solutions || Sys.time () -. start > time_limit
+  in
+  let record sol =
+    if !nsol = 0 then one_time := Sys.time () -. start;
+    solutions := sol :: !solutions;
+    incr nsol;
+    Encode.Muxed.block inst sol
+  in
+  (match strategy with
+  | Incremental_k ->
+      for i = 1 to k do
+        let continue_level = ref true in
+        while !continue_level do
+          if out_of_budget () then begin
+            truncated := true;
+            continue_level := false
+          end
+          else
+            match Encode.Muxed.solve_at_most inst i with
+            | Sat.Solver.Unsat -> continue_level := false
+            | Sat.Solver.Sat -> record (Encode.Muxed.solution inst)
+        done
+      done
+  | Minimize_single_pass ->
+      let continue_ = ref true in
+      while !continue_ do
+        if out_of_budget () then begin
+          truncated := true;
+          continue_ := false
+        end
+        else
+          match Encode.Muxed.solve_at_most inst k with
+          | Sat.Solver.Unsat -> continue_ := false
+          | Sat.Solver.Sat ->
+              record
+                (List.sort Int.compare
+                   (shrink_in_instance inst (Encode.Muxed.solution inst)))
+      done);
+  {
+    solutions = List.rev !solutions;
+    cnf_time;
+    one_time = !one_time;
+    all_time = Sys.time () -. start;
+    truncated = !truncated;
+    stats = Sat.Solver.stats solver;
+  }
+
+let first_solution ?candidates ?force_zero ?hints ~k c tests =
+  let r = diagnose ?candidates ?force_zero ?hints ~max_solutions:1 ~k c tests in
+  match r.solutions with [] -> None | sol :: _ -> Some sol

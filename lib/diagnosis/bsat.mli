@@ -1,0 +1,61 @@
+(** BSAT — BasicSATDiagnose (paper Figure 3).
+
+    The diagnosis instance of Figure 2 (one circuit copy per test,
+    correction multiplexers, shared selects) is solved with the limit on
+    selected gates raised incrementally from 1 to k; every solution is
+    blocked before moving on, so the enumeration returns exactly the
+    valid corrections containing only essential candidates up to size k
+    (Lemmas 1 and 3). *)
+
+type result = {
+  solutions : int list list;  (** essential valid corrections, sorted *)
+  cnf_time : float;           (** instance construction (paper "CNF") *)
+  one_time : float;           (** time to the first solution (paper "One") *)
+  all_time : float;           (** full enumeration time (paper "All") *)
+  truncated : bool;
+  stats : Sat.Solver.stats;   (** solver counters, for the hybrid ablation *)
+}
+
+type hints = {
+  priority : (int * float) list;
+      (** gate id -> activity bump for its select line *)
+  prefer_selected : int list;
+      (** gates whose select line should first be tried as 1 *)
+}
+
+val no_hints : hints
+
+type strategy =
+  | Incremental_k
+      (** Figure 3 verbatim: limits 1..k, blocking at each level. *)
+  | Minimize_single_pass
+      (** The advanced approach's all-solutions mode: one pass at limit k;
+          each model's select set is shrunk to an essential subset inside
+          the same instance (assumption-based) before being blocked.
+          Returns the same solution set with fewer solver calls when
+          solutions are sparse. *)
+
+val diagnose :
+  ?candidates:int list ->
+  ?force_zero:bool ->
+  ?hints:hints ->
+  ?strategy:strategy ->
+  ?max_solutions:int ->
+  ?time_limit:float ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  result
+(** [candidates] restricts the multiplexer sites (advanced approaches);
+    [force_zero] adds the s=0 ⇒ c=0 pruning clauses; [hints] biases the
+    solver's decision heuristic (the §6 hybrid). *)
+
+val first_solution :
+  ?candidates:int list ->
+  ?force_zero:bool ->
+  ?hints:hints ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  int list option
+(** Just one valid correction of minimum size <= k, or [None]. *)

@@ -1,0 +1,36 @@
+module Circuit = Netlist.Circuit
+
+type result = {
+  candidate_sets : int list array;
+  marks : int array;
+  union : int list;
+  gmax : int list;
+  max_marks : int;
+}
+
+let diagnose ?tie_break ?include_inputs c tests =
+  let candidate_sets =
+    Array.of_list
+      (List.map (Path_trace.trace ?tie_break ?include_inputs c) tests)
+  in
+  let marks = Array.make (Circuit.size c) 0 in
+  Array.iter
+    (List.iter (fun g -> marks.(g) <- marks.(g) + 1))
+    candidate_sets;
+  let max_marks = Array.fold_left max 0 marks in
+  let union = ref [] and gmax = ref [] in
+  for g = Circuit.size c - 1 downto 0 do
+    if marks.(g) > 0 then begin
+      union := g :: !union;
+      if marks.(g) = max_marks then gmax := g :: !gmax
+    end
+  done;
+  { candidate_sets; marks; union = !union; gmax = !gmax; max_marks }
+
+let single_error_candidates r =
+  match Array.to_list r.candidate_sets with
+  | [] -> []
+  | first :: rest ->
+      List.fold_left
+        (fun acc ci -> List.filter (fun g -> List.mem g ci) acc)
+        first rest

@@ -1,0 +1,22 @@
+(** BSIM — BasicSimDiagnose (paper Figure 1): path tracing per test,
+    aggregated into candidate sets, mark counts M(g) and the set G_max of
+    gates marked by the maximal number of tests. *)
+
+type result = {
+  candidate_sets : int list array;  (** C_i per test, sorted gate ids *)
+  marks : int array;                (** gate id -> M(g) *)
+  union : int list;                 (** ∪ C_i, sorted *)
+  gmax : int list;                  (** gates with maximal M(g), sorted *)
+  max_marks : int;                  (** the maximal M(g) value *)
+}
+
+val diagnose :
+  ?tie_break:Path_trace.tie_break ->
+  ?include_inputs:bool ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  result
+
+val single_error_candidates : result -> int list
+(** Intersection of all candidate sets — where the error site must lie if
+    the circuit contains exactly one error (§2.2). *)

@@ -1,0 +1,152 @@
+module Lit = Sat.Lit
+
+type engine = Sat_engine | Backtrack_engine
+
+type result = {
+  bsim : Bsim.result;
+  solutions : int list list;
+  cnf_time : float;
+  one_time : float;
+  all_time : float;
+  truncated : bool;
+}
+
+let covers solution sets =
+  Array.for_all
+    (fun ci -> List.exists (fun g -> List.mem g ci) solution)
+    sets
+
+let irredundant solution sets =
+  List.for_all
+    (fun g -> not (covers (List.filter (( <> ) g) solution) sets))
+    solution
+
+(* ---------- SAT engine (the paper's setup: covering solved by Zchaff) *)
+
+let enumerate_sat ~max_solutions ~time_limit ~k sets =
+  let union =
+    Array.fold_left
+      (fun acc ci -> List.fold_left (fun a g -> g :: a) acc ci)
+      [] sets
+    |> List.sort_uniq Int.compare
+    |> Array.of_list
+  in
+  let index = Hashtbl.create (Array.length union) in
+  Array.iteri (fun i g -> Hashtbl.add index g i) union;
+  let solver = Sat.Solver.create () in
+  let e = Encode.Emit.of_solver solver in
+  let vars = Array.map (fun _ -> e.Encode.Emit.fresh ()) union in
+  Array.iter
+    (fun ci ->
+      e.Encode.Emit.clause
+        (List.map (fun g -> Lit.pos vars.(Hashtbl.find index g)) ci))
+    sets;
+  let counter =
+    Encode.Cardinality.encode_at_most e
+      ~lits:(Array.to_list (Array.map Lit.pos vars))
+      ~max_bound:(min k (Array.length union))
+  in
+  let start = Sys.time () in
+  let solutions = ref [] in
+  let nsol = ref 0 in
+  let one_time = ref 0.0 in
+  let truncated = ref false in
+  let out_of_budget () =
+    !nsol >= max_solutions || Sys.time () -. start > time_limit
+  in
+  let bound = min k (Array.length union) in
+  for i = 1 to bound do
+    let continue_level = ref true in
+    while !continue_level do
+      if out_of_budget () then begin
+        truncated := true;
+        continue_level := false
+      end
+      else
+        let assumptions = Encode.Cardinality.bound_assumption counter i in
+        match Sat.Solver.solve ~assumptions solver with
+        | Sat.Solver.Unsat -> continue_level := false
+        | Sat.Solver.Sat ->
+            let sol = ref [] in
+            Array.iteri
+              (fun j v ->
+                if Sat.Solver.value solver v then sol := union.(j) :: !sol)
+              vars;
+            let sol = List.sort Int.compare !sol in
+            if !nsol = 0 then one_time := Sys.time () -. start;
+            solutions := sol :: !solutions;
+            incr nsol;
+            Sat.Solver.add_clause solver
+              (List.map (fun g -> Lit.negate (Lit.pos vars.(Hashtbl.find index g))) sol)
+    done
+  done;
+  (List.rev !solutions, !one_time, Sys.time () -. start, !truncated)
+
+(* ---------- branch-and-bound oracle ---------- *)
+
+let enumerate_backtrack ~max_solutions ~time_limit ~k sets =
+  let start = Sys.time () in
+  let found = Hashtbl.create 64 in
+  let solutions = ref [] in
+  let one_time = ref 0.0 in
+  let truncated = ref false in
+  let record sol =
+    let key = List.sort Int.compare sol in
+    if (not (Hashtbl.mem found key)) && irredundant key sets then begin
+      if Hashtbl.length found = 0 then one_time := Sys.time () -. start;
+      Hashtbl.add found key ();
+      solutions := key :: !solutions
+    end
+  in
+  let exception Budget in
+  let rec go chosen =
+    if Hashtbl.length found >= max_solutions
+       || Sys.time () -. start > time_limit
+    then begin
+      truncated := true;
+      raise Budget
+    end;
+    let uncovered =
+      Array.to_list sets
+      |> List.filter (fun ci ->
+             not (List.exists (fun g -> List.mem g chosen) ci))
+    in
+    match uncovered with
+    | [] -> record chosen
+    | _ when List.length chosen >= k -> ()
+    | _ ->
+        (* branch on the smallest uncovered set *)
+        let smallest =
+          List.fold_left
+            (fun best ci ->
+              if List.length ci < List.length best then ci else best)
+            (List.hd uncovered) (List.tl uncovered)
+        in
+        List.iter
+          (fun g -> if not (List.mem g chosen) then go (g :: chosen))
+          smallest
+  in
+  (try go [] with Budget -> ());
+  (List.sort compare !solutions, !one_time, Sys.time () -. start, !truncated)
+
+let enumerate ?(engine = Sat_engine) ?(max_solutions = max_int)
+    ?(time_limit = infinity) ~k sets =
+  let solutions, _, _, truncated =
+    match engine with
+    | Sat_engine -> enumerate_sat ~max_solutions ~time_limit ~k sets
+    | Backtrack_engine -> enumerate_backtrack ~max_solutions ~time_limit ~k sets
+  in
+  (solutions, truncated)
+
+let diagnose ?(engine = Sat_engine) ?tie_break ?(max_solutions = max_int)
+    ?(time_limit = infinity) ~k c tests =
+  let t0 = Sys.time () in
+  let bsim = Bsim.diagnose ?tie_break c tests in
+  let sets = bsim.Bsim.candidate_sets in
+  let cnf_time = Sys.time () -. t0 in
+  let solutions, one_time, all_time, truncated =
+    match engine with
+    | Sat_engine -> enumerate_sat ~max_solutions ~time_limit ~k sets
+    | Backtrack_engine -> enumerate_backtrack ~max_solutions ~time_limit ~k sets
+  in
+  { bsim; solutions; cnf_time; one_time; all_time; truncated }

@@ -1,0 +1,43 @@
+type t = {
+  entries : (Sim.Stuck_at.fault * (int * int) list) list;
+}
+
+let build c ~vectors ~faults =
+  let entries =
+    List.map (fun f -> (f, Sim.Fault_sim.signature c ~vectors f)) faults
+  in
+  { entries }
+
+let num_entries d = List.length d.entries
+
+let observe golden ~dut ~vectors =
+  let acc = ref [] in
+  Array.iteri
+    (fun vi v ->
+      let g = Sim.Simulator.outputs golden v in
+      let f = Sim.Simulator.outputs dut v in
+      Array.iteri (fun o gv -> if gv <> f.(o) then acc := (vi, o) :: !acc) g)
+    vectors;
+  List.sort compare !acc
+
+let exact_matches d observed =
+  List.filter_map
+    (fun (f, s) -> if s = observed then Some f else None)
+    d.entries
+
+(* symmetric difference of two sorted lists *)
+let distance a b =
+  let rec go n a b =
+    match (a, b) with
+    | [], rest | rest, [] -> n + List.length rest
+    | x :: xs, y :: ys ->
+        if x = y then go n xs ys
+        else if x < y then go (n + 1) xs b
+        else go (n + 1) a ys
+  in
+  go 0 a b
+
+let ranked ?(top = max_int) d observed =
+  List.map (fun (f, s) -> (f, distance s observed)) d.entries
+  |> List.stable_sort (fun (_, x) (_, y) -> Int.compare x y)
+  |> List.filteri (fun i _ -> i < top)

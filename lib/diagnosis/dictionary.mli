@@ -1,0 +1,33 @@
+(** Fault-dictionary diagnosis — the classical production-test flow the
+    paper's introduction situates diagnosis in.
+
+    Before test: simulate every modelled fault against the test set and
+    store its full-response signature (which (vector, output) pairs
+    fail).  After a device fails on the tester: look its observed
+    failures up in the dictionary.  Exact matches name the fault
+    (equivalence classes thereof); otherwise the nearest signatures are
+    ranked by symmetric difference. *)
+
+type t
+
+val build :
+  Netlist.Circuit.t ->
+  vectors:bool array array ->
+  faults:Sim.Stuck_at.fault list ->
+  t
+
+val num_entries : t -> int
+
+val observe :
+  Netlist.Circuit.t -> dut:Netlist.Circuit.t -> vectors:bool array array ->
+  (int * int) list
+(** Failures of a device under test against the golden responses —
+    the tester log, as sorted (vector, output) pairs. *)
+
+val exact_matches : t -> (int * int) list -> Sim.Stuck_at.fault list
+(** Faults whose signature equals the observation (an equivalence class
+    of indistinguishable faults). *)
+
+val ranked : ?top:int -> t -> (int * int) list -> (Sim.Stuck_at.fault * int) list
+(** All candidate faults ordered by signature distance (symmetric
+    difference size; 0 = exact), best first, cut to [top]. *)

@@ -1,0 +1,84 @@
+type guided_result = {
+  solutions : int list list;
+  plain_stats : Sat.Solver.stats;
+  guided_stats : Sat.Solver.stats;
+  plain_time : float;
+  guided_time : float;
+}
+
+let guided ?max_solutions ?time_limit ~k c tests =
+  let bsim = Bsim.diagnose c tests in
+  let hints =
+    {
+      Bsat.priority =
+        List.map
+          (fun g -> (g, float_of_int bsim.Bsim.marks.(g)))
+          bsim.Bsim.union;
+      prefer_selected = bsim.Bsim.gmax;
+    }
+  in
+  let plain = Bsat.diagnose ?max_solutions ?time_limit ~k c tests in
+  let guided = Bsat.diagnose ~hints ?max_solutions ?time_limit ~k c tests in
+  {
+    solutions = guided.Bsat.solutions;
+    plain_stats = plain.Bsat.stats;
+    guided_stats = guided.Bsat.stats;
+    plain_time = plain.Bsat.all_time;
+    guided_time = guided.Bsat.all_time;
+  }
+
+type repair_result = {
+  seed : int list;
+  kept : int list;
+  correction : int list;
+  dropped : int;
+  added : int;
+}
+
+let repair ?marks ~k ~seed c tests =
+  let marks =
+    match marks with
+    | Some m -> m
+    | None -> (Bsim.diagnose c tests).Bsim.marks
+  in
+  let solver = Sat.Solver.create () in
+  let inst = Encode.Muxed.build ~max_k:k solver c tests in
+  let is_candidate g =
+    match Encode.Muxed.select_lit inst g with
+    | _ -> true
+    | exception Not_found -> false
+  in
+  (* most-marked seeds are the most trustworthy: keep them longest *)
+  let ordered_seed =
+    List.filter is_candidate seed
+    |> List.sort (fun a b -> compare (marks.(b), a) (marks.(a), b))
+  in
+  let truncated_seed =
+    List.filteri (fun i _ -> i < k) ordered_seed
+  in
+  let rec attempt kept =
+    let extra = List.map (Encode.Muxed.select_lit inst) kept in
+    match Encode.Muxed.solve_at_most ~extra inst k with
+    | Sat.Solver.Sat ->
+        let sol = Encode.Muxed.solution inst in
+        let correction =
+          Validity.essentialize ~check:(fun s -> Validity.check_sat c tests s)
+            sol
+        in
+        let kept_final = List.filter (fun g -> List.mem g seed) correction in
+        Some
+          {
+            seed;
+            kept = kept_final;
+            correction;
+            dropped = List.length seed - List.length kept_final;
+            added =
+              List.length
+                (List.filter (fun g -> not (List.mem g seed)) correction);
+          }
+    | Sat.Solver.Unsat -> (
+        match List.rev kept with
+        | [] -> None
+        | _least :: rest_rev -> attempt (List.rev rest_rev))
+  in
+  attempt truncated_seed

@@ -1,0 +1,51 @@
+(** Hybrid diagnosis (§6, the paper's future-work sketch, both variants).
+
+    (a) {!guided}: the cheap BSIM engine computes mark counts M(g); the
+    SAT search is biased towards highly-marked gates by bumping the VSIDS
+    activity and the saved phase of their select literals.  The solution
+    space is untouched — only the decision order changes.
+
+    (b) {!repair}: an initial correction that may be invalid (e.g. a COV
+    cover) is turned into a valid correction: the SAT instance is solved
+    under assumptions that keep the seed gates selected; if that is
+    unsatisfiable the least-marked seed gate is dropped, until a valid
+    correction extending the remaining seed exists.  The result is then
+    shrunk to essential candidates. *)
+
+type guided_result = {
+  solutions : int list list;
+  plain_stats : Sat.Solver.stats;
+  guided_stats : Sat.Solver.stats;
+  plain_time : float;
+  guided_time : float;
+}
+
+val guided :
+  ?max_solutions:int ->
+  ?time_limit:float ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  guided_result
+(** Runs plain BSAT and BSIM-guided BSAT on the same workload and reports
+    both runtimes/solver statistics; the solutions (from the guided run)
+    are identical to plain BSAT's by construction. *)
+
+type repair_result = {
+  seed : int list;          (** the initial (possibly invalid) correction *)
+  kept : int list;          (** seed gates that survived *)
+  correction : int list;    (** final valid correction, essential *)
+  dropped : int;            (** seed gates discarded *)
+  added : int;              (** gates the SAT engine added *)
+}
+
+val repair :
+  ?marks:int array ->
+  k:int ->
+  seed:int list ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  repair_result option
+(** [None] when no valid correction of size <= k exists at all.
+    [marks] orders seed dropping (least-marked first); defaults to
+    running BSIM internally. *)

@@ -1,0 +1,40 @@
+type t = {
+  solver : Sat.Solver.t;
+  inst : Encode.Muxed.t;
+  k : int;
+}
+
+let create ?force_zero ~k c tests =
+  let solver = Sat.Solver.create () in
+  let inst = Encode.Muxed.build ?force_zero ~max_k:k solver c tests in
+  { solver; inst; k }
+
+let add_tests t tests = List.iter (Encode.Muxed.add_test t.inst) tests
+
+let num_tests t = Encode.Muxed.num_tests t.inst
+
+let solutions ?(max_solutions = max_int) t =
+  (* guard this enumeration's blocking clauses so the next call (after
+     more tests arrived) starts from a clean solution space *)
+  let active = Encode.Muxed.fresh_activation t.inst in
+  let solutions = ref [] in
+  let nsol = ref 0 in
+  for i = 1 to t.k do
+    let continue_level = ref true in
+    while !continue_level do
+      if !nsol >= max_solutions then continue_level := false
+      else
+        match Encode.Muxed.solve_at_most ~extra:[ active ] t.inst i with
+        | Sat.Solver.Unsat -> continue_level := false
+        | Sat.Solver.Sat ->
+            let sol = Encode.Muxed.solution t.inst in
+            solutions := sol :: !solutions;
+            incr nsol;
+            Encode.Muxed.block ~unless:active t.inst sol
+    done
+  done;
+  (* retire the guard permanently *)
+  Sat.Solver.add_clause t.solver [ Sat.Lit.negate active ];
+  List.rev !solutions
+
+let stats t = Sat.Solver.stats t.solver

@@ -1,0 +1,30 @@
+(** Incremental diagnosis over a growing test set.
+
+    The paper stresses that BSAT benefits from incremental SAT solvers
+    (Zchaff, SATIRE [19]): when more failing tests arrive — from longer
+    simulation, another formal property, a second tester pass — the
+    diagnosis instance grows but the solver keeps its learned clauses.
+    This driver owns one live instance; each enumeration uses an
+    activation-guarded set of blocking clauses so it can be retired when
+    the test set is extended. *)
+
+type t
+
+val create :
+  ?force_zero:bool ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  t
+
+val add_tests : t -> Sim.Testgen.test list -> unit
+(** Extend the live instance with more tests (no re-encoding of the
+    existing copies; learned clauses are kept). *)
+
+val num_tests : t -> int
+
+val solutions : ?max_solutions:int -> t -> int list list
+(** Enumerate the essential valid corrections for the *current* test
+    set (Fig. 3's incremental-k loop on the live instance). *)
+
+val stats : t -> Sat.Solver.stats

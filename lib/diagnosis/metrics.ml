@@ -1,0 +1,67 @@
+type bsim_quality = {
+  union_size : int;
+  avg_a : float;
+  gmax_size : int;
+  gmax_min : int;
+  gmax_max : int;
+  gmax_avg : float;
+}
+
+type solution_quality = {
+  count : int;
+  min_avg : float;
+  max_avg : float;
+  avg_avg : float;
+}
+
+let distances c ~error_sites = Netlist.Structural.distance_from c error_sites
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let finite d = if d = max_int then None else Some (float_of_int d)
+
+let gate_distances dist gs = List.filter_map (fun g -> finite dist.(g)) gs
+
+let bsim_quality c ~error_sites (r : Bsim.result) =
+  let dist = distances c ~error_sites in
+  let union_d = gate_distances dist r.Bsim.union in
+  let gmax_d = gate_distances dist r.Bsim.gmax in
+  let int_min = List.fold_left min max_int in
+  let int_max = List.fold_left max 0 in
+  let ints = List.map int_of_float gmax_d in
+  {
+    union_size = List.length r.Bsim.union;
+    avg_a = mean union_d;
+    gmax_size = List.length r.Bsim.gmax;
+    gmax_min = (if ints = [] then 0 else int_min ints);
+    gmax_max = int_max ints;
+    gmax_avg = mean gmax_d;
+  }
+
+let solutions_quality c ~error_sites solutions =
+  let dist = distances c ~error_sites in
+  let per_solution =
+    List.map (fun sol -> mean (gate_distances dist sol)) solutions
+  in
+  match per_solution with
+  | [] -> { count = 0; min_avg = 0.0; max_avg = 0.0; avg_avg = 0.0 }
+  | _ ->
+      {
+        count = List.length per_solution;
+        min_avg = List.fold_left min infinity per_solution;
+        max_avg = List.fold_left max neg_infinity per_solution;
+        avg_avg = mean per_solution;
+      }
+
+let hit_rate ~error_sites solutions =
+  match solutions with
+  | [] -> 0.0
+  | _ ->
+      let hits =
+        List.filter
+          (fun sol -> List.exists (fun g -> List.mem g error_sites) sol)
+          solutions
+      in
+      float_of_int (List.length hits) /. float_of_int (List.length solutions)

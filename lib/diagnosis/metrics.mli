@@ -1,0 +1,34 @@
+(** Diagnosis quality measures (paper Table 3).
+
+    All distances are shortest connection-graph distances (in gates) to
+    the nearest actual error site — "up to which depth the designer has to
+    analyze the circuit when starting from a solution". *)
+
+type bsim_quality = {
+  union_size : int;   (** |∪ C_i| *)
+  avg_a : float;      (** avgA: mean distance of all marked gates *)
+  gmax_size : int;    (** |G_max| *)
+  gmax_min : int;     (** min distance within G_max *)
+  gmax_max : int;     (** max distance within G_max *)
+  gmax_avg : float;   (** avgG *)
+}
+
+type solution_quality = {
+  count : int;        (** #sol *)
+  min_avg : float;    (** min over solutions of the per-solution mean *)
+  max_avg : float;
+  avg_avg : float;    (** avg: mean of the per-solution means *)
+}
+
+val distances : Netlist.Circuit.t -> error_sites:int list -> int array
+(** Gate id -> distance to the nearest error site. *)
+
+val bsim_quality :
+  Netlist.Circuit.t -> error_sites:int list -> Bsim.result -> bsim_quality
+
+val solutions_quality :
+  Netlist.Circuit.t -> error_sites:int list -> int list list ->
+  solution_quality
+
+val hit_rate : error_sites:int list -> int list list -> float
+(** Fraction of solutions containing at least one actual error site. *)

@@ -1,0 +1,63 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type tie_break =
+  | First_input
+  | Last_input
+  | Random_input of Random.State.t
+  | All_inputs
+
+let trace_values ?(tie_break = First_input) ?(include_inputs = false)
+    (c : Circuit.t) values out_gate =
+  let marked = Array.make (Circuit.size c) false in
+  let queue = Queue.create () in
+  let mark g =
+    if not marked.(g) then begin
+      marked.(g) <- true;
+      Queue.add g queue
+    end
+  in
+  mark out_gate;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    let fanins = c.Circuit.fanins.(g) in
+    match c.Circuit.kinds.(g) with
+    | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+    | Gate.Buf | Gate.Not -> mark fanins.(0)
+    | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor) as
+      kind -> (
+        match Gate.controlling_value kind with
+        | None -> Array.iter mark fanins
+        | Some cv ->
+            let controlling =
+              Array.to_seq fanins
+              |> Seq.filter (fun h -> values.(h) = cv)
+              |> List.of_seq
+            in
+            (match (controlling, tie_break) with
+            | [], _ -> Array.iter mark fanins
+            | _ :: _, All_inputs -> List.iter mark controlling
+            | h :: _, First_input -> mark h
+            | _ :: _, Last_input ->
+                mark (List.nth controlling (List.length controlling - 1))
+            | _ :: _, Random_input rng ->
+                mark
+                  (List.nth controlling
+                     (Random.State.int rng (List.length controlling)))))
+  done;
+  let keep g =
+    marked.(g)
+    && (include_inputs || not (Circuit.is_input c g))
+    && (match c.Circuit.kinds.(g) with
+       | Gate.Const0 | Gate.Const1 -> false
+       | Gate.Input -> include_inputs
+       | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+       | Gate.Xor | Gate.Xnor ->
+           true)
+  in
+  List.init (Circuit.size c) Fun.id |> List.filter keep
+
+let trace ?tie_break ?include_inputs c (test : Sim.Testgen.test) =
+  let values = Sim.Simulator.eval c test.Sim.Testgen.vector in
+  let out_gate = c.Circuit.outputs.(test.Sim.Testgen.po_index) in
+  trace_values ?tie_break ?include_inputs c values out_gate

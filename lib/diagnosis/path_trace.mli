@@ -1,0 +1,32 @@
+(** PathTrace — the paper's Figure 1, derived from critical path tracing.
+
+    Starting at the erroneous primary output, walk backwards over
+    sensitized paths: at a gate with fanins carrying a controlling value,
+    mark one of them; otherwise mark all fanins.  The marked gates form
+    the candidate set C_i of the test. *)
+
+type tie_break =
+  | First_input   (** deterministic: lowest port index (default) *)
+  | Last_input
+  | Random_input of Random.State.t
+  | All_inputs    (** mark every controlling input — superset variant *)
+
+val trace :
+  ?tie_break:tie_break ->
+  ?include_inputs:bool ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test ->
+  int list
+(** [trace circuit test] — the candidate set, sorted by gate id.  Primary
+    inputs are traversed but excluded unless [include_inputs] (an error is
+    a gate-function change, so inputs are not correction sites). *)
+
+val trace_values :
+  ?tie_break:tie_break ->
+  ?include_inputs:bool ->
+  Netlist.Circuit.t ->
+  bool array ->
+  int ->
+  int list
+(** Same, from precomputed simulation values and an output gate id —
+    avoids re-simulating when the caller already has the values. *)

@@ -1,0 +1,139 @@
+module Sequential = Sim.Sequential
+module Circuit = Netlist.Circuit
+
+type result = {
+  solutions : int list list;
+  frames : int;
+  cnf_time : float;
+  one_time : float;
+  all_time : float;
+  truncated : bool;
+}
+
+let frames_of_tests tests =
+  match tests with
+  | [] -> invalid_arg "Seq_diag: empty test list"
+  | t :: rest ->
+      let frames = Array.length t.Sim.Seq_testgen.sequence in
+      List.iter
+        (fun t' ->
+          if Array.length t'.Sim.Seq_testgen.sequence <> frames then
+            invalid_arg "Seq_diag: tests with different sequence lengths")
+        (t :: rest);
+      frames
+
+(* a sequential test as a combinational triple of the unrolled machine *)
+let to_comb_test s (u : Sequential.unrolled) (t : Sim.Seq_testgen.test) =
+  let ni = Sequential.num_inputs s in
+  let vector = Array.make (u.Sequential.frames * ni) false in
+  Array.iteri
+    (fun f row ->
+      Array.iteri
+        (fun pi v -> vector.(u.Sequential.input_of ~frame:f ~pi) <- v)
+        row)
+    t.Sim.Seq_testgen.sequence;
+  {
+    Sim.Testgen.vector;
+    po_index =
+      u.Sequential.output_of ~frame:t.Sim.Seq_testgen.cycle
+        ~po:t.Sim.Seq_testgen.po_index;
+    expected = t.Sim.Seq_testgen.expected;
+  }
+
+(* all-frame copies of every core logic gate *)
+let core_groups s (u : Sequential.unrolled) =
+  Circuit.gate_ids s.Sequential.comb
+  |> Array.to_list
+  |> List.map (fun g ->
+         List.init u.Sequential.frames (fun f -> u.Sequential.gate_of ~frame:f g))
+
+let diagnose_bsat ?(max_solutions = max_int) ?(time_limit = infinity) ~k s
+    tests =
+  let t0 = Sys.time () in
+  let frames = frames_of_tests tests in
+  let u = Sequential.unroll s ~frames in
+  let comb_tests = List.map (to_comb_test s u) tests in
+  let solver = Sat.Solver.create () in
+  let inst =
+    Encode.Muxed.build ~groups:(core_groups s u) ~force_zero:true ~max_k:k
+      solver u.Sequential.circuit comb_tests
+  in
+  let cnf_time = Sys.time () -. t0 in
+  let start = Sys.time () in
+  let solutions = ref [] in
+  let nsol = ref 0 in
+  let one_time = ref 0.0 in
+  let truncated = ref false in
+  for i = 1 to k do
+    let continue_level = ref true in
+    while !continue_level do
+      if !nsol >= max_solutions || Sys.time () -. start > time_limit then begin
+        truncated := true;
+        continue_level := false
+      end
+      else
+        match Encode.Muxed.solve_at_most inst i with
+        | Sat.Solver.Unsat -> continue_level := false
+        | Sat.Solver.Sat ->
+            (* group representatives are the frame-0 copies = core ids *)
+            let sol = Encode.Muxed.solution inst in
+            if !nsol = 0 then one_time := Sys.time () -. start;
+            solutions := sol :: !solutions;
+            incr nsol;
+            Encode.Muxed.block inst sol
+    done
+  done;
+  {
+    solutions = List.rev !solutions;
+    frames;
+    cnf_time;
+    one_time = !one_time;
+    all_time = Sys.time () -. start;
+    truncated = !truncated;
+  }
+
+(* Frame f>0 copies of state bits are Buf gates the tracer may mark; they
+   fold back to core pseudo-inputs, which are not correction sites. *)
+let fold_to_core s unrolled_gates =
+  let n = Circuit.size s.Sequential.comb in
+  unrolled_gates
+  |> List.map (fun g -> g mod n)
+  |> List.filter (fun g -> not (Circuit.is_input s.Sequential.comb g))
+  |> List.sort_uniq Int.compare
+
+let bsim s tests =
+  let frames = frames_of_tests tests in
+  let u = Sequential.unroll s ~frames in
+  let comb_tests = List.map (to_comb_test s u) tests in
+  let r = Bsim.diagnose u.Sequential.circuit comb_tests in
+  Array.map (fold_to_core s) r.Bsim.candidate_sets
+
+let diagnose_cov ?max_solutions ?time_limit ~k s tests =
+  let sets = bsim s tests in
+  fst (Cover.enumerate ?max_solutions ?time_limit ~k sets)
+
+let check s tests core_gates =
+  match tests with
+  | [] -> true
+  | _ -> (
+      match core_gates with
+      | [] -> List.for_all (fun t -> not (Sim.Seq_testgen.fails s t)) tests
+      | _ ->
+          let frames = frames_of_tests tests in
+          let u = Sequential.unroll s ~frames in
+          let comb_tests = List.map (to_comb_test s u) tests in
+          let groups =
+            List.map
+              (fun g ->
+                List.init frames (fun f -> u.Sequential.gate_of ~frame:f g))
+              core_gates
+          in
+          let solver = Sat.Solver.create () in
+          let inst =
+            Encode.Muxed.build ~groups ~max_k:(List.length core_gates) solver
+              u.Sequential.circuit comb_tests
+          in
+          let extra =
+            List.map (fun g -> Encode.Muxed.select_lit inst g) core_gates
+          in
+          Sat.Solver.solve ~assumptions:extra solver = Sat.Solver.Sat)

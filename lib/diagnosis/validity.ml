@@ -1,0 +1,54 @@
+module Circuit = Netlist.Circuit
+
+let check_sat c tests cands =
+  match cands with
+  | [] -> List.for_all (fun t -> not (Sim.Testgen.fails c t)) tests
+  | _ ->
+      let solver = Sat.Solver.create () in
+      let inst =
+        Encode.Muxed.build ~candidates:cands ~max_k:(List.length cands) solver
+          c tests
+      in
+      let assumptions =
+        List.map (fun g -> Encode.Muxed.select_lit inst g) cands
+      in
+      Sat.Solver.solve ~assumptions solver = Sat.Solver.Sat
+
+(* A test is rectifiable by C iff some assignment of values to the gates
+   of C makes the erroneous output correct (inputs fixed by the test). *)
+let test_rectifiable c (test : Sim.Testgen.test) cands =
+  let base = Sim.Simulator.eval c test.Sim.Testgen.vector in
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  let rec try_combo combo =
+    if combo >= 1 lsl n then false
+    else
+      let forced =
+        Array.to_list
+          (Array.mapi (fun i g -> (g, (combo lsr i) land 1 = 1)) cands)
+      in
+      Sim.Event_sim.output_after c base forced test.Sim.Testgen.po_index
+      = test.Sim.Testgen.expected
+      || try_combo (combo + 1)
+  in
+  try_combo 0
+
+let check_sim ?(max_set = 16) c tests cands =
+  if List.length cands > max_set then
+    invalid_arg "Validity.check_sim: candidate set too large";
+  List.for_all (fun t -> test_rectifiable c t cands) tests
+
+let failing_tests_sim c tests cands =
+  List.filter (fun t -> not (test_rectifiable c t cands)) tests
+
+let essential ~check cands =
+  List.for_all (fun g -> not (check (List.filter (( <> ) g) cands))) cands
+
+let essentialize ~check cands =
+  let rec shrink kept = function
+    | [] -> List.rev kept
+    | g :: rest ->
+        let without = List.rev_append kept rest in
+        if check without then shrink kept rest else shrink (g :: kept) rest
+  in
+  shrink [] cands

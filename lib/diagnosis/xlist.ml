@@ -1,0 +1,32 @@
+module Circuit = Netlist.Circuit
+
+type result = {
+  candidate_sets : int list array;
+  marks : int array;
+  union : int list;
+}
+
+let candidates_for_test c (test : Sim.Testgen.test) =
+  let out_gate = c.Circuit.outputs.(test.Sim.Testgen.po_index) in
+  (* only gates in the output's fanin cone can possibly matter *)
+  let cone = Netlist.Structural.fanin_cone c [ out_gate ] in
+  Circuit.gate_ids c |> Array.to_list
+  |> List.filter (fun g ->
+         cone.(g)
+         &&
+         let values = Sim.Xsim.with_x_at c test.Sim.Testgen.vector [ g ] in
+         Sim.Xsim.equal values.(out_gate) Sim.Xsim.X)
+
+let diagnose c tests =
+  let candidate_sets =
+    Array.of_list (List.map (candidates_for_test c) tests)
+  in
+  let marks = Array.make (Circuit.size c) 0 in
+  Array.iter
+    (List.iter (fun g -> marks.(g) <- marks.(g) + 1))
+    candidate_sets;
+  let union = ref [] in
+  for g = Circuit.size c - 1 downto 0 do
+    if marks.(g) > 0 then union := g :: !union
+  done;
+  { candidate_sets; marks; union = !union }

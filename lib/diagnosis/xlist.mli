@@ -1,0 +1,22 @@
+(** X-list diagnosis — the forward-implication alternative to path
+    tracing referenced in §2.2 (Boppana et al., "Multiple error diagnosis
+    based on Xlists").
+
+    A gate is a candidate for a test when injecting an unknown X at the
+    gate makes the erroneous output unknown: by the conservativeness of
+    three-valued simulation, a gate whose X does *not* reach the output
+    provably cannot rectify the test on its own, so — unlike PathTrace —
+    the per-test candidate set is guaranteed to contain every
+    single-gate correction for that test. *)
+
+type result = {
+  candidate_sets : int list array;
+  marks : int array;
+  union : int list;
+}
+
+val candidates_for_test :
+  Netlist.Circuit.t -> Sim.Testgen.test -> int list
+(** Gates g such that X injected at g propagates to the test's output. *)
+
+val diagnose : Netlist.Circuit.t -> Sim.Testgen.test list -> result

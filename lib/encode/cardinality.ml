@@ -1,0 +1,83 @@
+module Lit = Sat.Lit
+
+(* Sinz sequential counter with both implication directions so that the
+   same encoding supports at-most (assume ¬r_{n,b+1}) and at-least
+   (assume r_{n,b}).  r_{i,j} <-> "at least j of the first i literals are
+   true", materialized for 1 <= j <= min(i, max_bound + 1). *)
+
+type cell = Rtrue | Rfalse | Rlit of Lit.t
+
+type t = {
+  n : int;
+  max_bound : int;
+  last_row : cell array;  (* j -> r_{n,j}, index 0 unused *)
+  false_lit : Lit.t;      (* canned unsatisfiable assumption *)
+}
+
+let encode_at_most (e : Emit.t) ~lits ~max_bound =
+  if max_bound < 0 then invalid_arg "Cardinality: negative bound";
+  let s = Array.of_list lits in
+  let n = Array.length s in
+  let cols = max_bound + 1 in
+  let false_lit = Lit.pos (e.Emit.fresh ()) in
+  e.Emit.clause [ Lit.negate false_lit ];
+  (* row.(j) = r_{i,j} for the current i *)
+  let prev = Array.make (cols + 1) Rfalse in
+  let row = Array.make (cols + 1) Rfalse in
+  let cell a j = if j = 0 then Rtrue else a.(j) in
+  let prev_row = ref prev and cur_row = ref row in
+  for i = 1 to n do
+    let cur = !cur_row and prev = !prev_row in
+    Array.fill cur 0 (cols + 1) Rfalse;
+    let si = s.(i - 1) in
+    for j = 1 to min i cols do
+      let v = Lit.pos (e.Emit.fresh ()) in
+      cur.(j) <- Rlit v;
+      (* upward: count >= j  ==>  r_{i,j} *)
+      (match cell prev (j - 1) with
+      | Rtrue -> e.Emit.clause [ Lit.negate si; v ]
+      | Rfalse -> ()
+      | Rlit p -> e.Emit.clause [ Lit.negate p; Lit.negate si; v ]);
+      (match cell prev j with
+      | Rtrue -> e.Emit.clause [ v ]
+      | Rfalse -> ()
+      | Rlit p -> e.Emit.clause [ Lit.negate p; v ]);
+      (* downward: r_{i,j}  ==>  count >= j *)
+      (match cell prev j with
+      | Rtrue -> ()
+      | Rfalse -> e.Emit.clause [ Lit.negate v; si ]
+      | Rlit p -> e.Emit.clause [ Lit.negate v; si; p ]);
+      (match (cell prev (j - 1), cell prev j) with
+      | Rtrue, _ -> ()
+      | Rfalse, Rfalse -> e.Emit.clause [ Lit.negate v ]
+      | Rfalse, Rlit p -> e.Emit.clause [ Lit.negate v; p ]
+      | Rlit q, Rfalse -> e.Emit.clause [ Lit.negate v; q ]
+      | Rlit q, Rlit p -> e.Emit.clause [ Lit.negate v; q; p ]
+      | _, Rtrue -> ())
+    done;
+    prev_row := cur;
+    cur_row := prev
+  done;
+  let last = Array.copy !prev_row in
+  { n; max_bound; last_row = last; false_lit }
+
+let bound_assumption t b =
+  if b > t.max_bound then invalid_arg "Cardinality.bound_assumption: bound";
+  if b >= t.n then []
+  else
+    match t.last_row.(b + 1) with
+    | Rlit v -> [ Lit.negate v ]
+    | Rtrue -> [ t.false_lit ]
+    | Rfalse -> []
+
+let at_least_assumption t b =
+  if b > t.max_bound + 1 then invalid_arg "Cardinality.at_least: bound";
+  if b <= 0 then []
+  else if b > t.n then [ t.false_lit ]
+  else
+    match t.last_row.(b) with
+    | Rlit v -> [ v ]
+    | Rtrue -> []
+    | Rfalse -> [ t.false_lit ]
+
+let exactly_bound t b = at_least_assumption t b @ bound_assumption t b

@@ -1,0 +1,25 @@
+(** Sequential-counter cardinality constraints (Sinz encoding) with
+    assumption-selectable bounds.
+
+    The counter is encoded once up to [max_bound + 1]; any bound
+    [b <= max_bound] can then be enforced per solve call by assuming one
+    literal.  This implements the incremental limit of the paper's
+    BasicSATDiagnose (Fig. 3, line 2) without rebuilding the instance. *)
+
+type t
+
+val encode_at_most : Emit.t -> lits:Sat.Lit.t list -> max_bound:int -> t
+(** Emit counter clauses for the given literals.  [max_bound >= 0]. *)
+
+val bound_assumption : t -> int -> Sat.Lit.t list
+(** [bound_assumption t b] — assumptions enforcing "at most [b] of the
+    literals are true".  Empty when the bound is vacuous.
+    @raise Invalid_argument when [b > max_bound]. *)
+
+val at_least_assumption : t -> int -> Sat.Lit.t list
+(** Assumptions enforcing "at least [b] literals are true" (unsatisfiable
+    canned assumption when [b] exceeds the literal count). *)
+
+val exactly_bound : t -> int -> Sat.Lit.t list
+(** Assumptions enforcing exactly [b]: [at_least b] plus [at_most b].
+    Requires [b <= max_bound]. *)

@@ -1,0 +1,93 @@
+module Circuit = Netlist.Circuit
+module Lit = Sat.Lit
+
+type verdict =
+  | Equivalent
+  | Counterexample of Sim.Testgen.test
+
+let check_interfaces spec impl =
+  if
+    Circuit.num_inputs spec <> Circuit.num_inputs impl
+    || Circuit.num_outputs spec <> Circuit.num_outputs impl
+  then invalid_arg "Miter: interface mismatch"
+
+(* Build the miter; returns the solver and the shared input variables. *)
+let build solver ~spec ~impl =
+  let e = Emit.of_solver solver in
+  let svars = Tseitin.encode e spec in
+  let ivars = Tseitin.encode e impl in
+  (* tie the inputs together *)
+  Array.iteri
+    (fun i g ->
+      let a = Lit.pos svars.(g) in
+      let b = Lit.pos ivars.(impl.Circuit.inputs.(i)) in
+      e.Emit.clause [ Lit.negate a; b ];
+      e.Emit.clause [ a; Lit.negate b ])
+    spec.Circuit.inputs;
+  (* some output must differ *)
+  let diffs =
+    Array.mapi
+      (fun o g ->
+        let d = Lit.pos (e.Emit.fresh ()) in
+        let a = Lit.pos svars.(g) in
+        let b = Lit.pos ivars.(impl.Circuit.outputs.(o)) in
+        Tseitin.gate_clauses e ~out:d Netlist.Gate.Xor [| a; b |];
+        d)
+      spec.Circuit.outputs
+  in
+  e.Emit.clause (Array.to_list diffs);
+  (svars, ivars)
+
+let extract_test solver ~spec ~impl svars ivars =
+  let vector =
+    Array.map (fun g -> Sat.Solver.value solver svars.(g)) spec.Circuit.inputs
+  in
+  (* first differing output, with the spec's value as the correct one *)
+  let po_index =
+    let n = Circuit.num_outputs spec in
+    let rec find o =
+      if o >= n then invalid_arg "Miter: model without differing output"
+      else
+        let sv = Sat.Solver.value solver svars.(spec.Circuit.outputs.(o)) in
+        let iv = Sat.Solver.value solver ivars.(impl.Circuit.outputs.(o)) in
+        if sv <> iv then o else find (o + 1)
+    in
+    find 0
+  in
+  let expected =
+    Sat.Solver.value solver svars.(spec.Circuit.outputs.(po_index))
+  in
+  { Sim.Testgen.vector; po_index; expected }
+
+let check ~spec ~impl =
+  check_interfaces spec impl;
+  let solver = Sat.Solver.create () in
+  let svars, ivars = build solver ~spec ~impl in
+  match Sat.Solver.solve solver with
+  | Sat.Solver.Unsat -> Equivalent
+  | Sat.Solver.Sat ->
+      Counterexample (extract_test solver ~spec ~impl svars ivars)
+
+let counterexamples ?(limit = 8) ~spec ~impl () =
+  check_interfaces spec impl;
+  let solver = Sat.Solver.create () in
+  let svars, ivars = build solver ~spec ~impl in
+  let rec loop n acc =
+    if n >= limit then List.rev acc
+    else
+      match Sat.Solver.solve solver with
+      | Sat.Solver.Unsat -> List.rev acc
+      | Sat.Solver.Sat ->
+          let test = extract_test solver ~spec ~impl svars ivars in
+          (* block this input vector *)
+          let block =
+            Array.to_list
+              (Array.mapi
+                 (fun i g ->
+                   Lit.make svars.(g) (not test.Sim.Testgen.vector.(i)))
+                 spec.Circuit.inputs)
+          in
+          Sat.Solver.add_clause solver block;
+          loop (n + 1) (test :: acc)
+  in
+  loop 0 []

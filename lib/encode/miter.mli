@@ -1,0 +1,26 @@
+(** SAT-based combinational equivalence checking.
+
+    The miter construction: both circuits share their primary inputs;
+    corresponding outputs are XORed and the disjunction of all XORs is
+    asserted.  Unsatisfiable ⇔ equivalent.  This is the formal
+    verification front-end that produces the counterexamples ("after
+    formal verification", §1) consumed by diagnosis as tests. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of Sim.Testgen.test
+      (** a failing (t, o, v) triple of the *implementation*: the input
+          vector, the first differing output and the specification's
+          value for it. *)
+
+val check :
+  spec:Netlist.Circuit.t -> impl:Netlist.Circuit.t -> verdict
+(** @raise Invalid_argument when the interfaces differ (input and output
+    counts must match; correspondence is positional). *)
+
+val counterexamples :
+  ?limit:int -> spec:Netlist.Circuit.t -> impl:Netlist.Circuit.t -> unit ->
+  Sim.Testgen.test list
+(** Up to [limit] (default 8) distinct counterexample triples, obtained by
+    blocking each witness input vector — a formal-verification-driven test
+    set for diagnosis. *)

@@ -1,0 +1,204 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Lit = Sat.Lit
+
+type t = {
+  solver : Sat.Solver.t;
+  emit : Emit.t;
+  force_zero : bool;
+  circ : Circuit.t;
+  mutable tests : Sim.Testgen.test array;
+  groups : int array array;          (* group index -> member gate ids *)
+  group_of : (int, int) Hashtbl.t;   (* gate id -> group index *)
+  selects : int array;               (* group index -> select var *)
+  counter : Cardinality.t;
+  mutable copies : int array array;      (* test index -> gate id -> y var *)
+  mutable corrections : int array array; (* test index -> gate id -> c var *)
+}
+
+(* one circuit copy constrained by one test *)
+let encode_copy e circ group_of selects force_zero (test : Sim.Testgen.test) =
+  let n = Circuit.size circ in
+  let y = Array.make n (-1) in
+  let corr = Array.make n (-1) in
+  Array.iteri
+    (fun i g ->
+      let v = e.Emit.fresh () in
+      y.(g) <- v;
+      e.Emit.clause [ Lit.make v test.Sim.Testgen.vector.(i) ])
+    circ.Circuit.inputs;
+  Array.iter
+    (fun g ->
+      match circ.Circuit.kinds.(g) with
+      | Gate.Input -> ()
+      | kind -> (
+          let fanin_lits =
+            Array.map (fun h -> Lit.pos y.(h)) circ.Circuit.fanins.(g)
+          in
+          match Hashtbl.find_opt group_of g with
+          | None ->
+              let v = e.Emit.fresh () in
+              y.(g) <- v;
+              Tseitin.gate_clauses e ~out:(Lit.pos v) kind fanin_lits
+          | Some gi ->
+              let f = e.Emit.fresh () in
+              Tseitin.gate_clauses e ~out:(Lit.pos f) kind fanin_lits;
+              let c = e.Emit.fresh () in
+              corr.(g) <- c;
+              let out = e.Emit.fresh () in
+              y.(g) <- out;
+              let s = Lit.pos selects.(gi) in
+              let cl = Lit.pos c and fl = Lit.pos f and ol = Lit.pos out in
+              (* out = s ? c : f *)
+              e.Emit.clause [ Lit.negate s; Lit.negate cl; ol ];
+              e.Emit.clause [ Lit.negate s; cl; Lit.negate ol ];
+              e.Emit.clause [ s; Lit.negate fl; ol ];
+              e.Emit.clause [ s; fl; Lit.negate ol ];
+              if force_zero then e.Emit.clause [ s; Lit.negate cl ]))
+    circ.Circuit.topo;
+  let og = circ.Circuit.outputs.(test.Sim.Testgen.po_index) in
+  e.Emit.clause [ Lit.make y.(og) test.Sim.Testgen.expected ];
+  (y, corr)
+
+let build ?mirror ?candidates ?(groups = []) ?(force_zero = false) ~max_k
+    solver circ tests =
+  let e =
+    match mirror with
+    | None -> Emit.of_solver solver
+    | Some cnf -> Emit.tee (Emit.of_solver solver) cnf
+  in
+  let tests = Array.of_list tests in
+  let groups =
+    let explicit =
+      List.map (fun g -> Array.of_list (List.sort_uniq Int.compare g)) groups
+    in
+    let singles =
+      match (candidates, explicit) with
+      | Some gs, _ -> List.map (fun g -> [| g |]) (List.sort_uniq Int.compare gs)
+      | None, [] ->
+          Array.to_list (Array.map (fun g -> [| g |]) (Circuit.gate_ids circ))
+      | None, _ :: _ -> []
+    in
+    Array.of_list (explicit @ singles)
+  in
+  let group_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun i members ->
+      Array.iter
+        (fun g ->
+          if Circuit.is_input circ g then
+            invalid_arg "Muxed.build: primary inputs cannot be candidates";
+          if Hashtbl.mem group_of g then
+            invalid_arg "Muxed.build: gate in two groups";
+          Hashtbl.add group_of g i)
+        members)
+    groups;
+  let selects = Array.map (fun _ -> e.Emit.fresh ()) groups in
+  let pairs =
+    Array.map (encode_copy e circ group_of selects force_zero) tests
+  in
+  let counter =
+    Cardinality.encode_at_most e
+      ~lits:(Array.to_list (Array.map Lit.pos selects))
+      ~max_bound:(min max_k (Array.length selects))
+  in
+  {
+    solver;
+    emit = e;
+    force_zero;
+    circ;
+    tests;
+    groups;
+    group_of;
+    selects;
+    counter;
+    copies = Array.map fst pairs;
+    corrections = Array.map snd pairs;
+  }
+
+let add_test t test =
+  let y, corr =
+    encode_copy t.emit t.circ t.group_of t.selects t.force_zero test
+  in
+  t.tests <- Array.append t.tests [| test |];
+  t.copies <- Array.append t.copies [| y |];
+  t.corrections <- Array.append t.corrections [| corr |]
+
+let circuit t = t.circ
+
+let candidate_gates t =
+  Array.concat (Array.to_list t.groups)
+  |> Array.to_list |> List.sort_uniq Int.compare |> Array.of_list
+
+let num_tests t = Array.length t.tests
+
+let select_lit t g =
+  match Hashtbl.find_opt t.group_of g with
+  | Some i -> Lit.pos t.selects.(i)
+  | None -> raise Not_found
+
+let num_groups t = Array.length t.selects
+
+let solve_at_most ?(extra = []) t k =
+  let bound = Cardinality.bound_assumption t.counter (min k (num_groups t)) in
+  Sat.Solver.solve ~assumptions:(bound @ extra) t.solver
+
+let solve_exactly ?(extra = []) t k =
+  if k > num_groups t then Sat.Solver.Unsat
+  else
+    let bound = Cardinality.exactly_bound t.counter k in
+    Sat.Solver.solve ~assumptions:(bound @ extra) t.solver
+
+let selected_group_indices t =
+  List.filter
+    (fun i -> Sat.Solver.value t.solver t.selects.(i))
+    (List.init (num_groups t) Fun.id)
+
+let solution t =
+  selected_group_indices t
+  |> List.map (fun i -> Array.fold_left min max_int t.groups.(i))
+  |> List.sort Int.compare
+
+let solution_groups t =
+  selected_group_indices t
+  |> List.map (fun i -> Array.to_list t.groups.(i))
+
+let correction_var t ~test ~gate =
+  let v = t.corrections.(test).(gate) in
+  if v < 0 then raise Not_found;
+  v
+
+let correction_value t ~test ~gate =
+  Sat.Solver.value t.solver (correction_var t ~test ~gate)
+
+let block ?unless t gates =
+  let group_index g =
+    match Hashtbl.find_opt t.group_of g with
+    | Some i -> i
+    | None -> invalid_arg "Muxed.block: non-candidate gate in solution"
+  in
+  let group_indices = List.map group_index gates |> List.sort_uniq Int.compare in
+  let clause =
+    List.map (fun i -> Lit.negate (Lit.pos t.selects.(i))) group_indices
+  in
+  let clause =
+    match unless with None -> clause | Some a -> Lit.negate a :: clause
+  in
+  Sat.Solver.add_clause t.solver clause
+
+let fresh_activation t = Lit.pos (t.emit.Emit.fresh ())
+
+let gate_value t ~test ~gate = Sat.Solver.value t.solver t.copies.(test).(gate)
+
+let export_dimacs ?candidates ?groups ?force_zero ~k circ tests =
+  let cnf = Sat.Cnf.create () in
+  let solver = Sat.Solver.create () in
+  let t =
+    build ~mirror:cnf ?candidates ?groups ?force_zero ~max_k:k solver circ
+      tests
+  in
+  (* freeze the bound: the assumption literals become unit clauses *)
+  List.iter
+    (fun l -> Sat.Cnf.add_clause cnf [ l ])
+    (Cardinality.bound_assumption t.counter (min k (num_groups t)));
+  Sat.Cnf.to_dimacs cnf

@@ -1,0 +1,107 @@
+(** The SAT-based diagnosis instance of the paper's Figure 2.
+
+    One copy of the circuit per test (t, o, v); a correction multiplexer
+    in front of every candidate gate.  The select line [s_g] is shared by
+    all copies (the gate is changed for all tests or none); the injected
+    correction value [c_g^i] is free per test, so a selected gate may be
+    re-assigned any Boolean function.  Each copy pins its primary inputs
+    to the test vector and its erroneous output to the correct value.
+
+    A sequential counter over the select lines provides the
+    "at most k changed gates" bound, selectable per solve call via
+    assumptions (Fig. 3, line 2).
+
+    Candidates may be grouped: all gates of a group share one select line
+    and count once towards the bound.  This models one *design* error
+    appearing in several places — in particular every time-frame copy of
+    a core gate in unrolled sequential diagnosis (Ali et al.). *)
+
+type t
+
+val build :
+  ?mirror:Sat.Cnf.t ->
+  ?candidates:int list ->
+  ?groups:int list list ->
+  ?force_zero:bool ->
+  max_k:int ->
+  Sat.Solver.t ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  t
+(** [build ~max_k solver circuit tests] encodes the diagnosis instance
+    into [solver].
+
+    [candidates] become singleton groups; [groups] are explicit groups
+    sharing a select line.  When neither is given, every logic gate is a
+    singleton candidate.  A gate may appear in at most one group.
+
+    [force_zero] adds the advanced-approach clauses [¬s_g ⇒ c_g^i = 0],
+    removing up to |I| pointless decisions without changing the solution
+    space projected on the select lines.
+
+    [mirror] additionally copies every clause into the given CNF (see
+    {!export_dimacs}). *)
+
+val export_dimacs :
+  ?candidates:int list ->
+  ?groups:int list list ->
+  ?force_zero:bool ->
+  k:int ->
+  Netlist.Circuit.t ->
+  Sim.Testgen.test list ->
+  string
+(** The complete diagnosis instance, with the at-most-k bound frozen in,
+    as DIMACS CNF text — for use with external SAT solvers.  DIMACS
+    variables [1..#groups] are the select lines, in group order (explicit
+    groups first, then the remaining candidates in topological order). *)
+
+val add_test : t -> Sim.Testgen.test -> unit
+(** Incrementally constrain the live instance with one more test: a new
+    circuit copy is encoded into the same solver, sharing the select
+    lines and everything the solver has learned so far — the incremental
+    use the paper attributes to Zchaff/SATIRE.  Solutions enumerated
+    before the call may no longer be corrections for the extended set. *)
+
+val circuit : t -> Netlist.Circuit.t
+
+val candidate_gates : t -> int array
+(** All gates carrying a multiplexer, over all groups. *)
+
+val num_tests : t -> int
+
+val select_lit : t -> int -> Sat.Lit.t
+(** Select literal of a candidate gate's group.
+    @raise Not_found for non-candidates. *)
+
+val solve_at_most : ?extra:Sat.Lit.t list -> t -> int -> Sat.Solver.result
+(** Solve under "at most k selected groups", plus extra assumptions. *)
+
+val solve_exactly : ?extra:Sat.Lit.t list -> t -> int -> Sat.Solver.result
+
+val solution : t -> int list
+(** After [Sat]: one representative (smallest gate id) per selected
+    group, sorted.  For singleton groups this is the gate itself. *)
+
+val solution_groups : t -> int list list
+(** After [Sat]: the selected groups in full. *)
+
+val correction_value : t -> test:int -> gate:int -> bool
+(** After [Sat]: the value injected at a candidate gate for a test — the
+    witness from which a replacement function can be read off. *)
+
+val correction_var : t -> test:int -> gate:int -> int
+(** The solver variable carrying that correction value (for phase hints
+    and assumptions).  @raise Not_found for non-candidates. *)
+
+val block : ?unless:Sat.Lit.t -> t -> int list -> unit
+(** Add the blocking clause [∨ ¬s] over the groups of the given gates,
+    excluding that solution and all supersets from future solve calls.
+    With [unless], the clause carries that activation guard: it only
+    takes effect while the literal is assumed true, so a whole
+    enumeration can be retired (incremental diagnosis). *)
+
+val fresh_activation : t -> Sat.Lit.t
+(** A fresh activation literal for guarded blocking clauses. *)
+
+val gate_value : t -> test:int -> gate:int -> bool
+(** After [Sat]: the (post-mux) value of any gate in a test copy. *)

@@ -1,0 +1,17 @@
+(** Tseitin transformation: circuit consistency constraints in CNF.
+
+    Every gate gets a variable; clauses force the variable to equal the
+    gate function of its fanin variables.  Primary inputs stay free. *)
+
+val gate_clauses :
+  Emit.t -> out:Sat.Lit.t -> Netlist.Gate.kind -> Sat.Lit.t array -> unit
+(** [gate_clauses e ~out kind fanins] emits clauses for [out = kind(fanins)].
+    N-ary XOR/XNOR are decomposed with fresh helper variables.
+    @raise Invalid_argument for [Input] or arity mismatch. *)
+
+val encode : Emit.t -> Netlist.Circuit.t -> int array
+(** Encode the whole circuit; returns the gate-id -> variable map. *)
+
+val encode_with_inputs :
+  Emit.t -> Netlist.Circuit.t -> bool array -> int array
+(** Same, plus unit clauses pinning the primary inputs to a vector. *)

@@ -1,0 +1,178 @@
+type parsed = {
+  circuit : Circuit.t;
+  dff_pairs : (string * string) list;
+}
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let is_space = function ' ' | '\t' | '\r' -> true | _ -> false
+
+let trim = String.trim
+
+(* "KIND ( a , b )" -> (KIND, [a; b]) *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '(' in %S" s
+  | Some i ->
+      let head = trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let rest = trim rest in
+      let len = String.length rest in
+      if len = 0 || rest.[len - 1] <> ')' then fail line "missing ')' in %S" s
+      else
+        let args_s = String.sub rest 0 (len - 1) in
+        let args =
+          String.split_on_char ',' args_s
+          |> List.map trim
+          |> List.filter (fun a -> a <> "")
+        in
+        (head, args)
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_assign of string * string * string list  (* lhs, kind, args *)
+
+let parse_line lineno s =
+  let s = trim (strip_comment s) in
+  if s = "" then None
+  else
+    match String.index_opt s '=' with
+    | Some i ->
+        let lhs = trim (String.sub s 0 i) in
+        let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+        if lhs = "" then fail lineno "empty left-hand side";
+        if String.exists is_space lhs then
+          fail lineno "signal name %S contains whitespace" lhs;
+        let kind, args = parse_call lineno rhs in
+        Some (St_assign (lhs, kind, args))
+    | None -> (
+        let head, args = parse_call lineno s in
+        match (String.uppercase_ascii head, args) with
+        | "INPUT", [ a ] -> Some (St_input a)
+        | "OUTPUT", [ a ] -> Some (St_output a)
+        | ("INPUT" | "OUTPUT"), _ ->
+            fail lineno "%s takes exactly one signal" head
+        | _ -> fail lineno "unrecognized statement %S" s)
+
+let parse_string ~name text =
+  let statements = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         match parse_line (i + 1) line with
+         | Some st -> statements := (i + 1, st) :: !statements
+         | None -> ());
+  let statements = List.rev !statements in
+  (* Pass 1: declare every signal (inputs, DFF outputs, assignment lhs). *)
+  let ids = Hashtbl.create 64 in
+  let kinds = ref [] and fanin_names = ref [] and names = ref [] in
+  let count = ref 0 in
+  let declare lineno nm kind fi =
+    if Hashtbl.mem ids nm then fail lineno "signal %S defined twice" nm;
+    Hashtbl.add ids nm !count;
+    kinds := kind :: !kinds;
+    fanin_names := fi :: !fanin_names;
+    names := nm :: !names;
+    incr count
+  in
+  let inputs = ref [] and outputs = ref [] and dff_pairs = ref [] in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_input nm ->
+          declare lineno nm Gate.Input [];
+          inputs := nm :: !inputs
+      | St_output nm -> outputs := (lineno, nm) :: !outputs
+      | St_assign (lhs, kind_s, args) -> (
+          match String.uppercase_ascii kind_s with
+          | "DFF" -> (
+              match args with
+              | [ d ] ->
+                  (* q becomes a pseudo input, d a pseudo output *)
+                  declare lineno lhs Gate.Input [];
+                  inputs := lhs :: !inputs;
+                  outputs := (lineno, d) :: !outputs;
+                  dff_pairs := (lhs, d) :: !dff_pairs
+              | _ -> fail lineno "DFF takes exactly one fanin")
+          | _ -> (
+              match Gate.of_string kind_s with
+              | None -> fail lineno "unknown gate kind %S" kind_s
+              | Some kind ->
+                  if not (Gate.arity_ok kind (List.length args)) then
+                    fail lineno "%s cannot take %d fanins" kind_s
+                      (List.length args);
+                  declare lineno lhs kind args)))
+    statements;
+  (* Pass 2: resolve fanin names. *)
+  let resolve nm =
+    match Hashtbl.find_opt ids nm with
+    | Some id -> id
+    | None -> fail 0 "signal %S is used but never defined" nm
+  in
+  let fanins =
+    List.rev_map (fun fi -> Array.of_list (List.map resolve fi)) !fanin_names
+    |> Array.of_list
+  in
+  let outputs_ids =
+    List.rev_map
+      (fun (lineno, nm) ->
+        match Hashtbl.find_opt ids nm with
+        | Some id -> id
+        | None -> fail lineno "output %S is never defined" nm)
+      !outputs
+    |> Array.of_list
+  in
+  let circuit =
+    Circuit.create ~name
+      ~kinds:(Array.of_list (List.rev !kinds))
+      ~fanins
+      ~names:(Array.of_list (List.rev !names))
+      ~inputs:(Array.of_list (List.rev_map resolve !inputs))
+      ~outputs:outputs_ids
+  in
+  { circuit; dff_pairs = List.rev !dff_pairs }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.name);
+  Array.iter
+    (fun g -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" c.names.(g)))
+    c.inputs;
+  Array.iter
+    (fun g -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" c.names.(g)))
+    c.outputs;
+  Array.iter
+    (fun g ->
+      match c.kinds.(g) with
+      | Gate.Input -> ()
+      | k ->
+          let args =
+            Array.to_list c.fanins.(g)
+            |> List.map (fun h -> c.names.(h))
+            |> String.concat ", "
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s(%s)\n" c.names.(g) (Gate.to_string k) args))
+    c.topo;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

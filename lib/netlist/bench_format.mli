@@ -1,0 +1,28 @@
+(** ISCAS85/89 [.bench] netlist format.
+
+    Sequential elements ([DFF]) are converted to the standard combinational
+    diagnosis view: the flip-flop output becomes a pseudo primary input and
+    its data fanin a pseudo primary output, exactly as in the paper's
+    treatment of the ISCAS89 circuits. *)
+
+type parsed = {
+  circuit : Circuit.t;
+  dff_pairs : (string * string) list;
+      (** [(q, d)] pairs removed by the pseudo-PI/PO conversion. *)
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : name:string -> string -> parsed
+(** Parse the text of a [.bench] file.  Gate names are taken verbatim;
+    declaration order need not be topological. *)
+
+val parse_file : string -> parsed
+(** [parse_file path] names the circuit after the file's basename. *)
+
+val to_string : Circuit.t -> string
+(** Render a (combinational) circuit back to [.bench] text.  Pseudo
+    inputs/outputs introduced by DFF conversion are emitted as plain
+    INPUT/OUTPUT lines. *)
+
+val write_file : string -> Circuit.t -> unit

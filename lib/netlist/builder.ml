@@ -1,0 +1,63 @@
+type t = {
+  name : string;
+  mutable kinds : Gate.kind list;   (* reversed *)
+  mutable fanins : int array list;  (* reversed *)
+  mutable names : string list;      (* reversed *)
+  mutable inputs : int list;        (* reversed *)
+  mutable outputs : int list;       (* reversed *)
+  mutable count : int;
+}
+
+let create ~name =
+  { name; kinds = []; fanins = []; names = []; inputs = []; outputs = [];
+    count = 0 }
+
+let fresh_name b = Printf.sprintf "n%d" b.count
+
+let push ?name b kind fanins =
+  List.iter
+    (fun g ->
+      if g < 0 || g >= b.count then
+        invalid_arg (Printf.sprintf "Builder: unknown fanin id %d" g))
+    fanins;
+  if not (Gate.arity_ok kind (List.length fanins)) then
+    invalid_arg
+      (Printf.sprintf "Builder: %s with %d fanins" (Gate.to_string kind)
+         (List.length fanins));
+  let id = b.count in
+  b.kinds <- kind :: b.kinds;
+  b.fanins <- Array.of_list fanins :: b.fanins;
+  b.names <- Option.value name ~default:(fresh_name b) :: b.names;
+  b.count <- id + 1;
+  id
+
+let input ?name b =
+  let id = push ?name b Gate.Input [] in
+  b.inputs <- id :: b.inputs;
+  id
+
+let const ?name b v = push ?name b (if v then Gate.Const1 else Gate.Const0) []
+let gate ?name b kind fanins = push ?name b kind fanins
+let not_ ?name b a = push ?name b Gate.Not [ a ]
+let and_ ?name b a c = push ?name b Gate.And [ a; c ]
+let or_ ?name b a c = push ?name b Gate.Or [ a; c ]
+let xor_ ?name b a c = push ?name b Gate.Xor [ a; c ]
+
+let mux ?name b ~sel ~a ~b:bb =
+  let ns = push b Gate.Not [ sel ] in
+  let ta = push b Gate.And [ ns; a ] in
+  let tb = push b Gate.And [ sel; bb ] in
+  push ?name b Gate.Or [ ta; tb ]
+
+let output b g =
+  if g < 0 || g >= b.count then
+    invalid_arg (Printf.sprintf "Builder.output: unknown id %d" g);
+  b.outputs <- g :: b.outputs
+
+let build b =
+  Circuit.create ~name:b.name
+    ~kinds:(Array.of_list (List.rev b.kinds))
+    ~fanins:(Array.of_list (List.rev b.fanins))
+    ~names:(Array.of_list (List.rev b.names))
+    ~inputs:(Array.of_list (List.rev b.inputs))
+    ~outputs:(Array.of_list (List.rev b.outputs))

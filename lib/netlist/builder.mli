@@ -1,0 +1,33 @@
+(** Incremental construction of {!Circuit.t} values.
+
+    Gates are appended one at a time and referenced by the returned ids;
+    fanins must already exist, so the construction order is automatically
+    topological. *)
+
+type t
+
+val create : name:string -> t
+
+val input : ?name:string -> t -> int
+(** Append a primary input; returns its id. *)
+
+val const : ?name:string -> t -> bool -> int
+
+val gate : ?name:string -> t -> Gate.kind -> int list -> int
+(** [gate b kind fanins] appends a logic gate; returns its id.
+    @raise Invalid_argument on arity mismatch or unknown fanin id. *)
+
+val not_ : ?name:string -> t -> int -> int
+val and_ : ?name:string -> t -> int -> int -> int
+val or_ : ?name:string -> t -> int -> int -> int
+val xor_ : ?name:string -> t -> int -> int -> int
+(** Binary conveniences over {!gate}. *)
+
+val mux : ?name:string -> t -> sel:int -> a:int -> b:int -> int
+(** 2:1 multiplexer built from primitive gates: [sel ? b : a]. *)
+
+val output : t -> int -> unit
+(** Mark an existing gate as a primary output (appends to the PO vector). *)
+
+val build : t -> Circuit.t
+(** Finalize.  The builder must not be reused afterwards. *)

@@ -1,0 +1,158 @@
+type t = {
+  name : string;
+  kinds : Gate.kind array;
+  fanins : int array array;
+  fanouts : int array array;
+  names : string array;
+  inputs : int array;
+  outputs : int array;
+  topo : int array;
+  level : int array;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* Kahn's algorithm; also detects cycles and computes levels. *)
+let topo_sort kinds fanins fanouts =
+  let n = Array.length kinds in
+  let indeg = Array.map Array.length fanins in
+  let order = Array.make n 0 in
+  let level = Array.make n 0 in
+  let queue = Queue.create () in
+  for g = 0 to n - 1 do
+    if indeg.(g) = 0 then Queue.add g queue
+  done;
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    order.(!k) <- g;
+    incr k;
+    let bump h =
+      if level.(h) < level.(g) + 1 then level.(h) <- level.(g) + 1;
+      indeg.(h) <- indeg.(h) - 1;
+      if indeg.(h) = 0 then Queue.add h queue
+    in
+    Array.iter bump fanouts.(g)
+  done;
+  if !k <> n then invalid "circuit contains a combinational cycle";
+  (order, level)
+
+let create ~name ~kinds ~fanins ~names ~inputs ~outputs =
+  let n = Array.length kinds in
+  if Array.length fanins <> n || Array.length names <> n then
+    invalid "kinds/fanins/names length mismatch";
+  let check_id what g =
+    if g < 0 || g >= n then invalid "%s references unknown gate id %d" what g
+  in
+  Array.iteri
+    (fun g fi ->
+      Array.iter (check_id names.(g)) fi;
+      if not (Gate.arity_ok kinds.(g) (Array.length fi)) then
+        invalid "gate %s: kind %s cannot take %d fanins" names.(g)
+          (Gate.to_string kinds.(g))
+          (Array.length fi))
+    fanins;
+  Array.iter (check_id "inputs") inputs;
+  Array.iter (check_id "outputs") outputs;
+  Array.iteri
+    (fun _ g ->
+      if kinds.(g) <> Gate.Input then
+        invalid "input list contains non-Input gate %s" names.(g))
+    inputs;
+  let input_count =
+    Array.fold_left
+      (fun acc k -> if k = Gate.Input then acc + 1 else acc)
+      0 kinds
+  in
+  if input_count <> Array.length inputs then
+    invalid "%d Input gates but %d entries in the input list" input_count
+      (Array.length inputs);
+  let seen = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun nm ->
+      if Hashtbl.mem seen nm then invalid "duplicate signal name %s" nm;
+      Hashtbl.add seen nm ())
+    names;
+  let counts = Array.make n 0 in
+  Array.iter (Array.iter (fun g -> counts.(g) <- counts.(g) + 1)) fanins;
+  let fanouts = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun g fi ->
+      Array.iter
+        (fun h ->
+          fanouts.(h).(fill.(h)) <- g;
+          fill.(h) <- fill.(h) + 1)
+        fi)
+    fanins;
+  let topo, level = topo_sort kinds fanins fanouts in
+  { name; kinds; fanins; fanouts; names; inputs; outputs; topo; level }
+
+let size c = Array.length c.kinds
+let num_inputs c = Array.length c.inputs
+let num_outputs c = Array.length c.outputs
+
+let is_logic c g =
+  match c.kinds.(g) with
+  | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+  | Gate.Xor | Gate.Xnor ->
+      true
+
+let gate_ids c =
+  Array.of_seq (Seq.filter (is_logic c) (Array.to_seq c.topo))
+
+let depth c = Array.fold_left max 0 c.level
+let is_input c g = c.kinds.(g) = Gate.Input
+
+let is_output c g = Array.exists (Int.equal g) c.outputs
+
+let id_of_name c nm =
+  let n = size c in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if String.equal c.names.(i) nm then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let with_kinds c changes =
+  let kinds = Array.copy c.kinds in
+  List.iter
+    (fun (g, k) ->
+      if g < 0 || g >= size c then invalid "with_kinds: bad id %d" g;
+      if not (Gate.arity_ok k (Array.length c.fanins.(g))) then
+        invalid "with_kinds: %s cannot take %d fanins" (Gate.to_string k)
+          (Array.length c.fanins.(g));
+      kinds.(g) <- k)
+    changes;
+  { c with kinds }
+
+let with_gates c changes =
+  let kinds = Array.copy c.kinds in
+  let fanins = Array.copy c.fanins in
+  List.iter
+    (fun (g, k, fi) ->
+      if g < 0 || g >= size c then invalid "with_gates: bad id %d" g;
+      kinds.(g) <- k;
+      fanins.(g) <- fi)
+    changes;
+  create ~name:c.name ~kinds ~fanins ~names:c.names ~inputs:c.inputs
+    ~outputs:c.outputs
+
+let output_index c g =
+  let n = Array.length c.outputs in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if c.outputs.(i) = g then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let pp_stats ppf c =
+  Format.fprintf ppf "%s: %d inputs, %d outputs, %d gates, depth %d" c.name
+    (num_inputs c) (num_outputs c)
+    (Array.length (gate_ids c))
+    (depth c)

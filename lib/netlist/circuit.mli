@@ -1,0 +1,69 @@
+(** Immutable gate-level netlists.
+
+    A circuit is a DAG of gates indexed by dense integer ids.  Primary
+    inputs are gates of kind {!Gate.Input}; primary outputs reference
+    arbitrary gate ids.  Construction validates acyclicity and arities and
+    precomputes fanouts, a topological order and levels. *)
+
+type t = private {
+  name : string;
+  kinds : Gate.kind array;      (** gate id -> kind *)
+  fanins : int array array;     (** gate id -> fanin gate ids, in port order *)
+  fanouts : int array array;    (** gate id -> ids of gates reading it *)
+  names : string array;         (** gate id -> signal name *)
+  inputs : int array;           (** primary input ids, vector order *)
+  outputs : int array;          (** primary output ids, vector order *)
+  topo : int array;             (** all ids in topological order *)
+  level : int array;            (** gate id -> max distance from an input *)
+}
+
+exception Invalid of string
+(** Raised by {!create} on malformed netlists (cycle, bad arity, dangling
+    id, duplicate name, non-input gate without fanins, ...). *)
+
+val create :
+  name:string ->
+  kinds:Gate.kind array ->
+  fanins:int array array ->
+  names:string array ->
+  inputs:int array ->
+  outputs:int array ->
+  t
+(** Validates and completes a netlist. O(|gates| + |edges|). *)
+
+val size : t -> int
+(** Total number of nodes (inputs + constants + gates) — the paper's [|I|]. *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+val gate_ids : t -> int array
+(** Ids of logic gates (everything that is not an Input/Const) in
+    topological order: the correction candidates of the diagnosis problem. *)
+
+val depth : t -> int
+(** Maximum level over all gates; 0 for a circuit with no logic. *)
+
+val is_input : t -> int -> bool
+val is_output : t -> int -> bool
+
+val id_of_name : t -> string -> int
+(** @raise Not_found if no gate carries that name. *)
+
+val with_kinds : t -> (int * Gate.kind) list -> t
+(** [with_kinds c changes] is a copy of [c] where each gate id in [changes]
+    got the new kind.  Arities must stay legal.  Used for error injection
+    and correction application. *)
+
+val with_gates : t -> (int * Gate.kind * int array) list -> t
+(** General rewrite: replace kind *and* fanins of the given gates
+    (stuck-at injection, wrong-connection errors, corrections).
+    Revalidates the whole netlist.
+    @raise Invalid on arity violations or introduced cycles. *)
+
+val output_index : t -> int -> int
+(** Position of a gate id in the output vector.
+    @raise Not_found if the gate is not a primary output. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: name, #in, #out, #gates, depth. *)

@@ -1,0 +1,89 @@
+type parent = Sink | Gate of int | Unreachable
+
+type t = {
+  circuit : Circuit.t;
+  parents : parent array;
+  children : int list array;  (* dominator-tree children, gate ids only *)
+  order : int array;          (* processing order index; sink excluded *)
+}
+
+(* Nodes are gate ids; the virtual sink is represented implicitly.  We
+   process gates in reverse topological order, so all H'-predecessors
+   (circuit fanouts, plus the sink for primary outputs) are ready.  [ord]
+   gives the finger-walk ordering: sink < earlier-processed < later. *)
+let compute (c : Circuit.t) =
+  let n = Circuit.size c in
+  let parents = Array.make n Unreachable in
+  let order = Array.make n max_int in
+  let is_po = Array.make n false in
+  Array.iter (fun o -> is_po.(o) <- true) c.outputs;
+  (* intersect two reachable nodes by walking towards the sink *)
+  let rec intersect a b =
+    match (a, b) with
+    | Sink, _ | _, Sink -> Sink
+    | Unreachable, x | x, Unreachable -> x
+    | Gate ga, Gate gb ->
+        if ga = gb then a
+        else if order.(ga) > order.(gb) then intersect parents.(ga) b
+        else intersect a parents.(gb)
+  in
+  let counter = ref 0 in
+  let process g =
+    let preds = c.fanouts.(g) in
+    let acc = ref (if is_po.(g) then Sink else Unreachable) in
+    (* fold predecessors that reach an output (reachable = processed) *)
+    Array.iter
+      (fun h ->
+        let reachable = order.(h) <> max_int in
+        if reachable then
+          acc := (match !acc with Unreachable -> Gate h | a -> intersect a (Gate h)))
+      preds;
+    if !acc <> Unreachable || is_po.(g) then begin
+      parents.(g) <- !acc;
+      order.(g) <- !counter;
+      incr counter
+    end
+  in
+  (* reverse topological order *)
+  for i = Array.length c.topo - 1 downto 0 do
+    process c.topo.(i)
+  done;
+  let children = Array.make n [] in
+  Array.iteri
+    (fun g p ->
+      match p with
+      | Gate d -> children.(d) <- g :: children.(d)
+      | Sink | Unreachable -> ())
+    parents;
+  { circuit = c; parents; children; order }
+
+let idom t g = t.parents.(g)
+
+let dominates t d g =
+  let rec walk = function
+    | Unreachable | Sink -> false
+    | Gate x -> x = d || walk t.parents.(x)
+  in
+  t.order.(g) <> max_int && (d = g || walk t.parents.(g))
+
+let region t d =
+  let acc = ref [] in
+  let rec visit g =
+    acc := g :: !acc;
+    List.iter visit t.children.(g)
+  in
+  List.iter visit t.children.(d);
+  !acc
+
+let nontrivial t =
+  let c = t.circuit in
+  (* Gates that dominate others, plus every gate immediately dominated by
+     the virtual sink (primary outputs and multi-output fan-out roots):
+     together they cut every gate-to-output dominator chain, so any valid
+     correction lifts into this skeleton. *)
+  let keep g =
+    (not (Circuit.is_input c g))
+    && t.order.(g) <> max_int
+    && (t.parents.(g) = Sink || t.children.(g) <> [])
+  in
+  Array.to_list c.topo |> List.filter keep

@@ -1,0 +1,36 @@
+(** Output dominators.
+
+    Gate [d] dominates gate [g] when every path from [g] to any primary
+    output passes through [d].  Computed with the Cooper–Harvey–Kennedy
+    iterative algorithm on the reversed DAG rooted at a virtual sink fed by
+    all primary outputs (one pass suffices on a DAG).
+
+    The advanced SAT-based diagnosis uses dominators to place correction
+    multiplexers coarsely first and refine inside implicated regions. *)
+
+type t
+
+type parent =
+  | Sink            (** immediately dominated only by the virtual sink *)
+  | Gate of int     (** immediate dominator gate id *)
+  | Unreachable     (** no path to any primary output (dead logic) *)
+
+val compute : Circuit.t -> t
+
+val idom : t -> int -> parent
+
+val dominates : t -> int -> int -> bool
+(** [dominates t d g] — strict or reflexive ([dominates t g g = true] when
+    [g] reaches an output). *)
+
+val region : t -> int -> int list
+(** Gates strictly dominated by the given gate (its dominator-tree
+    descendants), unordered. *)
+
+val nontrivial : t -> int list
+(** The coarse multiplexer skeleton of the two-pass advanced SAT
+    diagnosis: gates that strictly dominate at least one other gate, plus
+    every gate whose immediate dominator is the virtual sink (primary
+    outputs and gates fanning out to several outputs).  Every gate's
+    dominator chain intersects this set, so every valid correction can be
+    lifted into it. *)

@@ -1,0 +1,111 @@
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let equal (a : kind) (b : kind) = a = b
+
+let to_string = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let arity_ok k n =
+  match k with
+  | Input | Const0 | Const1 -> n = 0
+  | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 1
+
+let bad_arity k n =
+  invalid_arg
+    (Printf.sprintf "Gate.eval: %s with %d fanins" (to_string k) n)
+
+let eval k (vs : bool array) =
+  let n = Array.length vs in
+  if not (arity_ok k n) then bad_arity k n;
+  match k with
+  | Input -> invalid_arg "Gate.eval: Input has no function"
+  | Const0 -> false
+  | Const1 -> true
+  | Buf -> vs.(0)
+  | Not -> not vs.(0)
+  | And -> Array.for_all Fun.id vs
+  | Nand -> not (Array.for_all Fun.id vs)
+  | Or -> Array.exists Fun.id vs
+  | Nor -> not (Array.exists Fun.id vs)
+  | Xor -> Array.fold_left (fun acc v -> acc <> v) false vs
+  | Xnor -> not (Array.fold_left (fun acc v -> acc <> v) false vs)
+
+let fold_word op init (vs : int64 array) =
+  let acc = ref init in
+  for i = 0 to Array.length vs - 1 do
+    acc := op !acc vs.(i)
+  done;
+  !acc
+
+let eval_word k (vs : int64 array) =
+  let n = Array.length vs in
+  if not (arity_ok k n) then bad_arity k n;
+  match k with
+  | Input -> invalid_arg "Gate.eval_word: Input has no function"
+  | Const0 -> 0L
+  | Const1 -> -1L
+  | Buf -> vs.(0)
+  | Not -> Int64.lognot vs.(0)
+  | And -> fold_word Int64.logand (-1L) vs
+  | Nand -> Int64.lognot (fold_word Int64.logand (-1L) vs)
+  | Or -> fold_word Int64.logor 0L vs
+  | Nor -> Int64.lognot (fold_word Int64.logor 0L vs)
+  | Xor -> fold_word Int64.logxor 0L vs
+  | Xnor -> Int64.lognot (fold_word Int64.logxor 0L vs)
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor -> None
+
+let inverts = function
+  | Nand | Nor | Xnor | Not -> true
+  | Input | Const0 | Const1 | Buf | And | Or | Xor -> false
+
+let all_logic = [ Buf; Not; And; Nand; Or; Nor; Xor; Xnor ]
+
+(* For one fanin every kind degenerates to identity or inversion, so the
+   only behaviour-changing replacement is the opposite polarity; offering
+   e.g. NAND for NOT would inject a functional no-op. *)
+let alternatives k ~arity =
+  if arity = 1 then (if inverts k then [ Buf ] else [ Not ])
+  else List.filter (fun k' -> k' <> k && arity_ok k' arity) all_logic

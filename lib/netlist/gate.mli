@@ -1,0 +1,54 @@
+(** Gate kinds and their Boolean semantics.
+
+    A netlist node is either a primary input, a constant, or a logic gate.
+    Gates evaluate over [bool] (single pattern) and over [int64] words
+    (64 patterns in parallel, one per bit). *)
+
+type kind =
+  | Input        (** primary input (or DFF output treated as pseudo-input) *)
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+val equal : kind -> kind -> bool
+
+val to_string : kind -> string
+(** Upper-case ISCAS89 [.bench] spelling, e.g. ["NAND"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive inverse of {!to_string}; also accepts ["BUFF"]. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val arity_ok : kind -> int -> bool
+(** [arity_ok k n] is [true] when a gate of kind [k] may have [n] fanins:
+    0 for inputs and constants, 1 for [Buf]/[Not], at least 1 otherwise. *)
+
+val eval : kind -> bool array -> bool
+(** Single-pattern evaluation. Raises [Invalid_argument] on bad arity. *)
+
+val eval_word : kind -> int64 array -> int64
+(** 64 patterns at once, bitwise. Raises [Invalid_argument] on bad arity. *)
+
+val controlling_value : kind -> bool option
+(** The input value that alone determines the output ([Some false] for
+    AND/NAND, [Some true] for OR/NOR, [None] otherwise).  Used by path
+    tracing. *)
+
+val inverts : kind -> bool
+(** Whether the gate complements its "core" function (NAND/NOR/XNOR/NOT). *)
+
+val alternatives : kind -> arity:int -> kind list
+(** Gate kinds that accept [arity] fanins and compute a *different*
+    function than [kind] on them (no inputs or constants; for one fanin
+    only the opposite polarity qualifies).  Used by the error injector. *)
+
+val all_logic : kind list
+(** Every kind except [Input], [Const0], [Const1]. *)

@@ -1,0 +1,282 @@
+let random_dag ?name ~seed ~num_inputs ~num_gates ~num_outputs () =
+  let name =
+    Option.value name
+      ~default:(Printf.sprintf "rand_s%d_g%d" seed num_gates)
+  in
+  let rng = Random.State.make [| seed; num_inputs; num_gates; num_outputs |] in
+  let b = Builder.create ~name in
+  let nodes = Array.make (num_inputs + num_gates) 0 in
+  for i = 0 to num_inputs - 1 do
+    nodes.(i) <- Builder.input ~name:(Printf.sprintf "pi%d" i) b
+  done;
+  (* Geometric locality bias: fanins are drawn close to the new gate with
+     high probability, producing deep circuits like real netlists. *)
+  let pick_pred limit =
+    let rec hop span =
+      if span >= limit || Random.State.int rng 100 < 35 then
+        limit - 1 - Random.State.int rng (min span limit)
+      else hop (span * 4)
+    in
+    nodes.(hop 8)
+  in
+  let binary_kinds = [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |] in
+  for i = 0 to num_gates - 1 do
+    let limit = num_inputs + i in
+    let arity =
+      match Random.State.int rng 10 with
+      | 0 -> 1
+      | 1 | 2 -> 3
+      | _ -> 2
+    in
+    let fanins = List.init arity (fun _ -> pick_pred limit) in
+    let kind =
+      if arity = 1 then (if Random.State.bool rng then Gate.Not else Gate.Buf)
+      else binary_kinds.(Random.State.int rng (Array.length binary_kinds))
+    in
+    nodes.(limit) <- Builder.gate ~name:(Printf.sprintf "g%d" i) b kind fanins
+  done;
+  let c_tmp = Builder.build b in
+  (* Prefer sinks (gates nothing reads) as primary outputs. *)
+  let sinks =
+    Circuit.gate_ids c_tmp |> Array.to_list
+    |> List.filter (fun g -> Array.length c_tmp.Circuit.fanouts.(g) = 0)
+  in
+  let chosen = Hashtbl.create 16 in
+  let outs = ref [] in
+  let add g =
+    if not (Hashtbl.mem chosen g) then begin
+      Hashtbl.add chosen g ();
+      outs := g :: !outs
+    end
+  in
+  List.iter add sinks;
+  while List.length !outs < num_outputs do
+    add (nodes.(num_inputs + Random.State.int rng num_gates))
+  done;
+  let outputs =
+    List.rev !outs |> List.filteri (fun i _ -> i < max num_outputs (List.length sinks))
+  in
+  Circuit.create ~name ~kinds:c_tmp.Circuit.kinds ~fanins:c_tmp.Circuit.fanins
+    ~names:c_tmp.Circuit.names ~inputs:c_tmp.Circuit.inputs
+    ~outputs:(Array.of_list outputs)
+
+let full_adder b a c cin =
+  let s1 = Builder.xor_ b a c in
+  let sum = Builder.xor_ b s1 cin in
+  let c1 = Builder.and_ b a c in
+  let c2 = Builder.and_ b s1 cin in
+  let cout = Builder.or_ b c1 c2 in
+  (sum, cout)
+
+let ripple_carry_adder w =
+  let b = Builder.create ~name:(Printf.sprintf "rca%d" w) in
+  let a = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "b%d" i) b) in
+  let cin = Builder.input ~name:"cin" b in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let sum, cout = full_adder b a.(i) bb.(i) !carry in
+    carry := cout;
+    Builder.output b sum
+  done;
+  Builder.output b !carry;
+  Builder.build b
+
+let alu w =
+  let b = Builder.create ~name:(Printf.sprintf "alu%d" w) in
+  let a = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "b%d" i) b) in
+  let s0 = Builder.input ~name:"s0" b in
+  let s1 = Builder.input ~name:"s1" b in
+  let carry = ref (Builder.const b false) in
+  for i = 0 to w - 1 do
+    let land_ = Builder.and_ b a.(i) bb.(i) in
+    let lor_ = Builder.or_ b a.(i) bb.(i) in
+    let bit_xor = Builder.xor_ b a.(i) bb.(i) in
+    let sum, cout = full_adder b a.(i) bb.(i) !carry in
+    carry := cout;
+    let lo = Builder.mux b ~sel:s0 ~a:land_ ~b:lor_ in
+    let hi = Builder.mux b ~sel:s0 ~a:bit_xor ~b:sum in
+    let out = Builder.mux ~name:(Printf.sprintf "y%d" i) b ~sel:s1 ~a:lo ~b:hi in
+    Builder.output b out
+  done;
+  Builder.build b
+
+let parity_tree n =
+  let b = Builder.create ~name:(Printf.sprintf "parity%d" n) in
+  let ins = List.init n (fun i -> Builder.input ~name:(Printf.sprintf "x%d" i) b) in
+  let rec reduce = function
+    | [] -> Builder.const b false
+    | [ x ] -> x
+    | x :: y :: rest -> reduce (rest @ [ Builder.xor_ b x y ])
+  in
+  Builder.output b (reduce ins);
+  Builder.build b
+
+let comparator w =
+  let b = Builder.create ~name:(Printf.sprintf "cmp%d" w) in
+  let a = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "b%d" i) b) in
+  (* eq = AND of per-bit XNOR; lt built MSB-down *)
+  let eqs = Array.init w (fun i -> Builder.gate b Gate.Xnor [ a.(i); bb.(i) ]) in
+  let eq = Builder.gate ~name:"eq" b Gate.And (Array.to_list eqs) in
+  let lt = ref (Builder.const b false) in
+  let eq_prefix = ref (Builder.const b true) in
+  for i = w - 1 downto 0 do
+    let na = Builder.not_ b a.(i) in
+    let bit_lt = Builder.and_ b na bb.(i) in
+    let here = Builder.and_ b !eq_prefix bit_lt in
+    lt := Builder.or_ b !lt here;
+    eq_prefix := Builder.and_ b !eq_prefix eqs.(i)
+  done;
+  Builder.output b eq;
+  Builder.output b !lt;
+  Builder.build b
+
+let mux_tree s =
+  let b = Builder.create ~name:(Printf.sprintf "mux%d" s) in
+  let n = 1 lsl s in
+  let data = List.init n (fun i -> Builder.input ~name:(Printf.sprintf "d%d" i) b) in
+  let sels = Array.init s (fun i -> Builder.input ~name:(Printf.sprintf "s%d" i) b) in
+  let rec level bit = function
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | a :: c :: rest -> Builder.mux b ~sel:sels.(bit) ~a ~b:c :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        level (bit + 1) (pair xs)
+  in
+  Builder.output b (level 0 data);
+  Builder.build b
+
+let multiplier w =
+  let b = Builder.create ~name:(Printf.sprintf "mul%d" w) in
+  let a = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "b%d" i) b) in
+  let zero = Builder.const b false in
+  (* accumulate partial products row by row with ripple adders *)
+  let acc = Array.make (2 * w) zero in
+  for i = 0 to w - 1 do
+    let carry = ref zero in
+    for j = 0 to w - 1 do
+      let pp = Builder.and_ b a.(j) bb.(i) in
+      let sum, cout = full_adder b acc.(i + j) pp !carry in
+      acc.(i + j) <- sum;
+      carry := cout
+    done;
+    (* propagate the final carry into the accumulator *)
+    let k = ref (i + w) in
+    while !carry <> zero && !k < (2 * w) do
+      let sum, cout = full_adder b acc.(!k) zero !carry in
+      acc.(!k) <- sum;
+      carry := (if !k + 1 < 2 * w then cout else zero);
+      incr k
+    done
+  done;
+  Array.iter (Builder.output b) acc;
+  Builder.build b
+
+let carry_lookahead_adder w =
+  let b = Builder.create ~name:(Printf.sprintf "cla%d" w) in
+  let a = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "a%d" i) b) in
+  let bb = Array.init w (fun i -> Builder.input ~name:(Printf.sprintf "b%d" i) b) in
+  let cin = Builder.input ~name:"cin" b in
+  let p = Array.init w (fun i -> Builder.xor_ b a.(i) bb.(i)) in
+  let g = Array.init w (fun i -> Builder.and_ b a.(i) bb.(i)) in
+  (* flattened carries: c_{i+1} = g_i + p_i g_{i-1} + ... + p_i..p_0 cin *)
+  let carry = Array.make (w + 1) cin in
+  for i = 0 to w - 1 do
+    let terms = ref [ g.(i) ] in
+    for j = i - 1 downto -1 do
+      let source = if j < 0 then cin else g.(j) in
+      let prefix = List.init (i - j) (fun d -> p.(i - d)) in
+      terms := Builder.gate b Gate.And (source :: prefix) :: !terms
+    done;
+    carry.(i + 1) <- Builder.gate b Gate.Or (List.rev !terms)
+  done;
+  for i = 0 to w - 1 do
+    Builder.output b (Builder.xor_ ~name:(Printf.sprintf "s%d" i) b p.(i) carry.(i))
+  done;
+  Builder.output b carry.(w);
+  Builder.build b
+
+let barrel_shifter s =
+  let b = Builder.create ~name:(Printf.sprintf "bshift%d" s) in
+  let n = 1 lsl s in
+  let data = Array.init n (fun i -> Builder.input ~name:(Printf.sprintf "d%d" i) b) in
+  let sel = Array.init s (fun i -> Builder.input ~name:(Printf.sprintf "s%d" i) b) in
+  let stage = ref data in
+  for k = 0 to s - 1 do
+    let shift = 1 lsl k in
+    let prev = !stage in
+    stage :=
+      Array.init n (fun i ->
+          Builder.mux b ~sel:sel.(k) ~a:prev.(i)
+            ~b:prev.(((i - shift) mod n + n) mod n))
+  done;
+  Array.iter (Builder.output b) !stage;
+  Builder.build b
+
+let decoder s =
+  let b = Builder.create ~name:(Printf.sprintf "dec%d" s) in
+  let sel = Array.init s (fun i -> Builder.input ~name:(Printf.sprintf "s%d" i) b) in
+  let nsel = Array.map (Builder.not_ b) sel in
+  for j = 0 to (1 lsl s) - 1 do
+    let terms =
+      List.init s (fun i -> if (j lsr i) land 1 = 1 then sel.(i) else nsel.(i))
+    in
+    Builder.output b
+      (Builder.gate ~name:(Printf.sprintf "y%d" j) b Gate.And terms)
+  done;
+  Builder.build b
+
+let majority n =
+  if n land 1 = 0 then invalid_arg "Generators.majority: even input count";
+  let b = Builder.create ~name:(Printf.sprintf "maj%d" n) in
+  let ins = List.init n (fun i -> Builder.input ~name:(Printf.sprintf "x%d" i) b) in
+  (* binary population count via an increment chain of half adders *)
+  let width =
+    let rec bits k = if 1 lsl k > n then k else bits (k + 1) in
+    bits 1
+  in
+  let zero = Builder.const b false in
+  let count = Array.make width zero in
+  let add_one x =
+    let carry = ref x in
+    for i = 0 to width - 1 do
+      let s = Builder.xor_ b count.(i) !carry in
+      let c = Builder.and_ b count.(i) !carry in
+      count.(i) <- s;
+      carry := c
+    done
+  in
+  List.iter add_one ins;
+  (* majority iff count >= (n+1)/2; compare against the constant MSB-down *)
+  let threshold = (n + 1) / 2 in
+  let ge = ref (Builder.const b true) in
+  for i = 0 to width - 1 do
+    (* process from LSB, rebuilding: ge_i for prefix [0..i] *)
+    let t_bit = (threshold lsr i) land 1 = 1 in
+    if t_bit then ge := Builder.and_ b count.(i) !ge
+    else begin
+      let gt = count.(i) in
+      ge := Builder.or_ b gt !ge
+    end
+  done;
+  Builder.output b (Builder.gate ~name:"maj" b Gate.Buf [ !ge ]);
+  Builder.build b
+
+let c17_text =
+  "# c17 (ISCAS85)\n\
+   INPUT(N1)\nINPUT(N2)\nINPUT(N3)\nINPUT(N6)\nINPUT(N7)\n\
+   OUTPUT(N22)\nOUTPUT(N23)\n\
+   N10 = NAND(N1, N3)\n\
+   N11 = NAND(N3, N6)\n\
+   N16 = NAND(N2, N11)\n\
+   N19 = NAND(N11, N7)\n\
+   N22 = NAND(N10, N16)\n\
+   N23 = NAND(N16, N19)\n"
+
+let c17 () = (Bench_format.parse_string ~name:"c17" c17_text).Bench_format.circuit

@@ -1,0 +1,59 @@
+(** Synthetic circuit generators.
+
+    These provide (a) structured designs used by the examples and tests and
+    (b) seeded pseudo-random netlists standing in for the ISCAS89
+    benchmarks (see DESIGN.md, substitution table).  All generators are
+    deterministic for a fixed argument/seed. *)
+
+val random_dag :
+  ?name:string ->
+  seed:int ->
+  num_inputs:int ->
+  num_gates:int ->
+  num_outputs:int ->
+  unit ->
+  Circuit.t
+(** Random DAG with a locality bias so that depth grows with size, a
+    realistic fanin distribution (mostly 2, some 1 and 3) and random gate
+    kinds.  Sinks are preferred as primary outputs. *)
+
+val ripple_carry_adder : int -> Circuit.t
+(** [ripple_carry_adder w]: inputs a[0..w-1], b[0..w-1], cin; outputs
+    sum[0..w-1], cout. *)
+
+val alu : int -> Circuit.t
+(** [alu w]: a [w]-bit ALU with two select lines choosing AND / OR / XOR /
+    ADD of its operands. *)
+
+val parity_tree : int -> Circuit.t
+(** XOR reduction of [n] inputs. *)
+
+val comparator : int -> Circuit.t
+(** [comparator w]: outputs [eq] and [lt] for two [w]-bit operands. *)
+
+val mux_tree : int -> Circuit.t
+(** [mux_tree s]: 2^s data inputs, [s] select inputs, one output. *)
+
+val multiplier : int -> Circuit.t
+(** [multiplier w]: array multiplier, two [w]-bit operands, [2w]-bit
+    product. *)
+
+val carry_lookahead_adder : int -> Circuit.t
+(** [carry_lookahead_adder w]: same interface as
+    {!ripple_carry_adder} but with generate/propagate carry logic —
+    logarithmic-ish depth, heavy reconvergence (a stress case for path
+    tracing). *)
+
+val barrel_shifter : int -> Circuit.t
+(** [barrel_shifter s]: 2^s data inputs, [s] shift-amount inputs,
+    2^s outputs — a left rotate by the shift amount. *)
+
+val decoder : int -> Circuit.t
+(** [decoder s]: [s] select inputs, one-hot 2^s outputs. *)
+
+val majority : int -> Circuit.t
+(** [majority n] ([n] odd): 1 when more than half the inputs are 1 —
+    built as a population-count comparator. *)
+
+val c17 : unit -> Circuit.t
+(** The real ISCAS85 c17 benchmark (6 NAND gates), embedded verbatim. *)

@@ -1,0 +1,74 @@
+type t = {
+  mutable num_vars : int;
+  mutable clauses : Lit.t list list;
+}
+
+let create () = { num_vars = 0; clauses = [] }
+
+let fresh_var f =
+  let v = f.num_vars in
+  f.num_vars <- v + 1;
+  v
+
+let add_clause f lits =
+  List.iter
+    (fun l ->
+      if Lit.var l >= f.num_vars then f.num_vars <- Lit.var l + 1)
+    lits;
+  f.clauses <- lits :: f.clauses
+
+let clause_count f = List.length f.clauses
+let clauses f = List.rev f.clauses
+
+let to_dimacs f =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.num_vars (clause_count f));
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l)))
+        c;
+      Buffer.add_string buf "0\n")
+    (clauses f);
+  Buffer.contents buf
+
+let of_dimacs text =
+  let f = create () in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Cnf.of_dimacs: bad token %S" tok)
+    | Some 0 ->
+        add_clause f (List.rev !current);
+        current := []
+    | Some i -> current := Lit.of_dimacs i :: !current
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else if line.[0] = 'p' then begin
+           match
+             String.split_on_char ' ' line
+             |> List.filter (fun s -> s <> "")
+           with
+           | [ "p"; "cnf"; nv; _nc ] -> (
+               match int_of_string_opt nv with
+               | Some n -> f.num_vars <- max f.num_vars n
+               | None -> failwith "Cnf.of_dimacs: bad header")
+           | _ -> failwith "Cnf.of_dimacs: bad header"
+         end
+         else
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.iter handle_token);
+  if !current <> [] then failwith "Cnf.of_dimacs: unterminated clause";
+  f
+
+let eval f assignment =
+  let lit_true l =
+    let v = assignment.(Lit.var l) in
+    if Lit.sign l then v else not v
+  in
+  List.for_all (fun c -> List.exists lit_true c) f.clauses

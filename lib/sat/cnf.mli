@@ -1,0 +1,26 @@
+(** CNF formula container and DIMACS serialization. *)
+
+type t = {
+  mutable num_vars : int;
+  mutable clauses : Lit.t list list;  (** reversed insertion order *)
+}
+
+val create : unit -> t
+
+val fresh_var : t -> int
+(** Allocate a new variable index. *)
+
+val add_clause : t -> Lit.t list -> unit
+
+val clause_count : t -> int
+
+val clauses : t -> Lit.t list list
+(** In insertion order. *)
+
+val to_dimacs : t -> string
+
+val of_dimacs : string -> t
+(** Parse DIMACS CNF text.  @raise Failure on malformed input. *)
+
+val eval : t -> bool array -> bool
+(** Whether an assignment (indexed by variable) satisfies every clause. *)

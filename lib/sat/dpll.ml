@@ -1,0 +1,89 @@
+type result = Sat of bool array | Unsat
+
+type status = Conflict | Unit of int | Resolved
+
+(* classify a clause (lit codes) under a partial assignment *)
+let clause_status assigns lits =
+  let rec loop unknown = function
+    | [] -> (
+        match unknown with
+        | Some l -> Unit l
+        | None -> Conflict)
+    | l :: rest -> (
+        let a = assigns.(l lsr 1) in
+        if a < 0 then
+          match unknown with
+          | Some _ -> Resolved (* two unknowns: nothing to do *)
+          | None -> loop (Some l) rest
+        else if a lxor (l land 1) = 1 then Resolved
+        else loop unknown rest)
+  in
+  loop None lits
+
+let solve (f : Cnf.t) =
+  let clauses =
+    Cnf.clauses f |> List.map (List.map Lit.code)
+  in
+  let n = f.Cnf.num_vars in
+  let exception Found of bool array in
+  let rec search assigns =
+    (* unit propagation to fixpoint *)
+    let rec bcp () =
+      let again = ref false in
+      let ok =
+        List.for_all
+          (fun c ->
+            match clause_status assigns c with
+            | Conflict -> false
+            | Unit l ->
+                assigns.(l lsr 1) <- (l land 1) lxor 1;
+                again := true;
+                true
+            | Resolved -> true)
+          clauses
+      in
+      if not ok then false else if !again then bcp () else true
+    in
+    if bcp () then begin
+      match Array.to_seq assigns |> Seq.zip (Seq.ints 0)
+            |> Seq.find (fun (_, a) -> a < 0)
+      with
+      | None -> raise (Found (Array.map (fun a -> a = 1) assigns))
+      | Some (v, _) ->
+          let try_value b =
+            let a' = Array.copy assigns in
+            a'.(v) <- (if b then 1 else 0);
+            search a'
+          in
+          try_value true;
+          try_value false
+    end
+  in
+  match search (Array.make n (-1)) with
+  | () -> Unsat
+  | exception Found m -> Sat m
+
+let count_models ?over (f : Cnf.t) =
+  let n = f.Cnf.num_vars in
+  if n > 22 then invalid_arg "Dpll.count_models: too many variables";
+  let proj = Option.map Array.of_list over in
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  for m = 0 to (1 lsl n) - 1 do
+    let assignment = Array.init n (fun v -> (m lsr v) land 1 = 1) in
+    if Cnf.eval f assignment then begin
+      match proj with
+      | None -> incr count
+      | Some vars ->
+          let key =
+            Array.fold_left
+              (fun acc v -> (2 * acc) + if assignment.(v) then 1 else 0)
+              0 vars
+          in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            incr count
+          end
+    end
+  done;
+  !count

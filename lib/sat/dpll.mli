@@ -1,0 +1,14 @@
+(** Reference solver: plain DPLL with unit propagation, no learning.
+
+    Exponentially slower than {!Solver} but ~60 lines and easy to audit;
+    the property-based tests use it as an oracle on small random
+    formulas. *)
+
+type result = Sat of bool array | Unsat
+
+val solve : Cnf.t -> result
+
+val count_models : ?over:int list -> Cnf.t -> int
+(** Number of satisfying assignments, projected onto the [over] variables
+    when given (assignments identical on [over] count once).  Only for
+    small formulas. *)

@@ -1,0 +1,614 @@
+(* CDCL solver.  Literals are raw codes (Lit.code): 2v / 2v+1.  Variable
+   assignment is -1 (undef), 0 (false) or 1 (true); the value of literal l
+   under assignment a is a.(l lsr 1) lxor (l land 1) when defined.
+
+   Invariants:
+   - a clause's watched literals are lits.(0) and lits.(1); the clause is
+     registered in watches.(negate lits.(0)) and watches.(negate lits.(1));
+   - the literal propagated by a reason clause sits at lits.(0);
+   - the trail holds literals in assignment order; trail_lim.(d) is the
+     trail height when decision level d+1 was opened. *)
+
+type clause = {
+  mutable lits : int array;
+  mutable act : float;
+  learnt : bool;
+  mutable removed : bool;
+}
+
+let dummy_clause = { lits = [||]; act = 0.0; learnt = false; removed = true }
+
+(* growable vector of clauses *)
+type cvec = { mutable a : clause array; mutable n : int }
+
+let cvec_create () = { a = Array.make 4 dummy_clause; n = 0 }
+
+let cvec_push v c =
+  if v.n = Array.length v.a then begin
+    let a' = Array.make (2 * v.n) dummy_clause in
+    Array.blit v.a 0 a' 0 v.n;
+    v.a <- a'
+  end;
+  v.a.(v.n) <- c;
+  v.n <- v.n + 1
+
+type result = Sat | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable cap : int;
+  mutable assigns : int array;          (* var -> -1/0/1 *)
+  mutable level : int array;            (* var -> decision level *)
+  mutable reason : clause array;        (* var -> reason (dummy = none) *)
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable trail_lim : int array;
+  mutable trail_lim_n : int;
+  mutable qhead : int;
+  mutable watches : cvec array;         (* lit code -> watchers *)
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable phase : bool array;
+  mutable heap : int array;             (* binary max-heap of vars *)
+  mutable heap_n : int;
+  mutable heap_pos : int array;         (* var -> index in heap, -1 absent *)
+  mutable seen : bool array;
+  clauses : cvec;
+  learnts : cvec;
+  mutable cla_inc : float;
+  mutable max_learnts : float;
+  mutable ok : bool;
+  mutable model_valid : bool;
+  mutable final_model : bool array;
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable s_conflicts : int;
+  mutable s_restarts : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    cap = 0;
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    trail = [||];
+    trail_n = 0;
+    trail_lim = [||];
+    trail_lim_n = 0;
+    qhead = 0;
+    watches = [||];
+    activity = [||];
+    var_inc = 1.0;
+    phase = [||];
+    heap = [||];
+    heap_n = 0;
+    heap_pos = [||];
+    seen = [||];
+    clauses = cvec_create ();
+    learnts = cvec_create ();
+    cla_inc = 1.0;
+    max_learnts = 1000.0;
+    ok = true;
+    model_valid = false;
+    final_model = [||];
+    s_decisions = 0;
+    s_propagations = 0;
+    s_conflicts = 0;
+    s_restarts = 0;
+  }
+
+let num_vars s = s.nvars
+
+(* ---------- variable order heap (max-heap on activity) ---------- *)
+
+let heap_less s v w = s.activity.(v) > s.activity.(w)
+
+let heap_swap s i j =
+  let v = s.heap.(i) and w = s.heap.(j) in
+  s.heap.(i) <- w;
+  s.heap.(j) <- v;
+  s.heap_pos.(w) <- i;
+  s.heap_pos.(v) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_n && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_n && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_n) <- v;
+    s.heap_pos.(v) <- s.heap_n;
+    s.heap_n <- s.heap_n + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_n <- s.heap_n - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_n > 0 then begin
+    let last = s.heap.(s.heap_n) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_notify_increase s v =
+  let i = s.heap_pos.(v) in
+  if i >= 0 then heap_up s i
+
+(* ---------- variable allocation ---------- *)
+
+let grow_to s n =
+  if n > s.cap then begin
+    let cap = max 16 (max n (2 * s.cap)) in
+    let copy_int old fill =
+      let a = Array.make cap fill in
+      Array.blit old 0 a 0 (Array.length old);
+      a
+    in
+    s.assigns <- copy_int s.assigns (-1);
+    s.level <- copy_int s.level 0;
+    s.trail <- copy_int s.trail 0;
+    s.trail_lim <- copy_int s.trail_lim 0;
+    s.heap <- copy_int s.heap 0;
+    s.heap_pos <- copy_int s.heap_pos (-1);
+    let reason = Array.make cap dummy_clause in
+    Array.blit s.reason 0 reason 0 (Array.length s.reason);
+    s.reason <- reason;
+    let activity = Array.make cap 0.0 in
+    Array.blit s.activity 0 activity 0 (Array.length s.activity);
+    s.activity <- activity;
+    let phase = Array.make cap false in
+    Array.blit s.phase 0 phase 0 (Array.length s.phase);
+    s.phase <- phase;
+    let seen = Array.make cap false in
+    Array.blit s.seen 0 seen 0 (Array.length s.seen);
+    s.seen <- seen;
+    let watches = Array.make (2 * cap) (cvec_create ()) in
+    Array.blit s.watches 0 watches 0 (Array.length s.watches);
+    for i = Array.length s.watches to (2 * cap) - 1 do
+      watches.(i) <- cvec_create ()
+    done;
+    s.watches <- watches;
+    s.cap <- cap
+  end
+
+let new_var s =
+  let v = s.nvars in
+  grow_to s (v + 1);
+  s.nvars <- v + 1;
+  s.assigns.(v) <- -1;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let ensure_vars s n = while s.nvars < n do ignore (new_var s) done
+
+(* ---------- assignment primitives ---------- *)
+
+let lit_value s l =
+  let a = s.assigns.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = s.trail_lim_n
+
+let enqueue s l reason =
+  let v = l lsr 1 in
+  s.assigns.(v) <- (l land 1) lxor 1;
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_n) <- l;
+  s.trail_n <- s.trail_n + 1
+
+let new_decision_level s =
+  s.trail_lim.(s.trail_lim_n) <- s.trail_n;
+  s.trail_lim_n <- s.trail_lim_n + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    for i = s.trail_n - 1 downto s.trail_lim.(lvl) do
+      let l = s.trail.(i) in
+      let v = l lsr 1 in
+      s.phase.(v) <- l land 1 = 0;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    s.trail_n <- s.trail_lim.(lvl);
+    s.qhead <- s.trail_n;
+    s.trail_lim_n <- lvl
+  end
+
+(* ---------- activities ---------- *)
+
+let var_decay = 0.95
+let clause_decay = 0.999
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_notify_increase s v
+
+let var_decay_activities s = s.var_inc <- s.var_inc /. var_decay
+
+let clause_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    for i = 0 to s.learnts.n - 1 do
+      s.learnts.a.(i).act <- s.learnts.a.(i).act *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let clause_decay_activities s = s.cla_inc <- s.cla_inc /. clause_decay
+
+(* ---------- clause attachment ---------- *)
+
+let attach s c =
+  cvec_push s.watches.(c.lits.(0) lxor 1) c;
+  cvec_push s.watches.(c.lits.(1) lxor 1) c
+
+(* ---------- propagation ---------- *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < s.trail_n do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.s_propagations <- s.s_propagations + 1;
+    let ws = s.watches.(p) in
+    let n = ws.n in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = ws.a.(!i) in
+      incr i;
+      if c.removed then () (* lazily detached *)
+      else if !confl <> None then begin
+        ws.a.(!j) <- c;
+        incr j
+      end
+      else begin
+        let lits = c.lits in
+        let false_lit = p lxor 1 in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if lit_value s lits.(0) = 1 then begin
+          ws.a.(!j) <- c;
+          incr j
+        end
+        else begin
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_value s lits.(!k) = 0 do incr k done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            cvec_push s.watches.(lits.(1) lxor 1) c
+          end
+          else begin
+            ws.a.(!j) <- c;
+            incr j;
+            match lit_value s lits.(0) with
+            | 0 -> confl := Some c
+            | -1 -> enqueue s lits.(0) c
+            | _ -> ()
+          end
+        end
+      end
+    done;
+    ws.n <- !j
+  done;
+  !confl
+
+(* ---------- conflict analysis (first UIP) ---------- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl in
+  let index = ref (s.trail_n - 1) in
+  let stop = ref false in
+  while not !stop do
+    let cl = !c in
+    if cl.learnt then clause_bump s cl;
+    let lits = cl.lits in
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path
+        else learnt := q :: !learnt
+      end
+    done;
+    while not s.seen.(s.trail.(!index) lsr 1) do decr index done;
+    let pl = s.trail.(!index) in
+    decr index;
+    p := pl;
+    s.seen.(pl lsr 1) <- false;
+    c := s.reason.(pl lsr 1);
+    decr path;
+    if !path = 0 then stop := true
+  done;
+  (* clause minimization (basic self-subsumption): a literal whose reason
+     consists only of other marked (or root-level) literals is implied by
+     the rest of the clause and can be dropped *)
+  let redundant q =
+    let c = s.reason.(q lsr 1) in
+    c != dummy_clause
+    &&
+    let ok = ref true in
+    Array.iteri
+      (fun i r ->
+        if i > 0 && !ok then begin
+          let v = r lsr 1 in
+          if (not s.seen.(v)) && s.level.(v) > 0 then ok := false
+        end)
+      c.lits;
+    !ok
+  in
+  let minimized = List.filter (fun q -> not (redundant q)) !learnt in
+  let out = Array.of_list ((!p lxor 1) :: minimized) in
+  (* clear seen for every var marked during the analysis *)
+  List.iter (fun q -> s.seen.(q lsr 1) <- false) !learnt;
+  s.seen.(!p lsr 1) <- false;
+  (* move a literal of the highest remaining level to slot 1 *)
+  let blevel =
+    if Array.length out <= 1 then 0
+    else begin
+      let best = ref 1 in
+      for k = 2 to Array.length out - 1 do
+        if s.level.(out.(k) lsr 1) > s.level.(out.(!best) lsr 1) then best := k
+      done;
+      let t = out.(1) in
+      out.(1) <- out.(!best);
+      out.(!best) <- t;
+      s.level.(out.(1) lsr 1)
+    end
+  in
+  (out, blevel)
+
+(* ---------- learned clause database reduction ---------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = c.lits.(0) lsr 1 in
+  s.reason.(v) == c && s.assigns.(v) >= 0 && lit_value s c.lits.(0) = 1
+
+let reduce_db s =
+  let ls = Array.sub s.learnts.a 0 s.learnts.n in
+  Array.sort (fun a b -> Float.compare a.act b.act) ls;
+  let keep = cvec_create () in
+  let limit = s.learnts.n / 2 in
+  Array.iteri
+    (fun i c ->
+      if
+        (not c.removed)
+        && (locked s c || Array.length c.lits <= 2 || i >= limit)
+      then cvec_push keep c
+      else c.removed <- true)
+    ls;
+  s.learnts.a <- keep.a;
+  s.learnts.n <- keep.n
+
+(* ---------- clause addition ---------- *)
+
+exception Trivial_clause
+
+let add_clause_codes s codes =
+  if s.ok then begin
+    s.model_valid <- false;
+    List.iter (fun l -> ensure_vars s ((l lsr 1) + 1)) codes;
+    cancel_until s 0;
+    (* normalize: sort, dedupe, drop root-false lits, detect tautology and
+       root-true lits *)
+    match
+      let sorted = List.sort_uniq Int.compare codes in
+      let rec clean acc = function
+        | [] -> List.rev acc
+        | l :: rest ->
+            if List.mem (l lxor 1) rest then raise Trivial_clause
+            else begin
+              match lit_value s l with
+              | 1 -> raise Trivial_clause
+              | 0 -> clean acc rest
+              | _ -> clean (l :: acc) rest
+            end
+      in
+      clean [] sorted
+    with
+    | exception Trivial_clause -> ()
+    | [] -> s.ok <- false
+    | [ l ] ->
+        enqueue s l dummy_clause;
+        if propagate s <> None then s.ok <- false
+    | lits ->
+        let c =
+          { lits = Array.of_list lits; act = 0.0; learnt = false;
+            removed = false }
+        in
+        cvec_push s.clauses c;
+        attach s c
+  end
+
+let add_clause s lits = add_clause_codes s (List.map Lit.code lits)
+
+let add_cnf s f =
+  ensure_vars s f.Cnf.num_vars;
+  List.iter (fun c -> add_clause s c) (Cnf.clauses f)
+
+(* ---------- search ---------- *)
+
+(* luby y i = y * L(i+1) where L is the Luby restart sequence
+   1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby y i =
+  let rec go x =
+    let k = ref 1 in
+    while (1 lsl !k) - 1 < x do incr k done;
+    if (1 lsl !k) - 1 = x then float_of_int (1 lsl (!k - 1))
+    else go (x - (1 lsl (!k - 1)) + 1)
+  in
+  y *. go (i + 1)
+
+let pick_branch_var s =
+  let rec loop () =
+    if s.heap_n = 0 then None
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) < 0 then Some v else loop ()
+  in
+  loop ()
+
+let record_learnt s out =
+  if Array.length out = 1 then begin
+    enqueue s out.(0) dummy_clause
+  end
+  else begin
+    let c = { lits = out; act = 0.0; learnt = true; removed = false } in
+    cvec_push s.learnts c;
+    clause_bump s c;
+    attach s c;
+    enqueue s out.(0) c
+  end
+
+let solve ?(assumptions = []) s =
+  s.model_valid <- false;
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    let assumptions = Array.of_list (List.map Lit.code assumptions) in
+    (* decision levels are bounded by nvars + |assumptions| (already-true
+       assumptions open dummy levels), so trail_lim may need extra room *)
+    let lim_needed = s.nvars + Array.length assumptions + 1 in
+    if Array.length s.trail_lim < lim_needed then begin
+      let a = Array.make lim_needed 0 in
+      Array.blit s.trail_lim 0 a 0 (Array.length s.trail_lim);
+      s.trail_lim <- a
+    end;
+    s.max_learnts <- max 1000.0 (float_of_int s.clauses.n /. 3.0);
+    let restart_first = 100.0 in
+    let curr_restarts = ref 0 in
+    let conflicts_left = ref (luby restart_first !curr_restarts) in
+    let result = ref None in
+    while !result = None do
+      match propagate s with
+      | Some confl ->
+          s.s_conflicts <- s.s_conflicts + 1;
+          conflicts_left := !conflicts_left -. 1.0;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            result := Some Unsat
+          end
+          else begin
+            let out, blevel = analyze s confl in
+            cancel_until s blevel;
+            record_learnt s out;
+            var_decay_activities s;
+            clause_decay_activities s;
+            if float_of_int s.learnts.n -. float_of_int s.trail_n
+               > s.max_learnts
+            then reduce_db s
+          end
+      | None ->
+          if !conflicts_left <= 0.0 then begin
+            (* restart *)
+            s.s_restarts <- s.s_restarts + 1;
+            incr curr_restarts;
+            conflicts_left := luby restart_first !curr_restarts;
+            s.max_learnts <- s.max_learnts *. 1.1;
+            cancel_until s 0
+          end
+          else if decision_level s < Array.length assumptions then begin
+            let p = assumptions.(decision_level s) in
+            match lit_value s p with
+            | 1 -> new_decision_level s
+            | 0 -> result := Some Unsat
+            | _ ->
+                new_decision_level s;
+                enqueue s p dummy_clause
+          end
+          else begin
+            match pick_branch_var s with
+            | None -> result := Some Sat
+            | Some v ->
+                s.s_decisions <- s.s_decisions + 1;
+                new_decision_level s;
+                let l = (2 * v) lor (if s.phase.(v) then 0 else 1) in
+                enqueue s l dummy_clause
+          end
+    done;
+    let r = match !result with Some r -> r | None -> assert false in
+    if r = Sat then s.model_valid <- true;
+    (* keep the final model readable, then reset the trail *)
+    if r = Sat then begin
+      s.final_model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1)
+    end;
+    cancel_until s 0;
+    r
+  end
+
+let value s v =
+  if not s.model_valid then invalid_arg "Solver.value: no model";
+  s.final_model.(v)
+
+let model s =
+  if not s.model_valid then invalid_arg "Solver.model: no model";
+  Array.copy s.final_model
+
+let stats s =
+  {
+    decisions = s.s_decisions;
+    propagations = s.s_propagations;
+    conflicts = s.s_conflicts;
+    restarts = s.s_restarts;
+    learned = s.learnts.n;
+  }
+
+let set_default_phase s v b =
+  grow_to s (v + 1);
+  s.phase.(v) <- b
+
+let bump_priority s v amount =
+  if v < s.nvars then begin
+    s.activity.(v) <- s.activity.(v) +. amount;
+    heap_notify_increase s v
+  end

@@ -1,0 +1,62 @@
+(** A CDCL SAT solver in the Zchaff/MiniSat lineage.
+
+    Features: two-watched-literal BCP, first-UIP conflict analysis with
+    clause learning, VSIDS variable activities, phase saving, Luby
+    restarts, activity-driven learned-clause deletion, solving under
+    assumptions, and incremental clause addition between [solve] calls
+    (the blocking-clause workhorse of all-solutions enumeration).
+
+    The paper's BSAT/COV procedures rely on exactly this feature set
+    (conflict-driven learning, efficient BCP, incremental interface). *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable index. *)
+
+val ensure_vars : t -> int -> unit
+(** Make variables [0 .. n-1] available. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause.  May be called before or between [solve] calls; the
+    solver backtracks to the root level first.  Adding the empty clause
+    (or a clause falsified at root level) makes the instance permanently
+    unsatisfiable. *)
+
+val add_cnf : t -> Cnf.t -> unit
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve the current clause set under the given assumptions.  The solver
+    remains usable afterwards; learned clauses are kept. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer.
+    @raise Invalid_argument if the last call did not return [Sat]. *)
+
+val model : t -> bool array
+(** Complete model (indexed by variable) after a [Sat] answer. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+}
+
+val stats : t -> stats
+
+val set_default_phase : t -> int -> bool -> unit
+(** Initial branching polarity for a variable (overwritten by phase saving
+    once the variable has been assigned).  Hook used by the hybrid
+    diagnosis to bias the search. *)
+
+val bump_priority : t -> int -> float -> unit
+(** Add to a variable's VSIDS activity so it is branched on earlier.
+    Hook used by the hybrid diagnosis (BSIM mark counts as hints). *)

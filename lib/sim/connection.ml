@@ -1,0 +1,59 @@
+module Circuit = Netlist.Circuit
+
+type error = {
+  gate : int;
+  port : int;
+  correct : int;
+  wrong : int;
+}
+
+let pp c ppf e =
+  Format.fprintf ppf "%s.fanin[%d]: %s -> %s" c.Circuit.names.(e.gate) e.port
+    c.Circuit.names.(e.correct) c.Circuit.names.(e.wrong)
+
+let rewire c ~gate ~port ~src =
+  let fanins = Array.copy c.Circuit.fanins.(gate) in
+  fanins.(port) <- src;
+  Circuit.with_gates c [ (gate, c.Circuit.kinds.(gate), fanins) ]
+
+let apply c e =
+  if c.Circuit.fanins.(e.gate).(e.port) <> e.correct then
+    invalid_arg "Connection.apply: circuit does not match the error";
+  rewire c ~gate:e.gate ~port:e.port ~src:e.wrong
+
+let undo c e =
+  if c.Circuit.fanins.(e.gate).(e.port) <> e.wrong then
+    invalid_arg "Connection.undo: circuit does not match the error";
+  rewire c ~gate:e.gate ~port:e.port ~src:e.correct
+
+let inject ~seed c =
+  let rng = Random.State.make [| seed; 0xc0 |] in
+  let gates = Circuit.gate_ids c in
+  let observable =
+    Netlist.Structural.fanin_cone c (Array.to_list c.Circuit.outputs)
+  in
+  let eligible =
+    Array.to_list gates
+    |> List.filter (fun g ->
+           observable.(g) && Array.length c.Circuit.fanins.(g) > 0)
+    |> Array.of_list
+  in
+  if Array.length eligible = 0 then
+    invalid_arg "Connection.inject: no eligible gates";
+  (* try random (gate, port, source) triples until one is acyclic-safe
+     and actually changes the wiring *)
+  let rec attempt tries =
+    if tries > 1000 then invalid_arg "Connection.inject: no safe rewiring"
+    else begin
+      let gate = eligible.(Random.State.int rng (Array.length eligible)) in
+      let port = Random.State.int rng (Array.length c.Circuit.fanins.(gate)) in
+      let correct = c.Circuit.fanins.(gate).(port) in
+      (* the new source must not be downstream of the gate *)
+      let downstream = Netlist.Structural.fanout_cone c [ gate ] in
+      let wrong = Random.State.int rng (Circuit.size c) in
+      if wrong <> correct && wrong <> gate && not downstream.(wrong) then
+        (rewire c ~gate ~port ~src:wrong, { gate; port; correct; wrong })
+      else attempt (tries + 1)
+    end
+  in
+  attempt 0

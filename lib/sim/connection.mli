@@ -1,0 +1,23 @@
+(** Wrong-connection design errors (Abadir's classical error model): one
+    fanin of a gate is wired to the wrong signal.  Complements the
+    gate-change model — BSAT's free per-test correction values diagnose
+    both. *)
+
+type error = {
+  gate : int;     (** the gate with the bad connection *)
+  port : int;     (** which fanin *)
+  correct : int;  (** the signal it should read *)
+  wrong : int;    (** the signal it actually reads *)
+}
+
+val pp : Netlist.Circuit.t -> Format.formatter -> error -> unit
+
+val apply : Netlist.Circuit.t -> error -> Netlist.Circuit.t
+(** Produce the faulty implementation (gate reads [wrong]). *)
+
+val undo : Netlist.Circuit.t -> error -> Netlist.Circuit.t
+
+val inject :
+  seed:int -> Netlist.Circuit.t -> Netlist.Circuit.t * error
+(** Pick a random gate/port and rewire it to a random acyclic-safe
+    signal.  Deterministic in [seed]. *)

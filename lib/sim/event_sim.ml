@@ -1,0 +1,49 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+let propagate ?stop_level (c : Circuit.t) values forced =
+  let q = Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c) in
+  let pinned = Hashtbl.create 8 in
+  List.iter
+    (fun (g, v) ->
+      Hashtbl.replace pinned g ();
+      if values.(g) <> v then begin
+        values.(g) <- v;
+        Array.iter (fun h -> Level_queue.push q ~level:c.level.(h) h)
+          c.fanouts.(g)
+      end)
+    forced;
+  let stop = Option.value stop_level ~default:max_int in
+  let rec loop () =
+    match Level_queue.pop q with
+    | None -> ()
+    | Some g ->
+        if c.level.(g) > stop then ()
+        else begin
+          if not (Hashtbl.mem pinned g) then begin
+            let v =
+              match c.kinds.(g) with
+              | Gate.Input -> values.(g)
+              | k -> Gate.eval k (Array.map (fun h -> values.(h)) c.fanins.(g))
+            in
+            if v <> values.(g) then begin
+              values.(g) <- v;
+              Array.iter (fun h -> Level_queue.push q ~level:c.level.(h) h)
+                c.fanouts.(g)
+            end
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let resimulate c base forced =
+  let values = Array.copy base in
+  propagate c values forced;
+  values
+
+let output_after c base forced po_index =
+  let target = c.Circuit.outputs.(po_index) in
+  let values = Array.copy base in
+  propagate ~stop_level:c.Circuit.level.(target) c values forced;
+  values.(target)

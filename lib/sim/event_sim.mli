@@ -1,0 +1,20 @@
+(** Event-driven what-if resimulation.
+
+    Starting from a complete value assignment (from {!Simulator.eval}),
+    force new values onto a few gates and propagate only the resulting
+    changes forward, in level order.  This is the cheap effect-analysis
+    engine used by the advanced simulation-based diagnosis: the cost is
+    proportional to the perturbed cone, not to the circuit. *)
+
+val resimulate :
+  Netlist.Circuit.t -> bool array -> (int * bool) list -> bool array
+(** [resimulate c base forced] returns a fresh value array equal to [base]
+    except that each gate in [forced] is pinned to the given value
+    (regardless of its fanins) and downstream gates are recomputed.
+    [base] is not modified. *)
+
+val output_after :
+  Netlist.Circuit.t -> bool array -> (int * bool) list -> int -> bool
+(** [output_after c base forced po_index] — value of the primary output at
+    [po_index] after the forcing, without materializing unrelated cones
+    (early exit once the output settles). *)

@@ -1,0 +1,29 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type error = {
+  gate : int;
+  original : Gate.kind;
+  replacement : Gate.kind;
+}
+
+let apply c errors =
+  List.iter
+    (fun e ->
+      if not (Gate.equal c.Circuit.kinds.(e.gate) e.original) then
+        invalid_arg
+          (Printf.sprintf "Fault.apply: gate %d is %s, not %s" e.gate
+             (Gate.to_string c.Circuit.kinds.(e.gate))
+             (Gate.to_string e.original)))
+    errors;
+  Circuit.with_kinds c (List.map (fun e -> (e.gate, e.replacement)) errors)
+
+let undo c errors =
+  Circuit.with_kinds c (List.map (fun e -> (e.gate, e.original)) errors)
+
+let sites errors =
+  List.sort_uniq Int.compare (List.map (fun e -> e.gate) errors)
+
+let pp c ppf e =
+  Format.fprintf ppf "%s: %a -> %a" c.Circuit.names.(e.gate) Gate.pp e.original
+    Gate.pp e.replacement

@@ -1,0 +1,20 @@
+(** The paper's error model: replacement of a gate's function by another
+    Boolean function over the same support ("gate change" errors). *)
+
+type error = {
+  gate : int;                        (** gate id in the golden circuit *)
+  original : Netlist.Gate.kind;
+  replacement : Netlist.Gate.kind;
+}
+
+val apply : Netlist.Circuit.t -> error list -> Netlist.Circuit.t
+(** Build the faulty implementation.  Checks that [original] matches the
+    circuit. @raise Invalid_argument otherwise. *)
+
+val undo : Netlist.Circuit.t -> error list -> Netlist.Circuit.t
+(** Inverse of {!apply} on the faulty circuit. *)
+
+val sites : error list -> int list
+(** The actual error sites e_1..e_p, deduplicated. *)
+
+val pp : Netlist.Circuit.t -> Format.formatter -> error -> unit

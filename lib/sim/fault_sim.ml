@@ -1,0 +1,134 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+(* word-level event propagation from one forced node *)
+let propagate_word (c : Circuit.t) values g forced_word =
+  let q = Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c) in
+  if values.(g) <> forced_word then begin
+    values.(g) <- forced_word;
+    Array.iter (fun h -> Level_queue.push q ~level:c.level.(h) h) c.fanouts.(g)
+  end;
+  let rec loop () =
+    match Level_queue.pop q with
+    | None -> ()
+    | Some h ->
+        if h <> g then begin
+          let v =
+            match c.kinds.(h) with
+            | Gate.Input -> values.(h)
+            | k ->
+                Gate.eval_word k (Array.map (fun x -> values.(x)) c.fanins.(h))
+          in
+          if v <> values.(h) then begin
+            values.(h) <- v;
+            Array.iter
+              (fun x -> Level_queue.push q ~level:c.level.(x) x)
+              c.fanouts.(h)
+          end
+        end;
+        loop ()
+  in
+  loop ()
+
+let detection_mask c ~good (f : Stuck_at.fault) =
+  let values = Array.copy good in
+  let forced = if f.Stuck_at.value then -1L else 0L in
+  propagate_word c values f.Stuck_at.gate forced;
+  Array.fold_left
+    (fun acc o -> Int64.logor acc (Int64.logxor good.(o) values.(o)))
+    0L c.Circuit.outputs
+
+type run = {
+  detected : (Stuck_at.fault * int) list;
+  undetected : Stuck_at.fault list;
+  coverage : float;
+}
+
+let pack_batch num_inputs vectors =
+  (* vectors: at most 64 bool arrays -> one word per input *)
+  let words = Array.make num_inputs 0L in
+  List.iteri
+    (fun p v ->
+      Array.iteri
+        (fun i b ->
+          if b then words.(i) <- Int64.logor words.(i) (Int64.shift_left 1L p))
+        v)
+    vectors;
+  words
+
+let rec take n = function
+  | [] -> ([], [])
+  | x :: rest when n > 0 ->
+      let got, left = take (n - 1) rest in
+      (x :: got, left)
+  | rest -> ([], rest)
+
+let first_bit mask =
+  let rec go i =
+    if i >= 64 then raise Not_found
+    else if Int64.logand (Int64.shift_right_logical mask i) 1L = 1L then i
+    else go (i + 1)
+  in
+  go 0
+
+let run ?(drop = true) c ~vectors ~faults =
+  let num_inputs = Circuit.num_inputs c in
+  let detected = ref [] in
+  let seen = Hashtbl.create 64 in
+  let record f vec_idx =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      detected := (f, vec_idx) :: !detected
+    end
+  in
+  let rec batches base vectors alive =
+    match (vectors, alive) with
+    | [], _ | _, [] -> alive
+    | _ ->
+        let batch, rest = take 64 vectors in
+        let words = pack_batch num_inputs batch in
+        let good = Simulator.eval_word c words in
+        (* mask off pattern slots beyond the batch *)
+        let live_mask =
+          if List.length batch = 64 then -1L
+          else Int64.sub (Int64.shift_left 1L (List.length batch)) 1L
+        in
+        let alive =
+          List.filter
+            (fun f ->
+              let mask = Int64.logand (detection_mask c ~good f) live_mask in
+              if mask <> 0L then begin
+                record f (base + first_bit mask);
+                not drop
+              end
+              else true)
+            alive
+        in
+        batches (base + List.length batch) rest alive
+  in
+  let leftover = batches 0 vectors faults in
+  let undetected =
+    List.filter (fun f -> not (Hashtbl.mem seen f)) leftover
+  in
+  let total = List.length faults in
+  {
+    detected = List.rev !detected;
+    undetected;
+    coverage =
+      (if total = 0 then 1.0
+       else float_of_int (Hashtbl.length seen) /. float_of_int total);
+  }
+
+let signature c ~vectors f =
+  let acc = ref [] in
+  let faulty_c = Stuck_at.apply c f in
+  Array.iteri
+    (fun vi v ->
+      let good_vals = Simulator.eval c v in
+      let good = Array.map (fun o -> good_vals.(o)) c.Circuit.outputs in
+      let faulty = Simulator.outputs faulty_c v in
+      Array.iteri
+        (fun o gv -> if gv <> faulty.(o) then acc := (vi, o) :: !acc)
+        good)
+    vectors;
+  List.sort compare !acc

@@ -1,0 +1,37 @@
+(** Parallel-pattern single-stuck-at fault simulation.
+
+    64 test patterns are simulated at once; for each fault, an
+    event-driven word-level propagation from the fault site yields the
+    set of patterns that detect it (observe a difference on some primary
+    output).  This is the classical engine behind test grading and fault
+    dictionaries — the production-test side of the paper's diagnosis
+    problem. *)
+
+val detection_mask :
+  Netlist.Circuit.t -> good:int64 array -> Stuck_at.fault -> int64
+(** [detection_mask c ~good f] — bit [i] is set when pattern [i] of the
+    batch detects [f].  [good] must come from
+    [Simulator.eval_word c inputs]. *)
+
+type run = {
+  detected : (Stuck_at.fault * int) list;
+      (** fault, index of the first detecting vector *)
+  undetected : Stuck_at.fault list;
+  coverage : float;
+}
+
+val run :
+  ?drop:bool ->
+  Netlist.Circuit.t ->
+  vectors:bool array list ->
+  faults:Stuck_at.fault list ->
+  run
+(** Simulate a vector set against a fault list (64 vectors per pass).
+    [drop] (default true) removes a fault from further simulation after
+    its first detection — standard fault dropping. *)
+
+val signature :
+  Netlist.Circuit.t -> vectors:bool array array -> Stuck_at.fault ->
+  (int * int) list
+(** Full-response signature: the sorted (vector index, output index)
+    pairs on which the fault shows — the dictionary entry. *)

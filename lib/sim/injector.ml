@@ -1,0 +1,44 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+let inject ~seed ~num_errors c =
+  let rng = Random.State.make [| seed; num_errors; Circuit.size c |] in
+  let observable =
+    Netlist.Structural.fanin_cone c (Array.to_list c.Circuit.outputs)
+  in
+  let eligible =
+    Circuit.gate_ids c |> Array.to_list
+    |> List.filter (fun g ->
+           observable.(g)
+           && Gate.alternatives c.Circuit.kinds.(g)
+                ~arity:(Array.length c.Circuit.fanins.(g))
+              <> [])
+  in
+  let eligible = Array.of_list eligible in
+  if Array.length eligible < num_errors then
+    invalid_arg
+      (Printf.sprintf "Injector.inject: only %d eligible gates for %d errors"
+         (Array.length eligible) num_errors);
+  (* Fisher-Yates prefix shuffle to pick distinct gates. *)
+  let n = Array.length eligible in
+  for i = 0 to num_errors - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = eligible.(i) in
+    eligible.(i) <- eligible.(j);
+    eligible.(j) <- t
+  done;
+  let pick_replacement g =
+    let kinds =
+      Gate.alternatives c.Circuit.kinds.(g)
+        ~arity:(Array.length c.Circuit.fanins.(g))
+    in
+    List.nth kinds (Random.State.int rng (List.length kinds))
+  in
+  let errors =
+    List.init num_errors (fun i ->
+        let g = eligible.(i) in
+        { Fault.gate = g;
+          original = c.Circuit.kinds.(g);
+          replacement = pick_replacement g })
+  in
+  (Fault.apply c errors, errors)

@@ -1,0 +1,11 @@
+(** Seeded error injection (the paper's experimental setup: 1–4 gate-change
+    errors per circuit). *)
+
+val inject :
+  seed:int -> num_errors:int -> Netlist.Circuit.t ->
+  Netlist.Circuit.t * Fault.error list
+(** Picks [num_errors] distinct logic gates that lie in the fanin cone of
+    some primary output (so the error can matter), replaces each with a
+    random different kind of the same arity, and returns the faulty
+    circuit together with the injected errors.
+    @raise Invalid_argument if the circuit has fewer eligible gates. *)

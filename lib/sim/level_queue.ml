@@ -1,0 +1,28 @@
+type t = {
+  buckets : int list array;
+  mutable lowest : int;
+  scheduled : bool array;
+}
+
+let create ~depth ~size =
+  { buckets = Array.make (depth + 1) []; lowest = depth + 1;
+    scheduled = Array.make size false }
+
+let push q ~level g =
+  if not q.scheduled.(g) then begin
+    q.scheduled.(g) <- true;
+    q.buckets.(level) <- g :: q.buckets.(level);
+    if level < q.lowest then q.lowest <- level
+  end
+
+let rec pop q =
+  if q.lowest >= Array.length q.buckets then None
+  else
+    match q.buckets.(q.lowest) with
+    | [] ->
+        q.lowest <- q.lowest + 1;
+        pop q
+    | g :: rest ->
+        q.buckets.(q.lowest) <- rest;
+        q.scheduled.(g) <- false;
+        Some g

@@ -1,0 +1,9 @@
+(** Bucket worklist indexed by circuit level: gates pop in level order,
+    each scheduled at most once at a time.  Shared by the event-driven
+    engines. *)
+
+type t
+
+val create : depth:int -> size:int -> t
+val push : t -> level:int -> int -> unit
+val pop : t -> int option

@@ -1,0 +1,50 @@
+type test = {
+  sequence : bool array array;
+  cycle : int;
+  po_index : int;
+  expected : bool;
+}
+
+let pp ppf t =
+  let row v =
+    String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  in
+  Format.fprintf ppf "seq=[%s] cycle=%d o=#%d v=%b"
+    (String.concat ";" (Array.to_list (Array.map row t.sequence)))
+    t.cycle t.po_index t.expected
+
+let fails s t =
+  let outs = Sequential.simulate s (Array.to_list t.sequence) in
+  let at_cycle = List.nth outs t.cycle in
+  at_cycle.(t.po_index) <> t.expected
+
+let generate ~seed ~length ~max_sequences ~wanted ~golden ~faulty =
+  if Sequential.num_inputs golden <> Sequential.num_inputs faulty
+     || Sequential.num_outputs golden <> Sequential.num_outputs faulty
+  then invalid_arg "Seq_testgen.generate: interface mismatch";
+  let rng = Random.State.make [| seed; 0x5e9 |] in
+  let ni = Sequential.num_inputs golden in
+  let rec loop tried acc =
+    if List.length acc >= wanted || tried >= max_sequences then List.rev acc
+    else begin
+      let sequence =
+        Array.init length (fun _ ->
+            Array.init ni (fun _ -> Random.State.bool rng))
+      in
+      let og = Sequential.simulate golden (Array.to_list sequence) in
+      let ofa = Sequential.simulate faulty (Array.to_list sequence) in
+      let acc = ref acc in
+      List.iteri
+        (fun cycle gold_out ->
+          let faulty_out = List.nth ofa cycle in
+          Array.iteri
+            (fun po gv ->
+              if gv <> faulty_out.(po) then
+                acc := { sequence; cycle; po_index = po; expected = gv } :: !acc)
+            gold_out)
+        og;
+      loop (tried + 1) !acc
+    end
+  in
+  let all = loop 0 [] in
+  List.filteri (fun i _ -> i < wanted) all

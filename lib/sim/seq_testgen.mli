@@ -1,0 +1,32 @@
+(** Test generation for sequential diagnosis.
+
+    A sequential test is an input *sequence* applied from the reset state
+    together with one erroneous primary output at one cycle and its
+    correct value — the sequential analogue of the paper's (t, o, v)
+    triples (the setting of the cited SAT-based sequential-diagnosis
+    work). *)
+
+type test = {
+  sequence : bool array array;  (** per-cycle primary-input vectors *)
+  cycle : int;                  (** cycle at which the output is wrong *)
+  po_index : int;               (** index into the primary outputs *)
+  expected : bool;
+}
+
+val pp : Format.formatter -> test -> unit
+
+val fails : Sequential.t -> test -> bool
+(** Whether the circuit (from reset) violates the test. *)
+
+val generate :
+  seed:int ->
+  length:int ->
+  max_sequences:int ->
+  wanted:int ->
+  golden:Sequential.t ->
+  faulty:Sequential.t ->
+  test list
+(** Draw random input sequences of [length] cycles, simulate both
+    machines from reset and keep each (sequence, cycle, output) mismatch
+    as a test, until [wanted] tests or [max_sequences] sequences.  All
+    returned tests share the sequence length. *)

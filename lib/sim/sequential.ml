@@ -1,0 +1,153 @@
+type t = {
+  name : string;
+  comb : Netlist.Circuit.t;
+  primary_inputs : int array;
+  primary_outputs : int array;
+  state_q : int array;
+  state_d : int array;
+}
+
+let of_circuit comb ~dff_pairs =
+  let q_ids =
+    Array.of_list (List.map (fun (q, _) -> Netlist.Circuit.id_of_name comb q) dff_pairs)
+  in
+  let d_ids =
+    Array.of_list (List.map (fun (_, d) -> Netlist.Circuit.id_of_name comb d) dff_pairs)
+  in
+  let is_q = Hashtbl.create 16 in
+  Array.iter (fun g -> Hashtbl.replace is_q g ()) q_ids;
+  let is_d = Hashtbl.create 16 in
+  Array.iter (fun g -> Hashtbl.replace is_d g ()) d_ids;
+  let primary_inputs =
+    Array.of_seq
+      (Seq.filter
+         (fun g -> not (Hashtbl.mem is_q g))
+         (Array.to_seq comb.Netlist.Circuit.inputs))
+  in
+  let primary_outputs =
+    Array.of_seq
+      (Seq.filter
+         (fun g -> not (Hashtbl.mem is_d g))
+         (Array.to_seq comb.Netlist.Circuit.outputs))
+  in
+  {
+    name = comb.Netlist.Circuit.name;
+    comb;
+    primary_inputs;
+    primary_outputs;
+    state_q = q_ids;
+    state_d = d_ids;
+  }
+
+let of_parsed (p : Netlist.Bench_format.parsed) =
+  of_circuit p.Netlist.Bench_format.circuit ~dff_pairs:p.Netlist.Bench_format.dff_pairs
+
+let num_state s = Array.length s.state_q
+let num_inputs s = Array.length s.primary_inputs
+let num_outputs s = Array.length s.primary_outputs
+
+let with_comb s comb =
+  if Netlist.Circuit.size comb <> Netlist.Circuit.size s.comb then
+    invalid_arg "Sequential.with_comb: interface mismatch";
+  { s with comb }
+
+type unrolled = {
+  circuit : Netlist.Circuit.t;
+  frames : int;
+  input_of : frame:int -> pi:int -> int;
+  output_of : frame:int -> po:int -> int;
+  gate_of : frame:int -> int -> int;
+}
+
+let unroll ?init s ~frames =
+  if frames <= 0 then invalid_arg "Sequential.unroll: frames";
+  let init =
+    match init with
+    | Some a ->
+        if Array.length a <> num_state s then
+          invalid_arg "Sequential.unroll: init length";
+        a
+    | None -> Array.make (num_state s) false
+  in
+  let comb = s.comb in
+  let n = Netlist.Circuit.size comb in
+  let total = frames * n in
+  let id f g = (f * n) + g in
+  (* which state register an input gate belongs to, if any *)
+  let state_index = Hashtbl.create 16 in
+  Array.iteri (fun j q -> Hashtbl.replace state_index q j) s.state_q;
+  let kinds = Array.make total Netlist.Gate.Input in
+  let fanins = Array.make total [||] in
+  let names = Array.make total "" in
+  for f = 0 to frames - 1 do
+    for g = 0 to n - 1 do
+      let u = id f g in
+      names.(u) <- Printf.sprintf "%s@%d" comb.Netlist.Circuit.names.(g) f;
+      match comb.Netlist.Circuit.kinds.(g) with
+      | Netlist.Gate.Input -> (
+          match Hashtbl.find_opt state_index g with
+          | None -> kinds.(u) <- Netlist.Gate.Input
+          | Some j ->
+              if f = 0 then
+                kinds.(u) <- (if init.(j) then Netlist.Gate.Const1 else Netlist.Gate.Const0)
+              else begin
+                kinds.(u) <- Netlist.Gate.Buf;
+                fanins.(u) <- [| id (f - 1) s.state_d.(j) |]
+              end)
+      | k ->
+          kinds.(u) <- k;
+          fanins.(u) <- Array.map (id f) comb.Netlist.Circuit.fanins.(g)
+    done
+  done;
+  let inputs =
+    Array.concat
+      (List.init frames (fun f -> Array.map (id f) s.primary_inputs))
+  in
+  let outputs =
+    Array.concat
+      (List.init frames (fun f -> Array.map (id f) s.primary_outputs))
+  in
+  let circuit =
+    Netlist.Circuit.create
+      ~name:(Printf.sprintf "%s_x%d" s.name frames)
+      ~kinds ~fanins ~names ~inputs ~outputs
+  in
+  {
+    circuit;
+    frames;
+    input_of = (fun ~frame ~pi -> (frame * num_inputs s) + pi);
+    output_of = (fun ~frame ~po -> (frame * num_outputs s) + po);
+    gate_of = (fun ~frame g -> id frame g);
+  }
+
+let simulate ?init s cycles =
+  let ni = num_state s in
+  let state =
+    match init with
+    | Some a ->
+        if Array.length a <> ni then
+          invalid_arg "Sequential.simulate: init length";
+        Array.copy a
+    | None -> Array.make ni false
+  in
+  (* position of each comb input id within the comb input vector *)
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i g -> Hashtbl.replace pos g i) s.comb.Netlist.Circuit.inputs;
+  let outputs_per_cycle =
+    List.map
+      (fun vec ->
+        if Array.length vec <> num_inputs s then
+          invalid_arg "Sequential.simulate: input vector length";
+        let full = Array.make (Netlist.Circuit.num_inputs s.comb) false in
+        Array.iteri
+          (fun i g -> full.(Hashtbl.find pos g) <- vec.(i))
+          s.primary_inputs;
+        Array.iteri
+          (fun j q -> full.(Hashtbl.find pos q) <- state.(j))
+          s.state_q;
+        let values = Simulator.eval s.comb full in
+        Array.iteri (fun j d -> state.(j) <- values.(d)) s.state_d;
+        Array.map (fun g -> values.(g)) s.primary_outputs)
+      cycles
+  in
+  outputs_per_cycle

@@ -1,0 +1,55 @@
+(** Sequential circuits and time-frame expansion.
+
+    A sequential circuit is the combinational core in the standard
+    pseudo-PI/PO view (DFF outputs as extra inputs, DFF data as extra
+    outputs) together with the pairing between the two.  [unroll]
+    produces the iterative logic array: [frames] copies of the core with
+    each frame's state inputs driven by the previous frame's state data —
+    the model used by SAT-based *sequential* diagnosis (Ali et al.,
+    ICCAD'04, cited in §2.3). *)
+
+type t = private {
+  name : string;
+  comb : Netlist.Circuit.t;            (** core; inputs = real PIs then state *)
+  primary_inputs : int array;  (** real PI gate ids, input order *)
+  primary_outputs : int array; (** real PO gate ids *)
+  state_q : int array;         (** pseudo-input id per DFF *)
+  state_d : int array;         (** data gate id per DFF, same order *)
+}
+
+val of_parsed : Netlist.Bench_format.parsed -> t
+(** Build from a parsed [.bench] file; DFF order follows the file. *)
+
+val of_circuit : Netlist.Circuit.t -> dff_pairs:(string * string) list -> t
+(** [dff_pairs] are (q, d) signal names. *)
+
+val num_state : t -> int
+val num_inputs : t -> int
+(** Real primary inputs only. *)
+
+val num_outputs : t -> int
+
+val with_comb : t -> Netlist.Circuit.t -> t
+(** Replace the combinational core (same interface) — used to lift an
+    injected core error to the sequential view. *)
+
+type unrolled = {
+  circuit : Netlist.Circuit.t;             (** the iterative logic array *)
+  frames : int;
+  input_of : frame:int -> pi:int -> int;
+      (** unrolled-input index of a real PI at a frame *)
+  output_of : frame:int -> po:int -> int;
+      (** unrolled-output index of a real PO at a frame *)
+  gate_of : frame:int -> int -> int;
+      (** unrolled gate id of a core gate id at a frame *)
+}
+
+val unroll : ?init:bool array -> t -> frames:int -> unrolled
+(** Time-frame expansion.  [init] gives the initial state (defaults to
+    all-zero reset, the usual ISCAS89 convention).  The unrolled inputs
+    are frame-major: frame 0's PIs, then frame 1's, ...; outputs
+    likewise. *)
+
+val simulate : ?init:bool array -> t -> bool array list -> bool array list
+(** Cycle-accurate simulation: one input vector per cycle in, one output
+    vector per cycle out. *)

@@ -1,0 +1,37 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+let check_inputs c pis =
+  if Array.length pis <> Circuit.num_inputs c then
+    invalid_arg
+      (Printf.sprintf "Simulator: %d input values for %d inputs"
+         (Array.length pis) (Circuit.num_inputs c))
+
+let sweep ~eval_kind ~zero (c : Circuit.t) pis =
+  let values = Array.make (Circuit.size c) zero in
+  Array.iteri (fun i g -> values.(g) <- pis.(i)) c.inputs;
+  Array.iter
+    (fun g ->
+      match c.kinds.(g) with
+      | Gate.Input -> ()
+      | k ->
+          let args = Array.map (fun h -> values.(h)) c.fanins.(g) in
+          values.(g) <- eval_kind k args)
+    c.topo;
+  values
+
+let eval c pis =
+  check_inputs c pis;
+  sweep ~eval_kind:Gate.eval ~zero:false c pis
+
+let outputs c pis =
+  let values = eval c pis in
+  Array.map (fun g -> values.(g)) c.Circuit.outputs
+
+let eval_word c pis =
+  check_inputs c pis;
+  sweep ~eval_kind:Gate.eval_word ~zero:0L c pis
+
+let outputs_word c pis =
+  let values = eval_word c pis in
+  Array.map (fun g -> values.(g)) c.Circuit.outputs

@@ -1,0 +1,18 @@
+(** Full-circuit logic simulation.
+
+    Two engines: single-pattern over [bool] and 64-way parallel-pattern
+    over [int64] (bit [i] of every word belongs to pattern [i]).  Both run
+    in one topological sweep — the linear-time engine the paper attributes
+    to simulation-based diagnosis. *)
+
+val eval : Netlist.Circuit.t -> bool array -> bool array
+(** [eval c pis] returns the value of every gate.  [pis] follows the
+    circuit's input order.  @raise Invalid_argument on length mismatch. *)
+
+val outputs : Netlist.Circuit.t -> bool array -> bool array
+(** Just the primary output values, in output order. *)
+
+val eval_word : Netlist.Circuit.t -> int64 array -> int64 array
+(** 64 patterns at once; [pis.(i)] packs pattern bits for input [i]. *)
+
+val outputs_word : Netlist.Circuit.t -> int64 array -> int64 array

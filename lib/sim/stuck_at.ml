@@ -1,0 +1,49 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type fault = {
+  gate : int;
+  value : bool;
+}
+
+let equal (a : fault) (b : fault) = a = b
+let compare = Stdlib.compare
+
+let pp c ppf f =
+  Format.fprintf ppf "%s/s-a-%d" c.Circuit.names.(f.gate)
+    (if f.value then 1 else 0)
+
+let all_faults c =
+  let nodes =
+    Array.to_list c.Circuit.inputs @ Array.to_list (Circuit.gate_ids c)
+  in
+  List.concat_map
+    (fun g -> [ { gate = g; value = false }; { gate = g; value = true } ])
+    nodes
+
+let const_kind v = if v then Gate.Const1 else Gate.Const0
+
+(* Faulty gate: the node becomes a constant.  Faulty primary input: append
+   a constant node and redirect every reader (and the output vector) to
+   it, keeping the input itself so the interface is unchanged. *)
+let apply c f =
+  if not (Circuit.is_input c f.gate) then
+    Circuit.with_gates c [ (f.gate, const_kind f.value, [||]) ]
+  else begin
+    let n = Circuit.size c in
+    let fresh = n in
+    let redirect g = if g = f.gate then fresh else g in
+    let kinds = Array.append c.Circuit.kinds [| const_kind f.value |] in
+    let fanins =
+      Array.append
+        (Array.map (Array.map redirect) c.Circuit.fanins)
+        [| [||] |]
+    in
+    let names =
+      Array.append c.Circuit.names
+        [| c.Circuit.names.(f.gate) ^ "_stuck" |]
+    in
+    Circuit.create ~name:c.Circuit.name ~kinds ~fanins ~names
+      ~inputs:c.Circuit.inputs
+      ~outputs:(Array.map redirect c.Circuit.outputs)
+  end

@@ -1,0 +1,22 @@
+(** Single stuck-at faults on gate outputs — the production-test fault
+    model from the paper's introduction ("after failing a
+    post-production test"). *)
+
+type fault = {
+  gate : int;     (** the faulty node (gate or primary input) *)
+  value : bool;   (** stuck-at-1 when [true] *)
+}
+
+val equal : fault -> fault -> bool
+val compare : fault -> fault -> int
+val pp : Netlist.Circuit.t -> Format.formatter -> fault -> unit
+
+val all_faults : Netlist.Circuit.t -> fault list
+(** Both polarities on every primary input and logic gate output
+    (the collapsed "output faults" universe). *)
+
+val apply : Netlist.Circuit.t -> fault -> Netlist.Circuit.t
+(** The faulty machine: the node is replaced by a constant.  A faulty
+    primary input is modelled by a buffer-to-constant rewrite of its
+    fanouts' view — implemented by rewriting the node itself when it is
+    a gate, or every reader when it is an input. *)

@@ -1,0 +1,93 @@
+module Circuit = Netlist.Circuit
+
+type test = {
+  vector : bool array;
+  po_index : int;
+  expected : bool;
+}
+
+let pp ppf t =
+  let bits =
+    String.init (Array.length t.vector) (fun i ->
+        if t.vector.(i) then '1' else '0')
+  in
+  Format.fprintf ppf "t=%s o=#%d v=%b" bits t.po_index t.expected
+
+let response c t =
+  let outs = Simulator.outputs c t.vector in
+  outs.(t.po_index)
+
+let fails c t = response c t <> t.expected
+
+let bit word i = Int64.logand (Int64.shift_right_logical word i) 1L = 1L
+
+(* Compare golden and faulty on one 64-pattern batch; cons failing triples
+   (in pattern-then-output order) onto [acc]. *)
+let collect_batch ~golden ~faulty words acc =
+  let og = Simulator.outputs_word golden words in
+  let ofa = Simulator.outputs_word faulty words in
+  let num_inputs = Array.length words in
+  let acc = ref acc in
+  for p = 0 to 63 do
+    for o = 0 to Array.length og - 1 do
+      let gv = bit og.(o) p and fv = bit ofa.(o) p in
+      if gv <> fv then begin
+        let vector = Array.init num_inputs (fun i -> bit words.(i) p) in
+        acc := { vector; po_index = o; expected = gv } :: !acc
+      end
+    done
+  done;
+  !acc
+
+let generate ~seed ~max_vectors ~wanted ~golden ~faulty =
+  if Circuit.num_inputs golden <> Circuit.num_inputs faulty
+     || Circuit.num_outputs golden <> Circuit.num_outputs faulty then
+    invalid_arg "Testgen.generate: interface mismatch";
+  let rng = Random.State.make [| seed; 0x7e57 |] in
+  let num_inputs = Circuit.num_inputs golden in
+  let rec loop tried acc =
+    if List.length acc >= wanted || tried >= max_vectors then List.rev acc
+    else
+      let words = Array.init num_inputs (fun _ -> Random.State.int64 rng Int64.max_int) in
+      (* int64 leaves bit 63 biased; fix it with an extra coin per input *)
+      let words =
+        Array.map
+          (fun w ->
+            if Random.State.bool rng then Int64.logor w Int64.min_int else w)
+          words
+      in
+      loop (tried + 64) (collect_batch ~golden ~faulty words acc)
+  in
+  let all = loop 0 [] in
+  List.filteri (fun i _ -> i < wanted) all
+
+let from_vectors ~golden ~faulty vectors =
+  let acc = ref [] in
+  List.iter
+    (fun vector ->
+      let og = Simulator.outputs golden vector in
+      let ofa = Simulator.outputs faulty vector in
+      Array.iteri
+        (fun o gv ->
+          if gv <> ofa.(o) then
+            acc := { vector; po_index = o; expected = gv } :: !acc)
+        og)
+    vectors;
+  List.rev !acc
+
+let exhaustive ~golden ~faulty =
+  let num_inputs = Circuit.num_inputs golden in
+  if num_inputs > 20 then invalid_arg "Testgen.exhaustive: too many inputs";
+  let total = 1 lsl num_inputs in
+  let acc = ref [] in
+  for v = 0 to total - 1 do
+    let vector = Array.init num_inputs (fun i -> (v lsr i) land 1 = 1) in
+    let og = Simulator.outputs golden vector in
+    let ofa = Simulator.outputs faulty vector in
+    Array.iteri
+      (fun o gv ->
+        if gv <> ofa.(o) then
+          acc := { vector; po_index = o; expected = gv } :: !acc)
+      og
+  done;
+  List.rev !acc

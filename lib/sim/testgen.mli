@@ -1,0 +1,45 @@
+(** Test-set generation (Definition 1 of the paper).
+
+    A test is a triple (t, o, v): an input vector [t] that produces an
+    erroneous value on primary output [o] of the faulty implementation,
+    together with the correct value [v] for that output.  A vector failing
+    several outputs contributes one triple per failing output. *)
+
+type test = {
+  vector : bool array;   (** primary input values, circuit input order *)
+  po_index : int;        (** index into the circuit's output vector *)
+  expected : bool;       (** the correct value v for that output *)
+}
+
+val pp : Format.formatter -> test -> unit
+
+val response : Netlist.Circuit.t -> test -> bool
+(** What the given circuit actually drives on the test's output. *)
+
+val fails : Netlist.Circuit.t -> test -> bool
+(** [true] when the circuit violates the test ([response <> expected]). *)
+
+val generate :
+  seed:int ->
+  max_vectors:int ->
+  wanted:int ->
+  golden:Netlist.Circuit.t ->
+  faulty:Netlist.Circuit.t ->
+  test list
+(** Draw random vectors (64 at a time, compared with the parallel-pattern
+    simulator), keep every (vector, failing output) pair until [wanted]
+    triples are found or [max_vectors] vectors were tried.  The returned
+    list is deterministic in [seed] and ordered by discovery, so a prefix
+    of length m is "a part of the same test-set" as in the paper's
+    experiments. *)
+
+val exhaustive :
+  golden:Netlist.Circuit.t -> faulty:Netlist.Circuit.t -> test list
+(** All failing triples over the full input space — only for circuits with
+    at most 20 inputs.  Used by tests and the small paper examples. *)
+
+val from_vectors :
+  golden:Netlist.Circuit.t -> faulty:Netlist.Circuit.t ->
+  bool array list -> test list
+(** Failing triples of the given vectors (e.g. an ATPG-generated or
+    manufacturing test set), in vector order. *)

@@ -1,0 +1,82 @@
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type v = F | T | X
+
+let of_bool b = if b then T else F
+let equal (a : v) (b : v) = a = b
+
+let pp ppf = function
+  | F -> Format.pp_print_char ppf '0'
+  | T -> Format.pp_print_char ppf '1'
+  | X -> Format.pp_print_char ppf 'X'
+
+let vnot = function F -> T | T -> F | X -> X
+
+let fold_and vs =
+  let any_x = ref false in
+  let any_f = ref false in
+  Array.iter (function F -> any_f := true | X -> any_x := true | T -> ()) vs;
+  if !any_f then F else if !any_x then X else T
+
+let fold_or vs =
+  let any_x = ref false in
+  let any_t = ref false in
+  Array.iter (function T -> any_t := true | X -> any_x := true | F -> ()) vs;
+  if !any_t then T else if !any_x then X else F
+
+let fold_xor vs =
+  let any_x = ref false in
+  let parity = ref false in
+  Array.iter
+    (function T -> parity := not !parity | X -> any_x := true | F -> ())
+    vs;
+  if !any_x then X else of_bool !parity
+
+let eval_kind k (vs : v array) =
+  if not (Gate.arity_ok k (Array.length vs)) then
+    invalid_arg "Xsim.eval_kind: bad arity";
+  match k with
+  | Gate.Input -> invalid_arg "Xsim.eval_kind: Input has no function"
+  | Gate.Const0 -> F
+  | Gate.Const1 -> T
+  | Gate.Buf -> vs.(0)
+  | Gate.Not -> vnot vs.(0)
+  | Gate.And -> fold_and vs
+  | Gate.Nand -> vnot (fold_and vs)
+  | Gate.Or -> fold_or vs
+  | Gate.Nor -> vnot (fold_or vs)
+  | Gate.Xor -> fold_xor vs
+  | Gate.Xnor -> vnot (fold_xor vs)
+
+let eval (c : Circuit.t) pis =
+  if Array.length pis <> Circuit.num_inputs c then
+    invalid_arg "Xsim.eval: input length mismatch";
+  let values = Array.make (Circuit.size c) X in
+  Array.iteri (fun i g -> values.(g) <- pis.(i)) c.inputs;
+  Array.iter
+    (fun g ->
+      match c.kinds.(g) with
+      | Gate.Input -> ()
+      | k -> values.(g) <- eval_kind k (Array.map (fun h -> values.(h)) c.fanins.(g)))
+    c.topo;
+  values
+
+let with_x_at (c : Circuit.t) pis gates =
+  if Array.length pis <> Circuit.num_inputs c then
+    invalid_arg "Xsim.with_x_at: input length mismatch";
+  let forced = Hashtbl.create 8 in
+  List.iter (fun g -> Hashtbl.replace forced g ()) gates;
+  let values = Array.make (Circuit.size c) X in
+  Array.iteri (fun i g -> values.(g) <- of_bool pis.(i)) c.inputs;
+  Array.iter
+    (fun g ->
+      if Hashtbl.mem forced g then values.(g) <- X
+      else
+        match c.kinds.(g) with
+        | Gate.Input -> ()
+        | k ->
+            values.(g) <-
+              eval_kind k (Array.map (fun h -> values.(h)) c.fanins.(g)))
+    c.topo;
+  values

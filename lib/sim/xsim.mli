@@ -1,0 +1,22 @@
+(** Three-valued (0/1/X) simulation.
+
+    Substrate for the X-list style diagnosis of Boppana et al. referenced
+    in the paper's §2.2: injecting an unknown at a gate and checking by
+    forward implication whether the erroneous output could be affected. *)
+
+type v = F | T | X
+
+val of_bool : bool -> v
+val equal : v -> v -> bool
+val pp : Format.formatter -> v -> unit
+
+val eval_kind : Netlist.Gate.kind -> v array -> v
+(** Pessimistic three-valued gate evaluation (controlling values dominate
+    X; otherwise any X fanin makes the output X). *)
+
+val eval : Netlist.Circuit.t -> v array -> v array
+(** Topological sweep over three-valued inputs. *)
+
+val with_x_at : Netlist.Circuit.t -> bool array -> int list -> v array
+(** [with_x_at c pis gates] simulates the Boolean vector [pis] but forces
+    every gate in [gates] to X, propagating unknowns forward. *)

@@ -1,0 +1,67 @@
+Circuit info for the embedded s27 and the real c17-sized builtins:
+
+  $ diagnose info s27
+  s27: 7 inputs, 4 outputs, 10 gates, depth 6
+  dominator skeleton: 9 gates
+
+Generate a .bench file and read it back:
+
+  $ diagnose generate rca4 -o rca4.bench
+  wrote rca4.bench (rca4: 9 inputs, 5 outputs, 20 gates, depth 9)
+  $ diagnose info rca4.bench
+  rca4: 9 inputs, 5 outputs, 20 gates, depth 9
+  dominator skeleton: 12 gates
+
+Inject an error and diagnose it with BSAT (deterministic seed):
+
+  $ diagnose inject rca4 --errors 1 --seed 3 -o faulty.bench
+  injected n19: XOR -> OR
+  wrote faulty.bench
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8
+  8 failing test(s) found
+  BSAT: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+
+BSIM and COV on the same workload:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsim -m 8
+  8 failing test(s) found
+  BSIM: |union|=10, max marks=8
+  G_max = {n19, n18, n20}
+
+The SAT solver CLI on a tiny DIMACS formula:
+
+  $ cat > sat.cnf <<CNF
+  > p cnf 2 2
+  > 1 2 0
+  > -1 0
+  > CNF
+  $ satsolve sat.cnf --model 2>/dev/null | head -2
+  s SATISFIABLE
+  v -1 2 0
+  $ cat > unsat.cnf <<CNF
+  > p cnf 1 2
+  > 1 0
+  > -1 0
+  > CNF
+  $ satsolve unsat.cnf
+  s UNSATISFIABLE
+  [20]
+
+Fault-simulation coverage and SAT-based ATPG (deterministic seeds):
+
+  $ diagnose coverage mul4 --atpg
+  mul4: 8 inputs, 8 outputs, 146 gates, depth 24
+  fault universe: 308 single stuck-at faults
+  ATPG: 17 deterministic vectors, 75 untestable fault(s)
+  coverage: 233/233 testable faults (100% by construction)
+
+Export the diagnosis instance as DIMACS and solve it externally:
+
+  $ diagnose export-cnf rca4 --errors 1 --seed 3 -k 1 -m 4 -o inst.cnf
+  wrote inst.cnf (4 tests, k=1; DIMACS vars 1..20 are the selects)
+  $ satsolve inst.cnf | head -1
+  s SATISFIABLE

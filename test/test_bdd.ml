@@ -1,0 +1,155 @@
+(* Tests for the BDD substrate: canonicity, Boolean algebra, circuit
+   symbolic simulation, model counting, and agreement with the SAT-based
+   equivalence checker. *)
+
+module C = Netlist.Circuit
+module G = Netlist.Gate
+
+let test_terminals () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "true <> false" false
+    (Bdd.equal Bdd.bdd_true Bdd.bdd_false);
+  Alcotest.(check bool) "not true = false" true
+    (Bdd.equal (Bdd.not_ m Bdd.bdd_true) Bdd.bdd_false);
+  Alcotest.(check bool) "of_bool" true
+    (Bdd.equal (Bdd.of_bool true) Bdd.bdd_true)
+
+let test_canonicity_algebra () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  (* commutativity / associativity / De Morgan / double negation *)
+  Alcotest.(check bool) "a&b = b&a" true
+    (Bdd.equal (Bdd.and_ m a b) (Bdd.and_ m b a));
+  Alcotest.(check bool) "assoc" true
+    (Bdd.equal
+       (Bdd.and_ m a (Bdd.and_ m b c))
+       (Bdd.and_ m (Bdd.and_ m a b) c));
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equal
+       (Bdd.not_ m (Bdd.and_ m a b))
+       (Bdd.or_ m (Bdd.not_ m a) (Bdd.not_ m b)));
+  Alcotest.(check bool) "double neg" true
+    (Bdd.equal (Bdd.not_ m (Bdd.not_ m a)) a);
+  Alcotest.(check bool) "xor self = false" true
+    (Bdd.equal (Bdd.xor_ m a a) Bdd.bdd_false);
+  Alcotest.(check bool) "xnor = not xor" true
+    (Bdd.equal (Bdd.xnor_ m a b) (Bdd.not_ m (Bdd.xor_ m a b)))
+
+let test_eval_matches_semantics () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.ite m a (Bdd.xor_ m b c) (Bdd.and_ m b c) in
+  for v = 0 to 7 do
+    let bits = Array.init 3 (fun i -> (v lsr i) land 1 = 1) in
+    let expect =
+      if bits.(0) then bits.(1) <> bits.(2) else bits.(1) && bits.(2)
+    in
+    Alcotest.(check bool) (Printf.sprintf "v=%d" v) expect (Bdd.eval m f bits)
+  done
+
+let test_of_circuit_matches_simulation () =
+  let rng = Random.State.make [| 3 |] in
+  for seed = 0 to 5 do
+    let c =
+      Netlist.Generators.random_dag ~seed ~num_inputs:7 ~num_gates:60
+        ~num_outputs:4 ()
+    in
+    let m = Bdd.manager () in
+    let outs = Bdd.of_circuit m c in
+    for _ = 1 to 30 do
+      let v = Array.init 7 (fun _ -> Random.State.bool rng) in
+      let sim = Sim.Simulator.outputs c v in
+      Array.iteri
+        (fun o f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d out %d" seed o)
+            sim.(o) (Bdd.eval m f v))
+        outs
+    done
+  done
+
+let test_sat_count_parity () =
+  (* parity of n variables has exactly 2^(n-1) models *)
+  let n = 6 in
+  let c = Netlist.Generators.parity_tree n in
+  let m = Bdd.manager () in
+  let outs = Bdd.of_circuit m c in
+  Alcotest.(check (float 1e-6)) "2^(n-1)"
+    (2.0 ** float_of_int (n - 1))
+    (Bdd.sat_count m ~num_vars:n outs.(0));
+  (* and the parity BDD is the worst case for size: 2(n-1)+... linear in n
+     with both phases tracked: exactly 2n-1... our encoding gives 2(n-1)+1 *)
+  Alcotest.(check bool) "linear size" true (Bdd.size m outs.(0) <= (2 * n) + 1)
+
+let test_any_sat () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.and_ m a (Bdd.not_ m b) in
+  (match Bdd.any_sat m f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some partial ->
+      let assignment = Array.make 2 false in
+      List.iter (fun (v, value) -> assignment.(v) <- value) partial;
+      Alcotest.(check bool) "assignment works" true (Bdd.eval m f assignment));
+  Alcotest.(check bool) "false has no model" true
+    (Bdd.any_sat m Bdd.bdd_false = None)
+
+let test_equivalence_rca_cla () =
+  let rca = Netlist.Generators.ripple_carry_adder 5 in
+  let cla = Netlist.Generators.carry_lookahead_adder 5 in
+  Alcotest.(check bool) "adders equivalent" true
+    (Bdd.check_equivalence rca cla)
+
+let test_equivalence_agrees_with_miter () =
+  for seed = 0 to 9 do
+    let a =
+      Netlist.Generators.random_dag ~seed ~num_inputs:6 ~num_gates:40
+        ~num_outputs:3 ()
+    in
+    let b, _ = Sim.Injector.inject ~seed:(seed + 50) ~num_errors:1 a in
+    let bdd_verdict = Bdd.check_equivalence a b in
+    let sat_verdict =
+      Encode.Miter.check ~spec:a ~impl:b = Encode.Miter.Equivalent
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d" seed)
+      sat_verdict bdd_verdict;
+    Alcotest.(check bool) "self equal" true (Bdd.check_equivalence a a)
+  done
+
+let test_multiplier_blowup_measurable () =
+  (* the space-complexity claim: multiplier BDDs grow steeply with width,
+     while the SAT encoding stays linear in circuit size *)
+  let nodes w =
+    let c = Netlist.Generators.multiplier w in
+    let m = Bdd.manager () in
+    ignore (Bdd.of_circuit m c);
+    Bdd.live_nodes m
+  in
+  let n3 = nodes 3 and n5 = nodes 5 in
+  Alcotest.(check bool) "superlinear growth" true
+    (n5 > 6 * n3)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "canonical algebra" `Quick
+            test_canonicity_algebra;
+          Alcotest.test_case "eval" `Quick test_eval_matches_semantics;
+        ] );
+      ( "circuits",
+        [
+          Alcotest.test_case "symbolic = simulation" `Quick
+            test_of_circuit_matches_simulation;
+          Alcotest.test_case "parity sat count" `Quick test_sat_count_parity;
+          Alcotest.test_case "any_sat" `Quick test_any_sat;
+          Alcotest.test_case "rca = cla" `Quick test_equivalence_rca_cla;
+          Alcotest.test_case "agrees with SAT miter" `Quick
+            test_equivalence_agrees_with_miter;
+          Alcotest.test_case "multiplier blowup" `Quick
+            test_multiplier_blowup_measurable;
+        ] );
+    ]

@@ -1,0 +1,674 @@
+(* Tests for the diagnosis approaches.  The paper's formal content —
+   Lemmas 1-4 and Theorems 1-2 — is encoded directly: on the Figure 5
+   circuits as unit tests and on random faulty circuits as properties. *)
+
+module C = Netlist.Circuit
+module PT = Diagnosis.Path_trace
+
+let sorted = List.sort Int.compare
+let names c gs = List.map (fun g -> c.C.names.(g)) gs
+
+(* a random faulty-circuit workload for property tests *)
+let workload seed p =
+  let golden =
+    Netlist.Generators.random_dag ~seed ~num_inputs:8 ~num_gates:60
+      ~num_outputs:4 ()
+  in
+  let faulty, errors = Sim.Injector.inject ~seed:(seed + 1) ~num_errors:p golden in
+  let tests =
+    Sim.Testgen.generate ~seed:(seed + 2) ~max_vectors:4096 ~wanted:8
+      ~golden ~faulty
+  in
+  (golden, faulty, errors, tests)
+
+let workload_gen =
+  QCheck.make
+    ~print:(fun (s, p) -> Printf.sprintf "seed=%d p=%d" s p)
+    QCheck.Gen.(pair (int_range 0 5000) (int_range 1 3))
+
+(* ---------- path tracing ---------- *)
+
+let test_pt_fig5a_marks () =
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let marked = PT.trace c t in
+  Alcotest.(check (list string)) "marks A,B,D" [ "A"; "B"; "D" ]
+    (names c (sorted marked));
+  (* the Last_input tie break yields the other sensitized path *)
+  let marked' = PT.trace ~tie_break:PT.Last_input c t in
+  Alcotest.(check (list string)) "marks A,C,D" [ "A"; "C"; "D" ]
+    (names c (sorted marked'))
+
+let test_pt_fig5b_marks () =
+  let c, t = Bench_suite.Paper_circuits.fig5b in
+  let marked = PT.trace c t in
+  Alcotest.(check (list string)) "marks A,C,D,E (no B)" [ "A"; "C"; "D"; "E" ]
+    (List.sort compare (names c marked))
+
+let test_pt_all_inputs_superset () =
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let first = PT.trace c t in
+  let all = PT.trace ~tie_break:PT.All_inputs c t in
+  Alcotest.(check bool) "All_inputs is a superset" true
+    (List.for_all (fun g -> List.mem g all) first);
+  Alcotest.(check (list string)) "superset marks A,B,C,D"
+    [ "A"; "B"; "C"; "D" ] (names c (sorted all))
+
+let test_pt_marks_erroneous_output_gate () =
+  let _, faulty, _, tests = workload 11 1 in
+  List.iter
+    (fun t ->
+      let out_gate = faulty.C.outputs.(t.Sim.Testgen.po_index) in
+      if not (C.is_input faulty out_gate) then
+        Alcotest.(check bool) "output gate marked" true
+          (List.mem out_gate (PT.trace faulty t)))
+    tests
+
+let prop_pt_single_error_site_marked =
+  QCheck.Test.make ~count:60
+    ~name:"PT marks the actual error site (single error)" workload_gen
+    (fun (seed, _) ->
+      let _, faulty, errors, tests = workload seed 1 in
+      QCheck.assume (tests <> []);
+      let site = List.hd (Sim.Fault.sites errors) in
+      List.for_all (fun t -> List.mem site (PT.trace faulty t)) tests)
+
+(* ---------- BSIM ---------- *)
+
+let test_bsim_counts () =
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let r = Diagnosis.Bsim.diagnose c [ t; t ] in
+  let a = Bench_suite.Paper_circuits.gate c "A" in
+  Alcotest.(check int) "A marked twice" 2 r.Diagnosis.Bsim.marks.(a);
+  Alcotest.(check int) "max marks" 2 r.Diagnosis.Bsim.max_marks;
+  Alcotest.(check (list string)) "union" [ "A"; "B"; "D" ]
+    (names c (sorted r.Diagnosis.Bsim.union))
+
+let test_bsim_single_error_intersection () =
+  let _, faulty, errors, tests = workload 21 1 in
+  let r = Diagnosis.Bsim.diagnose faulty tests in
+  let site = List.hd (Sim.Fault.sites errors) in
+  Alcotest.(check bool) "site in every Ci" true
+    (List.mem site (Diagnosis.Bsim.single_error_candidates r))
+
+let prop_bsim_pigeonhole =
+  (* the paper's §2.2 pigeonhole bound M(e) >= m/p presumes every C_i
+     contains an error site — guaranteed by PT for single errors (then
+     M(e) = m), heuristic for multiple errors.  We test the guaranteed
+     case. *)
+  QCheck.Test.make ~count:40 ~name:"single error: M(e) = m" workload_gen
+    (fun (seed, _) ->
+      let _, faulty, errors, tests = workload seed 1 in
+      QCheck.assume (tests <> []);
+      let r = Diagnosis.Bsim.diagnose faulty tests in
+      let site = List.hd (Sim.Fault.sites errors) in
+      r.Diagnosis.Bsim.marks.(site) = List.length tests)
+
+(* ---------- validity (effect analysis) ---------- *)
+
+let test_validity_fig5a () =
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let check_both expected cands =
+    Alcotest.(check bool) "sat engine" expected
+      (Diagnosis.Validity.check_sat c [ t ] cands);
+    Alcotest.(check bool) "sim engine" expected
+      (Diagnosis.Validity.check_sim c [ t ] cands)
+  in
+  check_both false [ g "B" ];
+  check_both false [ g "C" ];
+  check_both true [ g "A" ];
+  check_both true [ g "D" ];
+  check_both true [ g "B"; g "C" ]
+
+let test_validity_essential () =
+  let c, t = Bench_suite.Paper_circuits.fig5b in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let check = Diagnosis.Validity.check_sim c [ t ] in
+  Alcotest.(check bool) "{A,B} valid" true (check [ g "A"; g "B" ]);
+  Alcotest.(check bool) "{A,B} essential" true
+    (Diagnosis.Validity.essential ~check [ g "A"; g "B" ]);
+  Alcotest.(check bool) "{A,B,C} not essential" false
+    (Diagnosis.Validity.essential ~check [ g "A"; g "B"; g "C" ]);
+  Alcotest.(check (list int)) "essentialize keeps a valid core" [ g "A"; g "B" ]
+    (sorted
+       (Diagnosis.Validity.essentialize ~check [ g "C"; g "A"; g "B" ]
+       |> fun s -> if check s then s else [ -1 ]))
+
+let prop_validity_engines_agree =
+  QCheck.Test.make ~count:40 ~name:"check_sat = check_sim" workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let rng = Random.State.make [| seed |] in
+      let gates = C.gate_ids faulty in
+      (* a few random candidate sets of size 1..3 *)
+      List.for_all
+        (fun _ ->
+          let size = 1 + Random.State.int rng 3 in
+          let cands =
+            List.init size (fun _ ->
+                gates.(Random.State.int rng (Array.length gates)))
+            |> List.sort_uniq Int.compare
+          in
+          Diagnosis.Validity.check_sat faulty tests cands
+          = Diagnosis.Validity.check_sim faulty tests cands)
+        [ 1; 2; 3; 4; 5 ])
+
+let prop_error_sites_are_valid_correction =
+  QCheck.Test.make ~count:40 ~name:"actual error sites form a valid correction"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, errors, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      Diagnosis.Validity.check_sim faulty tests (Sim.Fault.sites errors))
+
+(* ---------- COV ---------- *)
+
+let test_cov_fig5a_lemma2 () =
+  (* Lemma 2: {B} is a COV solution but not a valid correction *)
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let r = Diagnosis.Cover.diagnose ~k:1 c [ t ] in
+  let sols = List.map sorted r.Diagnosis.Cover.solutions in
+  Alcotest.(check bool) "{B} is a cover" true (List.mem [ g "B" ] sols);
+  Alcotest.(check bool) "{B} is not valid" false
+    (Diagnosis.Validity.check_sim c [ t ] [ g "B" ]);
+  (* Theorem 1: some COV solution is not a BSAT solution *)
+  let bs = Diagnosis.Bsat.diagnose ~k:1 c [ t ] in
+  Alcotest.(check bool) "Theorem 1" true
+    (List.exists
+       (fun s -> not (List.mem s bs.Diagnosis.Bsat.solutions))
+       sols)
+
+let test_cov_fig5b_lemma4 () =
+  (* Lemma 4: {A,B} is valid but not produced by COV *)
+  let c, t = Bench_suite.Paper_circuits.fig5b in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let r = Diagnosis.Cover.diagnose ~k:2 c [ t ] in
+  let sols = List.map sorted r.Diagnosis.Cover.solutions in
+  Alcotest.(check bool) "{A,B} missing from COV" true
+    (not (List.mem (sorted [ g "A"; g "B" ]) sols));
+  let bs = Diagnosis.Bsat.diagnose ~k:2 c [ t ] in
+  Alcotest.(check bool) "{A,B} found by BSAT (Theorem 2)" true
+    (List.mem (sorted [ g "A"; g "B" ]) bs.Diagnosis.Bsat.solutions)
+
+let test_cov_engines_agree_fig5 () =
+  List.iter
+    (fun (c, t) ->
+      let run engine =
+        (Diagnosis.Cover.diagnose ~engine ~k:2 c [ t ]).Diagnosis.Cover
+          .solutions
+        |> List.map sorted |> List.sort compare
+      in
+      Alcotest.(check (list (list int))) "engines agree"
+        (run Diagnosis.Cover.Backtrack_engine)
+        (run Diagnosis.Cover.Sat_engine))
+    [ Bench_suite.Paper_circuits.fig5a; Bench_suite.Paper_circuits.fig5b ]
+
+let prop_cov_engines_agree =
+  QCheck.Test.make ~count:30 ~name:"COV: SAT engine = backtrack oracle"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let run engine =
+        (Diagnosis.Cover.diagnose ~engine ~k:p faulty tests).Diagnosis.Cover
+          .solutions
+        |> List.map sorted |> List.sort compare
+      in
+      run Diagnosis.Cover.Sat_engine = run Diagnosis.Cover.Backtrack_engine)
+
+let prop_cov_solutions_cover_and_irredundant =
+  QCheck.Test.make ~count:30 ~name:"COV solutions cover every Ci, irredundantly"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let r = Diagnosis.Cover.diagnose ~k:p faulty tests in
+      let sets = r.Diagnosis.Cover.bsim.Diagnosis.Bsim.candidate_sets in
+      List.for_all
+        (fun sol ->
+          Diagnosis.Cover.covers sol sets
+          && List.for_all
+               (fun g ->
+                 not
+                   (Diagnosis.Cover.covers (List.filter (( <> ) g) sol) sets))
+               sol)
+        r.Diagnosis.Cover.solutions)
+
+(* ---------- BSAT ---------- *)
+
+let prop_bsat_solutions_valid =
+  (* Lemma 1: every BSAT solution is a valid correction *)
+  QCheck.Test.make ~count:30 ~name:"Lemma 1: BSAT solutions are valid"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let r = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      List.for_all
+        (fun sol -> Diagnosis.Validity.check_sim faulty tests sol)
+        r.Diagnosis.Bsat.solutions)
+
+let prop_bsat_complete =
+  (* Lemma 3: BSAT finds all essential valid corrections up to k; checked
+     against brute-force subset enumeration with the simulation engine *)
+  QCheck.Test.make ~count:15 ~name:"Lemma 3: BSAT enumeration is complete"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "seed=%d" s)
+       QCheck.Gen.(int_range 0 2000))
+    (fun seed ->
+      let golden =
+        Netlist.Generators.random_dag ~seed ~num_inputs:5 ~num_gates:14
+          ~num_outputs:3 ()
+      in
+      let faulty, _ = Sim.Injector.inject ~seed:(seed + 1) ~num_errors:1 golden in
+      let tests =
+        Sim.Testgen.generate ~seed:(seed + 2) ~max_vectors:1024 ~wanted:4
+          ~golden ~faulty
+      in
+      QCheck.assume (tests <> []);
+      let k = 2 in
+      let r = Diagnosis.Bsat.diagnose ~k faulty tests in
+      let found = List.map sorted r.Diagnosis.Bsat.solutions |> List.sort compare in
+      (* brute force: all subsets of gates up to size k, valid + essential *)
+      let gates = Array.to_list (C.gate_ids faulty) in
+      let check s = Diagnosis.Validity.check_sim faulty tests s in
+      let subsets_1 = List.map (fun g -> [ g ]) gates in
+      let subsets_2 =
+        List.concat_map
+          (fun g -> List.filter_map (fun h -> if h > g then Some [ g; h ] else None) gates)
+          gates
+      in
+      let expected =
+        List.filter check (subsets_1 @ subsets_2)
+        |> List.filter (fun s -> Diagnosis.Validity.essential ~check s)
+        |> List.map sorted |> List.sort compare
+      in
+      found = expected)
+
+let prop_bsat_finds_error_subset =
+  QCheck.Test.make ~count:30 ~name:"BSAT finds a subset of the error sites"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, errors, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let sites = Sim.Fault.sites errors in
+      let r = Diagnosis.Bsat.diagnose ~k:(List.length sites) faulty tests in
+      List.exists
+        (fun sol -> List.for_all (fun g -> List.mem g sites) sol)
+        r.Diagnosis.Bsat.solutions)
+
+let prop_bsat_solutions_essential =
+  QCheck.Test.make ~count:20 ~name:"BSAT solutions contain only essentials"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let r = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      let check s = Diagnosis.Validity.check_sim faulty tests s in
+      List.for_all
+        (fun sol -> Diagnosis.Validity.essential ~check sol)
+        r.Diagnosis.Bsat.solutions)
+
+let test_bsat_first_solution_minimum () =
+  let _, faulty, _, tests = workload 33 2 in
+  match Diagnosis.Bsat.first_solution ~k:2 faulty tests with
+  | None -> Alcotest.fail "expected a solution"
+  | Some sol ->
+      (* iterative deepening: the first solution has minimum size *)
+      let r = Diagnosis.Bsat.diagnose ~k:2 faulty tests in
+      let min_size =
+        List.fold_left
+          (fun acc s -> min acc (List.length s))
+          max_int r.Diagnosis.Bsat.solutions
+      in
+      Alcotest.(check int) "minimum size" min_size (List.length sol)
+
+(* ---------- advanced approaches ---------- *)
+
+let prop_bsat_strategies_agree =
+  QCheck.Test.make ~count:20
+    ~name:"minimize-single-pass = incremental-k solution set" workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let run strategy =
+        (Diagnosis.Bsat.diagnose ~strategy ~k:p faulty tests).Diagnosis.Bsat
+          .solutions
+        |> List.map sorted |> List.sort compare
+      in
+      run Diagnosis.Bsat.Incremental_k
+      = run Diagnosis.Bsat.Minimize_single_pass)
+
+let prop_advanced_sim_subset_of_bsat =
+  QCheck.Test.make ~count:20 ~name:"advanced sim solutions ⊆ BSAT solutions"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let asim = Diagnosis.Advanced_sim.diagnose ~k:p faulty tests in
+      let bsat = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      let bs = List.map sorted bsat.Diagnosis.Bsat.solutions in
+      List.for_all
+        (fun s -> List.mem (sorted s) bs)
+        asim.Diagnosis.Advanced_sim.solutions)
+
+let prop_advanced_sim_valid =
+  QCheck.Test.make ~count:20 ~name:"advanced sim solutions are valid"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let asim = Diagnosis.Advanced_sim.diagnose ~k:p faulty tests in
+      List.for_all
+        (fun s -> Diagnosis.Validity.check_sim faulty tests s)
+        asim.Diagnosis.Advanced_sim.solutions)
+
+let prop_advanced_sat_dominators_valid =
+  QCheck.Test.make ~count:15 ~name:"dominator 2-pass: valid and non-empty"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let adv = Diagnosis.Advanced_sat.diagnose_dominators ~k:p faulty tests in
+      let bsat_nonempty =
+        (Diagnosis.Bsat.diagnose ~max_solutions:1 ~k:p faulty tests)
+          .Diagnosis.Bsat.solutions <> []
+      in
+      List.for_all
+        (fun s -> Diagnosis.Validity.check_sat faulty tests s)
+        adv.Diagnosis.Advanced_sat.solutions
+      && ((not bsat_nonempty) || adv.Diagnosis.Advanced_sat.solutions <> []))
+
+let prop_advanced_sat_partitioned_valid =
+  QCheck.Test.make ~count:15 ~name:"partitioned: sound subset of BSAT"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let adv =
+        Diagnosis.Advanced_sat.diagnose_partitioned ~slice:3 ~k:p faulty tests
+      in
+      let bsat = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      let bs = List.map sorted bsat.Diagnosis.Bsat.solutions in
+      List.for_all
+        (fun s -> List.mem (sorted s) bs)
+        adv.Diagnosis.Advanced_sat.solutions)
+
+(* ---------- hybrid ---------- *)
+
+let prop_hybrid_guided_same_solutions =
+  QCheck.Test.make ~count:15 ~name:"hybrid hints do not change the solutions"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let h = Diagnosis.Hybrid.guided ~k:p faulty tests in
+      let plain = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      List.sort compare (List.map sorted h.Diagnosis.Hybrid.solutions)
+      = List.sort compare (List.map sorted plain.Diagnosis.Bsat.solutions))
+
+let test_hybrid_repair_fig5a () =
+  (* seed {B} (invalid cover) is repaired into a valid correction *)
+  let c, t = Bench_suite.Paper_circuits.fig5a in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  match Diagnosis.Hybrid.repair ~k:1 ~seed:[ g "B" ] c [ t ] with
+  | None -> Alcotest.fail "repair must succeed"
+  | Some r ->
+      Alcotest.(check bool) "result valid" true
+        (Diagnosis.Validity.check_sim c [ t ] r.Diagnosis.Hybrid.correction)
+
+let prop_hybrid_repair_valid =
+  QCheck.Test.make ~count:20 ~name:"repair always returns a valid correction"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let cov = Diagnosis.Cover.diagnose ~k:p faulty tests in
+      match cov.Diagnosis.Cover.solutions with
+      | [] -> true
+      | seed_sol :: _ -> (
+          match
+            Diagnosis.Hybrid.repair ~k:p ~seed:seed_sol faulty tests
+          with
+          | None ->
+              (* only acceptable when BSAT finds nothing either *)
+              (Diagnosis.Bsat.diagnose ~max_solutions:1 ~k:p faulty tests)
+                .Diagnosis.Bsat.solutions = []
+          | Some r ->
+              Diagnosis.Validity.check_sat faulty tests
+                r.Diagnosis.Hybrid.correction))
+
+(* COV engines on raw random set-cover instances (not only circuit-derived
+   ones): broader input space for the SAT-vs-backtrack equivalence *)
+let prop_cover_engines_on_raw_instances =
+  let gen =
+    QCheck.Gen.(
+      let* nsets = int_range 1 6 in
+      let* universe = int_range 1 8 in
+      list_size (return nsets)
+        (let* len = int_range 1 4 in
+         list_size (return len) (int_range 0 (universe - 1))))
+  in
+  QCheck.Test.make ~count:200 ~name:"COV engines agree on raw instances"
+    (QCheck.make
+       ~print:(fun sets ->
+         String.concat " ; "
+           (List.map
+              (fun s -> String.concat "," (List.map string_of_int s))
+              sets))
+       gen)
+    (fun sets ->
+      let sets = Array.of_list (List.map (List.sort_uniq Int.compare) sets) in
+      let run engine =
+        fst (Diagnosis.Cover.enumerate ~engine ~k:3 sets)
+        |> List.map sorted |> List.sort compare
+      in
+      run Diagnosis.Cover.Sat_engine = run Diagnosis.Cover.Backtrack_engine)
+
+(* ---------- incremental ---------- *)
+
+let prop_incremental_matches_scratch =
+  QCheck.Test.make ~count:15
+    ~name:"incremental instance = from-scratch at every prefix" workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (List.length tests >= 4);
+      let quarter = List.filteri (fun i _ -> i < 2) tests in
+      let rest = List.filteri (fun i _ -> i >= 2) tests in
+      let inc = Diagnosis.Incremental.create ~k:p faulty quarter in
+      let sols_a =
+        Diagnosis.Incremental.solutions inc |> List.map sorted
+        |> List.sort compare
+      in
+      let scratch_a =
+        (Diagnosis.Bsat.diagnose ~k:p faulty quarter).Diagnosis.Bsat.solutions
+        |> List.map sorted |> List.sort compare
+      in
+      Diagnosis.Incremental.add_tests inc rest;
+      let sols_b =
+        Diagnosis.Incremental.solutions inc |> List.map sorted
+        |> List.sort compare
+      in
+      let scratch_b =
+        (Diagnosis.Bsat.diagnose ~k:p faulty tests).Diagnosis.Bsat.solutions
+        |> List.map sorted |> List.sort compare
+      in
+      sols_a = scratch_a && sols_b = scratch_b)
+
+let test_incremental_reenumeration_stable () =
+  (* two enumerations without adding tests must agree (guards retired) *)
+  let _, faulty, _, tests = workload 41 1 in
+  let inc = Diagnosis.Incremental.create ~k:1 faulty tests in
+  let a = Diagnosis.Incremental.solutions inc |> List.sort compare in
+  let b = Diagnosis.Incremental.solutions inc |> List.sort compare in
+  Alcotest.(check (list (list int))) "same twice" a b
+
+(* ---------- xlist ---------- *)
+
+let prop_xlist_contains_single_error =
+  QCheck.Test.make ~count:30
+    ~name:"Xlist candidates contain the single error site" workload_gen
+    (fun (seed, _) ->
+      let _, faulty, errors, tests = workload seed 1 in
+      QCheck.assume (tests <> []);
+      let site = List.hd (Sim.Fault.sites errors) in
+      List.for_all
+        (fun t -> List.mem site (Diagnosis.Xlist.candidates_for_test faulty t))
+        tests)
+
+let prop_xlist_contains_all_singleton_corrections =
+  QCheck.Test.make ~count:15
+    ~name:"Xlist per-test sets contain every single-gate correction"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let gates = Array.to_list (C.gate_ids faulty) in
+      List.for_all
+        (fun t ->
+          let xs = Diagnosis.Xlist.candidates_for_test faulty t in
+          List.for_all
+            (fun g ->
+              (not (Diagnosis.Validity.check_sim faulty [ t ] [ g ]))
+              || List.mem g xs)
+            gates)
+        tests)
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_distances () =
+  let c = fst Bench_suite.Paper_circuits.fig5a in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let d = Diagnosis.Metrics.distances c ~error_sites:[ g "D" ] in
+  Alcotest.(check int) "D itself" 0 d.(g "D");
+  Alcotest.(check int) "B adjacent" 1 d.(g "B");
+  Alcotest.(check int) "A two away" 2 d.(g "A")
+
+let test_metrics_solution_quality () =
+  let c = fst Bench_suite.Paper_circuits.fig5a in
+  let g n = Bench_suite.Paper_circuits.gate c n in
+  let q =
+    Diagnosis.Metrics.solutions_quality c ~error_sites:[ g "D" ]
+      [ [ g "D" ]; [ g "B" ] ]
+  in
+  Alcotest.(check int) "count" 2 q.Diagnosis.Metrics.count;
+  Alcotest.(check (float 1e-9)) "min" 0.0 q.Diagnosis.Metrics.min_avg;
+  Alcotest.(check (float 1e-9)) "max" 1.0 q.Diagnosis.Metrics.max_avg;
+  Alcotest.(check (float 1e-9)) "avg" 0.5 q.Diagnosis.Metrics.avg_avg
+
+let test_metrics_hit_rate () =
+  let sites = [ 5 ] in
+  Alcotest.(check (float 1e-9)) "half hit" 0.5
+    (Diagnosis.Metrics.hit_rate ~error_sites:sites [ [ 5; 7 ]; [ 9 ] ])
+
+(* ---------- end-to-end façade ---------- *)
+
+let test_core_diagnose_end_to_end () =
+  let golden = Netlist.Generators.alu 3 in
+  let faulty, errors = Core.Injector.inject ~seed:7 ~num_errors:1 golden in
+  let report = Core.diagnose ~golden ~faulty ~k:1 () in
+  Alcotest.(check bool) "tests found" true (report.Core.tests <> []);
+  let site = List.hd (Sim.Fault.sites errors) in
+  Alcotest.(check bool) "some BSAT solution contains/equals the site" true
+    (List.exists (fun s -> List.mem site s) report.Core.bsat_solutions
+    || report.Core.bsat_solutions <> [])
+
+let test_s27_end_to_end () =
+  let golden = Bench_suite.Embedded.s27 () in
+  let faulty, _ = Core.Injector.inject ~seed:3 ~num_errors:1 golden in
+  let tests = Core.Testgen.exhaustive ~golden ~faulty in
+  Alcotest.(check bool) "s27 error detectable" true (tests <> []);
+  let use = List.filteri (fun i _ -> i < 8) tests in
+  let r = Diagnosis.Bsat.diagnose ~k:1 faulty use in
+  Alcotest.(check bool) "diagnosis non-empty" true
+    (r.Diagnosis.Bsat.solutions <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "valid" true
+        (Diagnosis.Validity.check_sim faulty use s))
+    r.Diagnosis.Bsat.solutions
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pt_single_error_site_marked;
+      prop_bsim_pigeonhole;
+      prop_validity_engines_agree;
+      prop_error_sites_are_valid_correction;
+      prop_cov_engines_agree;
+      prop_cov_solutions_cover_and_irredundant;
+      prop_cover_engines_on_raw_instances;
+      prop_bsat_solutions_valid;
+      prop_bsat_complete;
+      prop_bsat_finds_error_subset;
+      prop_bsat_solutions_essential;
+      prop_bsat_strategies_agree;
+      prop_advanced_sim_subset_of_bsat;
+      prop_advanced_sim_valid;
+      prop_advanced_sat_dominators_valid;
+      prop_advanced_sat_partitioned_valid;
+      prop_hybrid_guided_same_solutions;
+      prop_hybrid_repair_valid;
+      prop_incremental_matches_scratch;
+      prop_xlist_contains_single_error;
+      prop_xlist_contains_all_singleton_corrections;
+    ]
+
+let () =
+  Alcotest.run "diagnosis"
+    [
+      ( "path_trace",
+        [
+          Alcotest.test_case "fig5a marks" `Quick test_pt_fig5a_marks;
+          Alcotest.test_case "fig5b marks" `Quick test_pt_fig5b_marks;
+          Alcotest.test_case "All_inputs superset" `Quick
+            test_pt_all_inputs_superset;
+          Alcotest.test_case "output gate marked" `Quick
+            test_pt_marks_erroneous_output_gate;
+        ] );
+      ( "bsim",
+        [
+          Alcotest.test_case "mark counts" `Quick test_bsim_counts;
+          Alcotest.test_case "single-error intersection" `Quick
+            test_bsim_single_error_intersection;
+        ] );
+      ( "validity",
+        [
+          Alcotest.test_case "fig5a engines" `Quick test_validity_fig5a;
+          Alcotest.test_case "essential" `Quick test_validity_essential;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "Lemma 2 / Theorem 1" `Quick test_cov_fig5a_lemma2;
+          Alcotest.test_case "Lemma 4 / Theorem 2" `Quick test_cov_fig5b_lemma4;
+          Alcotest.test_case "engines agree on fig5" `Quick
+            test_cov_engines_agree_fig5;
+        ] );
+      ( "bsat",
+        [
+          Alcotest.test_case "first solution minimal" `Quick
+            test_bsat_first_solution_minimum;
+        ] );
+      ( "hybrid",
+        [ Alcotest.test_case "repair fig5a" `Quick test_hybrid_repair_fig5a ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "re-enumeration stable" `Quick
+            test_incremental_reenumeration_stable;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "distances" `Quick test_metrics_distances;
+          Alcotest.test_case "solution quality" `Quick
+            test_metrics_solution_quality;
+          Alcotest.test_case "hit rate" `Quick test_metrics_hit_rate;
+        ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "core facade" `Quick test_core_diagnose_end_to_end;
+          Alcotest.test_case "s27" `Quick test_s27_end_to_end;
+        ] );
+      ("properties", qtests);
+    ]

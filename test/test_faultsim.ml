@@ -1,0 +1,307 @@
+(* Tests for the production-test substrate: stuck-at faults, the
+   parallel-pattern fault simulator, dictionary diagnosis, and the
+   wrong-connection error model. *)
+
+module C = Netlist.Circuit
+module SA = Sim.Stuck_at
+
+let adder = Netlist.Generators.ripple_carry_adder 4
+
+let random_vectors rng c n =
+  List.init n (fun _ ->
+      Array.init (C.num_inputs c) (fun _ -> Random.State.bool rng))
+
+(* ---------- stuck-at model ---------- *)
+
+let test_all_faults_count () =
+  let c = adder in
+  let expected = 2 * (C.num_inputs c + Array.length (C.gate_ids c)) in
+  Alcotest.(check int) "two per node" expected (List.length (SA.all_faults c))
+
+let test_apply_gate_fault () =
+  let c = adder in
+  let g = (C.gate_ids c).(3) in
+  let faulty = SA.apply c { SA.gate = g; value = true } in
+  let v = Array.make (C.num_inputs c) false in
+  let values = Sim.Simulator.eval faulty v in
+  Alcotest.(check bool) "gate pinned to 1" true values.(g);
+  Alcotest.(check int) "same interface" (C.num_outputs c)
+    (C.num_outputs faulty)
+
+let test_apply_input_fault () =
+  let c = adder in
+  let pi = c.C.inputs.(2) in
+  let faulty = SA.apply c { SA.gate = pi; value = true } in
+  (* with inputs all 0 but a2 stuck at 1: sum = 4 *)
+  let v = Array.make (C.num_inputs c) false in
+  let out = Sim.Simulator.outputs faulty v in
+  Alcotest.(check bool) "bit 2 of sum" true out.(2);
+  Alcotest.(check bool) "bit 0 of sum" false out.(0);
+  Alcotest.(check int) "interface preserved" (C.num_inputs c)
+    (C.num_inputs faulty)
+
+(* ---------- fault simulation ---------- *)
+
+let test_detection_mask_matches_bruteforce () =
+  let c = Netlist.Generators.random_dag ~seed:3 ~num_inputs:7 ~num_gates:60
+      ~num_outputs:4 () in
+  let rng = Random.State.make [| 7 |] in
+  let vectors = random_vectors rng c 64 in
+  let words =
+    Array.init (C.num_inputs c) (fun i ->
+        List.fold_left
+          (fun (w, p) v ->
+            ((if v.(i) then Int64.logor w (Int64.shift_left 1L p) else w), p + 1))
+          (0L, 0) vectors
+        |> fst)
+  in
+  let good = Sim.Simulator.eval_word c words in
+  let faults = SA.all_faults c in
+  List.iteri
+    (fun fi f ->
+      if fi mod 7 = 0 then begin
+        (* sampled brute force: apply the fault, compare full simulations *)
+        let faulty = SA.apply c f in
+        let mask = Sim.Fault_sim.detection_mask c ~good f in
+        List.iteri
+          (fun p v ->
+            let detected_bf =
+              Sim.Simulator.outputs c v <> Sim.Simulator.outputs faulty v
+            in
+            let detected_mask =
+              Int64.logand (Int64.shift_right_logical mask p) 1L = 1L
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "fault %d pattern %d" fi p)
+              detected_bf detected_mask)
+          vectors
+      end)
+    faults
+
+let test_run_with_dropping () =
+  let c = adder in
+  let rng = Random.State.make [| 9 |] in
+  let vectors = random_vectors rng c 200 in
+  let faults = SA.all_faults c in
+  let r = Sim.Fault_sim.run c ~vectors ~faults in
+  Alcotest.(check int) "partition"
+    (List.length faults)
+    (List.length r.Sim.Fault_sim.detected
+    + List.length r.Sim.Fault_sim.undetected);
+  Alcotest.(check bool) "adder faults mostly detectable" true
+    (r.Sim.Fault_sim.coverage > 0.9);
+  (* each detected fault really is detected by the named vector *)
+  let varr = Array.of_list vectors in
+  List.iter
+    (fun (f, vi) ->
+      let faulty = SA.apply c f in
+      Alcotest.(check bool) "witness vector detects" true
+        (Sim.Simulator.outputs c varr.(vi)
+        <> Sim.Simulator.outputs faulty varr.(vi)))
+    r.Sim.Fault_sim.detected
+
+let test_run_no_drop_same_coverage () =
+  let c = adder in
+  let rng = Random.State.make [| 10 |] in
+  let vectors = random_vectors rng c 100 in
+  let faults = SA.all_faults c in
+  let with_drop = Sim.Fault_sim.run ~drop:true c ~vectors ~faults in
+  let no_drop = Sim.Fault_sim.run ~drop:false c ~vectors ~faults in
+  Alcotest.(check (float 1e-9)) "coverage equal"
+    with_drop.Sim.Fault_sim.coverage no_drop.Sim.Fault_sim.coverage
+
+(* ---------- dictionary diagnosis ---------- *)
+
+let test_dictionary_exact_match () =
+  let c = adder in
+  let rng = Random.State.make [| 11 |] in
+  let vectors = Array.of_list (random_vectors rng c 64) in
+  let faults = SA.all_faults c in
+  let dict = Diagnosis.Dictionary.build c ~vectors ~faults in
+  Alcotest.(check int) "entries" (List.length faults)
+    (Diagnosis.Dictionary.num_entries dict);
+  (* take a detectable fault as the DUT defect *)
+  let f = { SA.gate = (C.gate_ids c).(5); value = false } in
+  let dut = SA.apply c f in
+  let observed = Diagnosis.Dictionary.observe c ~dut ~vectors in
+  let matches = Diagnosis.Dictionary.exact_matches dict observed in
+  Alcotest.(check bool) "defect in its equivalence class" true
+    (List.exists (SA.equal f) matches);
+  (* every exact match is behaviourally identical on the test set *)
+  List.iter
+    (fun f' ->
+      Alcotest.(check bool) "same signature" true
+        (Sim.Fault_sim.signature c ~vectors f'
+        = Sim.Fault_sim.signature c ~vectors f))
+    matches
+
+let test_dictionary_ranking () =
+  let c = adder in
+  let rng = Random.State.make [| 12 |] in
+  let vectors = Array.of_list (random_vectors rng c 64) in
+  let faults = SA.all_faults c in
+  let dict = Diagnosis.Dictionary.build c ~vectors ~faults in
+  let f = { SA.gate = (C.gate_ids c).(2); value = true } in
+  let dut = SA.apply c f in
+  let observed = Diagnosis.Dictionary.observe c ~dut ~vectors in
+  (match Diagnosis.Dictionary.ranked ~top:3 dict observed with
+  | (best, d) :: _ ->
+      Alcotest.(check int) "top distance zero" 0 d;
+      Alcotest.(check bool) "top is equivalent to the defect" true
+        (Sim.Fault_sim.signature c ~vectors best
+        = Sim.Fault_sim.signature c ~vectors f)
+  | [] -> Alcotest.fail "empty ranking");
+  (* distances are sorted ascending *)
+  let ds = List.map snd (Diagnosis.Dictionary.ranked dict observed) in
+  Alcotest.(check bool) "sorted" true (List.sort compare ds = ds)
+
+(* ---------- ATPG ---------- *)
+
+let test_atpg_vector_detects () =
+  let c = Netlist.Generators.alu 3 in
+  List.iteri
+    (fun i f ->
+      if i mod 9 = 0 then
+        match Diagnosis.Atpg.for_stuck_at c f with
+        | Diagnosis.Atpg.Untestable -> ()
+        | Diagnosis.Atpg.Test v ->
+            let faulty = SA.apply c f in
+            Alcotest.(check bool) "vector detects" true
+              (Sim.Simulator.outputs c v <> Sim.Simulator.outputs faulty v))
+    (SA.all_faults c)
+
+let test_atpg_redundant_fault () =
+  (* y = OR(x, NOT x) is constantly 1: y stuck-at-1 is untestable *)
+  let b = Netlist.Builder.create ~name:"red" in
+  let x = Netlist.Builder.input ~name:"x" b in
+  let nx = Netlist.Builder.not_ ~name:"nx" b x in
+  let y = Netlist.Builder.or_ ~name:"y" b x nx in
+  Netlist.Builder.output b y;
+  let c = Netlist.Builder.build b in
+  let yid = C.id_of_name c "y" in
+  Alcotest.(check bool) "s-a-1 at y redundant" true
+    (Diagnosis.Atpg.for_stuck_at c { SA.gate = yid; value = true }
+    = Diagnosis.Atpg.Untestable);
+  Alcotest.(check bool) "s-a-0 at y testable" true
+    (match Diagnosis.Atpg.for_stuck_at c { SA.gate = yid; value = false } with
+    | Diagnosis.Atpg.Test _ -> true
+    | Diagnosis.Atpg.Untestable -> false)
+
+let test_atpg_full_coverage () =
+  let c = Netlist.Generators.multiplier 3 in
+  let r = Diagnosis.Atpg.cover_stuck_at c in
+  Alcotest.(check (list string)) "nothing aborted" []
+    (List.map (Format.asprintf "%a" (SA.pp c)) r.Diagnosis.Atpg.aborted);
+  (* the deterministic set must cover every testable fault *)
+  let testable =
+    List.filter
+      (fun f -> not (List.mem f r.Diagnosis.Atpg.untestable))
+      (SA.all_faults c)
+  in
+  let grade =
+    Sim.Fault_sim.run c ~vectors:r.Diagnosis.Atpg.tests ~faults:testable
+  in
+  Alcotest.(check (list string)) "all testable detected" []
+    (List.map
+       (Format.asprintf "%a" (SA.pp c))
+       grade.Sim.Fault_sim.undetected);
+  (* the deterministic set is much smaller than the fault universe *)
+  Alcotest.(check bool) "compact" true
+    (List.length r.Diagnosis.Atpg.tests < List.length testable)
+
+let test_atpg_gate_change () =
+  let c = Netlist.Generators.parity_tree 4 in
+  let g = (C.gate_ids c).(0) in
+  let e =
+    { Sim.Fault.gate = g; original = c.C.kinds.(g);
+      replacement = Netlist.Gate.Xnor }
+  in
+  match Diagnosis.Atpg.for_gate_change c e with
+  | Diagnosis.Atpg.Untestable -> Alcotest.fail "XOR->XNOR is observable"
+  | Diagnosis.Atpg.Test v ->
+      let faulty = Sim.Fault.apply c [ e ] in
+      Alcotest.(check bool) "distinguishes" true
+        (Sim.Simulator.outputs c v <> Sim.Simulator.outputs faulty v)
+
+(* ---------- wrong-connection errors ---------- *)
+
+let test_connection_apply_undo () =
+  let c = adder in
+  let faulty, e = Sim.Connection.inject ~seed:5 c in
+  Alcotest.(check bool) "wiring changed" true
+    (faulty.C.fanins.(e.Sim.Connection.gate).(e.Sim.Connection.port)
+    = e.Sim.Connection.wrong);
+  let restored = Sim.Connection.undo faulty e in
+  Alcotest.(check bool) "undo restores" true
+    (restored.C.fanins = c.C.fanins)
+
+let test_connection_acyclic () =
+  for seed = 0 to 20 do
+    let c = Netlist.Generators.random_dag ~seed:(100 + seed) ~num_inputs:8
+        ~num_gates:80 ~num_outputs:5 () in
+    (* inject must never raise Circuit.Invalid (cycle) *)
+    let faulty, _ = Sim.Connection.inject ~seed c in
+    Alcotest.(check int) "same size" (C.size c) (C.size faulty)
+  done
+
+let test_bsat_diagnoses_connection_error () =
+  let hits = ref 0 in
+  let total = ref 0 in
+  for seed = 1 to 10 do
+    let golden = Netlist.Generators.random_dag ~seed:(200 + seed)
+        ~num_inputs:8 ~num_gates:60 ~num_outputs:4 () in
+    let faulty, e = Sim.Connection.inject ~seed golden in
+    let tests =
+      Sim.Testgen.generate ~seed:(seed + 300) ~max_vectors:4096 ~wanted:8
+        ~golden ~faulty
+    in
+    if tests <> [] then begin
+      incr total;
+      let r = Diagnosis.Bsat.diagnose ~k:1 faulty tests in
+      (* the mis-wired gate can always absorb the correction *)
+      Alcotest.(check bool) "gate among solutions" true
+        (List.exists (List.mem e.Sim.Connection.gate)
+           r.Diagnosis.Bsat.solutions);
+      if r.Diagnosis.Bsat.solutions = [ [ e.Sim.Connection.gate ] ] then
+        incr hits
+    end
+  done;
+  Alcotest.(check bool) "some case was detectable" true (!total > 0)
+
+let () =
+  Alcotest.run "faultsim"
+    [
+      ( "stuck_at",
+        [
+          Alcotest.test_case "fault universe" `Quick test_all_faults_count;
+          Alcotest.test_case "apply gate fault" `Quick test_apply_gate_fault;
+          Alcotest.test_case "apply input fault" `Quick test_apply_input_fault;
+        ] );
+      ( "fault_sim",
+        [
+          Alcotest.test_case "mask = brute force" `Quick
+            test_detection_mask_matches_bruteforce;
+          Alcotest.test_case "run with dropping" `Quick test_run_with_dropping;
+          Alcotest.test_case "drop does not change coverage" `Quick
+            test_run_no_drop_same_coverage;
+        ] );
+      ( "dictionary",
+        [
+          Alcotest.test_case "exact match" `Quick test_dictionary_exact_match;
+          Alcotest.test_case "ranking" `Quick test_dictionary_ranking;
+        ] );
+      ( "atpg",
+        [
+          Alcotest.test_case "vector detects" `Quick test_atpg_vector_detects;
+          Alcotest.test_case "redundant fault" `Quick test_atpg_redundant_fault;
+          Alcotest.test_case "full coverage" `Quick test_atpg_full_coverage;
+          Alcotest.test_case "gate change" `Quick test_atpg_gate_change;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "apply/undo" `Quick test_connection_apply_undo;
+          Alcotest.test_case "acyclic injection" `Quick test_connection_acyclic;
+          Alcotest.test_case "BSAT diagnoses rewiring" `Quick
+            test_bsat_diagnoses_connection_error;
+        ] );
+    ]

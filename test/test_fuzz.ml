@@ -1,0 +1,193 @@
+(* Cross-substrate fuzz properties: each pits two independent
+   implementations of the same semantics against each other on random
+   circuits, closing the loops between parser/printer, BDD/SAT/simulator
+   and the sequential engines. *)
+
+module C = Netlist.Circuit
+
+let circuit_gen =
+  QCheck.make
+    ~print:(fun (seed, ni, ng) -> Printf.sprintf "seed=%d ni=%d ng=%d" seed ni ng)
+    QCheck.Gen.(triple (int_range 0 5000) (int_range 2 10) (int_range 5 120))
+
+let make (seed, ni, ng) =
+  Netlist.Generators.random_dag ~seed ~num_inputs:ni ~num_gates:ng
+    ~num_outputs:(max 2 (ni / 2)) ()
+
+(* ---------- bench format ---------- *)
+
+let prop_bench_roundtrip_behaviour =
+  QCheck.Test.make ~count:50 ~name:"bench writer/parser roundtrip behaviour"
+    circuit_gen
+    (fun params ->
+      let c = make params in
+      let text = Netlist.Bench_format.to_string c in
+      let c' =
+        (Netlist.Bench_format.parse_string ~name:"rt" text)
+          .Netlist.Bench_format.circuit
+      in
+      (* same interface sizes and same responses; signal names are
+         preserved so inputs/outputs can be matched by name *)
+      C.num_inputs c = C.num_inputs c'
+      && C.num_outputs c = C.num_outputs c'
+      &&
+      let rng = Random.State.make [| 9 |] in
+      let idx_by_name =
+        let tbl = Hashtbl.create 16 in
+        Array.iteri
+          (fun i g -> Hashtbl.replace tbl c.C.names.(g) i)
+          c.C.inputs;
+        tbl
+      in
+      List.for_all
+        (fun _ ->
+          let v = Array.init (C.num_inputs c) (fun _ -> Random.State.bool rng) in
+          let v' =
+            Array.map
+              (fun g' -> v.(Hashtbl.find idx_by_name c'.C.names.(g')))
+              c'.C.inputs
+          in
+          let o = Sim.Simulator.outputs c v in
+          let o' = Sim.Simulator.outputs c' v' in
+          Array.for_all2 ( = )
+            (Array.map (fun g -> c.C.names.(g)) c.C.outputs)
+            (Array.map (fun g -> c'.C.names.(g)) c'.C.outputs)
+          && o = o')
+        [ 1; 2; 3; 4 ])
+
+(* ---------- BDD vs simulator vs SAT ---------- *)
+
+let prop_bdd_model_count_matches_exhaustive =
+  QCheck.Test.make ~count:30 ~name:"BDD sat_count = exhaustive count"
+    circuit_gen
+    (fun ((_, ni, _) as params) ->
+      QCheck.assume (ni <= 8);
+      let c = make params in
+      let m = Bdd.manager () in
+      let outs = Bdd.of_circuit m c in
+      let f = outs.(0) in
+      let expected = ref 0 in
+      for v = 0 to (1 lsl ni) - 1 do
+        let bits = Array.init ni (fun i -> (v lsr i) land 1 = 1) in
+        if (Sim.Simulator.outputs c bits).(0) then incr expected
+      done;
+      int_of_float (Bdd.sat_count m ~num_vars:ni f) = !expected)
+
+let prop_bdd_any_sat_agrees_with_sat_solver =
+  QCheck.Test.make ~count:30 ~name:"BDD satisfiability = CDCL satisfiability"
+    circuit_gen
+    (fun params ->
+      let c = make params in
+      let m = Bdd.manager () in
+      let outs = Bdd.of_circuit m c in
+      (* is output 0 satisfiable (can it be 1)? via BDD and via CDCL *)
+      let bdd_sat = Bdd.any_sat m outs.(0) <> None in
+      let solver = Sat.Solver.create () in
+      let vars = Encode.Tseitin.encode (Encode.Emit.of_solver solver) c in
+      Sat.Solver.add_clause solver
+        [ Sat.Lit.pos vars.(c.C.outputs.(0)) ];
+      let cdcl_sat = Sat.Solver.solve solver = Sat.Solver.Sat in
+      bdd_sat = cdcl_sat)
+
+(* ---------- sequential completeness on tiny machines ---------- *)
+
+let prop_seq_bsat_complete_tiny =
+  QCheck.Test.make ~count:15
+    ~name:"sequential BSAT = brute-force over single core gates"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "seed=%d" s)
+       QCheck.Gen.(int_range 0 500))
+    (fun seed ->
+      let s =
+        Bench_suite.Seq_workload.synthetic_machine ~seed ~inputs:6 ~gates:16
+          ~outputs:5 ~state:2
+      in
+      let faulty_comb, _ =
+        Sim.Injector.inject ~seed:(seed + 1) ~num_errors:1
+          s.Sim.Sequential.comb
+      in
+      let faulty = Sim.Sequential.with_comb s faulty_comb in
+      let tests =
+        Sim.Seq_testgen.generate ~seed:(seed + 2) ~length:3
+          ~max_sequences:500 ~wanted:4 ~golden:s ~faulty
+      in
+      QCheck.assume (tests <> []);
+      let found =
+        (Diagnosis.Seq_diag.diagnose_bsat ~k:1 faulty tests)
+          .Diagnosis.Seq_diag.solutions
+        |> List.concat |> List.sort_uniq Int.compare
+      in
+      (* brute force: every single core gate checked with the sequential
+         validity oracle *)
+      let expected =
+        Array.to_list (C.gate_ids faulty.Sim.Sequential.comb)
+        |> List.filter (fun g -> Diagnosis.Seq_diag.check faulty tests [ g ])
+        |> List.sort_uniq Int.compare
+      in
+      found = expected)
+
+(* ---------- xsim monotonicity ---------- *)
+
+let prop_xsim_monotone =
+  QCheck.Test.make ~count:40 ~name:"more X sources never un-X an output"
+    circuit_gen
+    (fun ((seed, ni, _) as params) ->
+      let c = make params in
+      let rng = Random.State.make [| seed |] in
+      let v = Array.init ni (fun _ -> Random.State.bool rng) in
+      let gates = C.gate_ids c in
+      let g1 = gates.(Random.State.int rng (Array.length gates)) in
+      let g2 = gates.(Random.State.int rng (Array.length gates)) in
+      let one = Sim.Xsim.with_x_at c v [ g1 ] in
+      let two = Sim.Xsim.with_x_at c v [ g1; g2 ] in
+      (* Kleene monotonicity: less defined inputs, less defined outputs *)
+      Array.for_all
+        (fun o ->
+          match (one.(o), two.(o)) with
+          | Sim.Xsim.X, Sim.Xsim.X -> true
+          | Sim.Xsim.X, (Sim.Xsim.F | Sim.Xsim.T) -> false
+          | bv, bv' -> Sim.Xsim.equal bv bv' || Sim.Xsim.equal bv' Sim.Xsim.X)
+        c.C.outputs)
+
+(* ---------- connection errors are diagnosable and rectifiable ---------- *)
+
+let prop_connection_error_rectifiable =
+  QCheck.Test.make ~count:15 ~name:"wrong connections admit a repair"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "seed=%d" s)
+       QCheck.Gen.(int_range 0 500))
+    (fun seed ->
+      let golden =
+        Netlist.Generators.random_dag ~seed:(seed + 900) ~num_inputs:7
+          ~num_gates:50 ~num_outputs:4 ()
+      in
+      let faulty, _ = Sim.Connection.inject ~seed golden in
+      let tests =
+        Sim.Testgen.generate ~seed:(seed + 1) ~max_vectors:2048 ~wanted:8
+          ~golden ~faulty
+      in
+      QCheck.assume (tests <> []);
+      match Diagnosis.Rectify.rectify ~k:2 faulty tests with
+      | None ->
+          (* acceptable only if no correction of size <= 2 exists *)
+          (Diagnosis.Bsat.diagnose ~max_solutions:1 ~k:2 faulty tests)
+            .Diagnosis.Bsat.solutions = []
+      | Some r ->
+          List.for_all
+            (fun t -> not (Sim.Testgen.fails r.Diagnosis.Rectify.repaired t))
+            tests)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "cross-substrate",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bench_roundtrip_behaviour;
+            prop_bdd_model_count_matches_exhaustive;
+            prop_bdd_any_sat_agrees_with_sat_solver;
+            prop_seq_bsat_complete_tiny;
+            prop_xsim_monotone;
+            prop_connection_error_rectifiable;
+          ] );
+    ]

@@ -1,0 +1,604 @@
+(* Tests for the netlist substrate: gates, circuits, builder, .bench
+   parsing, structural analyses, dominators and generators. *)
+
+module G = Netlist.Gate
+module C = Netlist.Circuit
+module B = Netlist.Builder
+
+(* ---------- Gate ---------- *)
+
+let test_gate_eval_truth_tables () =
+  let check kind a b expect =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %b %b" (G.to_string kind) a b)
+      expect
+      (G.eval kind [| a; b |])
+  in
+  List.iter
+    (fun (a, b) ->
+      check G.And a b (a && b);
+      check G.Nand a b (not (a && b));
+      check G.Or a b (a || b);
+      check G.Nor a b (not (a || b));
+      check G.Xor a b (a <> b);
+      check G.Xnor a b (a = b))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_gate_eval_unary () =
+  Alcotest.(check bool) "not" true (G.eval G.Not [| false |]);
+  Alcotest.(check bool) "buf" false (G.eval G.Buf [| false |]);
+  Alcotest.(check bool) "const1" true (G.eval G.Const1 [||]);
+  Alcotest.(check bool) "const0" false (G.eval G.Const0 [||])
+
+let test_gate_word_matches_bool () =
+  (* every kind, 3 fanins, all 8 patterns at once *)
+  List.iter
+    (fun kind ->
+      if G.arity_ok kind 3 then begin
+        let words =
+          [|
+            0b10101010L (* fanin 0 per pattern *); 0b11001100L; 0b11110000L;
+          |]
+        in
+        let w = G.eval_word kind words in
+        for p = 0 to 7 do
+          let bit x = Int64.logand (Int64.shift_right_logical x p) 1L = 1L in
+          let expect = G.eval kind [| bit words.(0); bit words.(1); bit words.(2) |] in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s pattern %d" (G.to_string kind) p)
+            expect (bit w)
+        done
+      end)
+    G.all_logic
+
+let test_gate_string_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (G.to_string k) true
+        (G.of_string (G.to_string k) = Some k))
+    (G.Input :: G.Const0 :: G.Const1 :: G.all_logic);
+  Alcotest.(check bool) "BUFF alias" true (G.of_string "buff" = Some G.Buf);
+  Alcotest.(check bool) "unknown" true (G.of_string "MAJ" = None)
+
+let test_controlling_values () =
+  Alcotest.(check bool) "and" true (G.controlling_value G.And = Some false);
+  Alcotest.(check bool) "nor" true (G.controlling_value G.Nor = Some true);
+  Alcotest.(check bool) "xor" true (G.controlling_value G.Xor = None)
+
+let test_alternatives () =
+  let alts = G.alternatives G.And ~arity:2 in
+  Alcotest.(check bool) "no self" true (not (List.mem G.And alts));
+  Alcotest.(check bool) "no unary" true (not (List.mem G.Not alts));
+  Alcotest.(check int) "five binary alternatives" 5 (List.length alts);
+  let alts1 = G.alternatives G.Not ~arity:1 in
+  Alcotest.(check bool) "not -> others incl buf" true (List.mem G.Buf alts1)
+
+(* ---------- Builder / Circuit ---------- *)
+
+let tiny_circuit () =
+  (* y = (a AND b) XOR c *)
+  let b = B.create ~name:"tiny" in
+  let a = B.input ~name:"a" b in
+  let bb = B.input ~name:"b" b in
+  let c = B.input ~name:"c" b in
+  let t = B.and_ ~name:"t" b a bb in
+  let y = B.xor_ ~name:"y" b t c in
+  B.output b y;
+  B.build b
+
+let test_builder_basic () =
+  let c = tiny_circuit () in
+  Alcotest.(check int) "size" 5 (C.size c);
+  Alcotest.(check int) "inputs" 3 (C.num_inputs c);
+  Alcotest.(check int) "outputs" 1 (C.num_outputs c);
+  Alcotest.(check int) "gates" 2 (Array.length (C.gate_ids c));
+  Alcotest.(check int) "depth" 2 (C.depth c)
+
+let test_circuit_fanouts () =
+  let c = tiny_circuit () in
+  let a = C.id_of_name c "a" in
+  let t = C.id_of_name c "t" in
+  Alcotest.(check (list int)) "a feeds t" [ t ]
+    (Array.to_list c.C.fanouts.(a))
+
+let test_circuit_cycle_rejected () =
+  (* hand-build a cycle: g0 = AND(g1), g1 = AND(g0) is ill-arity; use
+     not gates *)
+  Alcotest.check_raises "cycle"
+    (C.Invalid "circuit contains a combinational cycle") (fun () ->
+      ignore
+        (C.create ~name:"cyc"
+           ~kinds:[| G.Not; G.Not |]
+           ~fanins:[| [| 1 |]; [| 0 |] |]
+           ~names:[| "x"; "y" |]
+           ~inputs:[||] ~outputs:[| 0 |]))
+
+let test_circuit_duplicate_names_rejected () =
+  Alcotest.(check bool) "dup names" true
+    (match
+       C.create ~name:"dup" ~kinds:[| G.Input; G.Input |]
+         ~fanins:[| [||]; [||] |] ~names:[| "x"; "x" |] ~inputs:[| 0; 1 |]
+         ~outputs:[| 0 |]
+     with
+    | exception C.Invalid _ -> true
+    | _ -> false)
+
+let test_with_kinds () =
+  let c = tiny_circuit () in
+  let t = C.id_of_name c "t" in
+  let c' = C.with_kinds c [ (t, G.Or) ] in
+  Alcotest.(check bool) "changed" true (c'.C.kinds.(t) = G.Or);
+  Alcotest.(check bool) "original untouched" true (c.C.kinds.(t) = G.And);
+  Alcotest.(check bool) "bad arity rejected" true
+    (match C.with_kinds c [ (t, G.Not) ] with
+    | exception C.Invalid _ -> true
+    | _ -> false)
+
+let test_topo_property () =
+  let c = Netlist.Generators.random_dag ~seed:7 ~num_inputs:12 ~num_gates:150
+      ~num_outputs:8 () in
+  let pos = Array.make (C.size c) 0 in
+  Array.iteri (fun i g -> pos.(g) <- i) c.C.topo;
+  Array.iteri
+    (fun g fi ->
+      Array.iter
+        (fun h ->
+          Alcotest.(check bool) "fanin before gate" true (pos.(h) < pos.(g)))
+        fi)
+    c.C.fanins
+
+(* ---------- bench format ---------- *)
+
+let s27_text =
+  "# s27 benchmark\n\
+   INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\n\
+   G14 = NOT(G0)\nG17 = NOT(G11)\nG8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\nG16 = OR(G3, G8)\nG9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\nG11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let test_bench_parse_s27 () =
+  let p = Netlist.Bench_format.parse_string ~name:"s27" s27_text in
+  let c = p.Netlist.Bench_format.circuit in
+  (* 4 PIs + 3 DFF pseudo-PIs *)
+  Alcotest.(check int) "inputs" 7 (C.num_inputs c);
+  (* 1 PO + 3 DFF pseudo-POs *)
+  Alcotest.(check int) "outputs" 4 (C.num_outputs c);
+  Alcotest.(check int) "dffs" 3 (List.length p.Netlist.Bench_format.dff_pairs);
+  Alcotest.(check int) "gates" 10 (Array.length (C.gate_ids c))
+
+let test_bench_roundtrip () =
+  let p = Netlist.Bench_format.parse_string ~name:"s27" s27_text in
+  let text = Netlist.Bench_format.to_string p.Netlist.Bench_format.circuit in
+  let p2 = Netlist.Bench_format.parse_string ~name:"s27rt" text in
+  let c1 = p.Netlist.Bench_format.circuit
+  and c2 = p2.Netlist.Bench_format.circuit in
+  Alcotest.(check int) "size" (C.size c1) (C.size c2);
+  Alcotest.(check int) "outputs" (C.num_outputs c1) (C.num_outputs c2);
+  (* same simulation behaviour on a few vectors *)
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 16 do
+    let v = Array.init (C.num_inputs c1) (fun _ -> Random.State.bool rng) in
+    (* align inputs by name *)
+    let v2 =
+      Array.map
+        (fun g2 ->
+          let name = c2.C.names.(g2) in
+          let idx1 =
+            let id1 = C.id_of_name c1 name in
+            let rec find i = if c1.C.inputs.(i) = id1 then i else find (i + 1) in
+            find 0
+          in
+          v.(idx1))
+        c2.C.inputs
+    in
+    let o1 = Sim.Simulator.outputs c1 v in
+    let o2 = Sim.Simulator.outputs c2 v2 in
+    (* outputs may be reordered; compare by driving gate name *)
+    Array.iteri
+      (fun i g1 ->
+        let name = c1.C.names.(g1) in
+        let j = C.output_index c2 (C.id_of_name c2 name) in
+        Alcotest.(check bool) ("output " ^ name) o1.(i) o2.(j))
+      c1.C.outputs
+  done
+
+let test_bench_errors () =
+  let bad fmt_text =
+    match Netlist.Bench_format.parse_string ~name:"bad" fmt_text with
+    | exception Netlist.Bench_format.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "undefined signal" true (bad "INPUT(a)\nOUTPUT(z)\n");
+  Alcotest.(check bool) "unknown kind" true
+    (bad "INPUT(a)\nz = MAJ(a)\nOUTPUT(z)\n");
+  Alcotest.(check bool) "double definition" true
+    (bad "INPUT(a)\nz = NOT(a)\nz = BUF(a)\nOUTPUT(z)\n");
+  Alcotest.(check bool) "dff arity" true
+    (bad "INPUT(a)\nz = DFF(a, a)\nOUTPUT(z)\n")
+
+(* ---------- structural ---------- *)
+
+let test_cones () =
+  let c = tiny_circuit () in
+  let a = C.id_of_name c "a" in
+  let cc = C.id_of_name c "c" in
+  let t = C.id_of_name c "t" in
+  let y = C.id_of_name c "y" in
+  let fi = Netlist.Structural.fanin_cone c [ y ] in
+  Alcotest.(check bool) "y cone has a" true fi.(a);
+  Alcotest.(check bool) "y cone has t" true fi.(t);
+  let fo = Netlist.Structural.fanout_cone c [ a ] in
+  Alcotest.(check bool) "a reaches y" true fo.(y);
+  Alcotest.(check bool) "a does not reach c" true (not fo.(cc))
+
+let test_distance () =
+  let c = tiny_circuit () in
+  let a = C.id_of_name c "a" in
+  let t = C.id_of_name c "t" in
+  let y = C.id_of_name c "y" in
+  let d = Netlist.Structural.distance_from c [ t ] in
+  Alcotest.(check int) "t itself" 0 d.(t);
+  Alcotest.(check int) "a adjacent" 1 d.(a);
+  Alcotest.(check int) "y adjacent" 1 d.(y)
+
+(* ---------- dominators ---------- *)
+
+let test_dominators_chain () =
+  (* a -> n1 -> n2 -> out : everything dominated by downstream nodes *)
+  let b = B.create ~name:"chain" in
+  let a = B.input ~name:"a" b in
+  let n1 = B.not_ ~name:"n1" b a in
+  let n2 = B.not_ ~name:"n2" b n1 in
+  B.output b n2;
+  let c = B.build b in
+  let d = Netlist.Dominators.compute c in
+  Alcotest.(check bool) "n2 idom is sink" true
+    (Netlist.Dominators.idom d n2 = Netlist.Dominators.Sink);
+  Alcotest.(check bool) "n1 idom is n2" true
+    (Netlist.Dominators.idom d n1 = Netlist.Dominators.Gate n2);
+  Alcotest.(check bool) "n2 dominates a" true
+    (Netlist.Dominators.dominates d n2 a)
+
+let test_dominators_reconverge () =
+  (* a fans out to two paths that reconverge at r; r dominates a, the
+     branches do not *)
+  let b = B.create ~name:"reconv" in
+  let a = B.input ~name:"a" b in
+  let p = B.not_ ~name:"p" b a in
+  let q = B.not_ ~name:"q" b a in
+  let r = B.and_ ~name:"r" b p q in
+  B.output b r;
+  let c = B.build b in
+  let d = Netlist.Dominators.compute c in
+  Alcotest.(check bool) "r dominates a" true (Netlist.Dominators.dominates d r a);
+  Alcotest.(check bool) "p does not dominate a" true
+    (not (Netlist.Dominators.dominates d p a));
+  Alcotest.(check bool) "a idom r" true
+    (Netlist.Dominators.idom d a = Netlist.Dominators.Gate r)
+
+let test_dominators_dead_logic () =
+  let b = B.create ~name:"dead" in
+  let a = B.input ~name:"a" b in
+  let live = B.not_ ~name:"live" b a in
+  let dead = B.not_ ~name:"dead" b a in
+  B.output b live;
+  let c = B.build b in
+  let d = Netlist.Dominators.compute c in
+  Alcotest.(check bool) "dead unreachable" true
+    (Netlist.Dominators.idom d dead = Netlist.Dominators.Unreachable)
+
+let test_dominators_region () =
+  let b = B.create ~name:"reg" in
+  let a = B.input ~name:"a" b in
+  let p = B.not_ ~name:"p" b a in
+  let q = B.not_ ~name:"q" b a in
+  let r = B.and_ ~name:"r" b p q in
+  B.output b r;
+  let c = B.build b in
+  let d = Netlist.Dominators.compute c in
+  let region = Netlist.Dominators.region d r in
+  Alcotest.(check int) "r region = a,p,q" 3 (List.length region);
+  Alcotest.(check bool) "nontrivial includes r" true
+    (List.mem r (Netlist.Dominators.nontrivial d))
+
+(* property: on random DAGs, idom is a dominator per brute-force check on
+   sampled gates *)
+let prop_idom_is_dominator =
+  QCheck.Test.make ~count:30 ~name:"idom really dominates (sampled)"
+    QCheck.(make Gen.(int_range 0 10000))
+    (fun seed ->
+      let c =
+        Netlist.Generators.random_dag ~seed ~num_inputs:6 ~num_gates:60
+          ~num_outputs:4 ()
+      in
+      let d = Netlist.Dominators.compute c in
+      (* brute force: does removing node [dom] cut all paths g -> PO? *)
+      let reaches_output_avoiding g avoid =
+        let n = C.size c in
+        let visited = Array.make n false in
+        let rec dfs x =
+          if x = avoid || visited.(x) then false
+          else begin
+            visited.(x) <- true;
+            C.is_output c x
+            || Array.exists dfs c.C.fanouts.(x)
+          end
+        in
+        dfs g
+      in
+      Array.for_all
+        (fun g ->
+          match Netlist.Dominators.idom d g with
+          | Netlist.Dominators.Gate dom ->
+              not (reaches_output_avoiding g dom)
+          | Netlist.Dominators.Sink | Netlist.Dominators.Unreachable -> true)
+        (C.gate_ids c))
+
+(* ---------- generators ---------- *)
+
+let test_generator_determinism () =
+  let c1 = Netlist.Generators.random_dag ~seed:3 ~num_inputs:8 ~num_gates:50
+      ~num_outputs:4 () in
+  let c2 = Netlist.Generators.random_dag ~seed:3 ~num_inputs:8 ~num_gates:50
+      ~num_outputs:4 () in
+  Alcotest.(check bool) "same kinds" true (c1.C.kinds = c2.C.kinds);
+  Alcotest.(check bool) "same fanins" true (c1.C.fanins = c2.C.fanins)
+
+let test_generator_no_dead_logic () =
+  let c = Netlist.Generators.random_dag ~seed:5 ~num_inputs:10 ~num_gates:100
+      ~num_outputs:6 () in
+  let cone = Netlist.Structural.fanin_cone c (Array.to_list c.C.outputs) in
+  Array.iter
+    (fun g -> Alcotest.(check bool) "gate observable" true cone.(g))
+    (C.gate_ids c)
+
+let int_of_bits bits =
+  Array.to_list bits
+  |> List.rev
+  |> List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0
+
+let test_adder_correct () =
+  let w = 4 in
+  let c = Netlist.Generators.ripple_carry_adder w in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let vec =
+        Array.init ((2 * w) + 1) (fun i ->
+            if i < w then (a lsr i) land 1 = 1
+            else if i < 2 * w then (b lsr (i - w)) land 1 = 1
+            else false)
+      in
+      let out = Sim.Simulator.outputs c vec in
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" a b)
+        (a + b) (int_of_bits out)
+    done
+  done
+
+let test_multiplier_correct () =
+  let w = 3 in
+  let c = Netlist.Generators.multiplier w in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let vec =
+        Array.init (2 * w) (fun i ->
+            if i < w then (a lsr i) land 1 = 1
+            else (b lsr (i - w)) land 1 = 1)
+      in
+      let out = Sim.Simulator.outputs c vec in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b)
+        (int_of_bits out)
+    done
+  done
+
+let test_parity_correct () =
+  let c = Netlist.Generators.parity_tree 5 in
+  for v = 0 to 31 do
+    let vec = Array.init 5 (fun i -> (v lsr i) land 1 = 1) in
+    let expect = Array.fold_left (fun acc b -> acc <> b) false vec in
+    let out = Sim.Simulator.outputs c vec in
+    Alcotest.(check bool) (Printf.sprintf "parity %d" v) expect out.(0)
+  done
+
+let test_comparator_correct () =
+  let w = 3 in
+  let c = Netlist.Generators.comparator w in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let vec =
+        Array.init (2 * w) (fun i ->
+            if i < w then (a lsr i) land 1 = 1
+            else (b lsr (i - w)) land 1 = 1)
+      in
+      let out = Sim.Simulator.outputs c vec in
+      Alcotest.(check bool) (Printf.sprintf "eq %d %d" a b) (a = b) out.(0);
+      Alcotest.(check bool) (Printf.sprintf "lt %d %d" a b) (a < b) out.(1)
+    done
+  done
+
+let test_mux_tree_correct () =
+  let s = 3 in
+  let c = Netlist.Generators.mux_tree s in
+  let n = 1 lsl s in
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 50 do
+    let data = Array.init n (fun _ -> Random.State.bool rng) in
+    let sel = Random.State.int rng n in
+    let vec =
+      Array.init (n + s) (fun i ->
+          if i < n then data.(i) else (sel lsr (i - n)) land 1 = 1)
+    in
+    let out = Sim.Simulator.outputs c vec in
+    Alcotest.(check bool) "mux selects" data.(sel) out.(0)
+  done
+
+let test_alu_correct () =
+  let w = 4 in
+  let c = Netlist.Generators.alu w in
+  let mask = (1 lsl w) - 1 in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 100 do
+    let a = Random.State.int rng 16 and b = Random.State.int rng 16 in
+    let op = Random.State.int rng 4 in
+    let vec =
+      Array.init ((2 * w) + 2) (fun i ->
+          if i < w then (a lsr i) land 1 = 1
+          else if i < 2 * w then (b lsr (i - w)) land 1 = 1
+          else if i = 2 * w then op land 1 = 1
+          else op lsr 1 = 1)
+    in
+    let out = Sim.Simulator.outputs c vec in
+    let expect =
+      match op with
+      | 0 -> a land b
+      | 1 -> a lor b
+      | 2 -> a lxor b
+      | _ -> (a + b) land mask
+    in
+    Alcotest.(check int) (Printf.sprintf "alu op%d %d %d" op a b) expect
+      (int_of_bits out)
+  done
+
+let test_cla_matches_rca () =
+  let w = 5 in
+  let cla = Netlist.Generators.carry_lookahead_adder w in
+  let rca = Netlist.Generators.ripple_carry_adder w in
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 200 do
+    let v = Array.init ((2 * w) + 1) (fun _ -> Random.State.bool rng) in
+    Alcotest.(check bool) "cla = rca" true
+      (Sim.Simulator.outputs cla v = Sim.Simulator.outputs rca v)
+  done
+
+let test_barrel_shifter_rotates () =
+  let s = 3 in
+  let c = Netlist.Generators.barrel_shifter s in
+  let n = 1 lsl s in
+  let rng = Random.State.make [| 78 |] in
+  for _ = 1 to 100 do
+    let data = Array.init n (fun _ -> Random.State.bool rng) in
+    let amount = Random.State.int rng n in
+    let v =
+      Array.init (n + s) (fun i ->
+          if i < n then data.(i) else (amount lsr (i - n)) land 1 = 1)
+    in
+    let out = Sim.Simulator.outputs c v in
+    Array.iteri
+      (fun i o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "rot %d bit %d" amount i)
+          data.(((i - amount) mod n + n) mod n)
+          o)
+      out
+  done
+
+let test_decoder_one_hot () =
+  let s = 3 in
+  let c = Netlist.Generators.decoder s in
+  for sel = 0 to 7 do
+    let v = Array.init s (fun i -> (sel lsr i) land 1 = 1) in
+    let out = Sim.Simulator.outputs c v in
+    Array.iteri
+      (fun j o ->
+        Alcotest.(check bool) (Printf.sprintf "sel %d out %d" sel j) (j = sel)
+          o)
+      out
+  done
+
+let test_majority_correct () =
+  let n = 5 in
+  let c = Netlist.Generators.majority n in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+    let ones = Array.fold_left (fun a b -> a + if b then 1 else 0) 0 bits in
+    let out = Sim.Simulator.outputs c bits in
+    Alcotest.(check bool) (Printf.sprintf "pattern %d" v) (2 * ones > n)
+      out.(0)
+  done;
+  Alcotest.(check bool) "even inputs rejected" true
+    (match Netlist.Generators.majority 4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_c17_truth () =
+  let c = Netlist.Generators.c17 () in
+  Alcotest.(check int) "5 inputs" 5 (C.num_inputs c);
+  Alcotest.(check int) "2 outputs" 2 (C.num_outputs c);
+  Alcotest.(check int) "6 gates" 6 (Array.length (C.gate_ids c));
+  (* reference: direct NAND network evaluation *)
+  for v = 0 to 31 do
+    let bit i = (v lsr i) land 1 = 1 in
+    let nand a b = not (a && b) in
+    let n10 = nand (bit 0) (bit 2) in
+    let n11 = nand (bit 2) (bit 3) in
+    let n16 = nand (bit 1) n11 in
+    let n19 = nand n11 (bit 4) in
+    let n22 = nand n10 n16 in
+    let n23 = nand n16 n19 in
+    let out = Sim.Simulator.outputs c (Array.init 5 bit) in
+    Alcotest.(check bool) (Printf.sprintf "N22 @%d" v) n22 out.(0);
+    Alcotest.(check bool) (Printf.sprintf "N23 @%d" v) n23 out.(1)
+  done
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_eval_truth_tables;
+          Alcotest.test_case "unary and consts" `Quick test_gate_eval_unary;
+          Alcotest.test_case "word = 64x bool" `Quick test_gate_word_matches_bool;
+          Alcotest.test_case "string roundtrip" `Quick test_gate_string_roundtrip;
+          Alcotest.test_case "controlling values" `Quick test_controlling_values;
+          Alcotest.test_case "alternatives" `Quick test_alternatives;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "builder basic" `Quick test_builder_basic;
+          Alcotest.test_case "fanouts" `Quick test_circuit_fanouts;
+          Alcotest.test_case "cycle rejected" `Quick test_circuit_cycle_rejected;
+          Alcotest.test_case "dup names rejected" `Quick
+            test_circuit_duplicate_names_rejected;
+          Alcotest.test_case "with_kinds" `Quick test_with_kinds;
+          Alcotest.test_case "topo order" `Quick test_topo_property;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "parse s27" `Quick test_bench_parse_s27;
+          Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_bench_errors;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "cones" `Quick test_cones;
+          Alcotest.test_case "distance" `Quick test_distance;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "chain" `Quick test_dominators_chain;
+          Alcotest.test_case "reconvergence" `Quick test_dominators_reconverge;
+          Alcotest.test_case "dead logic" `Quick test_dominators_dead_logic;
+          Alcotest.test_case "region" `Quick test_dominators_region;
+          QCheck_alcotest.to_alcotest prop_idom_is_dominator;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          Alcotest.test_case "no dead logic" `Quick test_generator_no_dead_logic;
+          Alcotest.test_case "adder" `Quick test_adder_correct;
+          Alcotest.test_case "multiplier" `Quick test_multiplier_correct;
+          Alcotest.test_case "parity" `Quick test_parity_correct;
+          Alcotest.test_case "comparator" `Quick test_comparator_correct;
+          Alcotest.test_case "mux tree" `Quick test_mux_tree_correct;
+          Alcotest.test_case "alu" `Quick test_alu_correct;
+          Alcotest.test_case "carry lookahead" `Quick test_cla_matches_rca;
+          Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter_rotates;
+          Alcotest.test_case "decoder" `Quick test_decoder_one_hot;
+          Alcotest.test_case "majority" `Quick test_majority_correct;
+          Alcotest.test_case "c17" `Quick test_c17_truth;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+(* Unit and property tests for the SAT substrate: literals, CNF/DIMACS,
+   the reference DPLL solver and the CDCL solver (checked against each
+   other on random formulas). *)
+
+let lit = Alcotest.testable Sat.Lit.pp Sat.Lit.equal
+
+(* ---------- Lit ---------- *)
+
+let test_lit_roundtrip () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        "dimacs roundtrip" i
+        (Sat.Lit.to_dimacs (Sat.Lit.of_dimacs i)))
+    [ 1; -1; 5; -17; 42 ]
+
+let test_lit_negate () =
+  let l = Sat.Lit.pos 3 in
+  Alcotest.check lit "double negation" l Sat.Lit.(negate (negate l));
+  Alcotest.(check bool) "sign pos" true (Sat.Lit.sign l);
+  Alcotest.(check bool) "sign neg" false Sat.Lit.(sign (negate l));
+  Alcotest.(check int) "var kept" 3 Sat.Lit.(var (negate l))
+
+let test_lit_zero_rejected () =
+  Alcotest.check_raises "of_dimacs 0" (Invalid_argument "Lit.of_dimacs: zero")
+    (fun () -> ignore (Sat.Lit.of_dimacs 0))
+
+(* ---------- Cnf / DIMACS ---------- *)
+
+let clause_of_ints = List.map Sat.Lit.of_dimacs
+
+let cnf_of_lists lists =
+  let f = Sat.Cnf.create () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (clause_of_ints c)) lists;
+  f
+
+let test_dimacs_roundtrip () =
+  let f = cnf_of_lists [ [ 1; -2; 3 ]; [ -1 ]; [ 2; 3 ] ] in
+  let f' = Sat.Cnf.of_dimacs (Sat.Cnf.to_dimacs f) in
+  Alcotest.(check int) "vars" f.Sat.Cnf.num_vars f'.Sat.Cnf.num_vars;
+  Alcotest.(check int) "clauses" (Sat.Cnf.clause_count f)
+    (Sat.Cnf.clause_count f');
+  let dim g =
+    Sat.Cnf.clauses g |> List.map (List.map Sat.Lit.to_dimacs)
+  in
+  Alcotest.(check (list (list int))) "content" (dim f) (dim f')
+
+let test_dimacs_comments () =
+  let f = Sat.Cnf.of_dimacs "c a comment\np cnf 3 2\n1 -2 0\n3 0\n" in
+  Alcotest.(check int) "vars" 3 f.Sat.Cnf.num_vars;
+  Alcotest.(check int) "clauses" 2 (Sat.Cnf.clause_count f)
+
+let test_cnf_eval () =
+  let f = cnf_of_lists [ [ 1; 2 ]; [ -1; 2 ] ] in
+  Alcotest.(check bool) "sat by [_;T]" true
+    (Sat.Cnf.eval f [| false; true |]);
+  Alcotest.(check bool) "unsat by [T;F]" false
+    (Sat.Cnf.eval f [| true; false |])
+
+(* ---------- DPLL oracle ---------- *)
+
+let test_dpll_simple_sat () =
+  let f = cnf_of_lists [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ] ] in
+  match Sat.Dpll.solve f with
+  | Sat.Dpll.Sat m -> Alcotest.(check bool) "model valid" true (Sat.Cnf.eval f m)
+  | Sat.Dpll.Unsat -> Alcotest.fail "expected SAT"
+
+let test_dpll_simple_unsat () =
+  let f = cnf_of_lists [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ] in
+  match Sat.Dpll.solve f with
+  | Sat.Dpll.Sat _ -> Alcotest.fail "expected UNSAT"
+  | Sat.Dpll.Unsat -> ()
+
+let test_dpll_counting () =
+  (* x1 xor x2: two models *)
+  let f = cnf_of_lists [ [ 1; 2 ]; [ -1; -2 ] ] in
+  Alcotest.(check int) "xor has 2 models" 2 (Sat.Dpll.count_models f);
+  (* projection onto var 0: both values possible *)
+  Alcotest.(check int) "projected" 2 (Sat.Dpll.count_models ~over:[ 0 ] f)
+
+(* ---------- CDCL basic behaviour ---------- *)
+
+let solver_of_lists lists =
+  let s = Sat.Solver.create () in
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  s
+
+let check_sat expectation lists =
+  let s = solver_of_lists lists in
+  let result = Sat.Solver.solve s in
+  (match (expectation, result) with
+  | true, Sat.Solver.Sat | false, Sat.Solver.Unsat -> ()
+  | true, Sat.Solver.Unsat -> Alcotest.fail "expected SAT, got UNSAT"
+  | false, Sat.Solver.Sat -> Alcotest.fail "expected UNSAT, got SAT");
+  s
+
+let test_cdcl_empty () = ignore (check_sat true [])
+
+let test_cdcl_unit () =
+  let s = check_sat true [ [ 1 ]; [ -2 ] ] in
+  Alcotest.(check bool) "v0 true" true (Sat.Solver.value s 0);
+  Alcotest.(check bool) "v1 false" false (Sat.Solver.value s 1)
+
+let test_cdcl_empty_clause () = ignore (check_sat false [ [] ])
+
+let test_cdcl_contradiction () = ignore (check_sat false [ [ 1 ]; [ -1 ] ])
+
+let test_cdcl_model_satisfies () =
+  let lists = [ [ 1; 2; 3 ]; [ -1; -2 ]; [ -2; -3 ]; [ 2; 3 ]; [ -1; -3 ] ] in
+  let s = check_sat true lists in
+  let f = cnf_of_lists lists in
+  Alcotest.(check bool) "model satisfies" true
+    (Sat.Cnf.eval f (Sat.Solver.model s))
+
+let test_cdcl_php () =
+  (* pigeonhole: 4 pigeons, 3 holes -> UNSAT and requires real search *)
+  let var p h = (p * 3) + h + 1 in
+  let at_least = List.init 4 (fun p -> List.init 3 (fun h -> var p h)) in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+              (List.init 4 Fun.id))
+          (List.init 4 Fun.id))
+      (List.init 3 Fun.id)
+  in
+  ignore (check_sat false (at_least @ at_most))
+
+let test_cdcl_assumptions () =
+  let s = solver_of_lists [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let a1 = Sat.Lit.of_dimacs (-2) in
+  Alcotest.(check bool) "unsat under -2" true
+    (Sat.Solver.solve ~assumptions:[ a1 ] s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "sat without assumptions" true
+    (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "sat under 2" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.of_dimacs 2 ] s = Sat.Solver.Sat)
+
+let test_cdcl_incremental_blocking () =
+  (* enumerate all 4 models of (x1 or x2) over vars 1,2,3-free=absent *)
+  let s = solver_of_lists [ [ 1; 2 ] ] in
+  let rec enumerate acc =
+    match Sat.Solver.solve s with
+    | Sat.Solver.Unsat -> List.rev acc
+    | Sat.Solver.Sat ->
+        let m = (Sat.Solver.value s 0, Sat.Solver.value s 1) in
+        let block =
+          [ (if fst m then -1 else 1); (if snd m then -2 else 2) ]
+        in
+        Sat.Solver.add_clause s (clause_of_ints block);
+        enumerate (m :: acc)
+  in
+  let models = enumerate [] in
+  Alcotest.(check int) "three models of x1 | x2" 3 (List.length models);
+  let uniq = List.sort_uniq compare models in
+  Alcotest.(check int) "no duplicates" 3 (List.length uniq)
+
+let test_cdcl_stats_move () =
+  let s = solver_of_lists [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2; 3 ] ] in
+  ignore (Sat.Solver.solve s);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "did some propagations" true (st.Sat.Solver.propagations > 0)
+
+(* ---------- CDCL vs DPLL on random formulas ---------- *)
+
+let random_cnf_gen =
+  let open QCheck.Gen in
+  let* nvars = int_range 1 12 in
+  let* nclauses = int_range 1 50 in
+  let clause =
+    let* len = int_range 1 4 in
+    list_size (return len)
+      (let* v = int_range 0 (nvars - 1) in
+       let* sign = bool in
+       return (Sat.Lit.make v sign))
+  in
+  let* cls = list_size (return nclauses) clause in
+  return (nvars, List.map (List.sort_uniq Sat.Lit.compare) cls)
+
+let cnf_print (nvars, cls) =
+  Printf.sprintf "vars=%d %s" nvars
+    (String.concat " ; "
+       (List.map
+          (fun c ->
+            String.concat ","
+              (List.map (fun l -> string_of_int (Sat.Lit.to_dimacs l)) c))
+          cls))
+
+let prop_cdcl_agrees_with_dpll =
+  QCheck.Test.make ~count:500 ~name:"CDCL agrees with DPLL"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let f = Sat.Cnf.create () in
+      f.Sat.Cnf.num_vars <- nvars;
+      List.iter (Sat.Cnf.add_clause f) cls;
+      let s = Sat.Solver.create () in
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      match (Sat.Solver.solve s, Sat.Dpll.solve f) with
+      | Sat.Solver.Sat, Sat.Dpll.Sat _ ->
+          (* the CDCL model must actually satisfy the formula *)
+          Sat.Cnf.eval f (Sat.Solver.model s)
+      | Sat.Solver.Unsat, Sat.Dpll.Unsat -> true
+      | Sat.Solver.Sat, Sat.Dpll.Unsat
+      | Sat.Solver.Unsat, Sat.Dpll.Sat _ ->
+          false)
+
+let prop_enumeration_counts_models =
+  QCheck.Test.make ~count:100 ~name:"blocking-clause enumeration = model count"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      QCheck.assume (nvars <= 8);
+      let f = Sat.Cnf.create () in
+      f.Sat.Cnf.num_vars <- nvars;
+      List.iter (Sat.Cnf.add_clause f) cls;
+      let expected = Sat.Dpll.count_models f in
+      let s = Sat.Solver.create () in
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      let rec enumerate n =
+        if n > expected + 1 then n
+        else
+          match Sat.Solver.solve s with
+          | Sat.Solver.Unsat -> n
+          | Sat.Solver.Sat ->
+              let block =
+                List.init nvars (fun v ->
+                    Sat.Lit.make v (not (Sat.Solver.value s v)))
+              in
+              Sat.Solver.add_clause s block;
+              enumerate (n + 1)
+      in
+      enumerate 0 = expected)
+
+let prop_assumptions_consistent =
+  QCheck.Test.make ~count:200 ~name:"solve under assumptions = solve with units"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let mk () =
+        let s = Sat.Solver.create () in
+        Sat.Solver.ensure_vars s nvars;
+        List.iter (Sat.Solver.add_clause s) cls;
+        s
+      in
+      let assumptions =
+        List.init (min 3 nvars) (fun v -> Sat.Lit.make v (v mod 2 = 0))
+      in
+      let with_assumptions = Sat.Solver.solve ~assumptions (mk ()) in
+      let s2 = mk () in
+      List.iter (fun l -> Sat.Solver.add_clause s2 [ l ]) assumptions;
+      let with_units = Sat.Solver.solve s2 in
+      with_assumptions = with_units)
+
+let prop_solver_reusable_after_assumptions =
+  QCheck.Test.make ~count:100 ~name:"assumptions do not pollute the instance"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let s = Sat.Solver.create () in
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      let base = Sat.Solver.solve s in
+      ignore
+        (Sat.Solver.solve
+           ~assumptions:[ Sat.Lit.pos 0; Sat.Lit.neg_of (nvars - 1) ]
+           s);
+      Sat.Solver.solve s = base)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cdcl_agrees_with_dpll;
+      prop_enumeration_counts_models;
+      prop_assumptions_consistent;
+      prop_solver_reusable_after_assumptions;
+    ]
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "lit",
+        [
+          Alcotest.test_case "dimacs roundtrip" `Quick test_lit_roundtrip;
+          Alcotest.test_case "negate" `Quick test_lit_negate;
+          Alcotest.test_case "zero rejected" `Quick test_lit_zero_rejected;
+        ] );
+      ( "cnf",
+        [
+          Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "simple sat" `Quick test_dpll_simple_sat;
+          Alcotest.test_case "simple unsat" `Quick test_dpll_simple_unsat;
+          Alcotest.test_case "model counting" `Quick test_dpll_counting;
+        ] );
+      ( "cdcl",
+        [
+          Alcotest.test_case "empty instance" `Quick test_cdcl_empty;
+          Alcotest.test_case "unit clauses" `Quick test_cdcl_unit;
+          Alcotest.test_case "empty clause" `Quick test_cdcl_empty_clause;
+          Alcotest.test_case "contradiction" `Quick test_cdcl_contradiction;
+          Alcotest.test_case "model satisfies" `Quick test_cdcl_model_satisfies;
+          Alcotest.test_case "pigeonhole 4/3" `Quick test_cdcl_php;
+          Alcotest.test_case "assumptions" `Quick test_cdcl_assumptions;
+          Alcotest.test_case "incremental blocking" `Quick
+            test_cdcl_incremental_blocking;
+          Alcotest.test_case "stats move" `Quick test_cdcl_stats_move;
+        ] );
+      ("properties", qsuite);
+    ]

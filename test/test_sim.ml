@@ -1,0 +1,292 @@
+(* Tests for the simulation substrate: simulator, event-driven
+   resimulation, X-valued simulation, fault model, injector, testgen. *)
+
+module C = Netlist.Circuit
+module B = Netlist.Builder
+module G = Netlist.Gate
+
+let adder = Netlist.Generators.ripple_carry_adder 4
+
+let random_vector rng n = Array.init n (fun _ -> Random.State.bool rng)
+
+(* ---------- simulator ---------- *)
+
+let test_word_matches_scalar () =
+  let c = Netlist.Generators.random_dag ~seed:21 ~num_inputs:9 ~num_gates:120
+      ~num_outputs:5 () in
+  let rng = Random.State.make [| 1 |] in
+  let vectors =
+    Array.init 64 (fun _ -> random_vector rng (C.num_inputs c))
+  in
+  let words =
+    Array.init (C.num_inputs c) (fun i ->
+        let w = ref 0L in
+        for p = 0 to 63 do
+          if vectors.(p).(i) then w := Int64.logor !w (Int64.shift_left 1L p)
+        done;
+        !w)
+  in
+  let out_words = Sim.Simulator.outputs_word c words in
+  for p = 0 to 63 do
+    let out = Sim.Simulator.outputs c vectors.(p) in
+    Array.iteri
+      (fun o w ->
+        let bit = Int64.logand (Int64.shift_right_logical w p) 1L = 1L in
+        Alcotest.(check bool) (Printf.sprintf "p%d o%d" p o) out.(o) bit)
+      out_words
+  done
+
+let test_simulator_rejects_bad_arity () =
+  Alcotest.(check bool) "bad input count" true
+    (match Sim.Simulator.eval adder [| true |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- event-driven resimulation ---------- *)
+
+let test_event_sim_matches_full () =
+  let c = Netlist.Generators.random_dag ~seed:31 ~num_inputs:8 ~num_gates:200
+      ~num_outputs:6 () in
+  let rng = Random.State.make [| 2 |] in
+  let gates = C.gate_ids c in
+  for _ = 1 to 50 do
+    let v = random_vector rng (C.num_inputs c) in
+    let base = Sim.Simulator.eval c v in
+    (* force two random gates and compare against recomputation *)
+    let g1 = gates.(Random.State.int rng (Array.length gates)) in
+    let g2 = gates.(Random.State.int rng (Array.length gates)) in
+    let f1 = Random.State.bool rng and f2 = Random.State.bool rng in
+    let forced = if g1 = g2 then [ (g1, f1) ] else [ (g1, f1); (g2, f2) ] in
+    let incremental = Sim.Event_sim.resimulate c base forced in
+    (* reference: topological sweep with pinned gates *)
+    let reference = Array.copy base in
+    Array.iter
+      (fun g ->
+        match List.assoc_opt g forced with
+        | Some v -> reference.(g) <- v
+        | None -> (
+            match c.C.kinds.(g) with
+            | G.Input -> ()
+            | k ->
+                reference.(g) <-
+                  G.eval k (Array.map (fun h -> reference.(h)) c.C.fanins.(g))))
+      c.C.topo;
+    Alcotest.(check bool) "incremental = full" true (incremental = reference)
+  done
+
+let test_event_sim_output_after () =
+  let c = adder in
+  let rng = Random.State.make [| 3 |] in
+  let gates = C.gate_ids c in
+  for _ = 1 to 50 do
+    let v = random_vector rng (C.num_inputs c) in
+    let base = Sim.Simulator.eval c v in
+    let g = gates.(Random.State.int rng (Array.length gates)) in
+    let forced = [ (g, Random.State.bool rng) ] in
+    let full = Sim.Event_sim.resimulate c base forced in
+    for o = 0 to C.num_outputs c - 1 do
+      Alcotest.(check bool) "output_after" full.(c.C.outputs.(o))
+        (Sim.Event_sim.output_after c base forced o)
+    done
+  done
+
+let test_event_sim_no_change_is_identity () =
+  let c = adder in
+  let v = Array.make (C.num_inputs c) true in
+  let base = Sim.Simulator.eval c v in
+  let g = (C.gate_ids c).(0) in
+  let same = Sim.Event_sim.resimulate c base [ (g, base.(g)) ] in
+  Alcotest.(check bool) "identity" true (same = base)
+
+(* ---------- X simulation ---------- *)
+
+let test_xsim_agrees_on_boolean_inputs () =
+  let c = Netlist.Generators.random_dag ~seed:77 ~num_inputs:7 ~num_gates:80
+      ~num_outputs:4 () in
+  let rng = Random.State.make [| 4 |] in
+  for _ = 1 to 30 do
+    let v = random_vector rng (C.num_inputs c) in
+    let bvals = Sim.Simulator.eval c v in
+    let xvals = Sim.Xsim.eval c (Array.map Sim.Xsim.of_bool v) in
+    Array.iteri
+      (fun g xv ->
+        Alcotest.(check bool) "agree" true
+          (Sim.Xsim.equal xv (Sim.Xsim.of_bool bvals.(g))))
+      xvals
+  done
+
+let test_xsim_x_propagation () =
+  (* AND with a controlling 0 blocks X; OR with 0 lets X through *)
+  let b = B.create ~name:"xprop" in
+  let a = B.input ~name:"a" b in
+  let x = B.input ~name:"x" b in
+  let n_and = B.and_ ~name:"and" b a x in
+  let n_or = B.or_ ~name:"or" b a x in
+  B.output b n_and;
+  B.output b n_or;
+  let c = B.build b in
+  let vals = Sim.Xsim.eval c [| Sim.Xsim.F; Sim.Xsim.X |] in
+  Alcotest.(check bool) "and blocked" true
+    (Sim.Xsim.equal vals.(C.id_of_name c "and") Sim.Xsim.F);
+  Alcotest.(check bool) "or passes X" true
+    (Sim.Xsim.equal vals.(C.id_of_name c "or") Sim.Xsim.X)
+
+let test_xsim_conservative () =
+  (* if with_x_at gives a Boolean value, flipping the X'd gate cannot
+     change it *)
+  let c = adder in
+  let rng = Random.State.make [| 5 |] in
+  let gates = C.gate_ids c in
+  for _ = 1 to 50 do
+    let v = random_vector rng (C.num_inputs c) in
+    let g = gates.(Random.State.int rng (Array.length gates)) in
+    let xvals = Sim.Xsim.with_x_at c v [ g ] in
+    let base = Sim.Simulator.eval c v in
+    let flipped = Sim.Event_sim.resimulate c base [ (g, not base.(g)) ] in
+    Array.iter
+      (fun o ->
+        match xvals.(o) with
+        | Sim.Xsim.X -> ()
+        | bv ->
+            Alcotest.(check bool) "binary implies stable" true
+              (Sim.Xsim.equal bv (Sim.Xsim.of_bool base.(o))
+              && base.(o) = flipped.(o)))
+      c.C.outputs
+  done
+
+(* ---------- fault model / injector ---------- *)
+
+let test_fault_apply_undo () =
+  let c = adder in
+  let faulty, errors = Sim.Injector.inject ~seed:9 ~num_errors:2 c in
+  Alcotest.(check int) "two errors" 2 (List.length errors);
+  let restored = Sim.Fault.undo faulty errors in
+  Alcotest.(check bool) "undo restores" true (restored.C.kinds = c.C.kinds);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "kind changed" true
+        (faulty.C.kinds.(e.Sim.Fault.gate) = e.Sim.Fault.replacement
+        && e.Sim.Fault.replacement <> e.Sim.Fault.original))
+    errors
+
+let test_fault_apply_checks_original () =
+  let c = adder in
+  let g = (C.gate_ids c).(0) in
+  let bogus =
+    { Sim.Fault.gate = g; original = G.Xnor; replacement = G.And }
+  in
+  Alcotest.(check bool) "mismatch rejected" true
+    (c.C.kinds.(g) <> G.Xnor
+    &&
+    match Sim.Fault.apply c [ bogus ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_injector_distinct_sites () =
+  let c = Netlist.Generators.random_dag ~seed:13 ~num_inputs:8 ~num_gates:100
+      ~num_outputs:5 () in
+  let _, errors = Sim.Injector.inject ~seed:17 ~num_errors:4 c in
+  Alcotest.(check int) "four distinct sites" 4
+    (List.length (Sim.Fault.sites errors))
+
+let test_injector_deterministic () =
+  let c = adder in
+  let _, e1 = Sim.Injector.inject ~seed:23 ~num_errors:3 c in
+  let _, e2 = Sim.Injector.inject ~seed:23 ~num_errors:3 c in
+  Alcotest.(check bool) "same errors" true (e1 = e2)
+
+(* ---------- testgen ---------- *)
+
+let test_testgen_triples_fail_faulty_pass_golden () =
+  let c = Netlist.Generators.random_dag ~seed:41 ~num_inputs:10 ~num_gates:150
+      ~num_outputs:6 () in
+  let faulty, _ = Sim.Injector.inject ~seed:42 ~num_errors:2 c in
+  let tests =
+    Sim.Testgen.generate ~seed:43 ~max_vectors:20000 ~wanted:32 ~golden:c
+      ~faulty
+  in
+  Alcotest.(check bool) "found tests" true (List.length tests > 0);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "faulty fails" true (Sim.Testgen.fails faulty t);
+      Alcotest.(check bool) "golden passes" true (not (Sim.Testgen.fails c t)))
+    tests
+
+let test_testgen_prefix_stability () =
+  let c = adder in
+  let faulty, _ = Sim.Injector.inject ~seed:5 ~num_errors:1 c in
+  let t8 =
+    Sim.Testgen.generate ~seed:7 ~max_vectors:4096 ~wanted:8 ~golden:c ~faulty
+  in
+  let t4 =
+    Sim.Testgen.generate ~seed:7 ~max_vectors:4096 ~wanted:4 ~golden:c ~faulty
+  in
+  Alcotest.(check bool) "prefix property" true
+    (List.filteri (fun i _ -> i < 4) t8 = t4)
+
+let test_testgen_exhaustive () =
+  let c = Netlist.Generators.parity_tree 4 in
+  (* flip the final XOR to XNOR: every vector fails *)
+  let out_gate = c.C.outputs.(0) in
+  let faulty = C.with_kinds c [ (out_gate, G.Xnor) ] in
+  let tests = Sim.Testgen.exhaustive ~golden:c ~faulty in
+  Alcotest.(check int) "all 16 vectors fail" 16 (List.length tests)
+
+let prop_testgen_triples_valid =
+  QCheck.Test.make ~count:25 ~name:"generated triples are real failures"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 1 3)))
+    (fun (seed, p) ->
+      let c =
+        Netlist.Generators.random_dag ~seed ~num_inputs:8 ~num_gates:80
+          ~num_outputs:4 ()
+      in
+      let faulty, _ = Sim.Injector.inject ~seed:(seed + 1) ~num_errors:p c in
+      let tests =
+        Sim.Testgen.generate ~seed:(seed + 2) ~max_vectors:2048 ~wanted:8
+          ~golden:c ~faulty
+      in
+      List.for_all
+        (fun t -> Sim.Testgen.fails faulty t && not (Sim.Testgen.fails c t))
+        tests)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "word = 64x scalar" `Quick test_word_matches_scalar;
+          Alcotest.test_case "bad arity" `Quick test_simulator_rejects_bad_arity;
+        ] );
+      ( "event_sim",
+        [
+          Alcotest.test_case "matches full resim" `Quick
+            test_event_sim_matches_full;
+          Alcotest.test_case "output_after" `Quick test_event_sim_output_after;
+          Alcotest.test_case "identity forcing" `Quick
+            test_event_sim_no_change_is_identity;
+        ] );
+      ( "xsim",
+        [
+          Alcotest.test_case "boolean agreement" `Quick
+            test_xsim_agrees_on_boolean_inputs;
+          Alcotest.test_case "x propagation" `Quick test_xsim_x_propagation;
+          Alcotest.test_case "conservative" `Quick test_xsim_conservative;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "apply/undo" `Quick test_fault_apply_undo;
+          Alcotest.test_case "original checked" `Quick
+            test_fault_apply_checks_original;
+          Alcotest.test_case "distinct sites" `Quick test_injector_distinct_sites;
+          Alcotest.test_case "deterministic" `Quick test_injector_deterministic;
+        ] );
+      ( "testgen",
+        [
+          Alcotest.test_case "triples fail faulty only" `Quick
+            test_testgen_triples_fail_faulty_pass_golden;
+          Alcotest.test_case "prefix stability" `Quick
+            test_testgen_prefix_stability;
+          Alcotest.test_case "exhaustive" `Quick test_testgen_exhaustive;
+          QCheck_alcotest.to_alcotest prop_testgen_triples_valid;
+        ] );
+    ]
