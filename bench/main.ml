@@ -4,14 +4,16 @@
      dune exec bench/main.exe            -- everything, quick scale
      dune exec bench/main.exe -- --full  -- paper-sized circuits (slow!)
      dune exec bench/main.exe -- table2  -- a single experiment
-     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks +
+                                            BENCH_micro.json throughput
 
    Experiments: table1 (guarantee check), table2 (runtimes), table3
    (quality), figure5 (lemma circuits), figure6 (scatter series),
    ablation (advanced SAT heuristics), hybrid (§6 decision hints and
    seed repair), sequential (time-frame expansion), incremental
    (growing test sets on one live instance), related (BDD space vs
-   SAT), resolution (random vs ATPG test sets), micro (Bechamel). *)
+   SAT), resolution (random vs ATPG test sets), micro (Bechamel +
+   simulation-throughput JSON baseline). *)
 
 type config = {
   scale : float;
@@ -444,9 +446,79 @@ let resolution _cfg =
     ];
   Fmt.pr "@."
 
+(* ---------- simulation-throughput baseline (machine-readable) ---------- *)
+
+(* Measures the hot-path rates the simulation core is optimised for —
+   scalar sweeps, word-parallel sweeps (64 patterns each), and no-drop
+   stuck-at fault simulation — on the paper circuits, and writes them to
+   BENCH_micro.json so regressions are diffable across commits. *)
+let micro_throughput cfg =
+  let rng = Random.State.make [| 0xB17 |] in
+  (* repetitions per second of [f], timed over at least [min_time] *)
+  let rate ?(min_time = 0.3) f =
+    ignore (f ());
+    let start = Sys.time () in
+    let reps = ref 0 in
+    while Sys.time () -. start < min_time do
+      ignore (f ());
+      incr reps
+    done;
+    float_of_int !reps /. (Sys.time () -. start)
+  in
+  Fmt.pr "== Simulation throughput (BENCH_micro.json) ==@.";
+  Fmt.pr "  %-8s %6s | %12s %12s %14s %12s@." "circuit" "gates"
+    "scalar/s" "word/s" "gate-evals/s" "faults/s";
+  let rows =
+    Bench_suite.Workload.paper_specs ~scale:cfg.scale
+    |> List.map (fun spec ->
+           let c = spec.Bench_suite.Workload.circuit in
+           let n = Netlist.Circuit.size c in
+           let ni = Netlist.Circuit.num_inputs c in
+           let ctx = Sim.Sim_ctx.create c in
+           let bools = Array.init ni (fun _ -> Random.State.bool rng) in
+           let words =
+             Array.init ni (fun _ ->
+                 Random.State.int64 rng Int64.max_int)
+           in
+           let scalar = rate (fun () -> Sim.Simulator.eval_ctx ctx c bools) in
+           let word =
+             rate (fun () -> Sim.Simulator.eval_word_ctx ctx c words)
+           in
+           let vectors =
+             List.init 64 (fun _ ->
+                 Array.init ni (fun _ -> Random.State.bool rng))
+           in
+           let faults = Sim.Stuck_at.all_faults c in
+           let nf = List.length faults in
+           let runs =
+             rate (fun () -> Sim.Fault_sim.run ~drop:false c ~vectors ~faults)
+           in
+           let gate_evals = word *. float_of_int (n * 64) in
+           let faults_s = runs *. float_of_int nf in
+           Fmt.pr "  %-8s %6d | %12.0f %12.0f %14.3e %12.0f@."
+             spec.Bench_suite.Workload.label n scalar word gate_evals
+             faults_s;
+           (spec.Bench_suite.Workload.label, n, scalar, word, gate_evals,
+            faults_s))
+  in
+  let oc = open_out "BENCH_micro.json" in
+  let json_row (label, gates, scalar, word, gate_evals, faults_s) =
+    Printf.sprintf
+      "    { \"label\": %S, \"gates\": %d, \"scalar_sweeps_per_sec\": %.1f, \
+       \"word_sweeps_per_sec\": %.1f, \"gate_evals_per_sec\": %.1f, \
+       \"faults_per_sec\": %.1f }"
+      label gates scalar word gate_evals faults_s
+  in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"micro\",\n  \"scale\": %g,\n  \"circuits\": [\n%s\n  ]\n}\n"
+    cfg.scale
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "  wrote BENCH_micro.json@.@."
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table ---------- *)
 
-let micro _cfg =
+let micro cfg =
   let open Bechamel in
   let open Toolkit in
   (* shared workload for the per-table benches *)
@@ -541,7 +613,8 @@ let micro _cfg =
       in
       Fmt.pr "  %-28s %14.1f ns/run@." name est)
     rows;
-  Fmt.pr "@."
+  Fmt.pr "@.";
+  micro_throughput cfg
 
 (* ---------- driver ---------- *)
 

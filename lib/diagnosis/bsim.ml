@@ -9,9 +9,10 @@ type result = {
 }
 
 let diagnose ?tie_break ?include_inputs c tests =
+  let ctx = Sim.Sim_ctx.create c in
   let candidate_sets =
     Array.of_list
-      (List.map (Path_trace.trace ?tie_break ?include_inputs c) tests)
+      (List.map (Path_trace.trace ~ctx ?tie_break ?include_inputs c) tests)
   in
   let marks = Array.make (Circuit.size c) 0 in
   Array.iter
@@ -27,10 +28,16 @@ let diagnose ?tie_break ?include_inputs c tests =
   done;
   { candidate_sets; marks; union = !union; gmax = !gmax; max_marks }
 
+(* Intersect via a hash set per C_i instead of [List.mem] inside
+   [List.filter] (O(n·m) per test); the accumulator's order — and with it
+   the path-trace tie-break order — is preserved. *)
 let single_error_candidates r =
   match Array.to_list r.candidate_sets with
   | [] -> []
   | first :: rest ->
       List.fold_left
-        (fun acc ci -> List.filter (fun g -> List.mem g ci) acc)
+        (fun acc ci ->
+          let members = Hashtbl.create (2 * List.length ci) in
+          List.iter (fun g -> Hashtbl.replace members g ()) ci;
+          List.filter (Hashtbl.mem members) acc)
         first rest

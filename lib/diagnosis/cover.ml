@@ -21,9 +21,24 @@ let irredundant solution sets =
     (fun g -> not (covers (List.filter (( <> ) g) solution) sets))
     solution
 
+(* Greedy reduction of a cover to an irredundant core: drop every element
+   whose removal leaves the sets covered.  Deterministic (scans in sorted
+   order), so both engines see the same canonical solution. *)
+let irredundant_core solution sets =
+  List.fold_left
+    (fun kept g ->
+      let without = List.filter (( <> ) g) kept in
+      if covers without sets then without else kept)
+    solution solution
+
 (* ---------- SAT engine (the paper's setup: covering solved by Zchaff) *)
 
 let enumerate_sat ~max_solutions ~time_limit ~k sets =
+  if covers [] sets then
+    (* no sets to hit (m = 0): the empty cover is the unique irredundant
+       solution, exactly as the backtrack engine reports it *)
+    ([ [] ], 0.0, 0.0, false)
+  else
   let union =
     Array.fold_left
       (fun acc ci -> List.fold_left (fun a g -> g :: a) acc ci)
@@ -72,7 +87,13 @@ let enumerate_sat ~max_solutions ~time_limit ~k sets =
               (fun j v ->
                 if Sat.Solver.value solver v then sol := union.(j) :: !sol)
               vars;
-            let sol = List.sort Int.compare !sol in
+            (* The model is a cover but nothing forces it to be minimal:
+               the cardinality bound admits gratuitously-true variables.
+               Reduce to an irredundant core before recording/blocking so
+               the enumerated space matches the backtrack oracle's
+               (condition (b) of Fig. 4); blocking the core also blocks
+               every redundant superset, so the level still terminates. *)
+            let sol = irredundant_core (List.sort Int.compare !sol) sets in
             if !nsol = 0 then one_time := Sys.time () -. start;
             solutions := sol :: !solutions;
             incr nsol;

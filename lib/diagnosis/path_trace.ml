@@ -57,7 +57,11 @@ let trace_values ?(tie_break = First_input) ?(include_inputs = false)
   in
   List.init (Circuit.size c) Fun.id |> List.filter keep
 
-let trace ?tie_break ?include_inputs c (test : Sim.Testgen.test) =
-  let values = Sim.Simulator.eval c test.Sim.Testgen.vector in
+let trace ?ctx ?tie_break ?include_inputs c (test : Sim.Testgen.test) =
+  let values =
+    match ctx with
+    | None -> Sim.Simulator.eval c test.Sim.Testgen.vector
+    | Some ctx -> Sim.Simulator.eval_ctx ctx c test.Sim.Testgen.vector
+  in
   let out_gate = c.Circuit.outputs.(test.Sim.Testgen.po_index) in
   trace_values ?tie_break ?include_inputs c values out_gate

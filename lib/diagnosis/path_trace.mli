@@ -12,6 +12,7 @@ type tie_break =
   | All_inputs    (** mark every controlling input — superset variant *)
 
 val trace :
+  ?ctx:Sim.Sim_ctx.t ->
   ?tie_break:tie_break ->
   ?include_inputs:bool ->
   Netlist.Circuit.t ->
@@ -19,7 +20,8 @@ val trace :
   int list
 (** [trace circuit test] — the candidate set, sorted by gate id.  Primary
     inputs are traversed but excluded unless [include_inputs] (an error is
-    a gate-function change, so inputs are not correction sites). *)
+    a gate-function change, so inputs are not correction sites).  With
+    [?ctx], the simulation sweep reuses the context's value buffer. *)
 
 val trace_values :
   ?tie_break:tie_break ->

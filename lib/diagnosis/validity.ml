@@ -16,7 +16,7 @@ let check_sat c tests cands =
 
 (* A test is rectifiable by C iff some assignment of values to the gates
    of C makes the erroneous output correct (inputs fixed by the test). *)
-let test_rectifiable c (test : Sim.Testgen.test) cands =
+let test_rectifiable ?ctx c (test : Sim.Testgen.test) cands =
   let base = Sim.Simulator.eval c test.Sim.Testgen.vector in
   let cands = Array.of_list cands in
   let n = Array.length cands in
@@ -27,7 +27,7 @@ let test_rectifiable c (test : Sim.Testgen.test) cands =
         Array.to_list
           (Array.mapi (fun i g -> (g, (combo lsr i) land 1 = 1)) cands)
       in
-      Sim.Event_sim.output_after c base forced test.Sim.Testgen.po_index
+      Sim.Event_sim.output_after ?ctx c base forced test.Sim.Testgen.po_index
       = test.Sim.Testgen.expected
       || try_combo (combo + 1)
   in
@@ -36,10 +36,12 @@ let test_rectifiable c (test : Sim.Testgen.test) cands =
 let check_sim ?(max_set = 16) c tests cands =
   if List.length cands > max_set then
     invalid_arg "Validity.check_sim: candidate set too large";
-  List.for_all (fun t -> test_rectifiable c t cands) tests
+  let ctx = Sim.Sim_ctx.create c in
+  List.for_all (fun t -> test_rectifiable ~ctx c t cands) tests
 
 let failing_tests_sim c tests cands =
-  List.filter (fun t -> not (test_rectifiable c t cands)) tests
+  let ctx = Sim.Sim_ctx.create c in
+  List.filter (fun t -> not (test_rectifiable ~ctx c t cands)) tests
 
 let essential ~check cands =
   List.for_all (fun g -> not (check (List.filter (( <> ) g) cands))) cands

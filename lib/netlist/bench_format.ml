@@ -75,11 +75,13 @@ let parse_string ~name text =
   let ids = Hashtbl.create 64 in
   let kinds = ref [] and fanin_names = ref [] and names = ref [] in
   let count = ref 0 in
+  (* fanin_names keeps the declaring line so pass 2 can point an
+     undefined-fanin error at the statement that references it *)
   let declare lineno nm kind fi =
     if Hashtbl.mem ids nm then fail lineno "signal %S defined twice" nm;
     Hashtbl.add ids nm !count;
     kinds := kind :: !kinds;
-    fanin_names := fi :: !fanin_names;
+    fanin_names := (lineno, fi) :: !fanin_names;
     names := nm :: !names;
     incr count
   in
@@ -112,13 +114,15 @@ let parse_string ~name text =
                   declare lineno lhs kind args)))
     statements;
   (* Pass 2: resolve fanin names. *)
-  let resolve nm =
+  let resolve lineno nm =
     match Hashtbl.find_opt ids nm with
     | Some id -> id
-    | None -> fail 0 "signal %S is used but never defined" nm
+    | None -> fail lineno "signal %S is used but never defined" nm
   in
   let fanins =
-    List.rev_map (fun fi -> Array.of_list (List.map resolve fi)) !fanin_names
+    List.rev_map
+      (fun (lineno, fi) -> Array.of_list (List.map (resolve lineno) fi))
+      !fanin_names
     |> Array.of_list
   in
   let outputs_ids =
@@ -135,7 +139,8 @@ let parse_string ~name text =
       ~kinds:(Array.of_list (List.rev !kinds))
       ~fanins
       ~names:(Array.of_list (List.rev !names))
-      ~inputs:(Array.of_list (List.rev_map resolve !inputs))
+      (* every name in [inputs] was declared above, so this cannot fail *)
+      ~inputs:(Array.of_list (List.rev_map (fun nm -> resolve 0 nm) !inputs))
       ~outputs:outputs_ids
   in
   { circuit; dff_pairs = List.rev !dff_pairs }

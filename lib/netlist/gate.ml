@@ -92,6 +92,105 @@ let eval_word k (vs : int64 array) =
   | Xor -> fold_word Int64.logxor 0L vs
   | Xnor -> Int64.lognot (fold_word Int64.logxor 0L vs)
 
+(* Specialised fast paths.  [eval1]/[eval2] avoid the array round-trip
+   for the dominant 1- and 2-fanin gates; the [*_indexed] variants read
+   fanin values straight out of the simulator's value array, so a sweep
+   performs no per-gate allocation at all. *)
+
+let eval1 k (v : bool) =
+  match k with
+  | Buf | And | Or | Xor -> v
+  | Not | Nand | Nor | Xnor -> not v
+  | Input | Const0 | Const1 -> bad_arity k 1
+
+let eval2 k (a : bool) (b : bool) =
+  match k with
+  | And -> a && b
+  | Nand -> not (a && b)
+  | Or -> a || b
+  | Nor -> not (a || b)
+  | Xor -> a <> b
+  | Xnor -> a = b
+  | Input | Const0 | Const1 | Buf | Not -> bad_arity k 2
+
+let eval_word1 k (v : int64) =
+  match k with
+  | Buf | And | Or | Xor -> v
+  | Not | Nand | Nor | Xnor -> Int64.lognot v
+  | Input | Const0 | Const1 -> bad_arity k 1
+
+let eval_word2 k (a : int64) (b : int64) =
+  match k with
+  | And -> Int64.logand a b
+  | Nand -> Int64.lognot (Int64.logand a b)
+  | Or -> Int64.logor a b
+  | Nor -> Int64.lognot (Int64.logor a b)
+  | Xor -> Int64.logxor a b
+  | Xnor -> Int64.lognot (Int64.logxor a b)
+  | Input | Const0 | Const1 | Buf | Not -> bad_arity k 2
+
+let eval_indexed k (values : bool array) (fanins : int array) =
+  match Array.length fanins with
+  | 0 -> (
+      match k with
+      | Const0 -> false
+      | Const1 -> true
+      | _ -> bad_arity k 0)
+  | 1 -> eval1 k values.(fanins.(0))
+  | 2 -> eval2 k values.(fanins.(0)) values.(fanins.(1))
+  | n -> (
+      match k with
+      | And | Nand ->
+          let acc = ref true in
+          for i = 0 to n - 1 do
+            acc := !acc && values.(fanins.(i))
+          done;
+          if k = And then !acc else not !acc
+      | Or | Nor ->
+          let acc = ref false in
+          for i = 0 to n - 1 do
+            acc := !acc || values.(fanins.(i))
+          done;
+          if k = Or then !acc else not !acc
+      | Xor | Xnor ->
+          let acc = ref false in
+          for i = 0 to n - 1 do
+            acc := !acc <> values.(fanins.(i))
+          done;
+          if k = Xor then !acc else not !acc
+      | Input | Const0 | Const1 | Buf | Not -> bad_arity k n)
+
+let eval_word_indexed k (values : int64 array) (fanins : int array) =
+  match Array.length fanins with
+  | 0 -> (
+      match k with
+      | Const0 -> 0L
+      | Const1 -> -1L
+      | _ -> bad_arity k 0)
+  | 1 -> eval_word1 k values.(fanins.(0))
+  | 2 -> eval_word2 k values.(fanins.(0)) values.(fanins.(1))
+  | n -> (
+      match k with
+      | And | Nand ->
+          let acc = ref (-1L) in
+          for i = 0 to n - 1 do
+            acc := Int64.logand !acc values.(fanins.(i))
+          done;
+          if k = And then !acc else Int64.lognot !acc
+      | Or | Nor ->
+          let acc = ref 0L in
+          for i = 0 to n - 1 do
+            acc := Int64.logor !acc values.(fanins.(i))
+          done;
+          if k = Or then !acc else Int64.lognot !acc
+      | Xor | Xnor ->
+          let acc = ref 0L in
+          for i = 0 to n - 1 do
+            acc := Int64.logxor !acc values.(fanins.(i))
+          done;
+          if k = Xor then !acc else Int64.lognot !acc
+      | Input | Const0 | Const1 | Buf | Not -> bad_arity k n)
+
 let controlling_value = function
   | And | Nand -> Some false
   | Or | Nor -> Some true

@@ -37,6 +37,24 @@ val eval : kind -> bool array -> bool
 val eval_word : kind -> int64 array -> int64
 (** 64 patterns at once, bitwise. Raises [Invalid_argument] on bad arity. *)
 
+val eval1 : kind -> bool -> bool
+(** Specialised single-fanin evaluation (identity or complement). *)
+
+val eval2 : kind -> bool -> bool -> bool
+(** Specialised two-fanin evaluation for the binary logic kinds. *)
+
+val eval_word1 : kind -> int64 -> int64
+val eval_word2 : kind -> int64 -> int64 -> int64
+
+val eval_indexed : kind -> bool array -> int array -> bool
+(** [eval_indexed k values fanins] evaluates a gate of kind [k] whose
+    fanin values are [values.(fanins.(i))] — no intermediate argument
+    array is built, so a simulation sweep allocates nothing per gate.
+    1- and 2-fanin gates take the {!eval1}/{!eval2} fast paths. *)
+
+val eval_word_indexed : kind -> int64 array -> int array -> int64
+(** Word-parallel (64 patterns) analogue of {!eval_indexed}. *)
+
 val controlling_value : kind -> bool option
 (** The input value that alone determines the output ([Some false] for
     AND/NAND, [Some true] for OR/NOR, [None] otherwise).  Used by path

@@ -1,12 +1,16 @@
 module Circuit = Netlist.Circuit
 module Gate = Netlist.Gate
 
-let propagate ?stop_level (c : Circuit.t) values forced =
-  let q = Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c) in
-  let pinned = Hashtbl.create 8 in
+let queue_for ctx c =
+  match ctx with
+  | Some ctx ->
+      Sim_ctx.check ctx c;
+      Sim_ctx.queue ctx
+  | None -> Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c)
+
+let propagate ?stop_level (c : Circuit.t) q values forced =
   List.iter
     (fun (g, v) ->
-      Hashtbl.replace pinned g ();
       if values.(g) <> v then begin
         values.(g) <- v;
         Array.iter (fun h -> Level_queue.push q ~level:c.level.(h) h)
@@ -18,13 +22,13 @@ let propagate ?stop_level (c : Circuit.t) values forced =
     match Level_queue.pop q with
     | None -> ()
     | Some g ->
-        if c.level.(g) > stop then ()
+        if c.level.(g) > stop then Level_queue.clear q
         else begin
-          if not (Hashtbl.mem pinned g) then begin
+          if not (List.mem_assoc g forced) then begin
             let v =
               match c.kinds.(g) with
               | Gate.Input -> values.(g)
-              | k -> Gate.eval k (Array.map (fun h -> values.(h)) c.fanins.(g))
+              | k -> Gate.eval_indexed k values c.fanins.(g)
             in
             if v <> values.(g) then begin
               values.(g) <- v;
@@ -37,13 +41,24 @@ let propagate ?stop_level (c : Circuit.t) values forced =
   in
   loop ()
 
-let resimulate c base forced =
+let resimulate ?ctx c base forced =
   let values = Array.copy base in
-  propagate c values forced;
+  propagate c (queue_for ctx c) values forced;
   values
 
-let output_after c base forced po_index =
+let output_after ?ctx c base forced po_index =
   let target = c.Circuit.outputs.(po_index) in
-  let values = Array.copy base in
-  propagate ~stop_level:c.Circuit.level.(target) c values forced;
+  let values =
+    match ctx with
+    | None -> Array.copy base
+    | Some ctx ->
+        Sim_ctx.check ctx c;
+        let scratch = Sim_ctx.bools ctx in
+        if scratch == base then
+          invalid_arg "Event_sim.output_after: base aliases the context";
+        Array.blit base 0 scratch 0 (Array.length base);
+        scratch
+  in
+  propagate ~stop_level:c.Circuit.level.(target) c (queue_for ctx c) values
+    forced;
   values.(target)

@@ -4,9 +4,15 @@
     force new values onto a few gates and propagate only the resulting
     changes forward, in level order.  This is the cheap effect-analysis
     engine used by the advanced simulation-based diagnosis: the cost is
-    proportional to the perturbed cone, not to the circuit. *)
+    proportional to the perturbed cone, not to the circuit.
+
+    All entry points accept an optional {!Sim_ctx.t}; with one, the event
+    queue (and for {!output_after} the scratch value buffer) is reused
+    instead of reallocated, so repeated what-if queries over the same
+    circuit are allocation-free apart from documented result copies. *)
 
 val resimulate :
+  ?ctx:Sim_ctx.t ->
   Netlist.Circuit.t -> bool array -> (int * bool) list -> bool array
 (** [resimulate c base forced] returns a fresh value array equal to [base]
     except that each gate in [forced] is pinned to the given value
@@ -14,7 +20,9 @@ val resimulate :
     [base] is not modified. *)
 
 val output_after :
+  ?ctx:Sim_ctx.t ->
   Netlist.Circuit.t -> bool array -> (int * bool) list -> int -> bool
 (** [output_after c base forced po_index] — value of the primary output at
     [po_index] after the forcing, without materializing unrelated cones
-    (early exit once the output settles). *)
+    (early exit once the output settles).  With [?ctx], [base] must not
+    alias the context's own scalar buffer. *)

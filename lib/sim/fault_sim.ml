@@ -2,8 +2,7 @@ module Circuit = Netlist.Circuit
 module Gate = Netlist.Gate
 
 (* word-level event propagation from one forced node *)
-let propagate_word (c : Circuit.t) values g forced_word =
-  let q = Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c) in
+let propagate_word (c : Circuit.t) q values g forced_word =
   if values.(g) <> forced_word then begin
     values.(g) <- forced_word;
     Array.iter (fun h -> Level_queue.push q ~level:c.level.(h) h) c.fanouts.(g)
@@ -16,8 +15,7 @@ let propagate_word (c : Circuit.t) values g forced_word =
           let v =
             match c.kinds.(h) with
             | Gate.Input -> values.(h)
-            | k ->
-                Gate.eval_word k (Array.map (fun x -> values.(x)) c.fanins.(h))
+            | k -> Gate.eval_word_indexed k values c.fanins.(h)
           in
           if v <> values.(h) then begin
             values.(h) <- v;
@@ -30,13 +28,35 @@ let propagate_word (c : Circuit.t) values g forced_word =
   in
   loop ()
 
-let detection_mask c ~good (f : Stuck_at.fault) =
-  let values = Array.copy good in
+let diff_mask (c : Circuit.t) ~good values =
+  let acc = ref 0L in
+  let outs = c.Circuit.outputs in
+  for i = 0 to Array.length outs - 1 do
+    let o = outs.(i) in
+    acc := Int64.logor !acc (Int64.logxor good.(o) values.(o))
+  done;
+  !acc
+
+let detection_mask_with c q ~good ~scratch (f : Stuck_at.fault) =
+  Array.blit good 0 scratch 0 (Array.length good);
   let forced = if f.Stuck_at.value then -1L else 0L in
-  propagate_word c values f.Stuck_at.gate forced;
-  Array.fold_left
-    (fun acc o -> Int64.logor acc (Int64.logxor good.(o) values.(o)))
-    0L c.Circuit.outputs
+  propagate_word c q scratch f.Stuck_at.gate forced;
+  diff_mask c ~good scratch
+
+let detection_mask ?ctx c ~good (f : Stuck_at.fault) =
+  match ctx with
+  | None ->
+      let q =
+        Level_queue.create ~depth:(Circuit.depth c) ~size:(Circuit.size c)
+      in
+      let scratch = Array.make (Circuit.size c) 0L in
+      detection_mask_with c q ~good ~scratch f
+  | Some ctx ->
+      Sim_ctx.check ctx c;
+      let scratch = Sim_ctx.words2 ctx in
+      if scratch == good then
+        invalid_arg "Fault_sim.detection_mask: good aliases the context";
+      detection_mask_with c (Sim_ctx.queue ctx) ~good ~scratch f
 
 type run = {
   detected : (Stuck_at.fault * int) list;
@@ -44,17 +64,17 @@ type run = {
   coverage : float;
 }
 
-let pack_batch num_inputs vectors =
-  (* vectors: at most 64 bool arrays -> one word per input *)
-  let words = Array.make num_inputs 0L in
+(* pack up to 64 vectors into the per-input words of [words] (reused
+   across batches — slots beyond the batch are zeroed) *)
+let pack_batch_into words vectors =
+  Array.fill words 0 (Array.length words) 0L;
   List.iteri
     (fun p v ->
       Array.iteri
         (fun i b ->
           if b then words.(i) <- Int64.logor words.(i) (Int64.shift_left 1L p))
         v)
-    vectors;
-  words
+    vectors
 
 let rec take n = function
   | [] -> ([], [])
@@ -63,16 +83,37 @@ let rec take n = function
       (x :: got, left)
   | rest -> ([], rest)
 
+(* constant-time count-trailing-zeros via a De Bruijn multiply; the table
+   is derived at module init so the constant is self-checking *)
+let debruijn = 0x03f79d71b4cb0a89L
+
+let ctz_table =
+  let t = Array.make 64 0 in
+  for i = 0 to 63 do
+    let idx =
+      Int64.to_int
+        (Int64.shift_right_logical
+           (Int64.mul (Int64.shift_left 1L i) debruijn)
+           58)
+      land 63
+    in
+    t.(idx) <- i
+  done;
+  t
+
 let first_bit mask =
-  let rec go i =
-    if i >= 64 then raise Not_found
-    else if Int64.logand (Int64.shift_right_logical mask i) 1L = 1L then i
-    else go (i + 1)
-  in
-  go 0
+  if mask = 0L then raise Not_found;
+  let isolated = Int64.logand mask (Int64.neg mask) in
+  ctz_table.(Int64.to_int (Int64.shift_right_logical
+                             (Int64.mul isolated debruijn) 58)
+             land 63)
 
 let run ?(drop = true) c ~vectors ~faults =
   let num_inputs = Circuit.num_inputs c in
+  let ctx = Sim_ctx.create c in
+  let words = Array.make num_inputs 0L in
+  let good = Sim_ctx.words ctx in
+  let scratch = Sim_ctx.words2 ctx in
   let detected = ref [] in
   let seen = Hashtbl.create 64 in
   let record f vec_idx =
@@ -86,8 +127,8 @@ let run ?(drop = true) c ~vectors ~faults =
     | [], _ | _, [] -> alive
     | _ ->
         let batch, rest = take 64 vectors in
-        let words = pack_batch num_inputs batch in
-        let good = Simulator.eval_word c words in
+        pack_batch_into words batch;
+        Simulator.eval_word_into ~values:good c words;
         (* mask off pattern slots beyond the batch *)
         let live_mask =
           if List.length batch = 64 then -1L
@@ -96,7 +137,11 @@ let run ?(drop = true) c ~vectors ~faults =
         let alive =
           List.filter
             (fun f ->
-              let mask = Int64.logand (detection_mask c ~good f) live_mask in
+              let mask =
+                Int64.logand
+                  (detection_mask_with c (Sim_ctx.queue ctx) ~good ~scratch f)
+                  live_mask
+              in
               if mask <> 0L then begin
                 record f (base + first_bit mask);
                 not drop
@@ -122,13 +167,16 @@ let run ?(drop = true) c ~vectors ~faults =
 let signature c ~vectors f =
   let acc = ref [] in
   let faulty_c = Stuck_at.apply c f in
+  let ctx = Sim_ctx.create c in
+  let faulty_ctx = Sim_ctx.create faulty_c in
   Array.iteri
     (fun vi v ->
-      let good_vals = Simulator.eval c v in
-      let good = Array.map (fun o -> good_vals.(o)) c.Circuit.outputs in
-      let faulty = Simulator.outputs faulty_c v in
+      let good_vals = Simulator.eval_ctx ctx c v in
+      let faulty_vals = Simulator.eval_ctx faulty_ctx faulty_c v in
       Array.iteri
-        (fun o gv -> if gv <> faulty.(o) then acc := (vi, o) :: !acc)
-        good)
+        (fun o g ->
+          if good_vals.(g) <> faulty_vals.(faulty_c.Circuit.outputs.(o)) then
+            acc := (vi, o) :: !acc)
+        c.Circuit.outputs)
     vectors;
   List.sort compare !acc

@@ -8,10 +8,18 @@
     problem. *)
 
 val detection_mask :
+  ?ctx:Sim_ctx.t ->
   Netlist.Circuit.t -> good:int64 array -> Stuck_at.fault -> int64
 (** [detection_mask c ~good f] — bit [i] is set when pattern [i] of the
     batch detects [f].  [good] must come from
-    [Simulator.eval_word c inputs]. *)
+    [Simulator.eval_word c inputs].  With [?ctx], the faulty-value scratch
+    buffer ([Sim_ctx.words2]) and the event queue are reused instead of
+    allocated per call; [good] must not alias the context's [words2]
+    buffer. *)
+
+val first_bit : int64 -> int
+(** Index of the least-significant set bit (constant-time, De Bruijn
+    multiply).  @raise Not_found on [0L]. *)
 
 type run = {
   detected : (Stuck_at.fault * int) list;

@@ -15,6 +15,15 @@ let push q ~level g =
     if level < q.lowest then q.lowest <- level
   end
 
+let clear q =
+  let n = Array.length q.buckets in
+  if q.lowest < n then
+    for l = q.lowest to n - 1 do
+      List.iter (fun g -> q.scheduled.(g) <- false) q.buckets.(l);
+      q.buckets.(l) <- []
+    done;
+  q.lowest <- n
+
 let rec pop q =
   if q.lowest >= Array.length q.buckets then None
   else

@@ -7,3 +7,8 @@ type t
 val create : depth:int -> size:int -> t
 val push : t -> level:int -> int -> unit
 val pop : t -> int option
+
+val clear : t -> unit
+(** Drop any still-queued gates and reset the scheduled flags, making the
+    queue ready for reuse without reallocating its buckets.  Cost is
+    proportional to the leftover content (zero for a drained queue). *)

@@ -1,0 +1,35 @@
+module Circuit = Netlist.Circuit
+
+type t = {
+  size : int;
+  bools : bool array;
+  words : int64 array;
+  words2 : int64 array;
+  queue : Level_queue.t;
+}
+
+let create (c : Circuit.t) =
+  let size = Circuit.size c in
+  {
+    size;
+    bools = Array.make size false;
+    words = Array.make size 0L;
+    words2 = Array.make size 0L;
+    queue = Level_queue.create ~depth:(Circuit.depth c) ~size;
+  }
+
+let size t = t.size
+
+let check t (c : Circuit.t) =
+  if Circuit.size c <> t.size then
+    invalid_arg
+      (Printf.sprintf "Sim_ctx: context for %d nodes used on %d-node circuit"
+         t.size (Circuit.size c))
+
+let bools t = t.bools
+let words t = t.words
+let words2 t = t.words2
+
+let queue t =
+  Level_queue.clear t.queue;
+  t.queue

@@ -1,0 +1,38 @@
+(** Reusable per-circuit scratch storage for the simulation hot path.
+
+    A context owns the value buffers and the event queue that a sweep
+    needs, so that repeated sweeps over the same circuit perform no
+    allocation at all.  Create one context per circuit (or per circuit
+    size — any circuit with the same node count may share it) and thread
+    it through the [*_ctx] entry points of {!Simulator}, {!Event_sim} and
+    {!Fault_sim}.
+
+    Contract: a context supports {b one sweep at a time}.  Every buffer
+    returned by an accessor (or by a [*_ctx] simulation call) is
+    invalidated by the next call that uses the same context; callers that
+    need to keep results must copy them out.  Contexts are not
+    thread-safe. *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+(** Allocate scratch buffers sized for the given circuit. *)
+
+val size : t -> int
+(** Node count the context was created for. *)
+
+val check : t -> Netlist.Circuit.t -> unit
+(** @raise Invalid_argument when the circuit's node count does not match
+    the context. *)
+
+val bools : t -> bool array
+(** Scalar value buffer, one slot per circuit node. *)
+
+val words : t -> int64 array
+(** Word-parallel value buffer (64 patterns per slot). *)
+
+val words2 : t -> int64 array
+(** A second word buffer, for good/faulty value pairs. *)
+
+val queue : t -> Level_queue.t
+(** The context's event queue, cleared and ready for use. *)

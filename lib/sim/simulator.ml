@@ -7,22 +7,46 @@ let check_inputs c pis =
       (Printf.sprintf "Simulator: %d input values for %d inputs"
          (Array.length pis) (Circuit.num_inputs c))
 
-let sweep ~eval_kind ~zero (c : Circuit.t) pis =
-  let values = Array.make (Circuit.size c) zero in
-  Array.iteri (fun i g -> values.(g) <- pis.(i)) c.inputs;
+(* The two sweeps are deliberately monomorphic copies: a shared
+   higher-order [sweep ~eval_kind] would box the evaluation closure and
+   defeat the indexed fast paths. *)
+
+let sweep_bools (c : Circuit.t) values pis =
+  Array.iteri (fun i g -> values.(g) <- pis.(i)) c.Circuit.inputs;
   Array.iter
     (fun g ->
-      match c.kinds.(g) with
+      match c.Circuit.kinds.(g) with
+      | Gate.Input -> ()
+      | k -> values.(g) <- Gate.eval_indexed k values c.Circuit.fanins.(g))
+    c.Circuit.topo
+
+let sweep_words (c : Circuit.t) values pis =
+  Array.iteri (fun i g -> values.(g) <- pis.(i)) c.Circuit.inputs;
+  Array.iter
+    (fun g ->
+      match c.Circuit.kinds.(g) with
       | Gate.Input -> ()
       | k ->
-          let args = Array.map (fun h -> values.(h)) c.fanins.(g) in
-          values.(g) <- eval_kind k args)
-    c.topo;
-  values
+          values.(g) <- Gate.eval_word_indexed k values c.Circuit.fanins.(g))
+    c.Circuit.topo
+
+let eval_into ~values c pis =
+  check_inputs c pis;
+  if Array.length values <> Circuit.size c then
+    invalid_arg "Simulator.eval_into: values buffer size mismatch";
+  sweep_bools c values pis
+
+let eval_word_into ~values c pis =
+  check_inputs c pis;
+  if Array.length values <> Circuit.size c then
+    invalid_arg "Simulator.eval_word_into: values buffer size mismatch";
+  sweep_words c values pis
 
 let eval c pis =
   check_inputs c pis;
-  sweep ~eval_kind:Gate.eval ~zero:false c pis
+  let values = Array.make (Circuit.size c) false in
+  sweep_bools c values pis;
+  values
 
 let outputs c pis =
   let values = eval c pis in
@@ -30,8 +54,24 @@ let outputs c pis =
 
 let eval_word c pis =
   check_inputs c pis;
-  sweep ~eval_kind:Gate.eval_word ~zero:0L c pis
+  let values = Array.make (Circuit.size c) 0L in
+  sweep_words c values pis;
+  values
 
 let outputs_word c pis =
   let values = eval_word c pis in
   Array.map (fun g -> values.(g)) c.Circuit.outputs
+
+let eval_ctx ctx c pis =
+  Sim_ctx.check ctx c;
+  check_inputs c pis;
+  let values = Sim_ctx.bools ctx in
+  sweep_bools c values pis;
+  values
+
+let eval_word_ctx ctx c pis =
+  Sim_ctx.check ctx c;
+  check_inputs c pis;
+  let values = Sim_ctx.words ctx in
+  sweep_words c values pis;
+  values

@@ -3,7 +3,10 @@
     Two engines: single-pattern over [bool] and 64-way parallel-pattern
     over [int64] (bit [i] of every word belongs to pattern [i]).  Both run
     in one topological sweep — the linear-time engine the paper attributes
-    to simulation-based diagnosis. *)
+    to simulation-based diagnosis.  Sweeps are allocation-free per gate
+    (fanin values are read in place, see {!Netlist.Gate.eval_indexed});
+    the [*_ctx] entry points also reuse the whole value buffer via
+    {!Sim_ctx}, making repeated sweeps allocation-free end-to-end. *)
 
 val eval : Netlist.Circuit.t -> bool array -> bool array
 (** [eval c pis] returns the value of every gate.  [pis] follows the
@@ -16,3 +19,21 @@ val eval_word : Netlist.Circuit.t -> int64 array -> int64 array
 (** 64 patterns at once; [pis.(i)] packs pattern bits for input [i]. *)
 
 val outputs_word : Netlist.Circuit.t -> int64 array -> int64 array
+
+val eval_into : values:bool array -> Netlist.Circuit.t -> bool array -> unit
+(** Sweep into a caller-supplied buffer of size [Circuit.size c] (every
+    slot is overwritten; the buffer need not be cleared between calls).
+    @raise Invalid_argument on buffer or input length mismatch. *)
+
+val eval_word_into :
+  values:int64 array -> Netlist.Circuit.t -> int64 array -> unit
+
+val eval_ctx : Sim_ctx.t -> Netlist.Circuit.t -> bool array -> bool array
+(** Sweep into the context's scalar buffer and return it.  The result
+    aliases the context: it is invalidated by the next call using the
+    same context (see the {!Sim_ctx} contract). *)
+
+val eval_word_ctx :
+  Sim_ctx.t -> Netlist.Circuit.t -> int64 array -> int64 array
+(** Word-parallel analogue of {!eval_ctx}, using the context's [words]
+    buffer. *)

@@ -49,6 +49,56 @@ let eval_kind k (vs : v array) =
   | Gate.Xor -> fold_xor vs
   | Gate.Xnor -> vnot (fold_xor vs)
 
+(* Indexed folds over the fanin id array: values are read in place, no
+   argument array is built.  Semantics match the [fold_*] helpers above. *)
+
+let fold_and_indexed (values : v array) (fanins : int array) =
+  let any_x = ref false in
+  let any_f = ref false in
+  for i = 0 to Array.length fanins - 1 do
+    match values.(fanins.(i)) with
+    | F -> any_f := true
+    | X -> any_x := true
+    | T -> ()
+  done;
+  if !any_f then F else if !any_x then X else T
+
+let fold_or_indexed (values : v array) (fanins : int array) =
+  let any_x = ref false in
+  let any_t = ref false in
+  for i = 0 to Array.length fanins - 1 do
+    match values.(fanins.(i)) with
+    | T -> any_t := true
+    | X -> any_x := true
+    | F -> ()
+  done;
+  if !any_t then T else if !any_x then X else F
+
+let fold_xor_indexed (values : v array) (fanins : int array) =
+  let any_x = ref false in
+  let parity = ref false in
+  for i = 0 to Array.length fanins - 1 do
+    match values.(fanins.(i)) with
+    | T -> parity := not !parity
+    | X -> any_x := true
+    | F -> ()
+  done;
+  if !any_x then X else of_bool !parity
+
+let eval_kind_indexed k (values : v array) (fanins : int array) =
+  match k with
+  | Gate.Input -> invalid_arg "Xsim.eval_kind_indexed: Input has no function"
+  | Gate.Const0 -> F
+  | Gate.Const1 -> T
+  | Gate.Buf -> values.(fanins.(0))
+  | Gate.Not -> vnot values.(fanins.(0))
+  | Gate.And -> fold_and_indexed values fanins
+  | Gate.Nand -> vnot (fold_and_indexed values fanins)
+  | Gate.Or -> fold_or_indexed values fanins
+  | Gate.Nor -> vnot (fold_or_indexed values fanins)
+  | Gate.Xor -> fold_xor_indexed values fanins
+  | Gate.Xnor -> vnot (fold_xor_indexed values fanins)
+
 let eval (c : Circuit.t) pis =
   if Array.length pis <> Circuit.num_inputs c then
     invalid_arg "Xsim.eval: input length mismatch";
@@ -58,7 +108,7 @@ let eval (c : Circuit.t) pis =
     (fun g ->
       match c.kinds.(g) with
       | Gate.Input -> ()
-      | k -> values.(g) <- eval_kind k (Array.map (fun h -> values.(h)) c.fanins.(g)))
+      | k -> values.(g) <- eval_kind_indexed k values c.fanins.(g))
     c.topo;
   values
 
@@ -75,8 +125,6 @@ let with_x_at (c : Circuit.t) pis gates =
       else
         match c.kinds.(g) with
         | Gate.Input -> ()
-        | k ->
-            values.(g) <-
-              eval_kind k (Array.map (fun h -> values.(h)) c.fanins.(g)))
+        | k -> values.(g) <- eval_kind_indexed k values c.fanins.(g))
     c.topo;
   values

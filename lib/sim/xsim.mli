@@ -14,6 +14,11 @@ val eval_kind : Netlist.Gate.kind -> v array -> v
 (** Pessimistic three-valued gate evaluation (controlling values dominate
     X; otherwise any X fanin makes the output X). *)
 
+val eval_kind_indexed : Netlist.Gate.kind -> v array -> int array -> v
+(** [eval_kind_indexed k values fanins] — same function, reading fanin
+    values as [values.(fanins.(i))] without building an argument array.
+    Arity is trusted (circuit invariants guarantee it). *)
+
 val eval : Netlist.Circuit.t -> v array -> v array
 (** Topological sweep over three-valued inputs. *)
 

@@ -205,6 +205,24 @@ let test_cov_engines_agree_fig5 () =
         (run Diagnosis.Cover.Sat_engine))
     [ Bench_suite.Paper_circuits.fig5a; Bench_suite.Paper_circuits.fig5b ]
 
+let test_cov_degenerate_instances () =
+  (* regression: the SAT engine used to report no solutions on the empty
+     instance (m = 0) while the backtrack oracle reports the empty cover *)
+  let run engine sets =
+    fst (Diagnosis.Cover.enumerate ~engine ~k:3 sets)
+    |> List.map sorted |> List.sort compare
+  in
+  let check name expected sets =
+    Alcotest.(check (list (list int))) (name ^ " (SAT)") expected
+      (run Diagnosis.Cover.Sat_engine sets);
+    Alcotest.(check (list (list int))) (name ^ " (backtrack)") expected
+      (run Diagnosis.Cover.Backtrack_engine sets)
+  in
+  check "no candidate sets" [ [] ] [||];
+  check "empty candidate set is uncoverable" [] [| [] |];
+  check "uncoverable mixed" [] [| [ 1 ]; [] |];
+  check "singleton" [ [ 4 ] ] [| [ 4 ] |]
+
 let prop_cov_engines_agree =
   QCheck.Test.make ~count:30 ~name:"COV: SAT engine = backtrack oracle"
     workload_gen
@@ -645,6 +663,8 @@ let () =
           Alcotest.test_case "Lemma 4 / Theorem 2" `Quick test_cov_fig5b_lemma4;
           Alcotest.test_case "engines agree on fig5" `Quick
             test_cov_engines_agree_fig5;
+          Alcotest.test_case "degenerate instances" `Quick
+            test_cov_degenerate_instances;
         ] );
       ( "bsat",
         [

@@ -78,6 +78,55 @@ let test_detection_mask_matches_bruteforce () =
       end)
     faults
 
+let test_detection_mask_ctx_matches () =
+  (* reusing one context's scratch buffer and queue across faults must
+     give the same masks as the allocating path *)
+  let c = Netlist.Generators.random_dag ~seed:13 ~num_inputs:8 ~num_gates:80
+      ~num_outputs:5 () in
+  let rng = Random.State.make [| 11 |] in
+  let words =
+    Array.init (C.num_inputs c) (fun _ ->
+        Random.State.int64 rng Int64.max_int)
+  in
+  let good = Sim.Simulator.eval_word c words in
+  let ctx = Sim.Sim_ctx.create c in
+  List.iteri
+    (fun fi f ->
+      Alcotest.(check int64)
+        (Printf.sprintf "fault %d" fi)
+        (Sim.Fault_sim.detection_mask c ~good f)
+        (Sim.Fault_sim.detection_mask ~ctx c ~good f))
+    (SA.all_faults c)
+
+let test_first_bit_matches_naive () =
+  let naive m =
+    let rec go i =
+      if i = 64 then raise Not_found
+      else if Int64.logand (Int64.shift_right_logical m i) 1L = 1L then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "single bit %d" i)
+      i
+      (Sim.Fault_sim.first_bit (Int64.shift_left 1L i))
+  done;
+  let rng = Random.State.make [| 12 |] in
+  for rep = 1 to 1000 do
+    let m = Random.State.int64 rng Int64.max_int in
+    let m = if Random.State.bool rng then Int64.neg m else m in
+    let m = if m = 0L then 1L else m in
+    Alcotest.(check int)
+      (Printf.sprintf "random %d" rep)
+      (naive m) (Sim.Fault_sim.first_bit m)
+  done;
+  Alcotest.(check bool) "zero raises" true
+    (match Sim.Fault_sim.first_bit 0L with
+    | exception Not_found -> true
+    | _ -> false)
+
 let test_run_with_dropping () =
   let c = adder in
   let rng = Random.State.make [| 9 |] in
@@ -281,6 +330,10 @@ let () =
         [
           Alcotest.test_case "mask = brute force" `Quick
             test_detection_mask_matches_bruteforce;
+          Alcotest.test_case "mask with ctx = without" `Quick
+            test_detection_mask_ctx_matches;
+          Alcotest.test_case "first_bit = naive scan" `Quick
+            test_first_bit_matches_naive;
           Alcotest.test_case "run with dropping" `Quick test_run_with_dropping;
           Alcotest.test_case "drop does not change coverage" `Quick
             test_run_no_drop_same_coverage;

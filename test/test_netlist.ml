@@ -220,6 +220,25 @@ let test_bench_errors () =
   Alcotest.(check bool) "dff arity" true
     (bad "INPUT(a)\nz = DFF(a, a)\nOUTPUT(z)\n")
 
+(* regression: undefined-fanin errors used to report line 0 — they must
+   blame the statement that references the missing signal *)
+let test_bench_error_lines () =
+  let line_of text =
+    match Netlist.Bench_format.parse_string ~name:"bad" text with
+    | exception Netlist.Bench_format.Parse_error { line; _ } -> line
+    | _ -> -1
+  in
+  Alcotest.(check int) "undefined fanin" 2
+    (line_of "INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)\n");
+  Alcotest.(check int) "undefined fanin, later statement" 4
+    (line_of "INPUT(a)\nb = NOT(a)\nOUTPUT(z)\nz = OR(b, ghost)\n");
+  Alcotest.(check int) "undefined output" 3
+    (line_of "INPUT(a)\nz = NOT(a)\nOUTPUT(q)\n");
+  Alcotest.(check int) "double definition" 3
+    (line_of "INPUT(a)\nz = NOT(a)\nz = BUF(a)\nOUTPUT(z)\n");
+  Alcotest.(check int) "blank lines and comments still counted" 5
+    (line_of "# header\n\nINPUT(a)\n\nz = NOT(ghost)\nOUTPUT(z)\n")
+
 (* ---------- structural ---------- *)
 
 let test_cones () =
@@ -571,6 +590,7 @@ let () =
           Alcotest.test_case "parse s27" `Quick test_bench_parse_s27;
           Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_bench_errors;
+          Alcotest.test_case "parse error lines" `Quick test_bench_error_lines;
         ] );
       ( "structural",
         [

@@ -42,6 +42,56 @@ let test_simulator_rejects_bad_arity () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* The allocation-free entry points (eval_into / eval_ctx and their word
+   variants) must match the allocating reference bit-for-bit, with
+   buffers reused dirty across sweeps. *)
+let test_ctx_sweeps_match_reference () =
+  let rng = Random.State.make [| 4 |] in
+  List.iter
+    (fun seed ->
+      let c = Netlist.Generators.random_dag ~seed ~num_inputs:10
+          ~num_gates:150 ~num_outputs:6 () in
+      let n = C.num_inputs c in
+      let ctx = Sim.Sim_ctx.create c in
+      let into = Array.make (C.size c) true in
+      let word_into = Array.make (C.size c) Int64.minus_one in
+      for rep = 1 to 25 do
+        let v = random_vector rng n in
+        let reference = Sim.Simulator.eval c v in
+        Sim.Simulator.eval_into ~values:into c v;
+        Alcotest.(check (array bool))
+          (Printf.sprintf "eval_into rep %d" rep)
+          reference into;
+        Alcotest.(check (array bool))
+          (Printf.sprintf "eval_ctx rep %d" rep)
+          reference
+          (Array.copy (Sim.Simulator.eval_ctx ctx c v));
+        let w =
+          Array.init n (fun _ -> Random.State.int64 rng Int64.max_int)
+        in
+        let word_reference = Sim.Simulator.eval_word c w in
+        Sim.Simulator.eval_word_into ~values:word_into c w;
+        Alcotest.(check (array int64))
+          (Printf.sprintf "eval_word_into rep %d" rep)
+          word_reference word_into;
+        Alcotest.(check (array int64))
+          (Printf.sprintf "eval_word_ctx rep %d" rep)
+          word_reference
+          (Array.copy (Sim.Simulator.eval_word_ctx ctx c w))
+      done)
+    [ 41; 42; 43 ]
+
+let test_ctx_rejects_wrong_circuit () =
+  let small = Netlist.Generators.ripple_carry_adder 2 in
+  let ctx = Sim.Sim_ctx.create small in
+  Alcotest.(check bool) "size mismatch" true
+    (match
+       Sim.Simulator.eval_ctx ctx adder
+         (Array.make (C.num_inputs adder) false)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---------- event-driven resimulation ---------- *)
 
 let test_event_sim_matches_full () =
@@ -256,6 +306,10 @@ let () =
         [
           Alcotest.test_case "word = 64x scalar" `Quick test_word_matches_scalar;
           Alcotest.test_case "bad arity" `Quick test_simulator_rejects_bad_arity;
+          Alcotest.test_case "ctx sweeps = reference" `Quick
+            test_ctx_sweeps_match_reference;
+          Alcotest.test_case "ctx circuit check" `Quick
+            test_ctx_rejects_wrong_circuit;
         ] );
       ( "event_sim",
         [
