@@ -24,6 +24,15 @@ type config = {
 let quick = { scale = 0.12; max_solutions = 2000; time_limit = 30.0 }
 let full = { scale = 1.0; max_solutions = 20000; time_limit = 1800.0 }
 
+(* machine-readable per-experiment stats; the driver writes every block
+   collected by the selected experiments to BENCH_report.json.  Blocks
+   hold only deterministic measurements (counters, not timings), so the
+   file is diffable across commits under a fixed seed. *)
+let report_blocks : (string * Obs.Json.t) list ref = ref []
+
+let add_block name json =
+  report_blocks := List.remove_assoc name !report_blocks @ [ (name, json) ]
+
 (* one shared row computation for table2/table3/figure6 *)
 let paper_rows =
   let cache : (float, Bench_suite.Runner.row list) Hashtbl.t =
@@ -93,7 +102,9 @@ let table1 _cfg =
 
 let table2 cfg =
   Fmt.pr "== Table 2: runtimes in seconds (scale %.2f) ==@." cfg.scale;
-  Bench_suite.Report.pp_table2 Fmt.stdout (paper_rows cfg);
+  let rows = paper_rows cfg in
+  Bench_suite.Report.pp_table2 Fmt.stdout rows;
+  add_block "table2" (Bench_suite.Report.rows_stats_json rows);
   Fmt.pr "@."
 
 let table3 cfg =
@@ -214,6 +225,7 @@ let hybrid cfg =
   Fmt.pr "%-10s | %10s %10s | %10s %10s | %s@." "I" "plain(s)" "guided(s)"
     "conflicts" "conflicts" "repair";
   Fmt.pr "%s@." (String.make 78 '-');
+  let blocks = ref [] in
   List.iter
     (fun spec ->
       let w = Bench_suite.Workload.prepare spec in
@@ -223,7 +235,13 @@ let hybrid cfg =
       in
       if tests <> [] then begin
         let k = spec.Bench_suite.Workload.num_errors in
-        let h = Diagnosis.Hybrid.guided ~max_solutions:200 ~k faulty tests in
+        let obs = Obs.create () in
+        let h =
+          Diagnosis.Hybrid.guided ~max_solutions:200 ~obs ~k faulty tests
+        in
+        blocks :=
+          (spec.Bench_suite.Workload.label, Obs.to_json ~times:false obs)
+          :: !blocks;
         let repair_summary =
           let cov =
             Diagnosis.Cover.diagnose ~max_solutions:1 ~k faulty tests
@@ -245,6 +263,7 @@ let hybrid cfg =
           h.Diagnosis.Hybrid.guided_stats.Sat.Solver.conflicts repair_summary
       end)
     specs;
+  add_block "hybrid" (Obs.Json.Obj (List.rev !blocks));
   Fmt.pr "@."
 
 (* ---------- sequential diagnosis (extension, after Ali et al.) -------- *)
@@ -304,6 +323,7 @@ let incremental _cfg =
     Bench_suite.Workload.small_specs ()
     @ Bench_suite.Workload.paper_specs ~scale:0.06
   in
+  let blocks = ref [] in
   List.iter
     (fun spec ->
       let w = Bench_suite.Workload.prepare spec in
@@ -341,6 +361,16 @@ let incremental _cfg =
             steps
         in
         let incremental_time = Sys.time () -. t1 in
+        let obs = Obs.create () in
+        Diagnosis.Telemetry.record_solver_stats obs ~prefix:"incremental"
+          (Diagnosis.Incremental.stats inc);
+        Obs.add obs "incremental/solutions"
+          (List.length (List.concat incremental_sols));
+        Obs.add obs "incremental/truncated"
+          (if Diagnosis.Incremental.last_truncated inc then 1 else 0);
+        blocks :=
+          (spec.Bench_suite.Workload.label, Obs.to_json ~times:false obs)
+          :: !blocks;
         let norm = List.map (List.map (List.sort Int.compare)) in
         let capped =
           List.exists (fun s -> List.length s >= cap) scratch
@@ -359,6 +389,7 @@ let incremental _cfg =
           spec.Bench_suite.Workload.label scratch_time incremental_time agree
       end)
     specs;
+  add_block "incremental" (Obs.Json.Obj (List.rev !blocks));
   Fmt.pr "@."
 
 (* ---------- related work: BDD space complexity (§1) ------------------- *)
@@ -644,4 +675,26 @@ let () =
                 exit 2)
           names
   in
-  List.iter (fun (_, f) -> f cfg) to_run
+  List.iter (fun (_, f) -> f cfg) to_run;
+  match !report_blocks with
+  | [] -> ()
+  | blocks ->
+      let json =
+        Obs.Json.Obj
+          [
+            ("scale", Obs.Json.Float cfg.scale);
+            ("experiments", Obs.Json.Obj blocks);
+          ]
+      in
+      let text = Obs.Json.to_string json in
+      (* the report must stay parseable: every block goes through the
+         same strict parser the CI smoke-check uses *)
+      (match Obs.Json.parse text with
+      | Ok _ -> ()
+      | Error e -> Fmt.failwith "BENCH_report.json does not round-trip: %s" e);
+      let oc = open_out "BENCH_report.json" in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote BENCH_report.json (%d stats block(s))@."
+        (List.length blocks)

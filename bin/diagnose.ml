@@ -93,7 +93,7 @@ let report_solutions faulty tests label solutions =
     solutions
 
 let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
-    max_solutions =
+    max_solutions stats budget_seconds budget_conflicts =
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -114,6 +114,19 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
   end
   else begin
     let k = match k with Some k -> k | None -> max 1 errors in
+    let budget =
+      match (budget_seconds, budget_conflicts) with
+      | None, None -> None
+      | seconds, conflicts -> Some (Core.Budget.create ?conflicts ?seconds ())
+    in
+    let obs = if stats then Some (Core.Obs.create ()) else None in
+    (* the simulation-based engines have no solver budget; a seconds
+       budget degrades to their coarser between-solutions time limit *)
+    let time_limit = budget_seconds in
+    let truncation_notice truncated =
+      if truncated then
+        Fmt.pr "budget exhausted: enumeration truncated (solutions above are still valid)@."
+    in
     (match approach with
     | Bsim ->
         let r = Core.Bsim.diagnose faulty tests in
@@ -122,28 +135,37 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
           r.Core.Bsim.max_marks;
         Fmt.pr "G_max = %a@." (pp_solution faulty) r.Core.Bsim.gmax
     | Cov ->
-        let r = Core.Cover.diagnose ~max_solutions ~k faulty tests in
-        report_solutions faulty tests "COV" r.Core.Cover.solutions
+        let r = Core.Cover.diagnose ~max_solutions ?time_limit ~k faulty tests in
+        report_solutions faulty tests "COV" r.Core.Cover.solutions;
+        truncation_notice r.Core.Cover.truncated
     | Bsat ->
-        let r = Core.Bsat.diagnose ~max_solutions ~k faulty tests in
-        report_solutions faulty tests "BSAT" r.Core.Bsat.solutions
+        let r =
+          Core.Bsat.diagnose ~max_solutions ?budget ?obs ~k faulty tests
+        in
+        report_solutions faulty tests "BSAT" r.Core.Bsat.solutions;
+        truncation_notice r.Core.Bsat.truncated
     | Advsim ->
-        let r = Core.Advanced_sim.diagnose ~max_solutions ~k faulty tests in
+        let r =
+          Core.Advanced_sim.diagnose ~max_solutions ?time_limit ~k faulty tests
+        in
         report_solutions faulty tests "advanced-sim"
-          r.Core.Advanced_sim.solutions
+          r.Core.Advanced_sim.solutions;
+        truncation_notice r.Core.Advanced_sim.truncated
     | Advsat ->
         let r =
-          Core.Advanced_sat.diagnose_dominators ~max_solutions ~k faulty tests
+          Core.Advanced_sat.diagnose_dominators ~max_solutions ?budget ?obs ~k
+            faulty tests
         in
         report_solutions faulty tests "advanced-sat (2-pass)"
-          r.Core.Advanced_sat.solutions
+          r.Core.Advanced_sat.solutions;
+        truncation_notice r.Core.Advanced_sat.truncated
     | Hybrid ->
         let cov = Core.Cover.diagnose ~max_solutions:1 ~k faulty tests in
         (match cov.Core.Cover.solutions with
         | [] -> Fmt.pr "no COV seed available@."
         | seed_sol :: _ -> (
             Fmt.pr "COV seed: %a@." (pp_solution faulty) seed_sol;
-            match Core.Hybrid.repair ~k ~seed:seed_sol faulty tests with
+            match Core.Hybrid.repair ?budget ~k ~seed:seed_sol faulty tests with
             | None -> Fmt.pr "no valid correction of size <= %d@." k
             | Some r ->
                 Fmt.pr "repaired: %a (dropped %d, added %d)@."
@@ -157,6 +179,9 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     | errs ->
         Fmt.pr "actual error sites: %a@." (pp_solution faulty)
           (Core.Fault.sites errs));
+    (match obs with
+    | None -> ()
+    | Some obs -> Fmt.pr "%s@." (Core.Obs.emit ~times:false obs));
     0
   end
 
@@ -268,9 +293,13 @@ let run_cmd =
   let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit (default: number of injected errors)") in
   let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
   let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print a JSON block of per-engine solver counters (deterministic under a fixed seed)") in
+  let budget_seconds = Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget; SAT engines stop mid-search and return the truncated-but-valid prefix") in
+  let budget_conflicts = Arg.(value & opt (some int) None & info [ "budget-conflicts" ] ~docv:"N" ~doc:"Total solver conflict budget across the enumeration (deterministic)") in
   Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
     Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
-          $ approach $ k $ m $ max_solutions)
+          $ approach $ k $ m $ max_solutions $ stats $ budget_seconds
+          $ budget_conflicts)
 
 let coverage_cmd =
   let vectors = Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~doc:"Random vectors to grade") in

@@ -1,3 +1,31 @@
+let solver_stats_json (st : Sat.Solver.stats) =
+  Obs.Json.Obj
+    [
+      ("decisions", Obs.Json.Int st.Sat.Solver.decisions);
+      ("propagations", Obs.Json.Int st.Sat.Solver.propagations);
+      ("conflicts", Obs.Json.Int st.Sat.Solver.conflicts);
+      ("restarts", Obs.Json.Int st.Sat.Solver.restarts);
+      ("learned", Obs.Json.Int st.Sat.Solver.learned);
+      ("learned_total", Obs.Json.Int st.Sat.Solver.learned_total);
+      ("deleted", Obs.Json.Int st.Sat.Solver.deleted);
+    ]
+
+let row_stats_json (r : Runner.row) =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String r.Runner.label);
+      ("p", Obs.Json.Int r.Runner.p);
+      ("m", Obs.Json.Int r.Runner.m);
+      ("cov_solutions", Obs.Json.Int (List.length r.Runner.cov_solutions));
+      ("bsat_solutions", Obs.Json.Int (List.length r.Runner.bsat_solutions));
+      ("cov_truncated", Obs.Json.Bool r.Runner.cov_truncated);
+      ("bsat_truncated", Obs.Json.Bool r.Runner.bsat_truncated);
+      ("bsat_solver_calls", Obs.Json.Int r.Runner.bsat_solver_calls);
+      ("bsat", solver_stats_json r.Runner.bsat_stats);
+    ]
+
+let rows_stats_json rows = Obs.Json.Arr (List.map row_stats_json rows)
+
 let pp_table2 ppf rows =
   Format.fprintf ppf
     "%-10s %3s %4s | %8s | %8s %8s %8s | %8s %8s %8s@."

@@ -1,5 +1,18 @@
 (** Paper-style rendering of experiment rows: Table 2 (runtimes), Table 3
-    (quality) and the Figure 6 scatter series. *)
+    (quality) and the Figure 6 scatter series — plus machine-readable
+    per-row stats blocks for the bench report JSON. *)
+
+val solver_stats_json : Sat.Solver.stats -> Obs.Json.t
+(** Solver counters as a flat JSON object (deterministic field order). *)
+
+val row_stats_json : Runner.row -> Obs.Json.t
+(** One row's deterministic measurements: label/p/m, solution counts,
+    truncation flags, solver calls and counters.  Timings are
+    deliberately excluded so the block is bit-reproducible under a
+    fixed seed. *)
+
+val rows_stats_json : Runner.row list -> Obs.Json.t
+(** JSON array of {!row_stats_json}. *)
 
 val pp_table2 : Format.formatter -> Runner.row list -> unit
 (** Columns: I, p, m, BSIM, COV CNF/One/All, BSAT CNF/One/All (seconds). *)

@@ -15,9 +15,11 @@ type row = {
   cov_truncated : bool;
   bsat_truncated : bool;
   error_sites : int list;
+  bsat_solver_calls : int;
+  bsat_stats : Sat.Solver.stats;
 }
 
-let run_row ?max_solutions ?time_limit (w : Workload.prepared) ~m =
+let run_row ?max_solutions ?time_limit ?budget (w : Workload.prepared) ~m =
   let spec = w.Workload.spec in
   let tests = List.filteri (fun i _ -> i < m) w.Workload.tests in
   let m = List.length tests in
@@ -31,7 +33,8 @@ let run_row ?max_solutions ?time_limit (w : Workload.prepared) ~m =
     Diagnosis.Cover.diagnose ?max_solutions ?time_limit ~k faulty tests
   in
   let bsat_r =
-    Diagnosis.Bsat.diagnose ?max_solutions ?time_limit ~k faulty tests
+    Diagnosis.Bsat.diagnose ?max_solutions ?time_limit ?budget ~k faulty
+      tests
   in
   {
     label = spec.Workload.label;
@@ -58,9 +61,11 @@ let run_row ?max_solutions ?time_limit (w : Workload.prepared) ~m =
     cov_truncated = cov_r.Diagnosis.Cover.truncated;
     bsat_truncated = bsat_r.Diagnosis.Bsat.truncated;
     error_sites;
+    bsat_solver_calls = bsat_r.Diagnosis.Bsat.solver_calls;
+    bsat_stats = bsat_r.Diagnosis.Bsat.stats;
   }
 
-let run ?max_solutions ?time_limit w =
+let run ?max_solutions ?time_limit ?budget w =
   let available = List.length w.Workload.tests in
   let ms =
     w.Workload.spec.Workload.test_counts
@@ -68,4 +73,4 @@ let run ?max_solutions ?time_limit w =
     |> List.filter (fun m -> m > 0)
     |> List.sort_uniq Int.compare
   in
-  List.map (fun m -> run_row ?max_solutions ?time_limit w ~m) ms
+  List.map (fun m -> run_row ?max_solutions ?time_limit ?budget w ~m) ms

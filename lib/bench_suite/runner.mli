@@ -18,15 +18,18 @@ type row = {
   cov_truncated : bool;
   bsat_truncated : bool;
   error_sites : int list;
+  bsat_solver_calls : int;          (** SAT oracle invocations *)
+  bsat_stats : Sat.Solver.stats;    (** BSAT's solver counters *)
 }
 
 val run_row :
-  ?max_solutions:int -> ?time_limit:float ->
+  ?max_solutions:int -> ?time_limit:float -> ?budget:Sat.Budget.t ->
   Workload.prepared -> m:int -> row
-(** Diagnose the faulty circuit with the first [m] tests, k = p. *)
+(** Diagnose the faulty circuit with the first [m] tests, k = p.
+    [budget] caps BSAT's solver effort (see {!Diagnosis.Bsat.diagnose}). *)
 
 val run :
-  ?max_solutions:int -> ?time_limit:float ->
+  ?max_solutions:int -> ?time_limit:float -> ?budget:Sat.Budget.t ->
   Workload.prepared -> row list
 (** One row per configured m (skipping m values for which not enough
     failing tests exist). *)

@@ -14,6 +14,9 @@ module Testgen = Sim.Testgen
 module Lit = Sat.Lit
 module Cnf = Sat.Cnf
 module Solver = Sat.Solver
+module Budget = Sat.Budget
+module Obs = Obs
+module Telemetry = Diagnosis.Telemetry
 module Tseitin = Encode.Tseitin
 module Cardinality = Encode.Cardinality
 module Muxed = Encode.Muxed

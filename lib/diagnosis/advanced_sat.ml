@@ -4,16 +4,28 @@ type result = {
   solutions : int list list;
   pass1_solutions : int list list;
   total_time : float;
+  truncated : bool;
   stats : Sat.Solver.stats;
 }
 
-let diagnose_dominators ?max_solutions ?time_limit ~k c tests =
+let record obs prefix ~solver_calls (r : result) =
+  match obs with
+  | None -> ()
+  | Some obs ->
+      Telemetry.record_run obs ~prefix
+        ~solutions:(List.length r.solutions)
+        ~solver_calls ~truncated:r.truncated r.stats;
+      Obs.record_span obs (prefix ^ "/total") r.total_time
+
+let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
   let t0 = Sys.time () in
   let dom = Dominators.compute c in
   let skeleton = Dominators.nontrivial dom in
+  (* one budget spans both passes: the refinement pass only gets what the
+     skeleton pass left over *)
   let pass1 =
     Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
-      ?time_limit ~k c tests
+      ?time_limit ?budget ~k c tests
   in
   (* refine: multiplexers at every implicated dominator and everything it
      dominates *)
@@ -25,19 +37,27 @@ let diagnose_dominators ?max_solutions ?time_limit ~k c tests =
     |> List.sort_uniq Int.compare
     |> List.filter (fun g -> not (Netlist.Circuit.is_input c g))
   in
-  let pass2 =
+  let pass2, calls =
     match implicated with
-    | [] -> pass1
+    | [] -> (pass1, pass1.Bsat.solver_calls)
     | _ ->
-        Bsat.diagnose ~candidates:implicated ~force_zero:true ?max_solutions
-          ?time_limit ~k c tests
+        let p2 =
+          Bsat.diagnose ~candidates:implicated ~force_zero:true ?max_solutions
+            ?time_limit ?budget ~k c tests
+        in
+        (p2, pass1.Bsat.solver_calls + p2.Bsat.solver_calls)
   in
-  {
-    solutions = pass2.Bsat.solutions;
-    pass1_solutions = pass1.Bsat.solutions;
-    total_time = Sys.time () -. t0;
-    stats = pass2.Bsat.stats;
-  }
+  let r =
+    {
+      solutions = pass2.Bsat.solutions;
+      pass1_solutions = pass1.Bsat.solutions;
+      total_time = Sys.time () -. t0;
+      truncated = pass1.Bsat.truncated || pass2.Bsat.truncated;
+      stats = pass2.Bsat.stats;
+    }
+  in
+  record obs "advsat/dominators" ~solver_calls:calls r;
+  r
 
 let chunks n xs =
   let rec go acc cur count = function
@@ -48,7 +68,8 @@ let chunks n xs =
   in
   go [] [] 0 xs
 
-let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ~k c tests =
+let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
+    ~k c tests =
   let t0 = Sys.time () in
   let slices = chunks slice tests in
   match slices with
@@ -57,11 +78,21 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ~k c tests =
         solutions = [];
         pass1_solutions = [];
         total_time = 0.0;
+        truncated = false;
         stats = Sat.Solver.stats (Sat.Solver.create ());
       }
   | first :: rest ->
+      let truncated = ref false in
+      let calls = ref 0 in
+      let note (r : Bsat.result) =
+        if r.Bsat.truncated then truncated := true;
+        calls := !calls + r.Bsat.solver_calls;
+        r
+      in
       let r0 =
-        Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit ~k c first
+        note
+          (Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit ?budget
+             ~k c first)
       in
       let narrow result next_tests =
         let cands =
@@ -70,8 +101,9 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ~k c tests =
         match cands with
         | [] -> result
         | _ ->
-            Bsat.diagnose ~candidates:cands ~force_zero:true ?max_solutions
-              ?time_limit ~k c next_tests
+            note
+              (Bsat.diagnose ~candidates:cands ~force_zero:true ?max_solutions
+                 ?time_limit ?budget ~k c next_tests)
       in
       (* each slice shrinks the candidate pool; solve the next slice over
          the survivors only *)
@@ -81,9 +113,14 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ~k c tests =
         List.filter (fun sol -> Validity.check_sat c tests sol)
           final.Bsat.solutions
       in
-      {
-        solutions;
-        pass1_solutions = r0.Bsat.solutions;
-        total_time = Sys.time () -. t0;
-        stats = final.Bsat.stats;
-      }
+      let r =
+        {
+          solutions;
+          pass1_solutions = r0.Bsat.solutions;
+          total_time = Sys.time () -. t0;
+          truncated = !truncated;
+          stats = final.Bsat.stats;
+        }
+      in
+      record obs "advsat/partitioned" ~solver_calls:!calls r;
+      r

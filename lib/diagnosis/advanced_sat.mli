@@ -22,23 +22,35 @@ type result = {
   solutions : int list list;
   pass1_solutions : int list list; (** coarse (dominator / first-slice) *)
   total_time : float;
+  truncated : bool;
+      (** any underlying pass hit its budget or limit; the reported
+          solutions are still individually valid *)
   stats : Sat.Solver.stats;        (** from the final pass *)
 }
 
 val diagnose_dominators :
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?budget:Sat.Budget.t ->
+  ?obs:Obs.t ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
+(** [budget] is shared across both passes: the refinement pass only gets
+    whatever allowance the skeleton pass left over.  [obs] records the
+    run under ["advsat/dominators/..."]. *)
 
 val diagnose_partitioned :
   ?slice:int ->
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?budget:Sat.Budget.t ->
+  ?obs:Obs.t ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
-(** [slice] — number of tests per partition (default 8). *)
+(** [slice] — number of tests per partition (default 8).  [budget] is
+    shared across all slices; [obs] records the run under
+    ["advsat/partitioned/..."]. *)

@@ -4,6 +4,7 @@ type result = {
   one_time : float;
   all_time : float;
   truncated : bool;
+  solver_calls : int;
   stats : Sat.Solver.stats;
 }
 
@@ -32,32 +33,47 @@ type strategy = Incremental_k | Minimize_single_pass
 
 (* Shrink a model's select set to an essential subset inside the same
    instance: candidate gates outside the set are pinned off, members are
-   dropped one at a time while the instance stays satisfiable. *)
-let shrink_in_instance inst sol =
-  let keep_off kept =
-    Array.to_list (Encode.Muxed.candidate_gates inst)
-    |> List.filter_map (fun g ->
-           if List.mem g kept then None
-           else Some (Sat.Lit.negate (Encode.Muxed.select_lit inst g)))
+   dropped one at a time while the instance stays satisfiable.  On budget
+   exhaustion the remaining members are kept as-is: the returned set is
+   still a valid correction, just possibly non-minimal. *)
+let shrink_in_instance ~budget ~count_call inst sol =
+  let all_candidates = Array.to_list (Encode.Muxed.candidate_gates inst) in
+  let keep_off in_candidate =
+    List.filter_map
+      (fun g ->
+        if Hashtbl.mem in_candidate g then None
+        else Some (Sat.Lit.negate (Encode.Muxed.select_lit inst g)))
+      all_candidates
   in
-  let rec drop kept = function
-    | [] -> kept
-    | g :: rest ->
-        let candidate = kept @ rest in
+  let rec drop kept_rev = function
+    | [] -> List.rev kept_rev
+    | g :: rest -> (
+        (* same membership order as the quadratic kept @ rest original:
+           tie-break order must not change *)
+        let candidate = List.rev_append kept_rev rest in
+        let in_candidate = Hashtbl.create 16 in
+        List.iter (fun h -> Hashtbl.replace in_candidate h ()) candidate;
         let extra =
-          List.map (Encode.Muxed.select_lit inst) candidate @ keep_off candidate
+          List.map (Encode.Muxed.select_lit inst) candidate
+          @ keep_off in_candidate
         in
-        (match
-           Encode.Muxed.solve_at_most ~extra inst (List.length candidate)
-         with
-        | Sat.Solver.Sat -> drop kept rest
-        | Sat.Solver.Unsat -> drop (kept @ [ g ]) rest)
+        count_call ();
+        match
+          Encode.Muxed.solve_at_most_limited ~extra ~budget inst
+            (List.length candidate)
+        with
+        | Sat.Solver.Solved Sat.Solver.Sat -> drop kept_rev rest
+        | Sat.Solver.Solved Sat.Solver.Unsat -> drop (g :: kept_rev) rest
+        | Sat.Solver.Unknown -> List.rev_append kept_rev (g :: rest))
   in
   drop [] sol
 
 let diagnose ?candidates ?force_zero ?(hints = no_hints)
     ?(strategy = Incremental_k) ?(max_solutions = max_int)
-    ?(time_limit = infinity) ~k c tests =
+    ?(time_limit = infinity) ?budget ?obs ?(obs_prefix = "bsat") ~k c tests =
+  let budget =
+    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
+  in
   let t0 = Sys.time () in
   let solver = Sat.Solver.create () in
   let inst = Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests in
@@ -66,10 +82,14 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
   let start = Sys.time () in
   let solutions = ref [] in
   let nsol = ref 0 in
+  let ncalls = ref 0 in
   let one_time = ref 0.0 in
   let truncated = ref false in
+  let count_call () = incr ncalls in
   let out_of_budget () =
-    !nsol >= max_solutions || Sys.time () -. start > time_limit
+    !nsol >= max_solutions
+    || Sys.time () -. start > time_limit
+    || Sat.Budget.exhausted budget
   in
   let record sol =
     if !nsol = 0 then one_time := Sys.time () -. start;
@@ -79,17 +99,26 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
   in
   (match strategy with
   | Incremental_k ->
+      let stop = ref false in
       for i = 1 to k do
-        let continue_level = ref true in
+        let continue_level = ref (not !stop) in
         while !continue_level do
           if out_of_budget () then begin
             truncated := true;
+            stop := true;
             continue_level := false
           end
-          else
-            match Encode.Muxed.solve_at_most inst i with
-            | Sat.Solver.Unsat -> continue_level := false
-            | Sat.Solver.Sat -> record (Encode.Muxed.solution inst)
+          else begin
+            count_call ();
+            match Encode.Muxed.solve_at_most_limited ~budget inst i with
+            | Sat.Solver.Solved Sat.Solver.Unsat -> continue_level := false
+            | Sat.Solver.Solved Sat.Solver.Sat ->
+                record (Encode.Muxed.solution inst)
+            | Sat.Solver.Unknown ->
+                truncated := true;
+                stop := true;
+                continue_level := false
+          end
         done
       done
   | Minimize_single_pass ->
@@ -99,21 +128,37 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
           truncated := true;
           continue_ := false
         end
-        else
-          match Encode.Muxed.solve_at_most inst k with
-          | Sat.Solver.Unsat -> continue_ := false
-          | Sat.Solver.Sat ->
+        else begin
+          count_call ();
+          match Encode.Muxed.solve_at_most_limited ~budget inst k with
+          | Sat.Solver.Solved Sat.Solver.Unsat -> continue_ := false
+          | Sat.Solver.Solved Sat.Solver.Sat ->
               record
                 (List.sort Int.compare
-                   (shrink_in_instance inst (Encode.Muxed.solution inst)))
+                   (shrink_in_instance ~budget ~count_call inst
+                      (Encode.Muxed.solution inst)))
+          | Sat.Solver.Unknown ->
+              truncated := true;
+              continue_ := false
+        end
       done);
+  let all_time = Sys.time () -. start in
+  let stats = Sat.Solver.stats solver in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+      Telemetry.record_run obs ~prefix:obs_prefix ~solutions:!nsol
+        ~solver_calls:!ncalls ~truncated:!truncated stats;
+      Obs.record_span obs (obs_prefix ^ "/cnf") cnf_time;
+      Obs.record_span obs (obs_prefix ^ "/solve") all_time);
   {
     solutions = List.rev !solutions;
     cnf_time;
     one_time = !one_time;
-    all_time = Sys.time () -. start;
+    all_time;
     truncated = !truncated;
-    stats = Sat.Solver.stats solver;
+    solver_calls = !ncalls;
+    stats;
   }
 
 let first_solution ?candidates ?force_zero ?hints ~k c tests =

@@ -13,6 +13,9 @@ type result = {
   one_time : float;           (** time to the first solution (paper "One") *)
   all_time : float;           (** full enumeration time (paper "All") *)
   truncated : bool;
+      (** hit [max_solutions], [time_limit] or the solver budget; the
+          enumerated prefix is still sound (every solution valid) *)
+  solver_calls : int;         (** SAT oracle invocations *)
   stats : Sat.Solver.stats;   (** solver counters, for the hybrid ablation *)
 }
 
@@ -42,13 +45,27 @@ val diagnose :
   ?strategy:strategy ->
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?budget:Sat.Budget.t ->
+  ?obs:Obs.t ->
+  ?obs_prefix:string ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
 (** [candidates] restricts the multiplexer sites (advanced approaches);
     [force_zero] adds the s=0 ⇒ c=0 pruning clauses; [hints] biases the
-    solver's decision heuristic (the §6 hybrid). *)
+    solver's decision heuristic (the §6 hybrid).
+
+    [budget] caps total solver effort across the whole enumeration —
+    unlike [time_limit] (checked only between solver calls) it is
+    enforced *inside* the CDCL loop, so a single hard call cannot
+    overshoot it unboundedly.  On exhaustion the result is flagged
+    [truncated] and contains the solutions found so far (each one still
+    a valid correction).  Conflict/propagation budgets are deterministic
+    under a fixed seed.
+
+    [obs] records the run under ["<obs_prefix>/..."] counters and spans
+    (default prefix ["bsat"]); see {!Telemetry}. *)
 
 val first_solution :
   ?candidates:int list ->

@@ -4,9 +4,10 @@ type guided_result = {
   guided_stats : Sat.Solver.stats;
   plain_time : float;
   guided_time : float;
+  truncated : bool;
 }
 
-let guided ?max_solutions ?time_limit ~k c tests =
+let guided ?max_solutions ?time_limit ?budget ?obs ~k c tests =
   let bsim = Bsim.diagnose c tests in
   let hints =
     {
@@ -17,14 +18,24 @@ let guided ?max_solutions ?time_limit ~k c tests =
       prefer_selected = bsim.Bsim.gmax;
     }
   in
-  let plain = Bsat.diagnose ?max_solutions ?time_limit ~k c tests in
-  let guided = Bsat.diagnose ~hints ?max_solutions ?time_limit ~k c tests in
+  (* the comparison only means something if both runs get the same
+     allowance, so the plain run burns a clone of the budget *)
+  let plain_budget = Option.map Sat.Budget.clone budget in
+  let plain =
+    Bsat.diagnose ?max_solutions ?time_limit ?budget:plain_budget ?obs
+      ~obs_prefix:"hybrid/plain" ~k c tests
+  in
+  let guided =
+    Bsat.diagnose ~hints ?max_solutions ?time_limit ?budget ?obs
+      ~obs_prefix:"hybrid/guided" ~k c tests
+  in
   {
     solutions = guided.Bsat.solutions;
     plain_stats = plain.Bsat.stats;
     guided_stats = guided.Bsat.stats;
     plain_time = plain.Bsat.all_time;
     guided_time = guided.Bsat.all_time;
+    truncated = plain.Bsat.truncated || guided.Bsat.truncated;
   }
 
 type repair_result = {
@@ -35,7 +46,10 @@ type repair_result = {
   added : int;
 }
 
-let repair ?marks ~k ~seed c tests =
+let repair ?marks ?budget ~k ~seed c tests =
+  let budget =
+    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
+  in
   let marks =
     match marks with
     | Some m -> m
@@ -58,8 +72,9 @@ let repair ?marks ~k ~seed c tests =
   in
   let rec attempt kept =
     let extra = List.map (Encode.Muxed.select_lit inst) kept in
-    match Encode.Muxed.solve_at_most ~extra inst k with
-    | Sat.Solver.Sat ->
+    match Encode.Muxed.solve_at_most_limited ~extra ~budget inst k with
+    | Sat.Solver.Unknown -> None
+    | Sat.Solver.Solved Sat.Solver.Sat ->
         let sol = Encode.Muxed.solution inst in
         let correction =
           Validity.essentialize ~check:(fun s -> Validity.check_sat c tests s)
@@ -76,7 +91,7 @@ let repair ?marks ~k ~seed c tests =
               List.length
                 (List.filter (fun g -> not (List.mem g seed)) correction);
           }
-    | Sat.Solver.Unsat -> (
+    | Sat.Solver.Solved Sat.Solver.Unsat -> (
         match List.rev kept with
         | [] -> None
         | _least :: rest_rev -> attempt (List.rev rest_rev))

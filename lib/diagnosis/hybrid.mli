@@ -18,18 +18,26 @@ type guided_result = {
   guided_stats : Sat.Solver.stats;
   plain_time : float;
   guided_time : float;
+  truncated : bool;  (** either run hit its budget or limit *)
 }
 
 val guided :
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?budget:Sat.Budget.t ->
+  ?obs:Obs.t ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   guided_result
 (** Runs plain BSAT and BSIM-guided BSAT on the same workload and reports
     both runtimes/solver statistics; the solutions (from the guided run)
-    are identical to plain BSAT's by construction. *)
+    are identical to plain BSAT's by construction.
+
+    [budget] caps the guided run; the plain run burns a
+    {!Sat.Budget.clone} so both comparands get the same allowance.
+    [obs] records the two runs under ["hybrid/plain/..."] and
+    ["hybrid/guided/..."]. *)
 
 type repair_result = {
   seed : int list;          (** the initial (possibly invalid) correction *)
@@ -41,11 +49,15 @@ type repair_result = {
 
 val repair :
   ?marks:int array ->
+  ?budget:Sat.Budget.t ->
   k:int ->
   seed:int list ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   repair_result option
-(** [None] when no valid correction of size <= k exists at all.
+(** [None] when no valid correction of size <= k exists at all — or,
+    when a [budget] is given and exhausted mid-repair, the search is
+    abandoned and [None] is returned (indistinguishable by design: a
+    truncated repair is not a correction).
     [marks] orders seed dropping (least-marked first); defaults to
     running BSIM internally. *)

@@ -2,39 +2,58 @@ type t = {
   solver : Sat.Solver.t;
   inst : Encode.Muxed.t;
   k : int;
+  mutable last_truncated : bool;
 }
 
 let create ?force_zero ~k c tests =
   let solver = Sat.Solver.create () in
   let inst = Encode.Muxed.build ?force_zero ~max_k:k solver c tests in
-  { solver; inst; k }
+  { solver; inst; k; last_truncated = false }
 
 let add_tests t tests = List.iter (Encode.Muxed.add_test t.inst) tests
 
 let num_tests t = Encode.Muxed.num_tests t.inst
 
-let solutions ?(max_solutions = max_int) t =
+let solutions ?(max_solutions = max_int) ?budget t =
+  let budget =
+    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
+  in
   (* guard this enumeration's blocking clauses so the next call (after
      more tests arrived) starts from a clean solution space *)
   let active = Encode.Muxed.fresh_activation t.inst in
   let solutions = ref [] in
   let nsol = ref 0 in
+  let truncated = ref false in
+  let stop = ref false in
   for i = 1 to t.k do
-    let continue_level = ref true in
+    let continue_level = ref (not !stop) in
     while !continue_level do
-      if !nsol >= max_solutions then continue_level := false
+      if !nsol >= max_solutions || Sat.Budget.exhausted budget then begin
+        if Sat.Budget.exhausted budget then truncated := true;
+        stop := true;
+        continue_level := false
+      end
       else
-        match Encode.Muxed.solve_at_most ~extra:[ active ] t.inst i with
-        | Sat.Solver.Unsat -> continue_level := false
-        | Sat.Solver.Sat ->
+        match
+          Encode.Muxed.solve_at_most_limited ~extra:[ active ] ~budget t.inst i
+        with
+        | Sat.Solver.Solved Sat.Solver.Unsat -> continue_level := false
+        | Sat.Solver.Solved Sat.Solver.Sat ->
             let sol = Encode.Muxed.solution t.inst in
             solutions := sol :: !solutions;
             incr nsol;
             Encode.Muxed.block ~unless:active t.inst sol
+        | Sat.Solver.Unknown ->
+            truncated := true;
+            stop := true;
+            continue_level := false
     done
   done;
   (* retire the guard permanently *)
   Sat.Solver.add_clause t.solver [ Sat.Lit.negate active ];
+  t.last_truncated <- !truncated;
   List.rev !solutions
+
+let last_truncated t = t.last_truncated
 
 let stats t = Sat.Solver.stats t.solver

@@ -23,8 +23,18 @@ val add_tests : t -> Sim.Testgen.test list -> unit
 
 val num_tests : t -> int
 
-val solutions : ?max_solutions:int -> t -> int list list
+val solutions :
+  ?max_solutions:int -> ?budget:Sat.Budget.t -> t -> int list list
 (** Enumerate the essential valid corrections for the *current* test
-    set (Fig. 3's incremental-k loop on the live instance). *)
+    set (Fig. 3's incremental-k loop on the live instance).
+
+    [budget] caps total solver effort for this enumeration; on
+    exhaustion the prefix found so far is returned and
+    {!last_truncated} reports [true].  The instance stays usable —
+    blocking clauses for the returned solutions are retired as usual. *)
+
+val last_truncated : t -> bool
+(** Whether the most recent {!solutions} call was cut short by its
+    budget (initially [false]). *)
 
 val stats : t -> Sat.Solver.stats

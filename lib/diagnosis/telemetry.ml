@@ -1,0 +1,16 @@
+let record_solver_stats obs ~prefix (st : Sat.Solver.stats) =
+  let field name v = Obs.add obs (prefix ^ "/" ^ name) v in
+  field "decisions" st.Sat.Solver.decisions;
+  field "propagations" st.Sat.Solver.propagations;
+  field "conflicts" st.Sat.Solver.conflicts;
+  field "restarts" st.Sat.Solver.restarts;
+  field "learned" st.Sat.Solver.learned;
+  field "learned_total" st.Sat.Solver.learned_total;
+  field "deleted" st.Sat.Solver.deleted
+
+let record_run obs ~prefix ~solutions ~solver_calls ~truncated
+    (st : Sat.Solver.stats) =
+  record_solver_stats obs ~prefix st;
+  Obs.add obs (prefix ^ "/solutions") solutions;
+  Obs.add obs (prefix ^ "/solver_calls") solver_calls;
+  Obs.add obs (prefix ^ "/truncated") (if truncated then 1 else 0)

@@ -1,0 +1,23 @@
+(** One shared vocabulary for engine telemetry: every SAT-backed
+    diagnosis engine snapshots its solver counters into an {!Obs.t}
+    under ["<prefix>/<field>"] keys, so the CLI's [--stats] block and
+    the bench harness's report JSON agree on field names.
+
+    All values recorded here are deterministic under a fixed seed
+    (solver counters, solution counts), so the resulting
+    [Obs.emit ~times:false] output is bit-reproducible. *)
+
+val record_solver_stats : Obs.t -> prefix:string -> Sat.Solver.stats -> unit
+(** Accumulate decisions/propagations/conflicts/restarts/learned/
+    learned_total/deleted under ["prefix/..."] counters. *)
+
+val record_run :
+  Obs.t ->
+  prefix:string ->
+  solutions:int ->
+  solver_calls:int ->
+  truncated:bool ->
+  Sat.Solver.stats ->
+  unit
+(** [record_solver_stats] plus the per-run counters ["prefix/solutions"],
+    ["prefix/solver_calls"] and ["prefix/truncated"] (0/1). *)

@@ -143,6 +143,10 @@ let solve_at_most ?(extra = []) t k =
   let bound = Cardinality.bound_assumption t.counter (min k (num_groups t)) in
   Sat.Solver.solve ~assumptions:(bound @ extra) t.solver
 
+let solve_at_most_limited ?(extra = []) ~budget t k =
+  let bound = Cardinality.bound_assumption t.counter (min k (num_groups t)) in
+  Sat.Solver.solve_limited ~assumptions:(bound @ extra) ~budget t.solver
+
 let solve_exactly ?(extra = []) t k =
   if k > num_groups t then Sat.Solver.Unsat
   else

@@ -76,6 +76,16 @@ val select_lit : t -> int -> Sat.Lit.t
 val solve_at_most : ?extra:Sat.Lit.t list -> t -> int -> Sat.Solver.result
 (** Solve under "at most k selected groups", plus extra assumptions. *)
 
+val solve_at_most_limited :
+  ?extra:Sat.Lit.t list ->
+  budget:Sat.Budget.t ->
+  t ->
+  int ->
+  Sat.Solver.limited_result
+(** [solve_at_most] under a solver-effort budget ({!Sat.Solver.solve_limited});
+    consumed effort is charged to [budget], so one budget can cap a whole
+    enumeration. *)
+
 val solve_exactly : ?extra:Sat.Lit.t list -> t -> int -> Sat.Solver.result
 
 val solution : t -> int list

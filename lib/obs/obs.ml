@@ -1,0 +1,338 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f ->
+          if Float.is_finite f then
+            (* %.17g round-trips every float and never prints inf/nan *)
+            Buffer.add_string buf (Printf.sprintf "%.17g" f)
+          else Buffer.add_string buf "null"
+      | String s -> escape_string buf s
+      | Arr xs ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              go x)
+            xs;
+          Buffer.add_char buf ']'
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, x) ->
+              if i > 0 then Buffer.add_char buf ',';
+              escape_string buf k;
+              Buffer.add_char buf ':';
+              go x)
+            fields;
+          Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  (* recursive-descent parser over a string with one cursor *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "unterminated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  if !pos + 4 >= n then fail "short \\u escape";
+                  let hex = String.sub s (!pos + 1) 4 in
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape"
+                  in
+                  (* keep it simple: BMP code points as UTF-8 *)
+                  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                  else if code < 0x800 then begin
+                    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+                  else begin
+                    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                    Buffer.add_char buf
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                  end;
+                  pos := !pos + 4
+              | c -> fail (Printf.sprintf "bad escape %C" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let number_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && number_char s.[!pos] do incr pos done;
+      let text = String.sub s start (!pos - start) in
+      (* JSON forbids leading zeros and leading '+' *)
+      let digits =
+        if String.length text > 0 && text.[0] = '-' then
+          String.sub text 1 (String.length text - 1)
+        else text
+      in
+      if
+        String.length digits > 1
+        && digits.[0] = '0'
+        && (match digits.[1] with '0' .. '9' -> true | _ -> false)
+      then fail (Printf.sprintf "leading zero in %S" text);
+      if String.length text > 0 && text.[0] = '+' then
+        fail (Printf.sprintf "leading '+' in %S" text);
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+type counter = { mutable count : int }
+
+type span_cell = { mutable seconds : float; mutable calls : int }
+
+type t = {
+  counters_tbl : (string, counter) Hashtbl.t;
+  spans_tbl : (string, span_cell) Hashtbl.t;
+}
+
+let create () =
+  { counters_tbl = Hashtbl.create 16; spans_tbl = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.add t.counters_tbl name c;
+      c
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Obs.incr: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let add t name n = incr ~by:n (counter t name)
+
+let set t name n = (counter t name).count <- n
+
+let span_cell t name =
+  match Hashtbl.find_opt t.spans_tbl name with
+  | Some s -> s
+  | None ->
+      let s = { seconds = 0.0; calls = 0 } in
+      Hashtbl.add t.spans_tbl name s;
+      s
+
+let record_span t name seconds =
+  let s = span_cell t name in
+  s.seconds <- s.seconds +. seconds;
+  s.calls <- s.calls + 1
+
+let span t name f =
+  let start = Sys.time () in
+  match f () with
+  | v ->
+      record_span t name (Sys.time () -. start);
+      v
+  | exception e ->
+      record_span t name (Sys.time () -. start);
+      raise e
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) t.counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let spans t =
+  Hashtbl.fold
+    (fun name s acc -> (name, s.seconds, s.calls) :: acc)
+    t.spans_tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters_tbl;
+  Hashtbl.iter
+    (fun _ s ->
+      s.seconds <- 0.0;
+      s.calls <- 0)
+    t.spans_tbl
+
+let to_json ?(times = true) t =
+  let counter_fields =
+    List.map (fun (name, v) -> (name, Json.Int v)) (counters t)
+  in
+  let base = [ ("counters", Json.Obj counter_fields) ] in
+  let fields =
+    if times then
+      base
+      @ [
+          ( "spans",
+            Json.Obj
+              (List.map
+                 (fun (name, seconds, calls) ->
+                   ( name,
+                     Json.Obj
+                       [
+                         ("seconds", Json.Float seconds);
+                         ("calls", Json.Int calls);
+                       ] ))
+                 (spans t)) );
+        ]
+    else base
+  in
+  Json.Obj fields
+
+let emit ?times t = Json.to_string (to_json ?times t)

@@ -1,0 +1,82 @@
+(** Telemetry substrate: named monotonic counters and cumulative spans
+    collected into a registry, emitted as deterministic JSON.
+
+    The paper's evaluation is a *runtime* comparison (Table 2); every
+    engine in this repository records its solver effort (conflicts,
+    propagations, decisions, learned clauses) and phase timings here so
+    that experiments, the CLI ([diagnose ... --stats]) and the bench
+    harness report against one measurement layer.
+
+    Determinism contract: counter values depend only on the computation
+    (all randomness is seeded), so [emit ~times:false] is bit-reproducible
+    and safe to pin in cram tests.  Span durations are wall-clock and are
+    only included when [times:true]. *)
+
+(** Minimal JSON tree: deterministic printing (object fields in the order
+    given, [%.17g] floats) and a strict parser — enough to smoke-check
+    that every stats block this repository emits round-trips. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering.  Non-finite floats become [null]. *)
+
+  val parse : string -> (t, string) result
+  (** Strict parse of one JSON value (surrounding whitespace allowed). *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+type t
+(** A registry of named counters and spans. *)
+
+type counter
+(** A monotonic integer counter owned by a registry. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create the counter with this name. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the counter.  [by] must be >= 0. *)
+
+val value : counter -> int
+
+val add : t -> string -> int -> unit
+(** [add t name n] — find-or-create and bump in one step. *)
+
+val set : t -> string -> int -> unit
+(** Overwrite a counter (for gauge-style snapshots). *)
+
+val record_span : t -> string -> float -> unit
+(** Accumulate [seconds] under the named span and count one call. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** Time the thunk with [Sys.time] and record it under the name.
+    Exceptions propagate; the partial duration is still recorded. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val spans : t -> (string * float * int) list
+(** All spans as (name, total seconds, calls), sorted by name. *)
+
+val reset : t -> unit
+(** Zero every counter and span (names are kept). *)
+
+val to_json : ?times:bool -> t -> Json.t
+(** [{ "counters": {...}, "spans": {...} }], fields sorted by name.
+    [times] (default [true]) controls whether the non-deterministic
+    ["spans"] object is included. *)
+
+val emit : ?times:bool -> t -> string
+(** [Json.to_string (to_json t)]. *)

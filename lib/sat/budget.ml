@@ -1,0 +1,55 @@
+type t = {
+  mutable conflicts_left : int;     (* max_int = unlimited *)
+  mutable propagations_left : int;
+  deadline : float;                 (* absolute Sys.time; infinity = none *)
+}
+
+let create ?conflicts ?propagations ?seconds () =
+  let allowance name = function
+    | None -> max_int
+    | Some n when n < 0 ->
+        invalid_arg (Printf.sprintf "Budget.create: negative %s" name)
+    | Some n -> n
+  in
+  let deadline =
+    match seconds with
+    | None -> infinity
+    | Some s when s < 0.0 -> invalid_arg "Budget.create: negative seconds"
+    | Some s -> Sys.time () +. s
+  in
+  {
+    conflicts_left = allowance "conflicts" conflicts;
+    propagations_left = allowance "propagations" propagations;
+    deadline;
+  }
+
+let unlimited () = create ()
+
+let clone t =
+  {
+    conflicts_left = t.conflicts_left;
+    propagations_left = t.propagations_left;
+    deadline = t.deadline;
+  }
+
+let is_unlimited t =
+  t.conflicts_left = max_int
+  && t.propagations_left = max_int
+  && t.deadline = infinity
+
+let exhausted t =
+  t.conflicts_left <= 0
+  || t.propagations_left <= 0
+  || (t.deadline < infinity && Sys.time () > t.deadline)
+
+let conflicts_left t = t.conflicts_left
+
+let propagations_left t = t.propagations_left
+
+let deadline t = t.deadline
+
+let charge t ~conflicts ~propagations =
+  if t.conflicts_left <> max_int then
+    t.conflicts_left <- max 0 (t.conflicts_left - conflicts);
+  if t.propagations_left <> max_int then
+    t.propagations_left <- max 0 (t.propagations_left - propagations)

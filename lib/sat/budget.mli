@@ -1,0 +1,46 @@
+(** Solver effort budgets: conflicts, propagations, wall-clock.
+
+    A budget is a mutable allowance shared across any number of
+    [Solver.solve_limited] calls (and, above the solver, across the
+    solve calls of a whole diagnosis run): each call charges what it
+    consumed, so an enumeration loop degrades to a partial, truncated
+    result instead of overshooting.  Conflict and propagation budgets
+    are deterministic — the same instance under the same budget always
+    stops at the same point; the wall-clock budget is checked *inside*
+    the CDCL loop (amortized), so a single solver call can only
+    overshoot the deadline by a bounded slice, never unboundedly. *)
+
+type t
+
+val create :
+  ?conflicts:int -> ?propagations:int -> ?seconds:float -> unit -> t
+(** Allowances for each dimension; omitted dimensions are unlimited.
+    The wall clock starts at [create] time ([seconds] is relative).
+    @raise Invalid_argument on negative allowances. *)
+
+val unlimited : unit -> t
+(** [create ()] — never exhausted. *)
+
+val clone : t -> t
+(** A budget with the same *remaining* allowances and the same absolute
+    deadline (wall clock keeps running; counters restart from what is
+    currently left).  Used to give sequential engine runs comparable
+    effort caps. *)
+
+val is_unlimited : t -> bool
+
+val exhausted : t -> bool
+(** Any dimension used up?  Calls [Sys.time] only when a deadline is
+    set. *)
+
+val conflicts_left : t -> int
+(** Remaining conflict allowance ([max_int] when unlimited). *)
+
+val propagations_left : t -> int
+
+val deadline : t -> float
+(** Absolute [Sys.time] deadline, [infinity] when unlimited. *)
+
+val charge : t -> conflicts:int -> propagations:int -> unit
+(** Deduct consumed effort (floored at an exhausted, never negative,
+    allowance). *)

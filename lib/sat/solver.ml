@@ -34,12 +34,16 @@ let cvec_push v c =
 
 type result = Sat | Unsat
 
+type limited_result = Solved of result | Unknown
+
 type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
   restarts : int;
   learned : int;
+  learned_total : int;
+  deleted : int;
 }
 
 type t = {
@@ -72,6 +76,8 @@ type t = {
   mutable s_propagations : int;
   mutable s_conflicts : int;
   mutable s_restarts : int;
+  mutable s_learned_total : int;
+  mutable s_deleted : int;
 }
 
 let create () =
@@ -105,6 +111,8 @@ let create () =
     s_propagations = 0;
     s_conflicts = 0;
     s_restarts = 0;
+    s_learned_total = 0;
+    s_deleted = 0;
   }
 
 let num_vars s = s.nvars
@@ -425,7 +433,10 @@ let reduce_db s =
         (not c.removed)
         && (locked s c || Array.length c.lits <= 2 || i >= limit)
       then cvec_push keep c
-      else c.removed <- true)
+      else begin
+        if not c.removed then s.s_deleted <- s.s_deleted + 1;
+        c.removed <- true
+      end)
     ls;
   s.learnts.a <- keep.a;
   s.learnts.n <- keep.n
@@ -443,16 +454,18 @@ let add_clause_codes s codes =
        root-true lits *)
     match
       let sorted = List.sort_uniq Int.compare codes in
+      (* complementary codes 2v / 2v+1 are adjacent once sorted, so one
+         next-element check finds every tautology *)
       let rec clean acc = function
         | [] -> List.rev acc
         | l :: rest ->
-            if List.mem (l lxor 1) rest then raise Trivial_clause
-            else begin
-              match lit_value s l with
-              | 1 -> raise Trivial_clause
-              | 0 -> clean acc rest
-              | _ -> clean (l :: acc) rest
-            end
+            (match rest with
+            | l' :: _ when l' = l lxor 1 -> raise Trivial_clause
+            | _ -> ());
+            (match lit_value s l with
+            | 1 -> raise Trivial_clause
+            | 0 -> clean acc rest
+            | _ -> clean (l :: acc) rest)
       in
       clean [] sorted
     with
@@ -499,6 +512,7 @@ let pick_branch_var s =
   loop ()
 
 let record_learnt s out =
+  s.s_learned_total <- s.s_learned_total + 1;
   if Array.length out = 1 then begin
     enqueue s out.(0) dummy_clause
   end
@@ -510,9 +524,10 @@ let record_learnt s out =
     enqueue s out.(0) c
   end
 
-let solve ?(assumptions = []) s =
+let solve_limited ?(assumptions = []) ~budget s =
   s.model_valid <- false;
-  if not s.ok then Unsat
+  if not s.ok then Solved Unsat
+  else if Budget.exhausted budget then Unknown
   else begin
     cancel_until s 0;
     let assumptions = Array.of_list (List.map Lit.code assumptions) in
@@ -524,67 +539,96 @@ let solve ?(assumptions = []) s =
       Array.blit s.trail_lim 0 a 0 (Array.length s.trail_lim);
       s.trail_lim <- a
     end;
-    s.max_learnts <- max 1000.0 (float_of_int s.clauses.n /. 3.0);
+    (* only ever raise the learnt-DB cap: restarts grow it by 1.1x and
+       that growth must survive into the next call of an enumeration *)
+    s.max_learnts <- max s.max_learnts (float_of_int s.clauses.n /. 3.0);
+    (* budget horizons on the cumulative counters; saturating so that an
+       unlimited allowance (max_int) never wraps *)
+    let horizon base left =
+      if left >= max_int - base then max_int else base + left
+    in
+    let conflicts0 = s.s_conflicts and propagations0 = s.s_propagations in
+    let conf_limit = horizon conflicts0 (Budget.conflicts_left budget) in
+    let prop_limit = horizon propagations0 (Budget.propagations_left budget) in
+    let deadline = Budget.deadline budget in
+    let ticks = ref 0 in
+    let out_of_budget () =
+      s.s_conflicts >= conf_limit
+      || s.s_propagations >= prop_limit
+      || deadline < infinity
+         && (incr ticks;
+             !ticks land 1023 = 0 && Sys.time () > deadline)
+    in
     let restart_first = 100.0 in
     let curr_restarts = ref 0 in
     let conflicts_left = ref (luby restart_first !curr_restarts) in
     let result = ref None in
     while !result = None do
-      match propagate s with
-      | Some confl ->
-          s.s_conflicts <- s.s_conflicts + 1;
-          conflicts_left := !conflicts_left -. 1.0;
-          if decision_level s = 0 then begin
-            s.ok <- false;
-            result := Some Unsat
-          end
-          else begin
-            let out, blevel = analyze s confl in
-            cancel_until s blevel;
-            record_learnt s out;
-            var_decay_activities s;
-            clause_decay_activities s;
-            if float_of_int s.learnts.n -. float_of_int s.trail_n
-               > s.max_learnts
-            then reduce_db s
-          end
-      | None ->
-          if !conflicts_left <= 0.0 then begin
-            (* restart *)
-            s.s_restarts <- s.s_restarts + 1;
-            incr curr_restarts;
-            conflicts_left := luby restart_first !curr_restarts;
-            s.max_learnts <- s.max_learnts *. 1.1;
-            cancel_until s 0
-          end
-          else if decision_level s < Array.length assumptions then begin
-            let p = assumptions.(decision_level s) in
-            match lit_value s p with
-            | 1 -> new_decision_level s
-            | 0 -> result := Some Unsat
-            | _ ->
-                new_decision_level s;
-                enqueue s p dummy_clause
-          end
-          else begin
-            match pick_branch_var s with
-            | None -> result := Some Sat
-            | Some v ->
-                s.s_decisions <- s.s_decisions + 1;
-                new_decision_level s;
-                let l = (2 * v) lor (if s.phase.(v) then 0 else 1) in
-                enqueue s l dummy_clause
-          end
+      if out_of_budget () then result := Some Unknown
+      else
+        match propagate s with
+        | Some confl ->
+            s.s_conflicts <- s.s_conflicts + 1;
+            conflicts_left := !conflicts_left -. 1.0;
+            if decision_level s = 0 then begin
+              s.ok <- false;
+              result := Some (Solved Unsat)
+            end
+            else begin
+              let out, blevel = analyze s confl in
+              cancel_until s blevel;
+              record_learnt s out;
+              var_decay_activities s;
+              clause_decay_activities s;
+              if float_of_int s.learnts.n -. float_of_int s.trail_n
+                 > s.max_learnts
+              then reduce_db s
+            end
+        | None ->
+            if !conflicts_left <= 0.0 then begin
+              (* restart *)
+              s.s_restarts <- s.s_restarts + 1;
+              incr curr_restarts;
+              conflicts_left := luby restart_first !curr_restarts;
+              s.max_learnts <- s.max_learnts *. 1.1;
+              cancel_until s 0
+            end
+            else if decision_level s < Array.length assumptions then begin
+              let p = assumptions.(decision_level s) in
+              match lit_value s p with
+              | 1 -> new_decision_level s
+              | 0 -> result := Some (Solved Unsat)
+              | _ ->
+                  new_decision_level s;
+                  enqueue s p dummy_clause
+            end
+            else begin
+              match pick_branch_var s with
+              | None -> result := Some (Solved Sat)
+              | Some v ->
+                  s.s_decisions <- s.s_decisions + 1;
+                  new_decision_level s;
+                  let l = (2 * v) lor (if s.phase.(v) then 0 else 1) in
+                  enqueue s l dummy_clause
+            end
     done;
     let r = match !result with Some r -> r | None -> assert false in
-    if r = Sat then s.model_valid <- true;
     (* keep the final model readable, then reset the trail *)
-    if r = Sat then begin
+    if r = Solved Sat then begin
+      s.model_valid <- true;
       s.final_model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1)
     end;
     cancel_until s 0;
+    Budget.charge budget
+      ~conflicts:(s.s_conflicts - conflicts0)
+      ~propagations:(s.s_propagations - propagations0);
     r
   end
+
+let solve ?assumptions s =
+  match solve_limited ?assumptions ~budget:(Budget.unlimited ()) s with
+  | Solved r -> r
+  | Unknown -> assert false (* an unlimited budget is never exhausted *)
 
 let value s v =
   if not s.model_valid then invalid_arg "Solver.value: no model";
@@ -601,6 +645,8 @@ let stats s =
     conflicts = s.s_conflicts;
     restarts = s.s_restarts;
     learned = s.learnts.n;
+    learned_total = s.s_learned_total;
+    deleted = s.s_deleted;
   }
 
 let set_default_phase s v b =

@@ -35,6 +35,22 @@ val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve the current clause set under the given assumptions.  The solver
     remains usable afterwards; learned clauses are kept. *)
 
+type limited_result = Solved of result | Unknown
+
+val solve_limited :
+  ?assumptions:Lit.t list -> budget:Budget.t -> t -> limited_result
+(** [solve] under an effort budget, checked *inside* the CDCL loop: the
+    call returns [Unknown] as soon as the budget's conflict or
+    propagation allowance is consumed (deterministically — the same
+    instance under the same budget stops at the same point, and a
+    subsequent [Sat] model is bit-identical across runs) or its deadline
+    passes (checked every 1024 loop iterations, so the overshoot is
+    bounded).  Consumed conflicts/propagations are charged to [budget],
+    which is shared state: an enumeration loop passing the same budget
+    to every call gets a total-effort cap.  After [Unknown] the solver
+    is fully usable — no model is available, but clauses and learnt
+    state are intact. *)
+
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer.
     @raise Invalid_argument if the last call did not return [Sat]. *)
@@ -47,10 +63,17 @@ type stats = {
   propagations : int;
   conflicts : int;
   restarts : int;
-  learned : int;
+  learned : int;        (** learnt clauses currently in the database *)
+  learned_total : int;  (** clauses learned over the solver's lifetime,
+                            including unit learnts that bypass the DB *)
+  deleted : int;        (** learnt clauses removed by DB reduction *)
 }
 
 val stats : t -> stats
+(** Cumulative counters across every [solve]/[solve_limited] call on
+    this solver.  [learned] is a gauge (current DB size); the others are
+    monotonic.  [learned_total >= learned + deleted], with equality
+    exactly when no unit clauses were learned. *)
 
 val set_default_phase : t -> int -> bool -> unit
 (** Initial branching polarity for a variable (overwritten by phase saving

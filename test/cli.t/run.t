@@ -25,6 +25,25 @@ Inject an error and diagnose it with BSAT (deterministic seed):
     {n18}
     {n20}
 
+The --stats block is deterministic under a fixed seed (counters only, no
+timings), so it can be pinned here:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --stats
+  8 failing test(s) found
+  BSAT: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  {"counters":{"bsat/conflicts":4,"bsat/decisions":463,"bsat/deleted":0,"bsat/learned":2,"bsat/learned_total":4,"bsat/propagations":2047,"bsat/restarts":0,"bsat/solutions":3,"bsat/solver_calls":4,"bsat/truncated":0}}
+
+A conflict budget truncates the enumeration but keeps it sound:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --budget-conflicts 0 --stats
+  8 failing test(s) found
+  BSAT: 0 solution(s)
+  budget exhausted: enumeration truncated (solutions above are still valid)
+  {"counters":{"bsat/conflicts":0,"bsat/decisions":0,"bsat/deleted":0,"bsat/learned":0,"bsat/learned_total":0,"bsat/propagations":150,"bsat/restarts":0,"bsat/solutions":0,"bsat/solver_calls":0,"bsat/truncated":1}}
+
 BSIM and COV on the same workload:
 
   $ diagnose run rca4 --faulty faulty.bench --method bsim -m 8

@@ -343,6 +343,124 @@ let test_bsat_first_solution_minimum () =
       in
       Alcotest.(check int) "minimum size" min_size (List.length sol)
 
+(* ---------- budgets and telemetry ---------- *)
+
+let test_bsat_budget_prefix () =
+  let _, faulty, _, tests = workload 21 2 in
+  let full = Diagnosis.Bsat.diagnose ~k:2 faulty tests in
+  (* a tiny propagation budget must cut the enumeration short, and the
+     prefix found must match the unbudgeted run gate for gate (the budget
+     stops the search, it must not steer it) *)
+  let budget = Sat.Budget.create ~propagations:500 () in
+  let r = Diagnosis.Bsat.diagnose ~budget ~k:2 faulty tests in
+  Alcotest.(check bool) "truncated" true r.Diagnosis.Bsat.truncated;
+  Alcotest.(check bool) "budget exhausted" true (Sat.Budget.exhausted budget);
+  Alcotest.(check bool) "found a prefix of the full enumeration" true
+    (List.length r.Diagnosis.Bsat.solutions
+     <= List.length full.Diagnosis.Bsat.solutions);
+  List.iteri
+    (fun i sol ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "solution %d" i)
+        (List.nth full.Diagnosis.Bsat.solutions i)
+        sol)
+    r.Diagnosis.Bsat.solutions;
+  List.iter
+    (fun sol ->
+      Alcotest.(check bool) "partial solution valid" true
+        (Diagnosis.Validity.check_sim faulty tests sol))
+    r.Diagnosis.Bsat.solutions
+
+let test_bsat_budget_deterministic () =
+  let _, faulty, _, tests = workload 22 2 in
+  let run () =
+    let budget = Sat.Budget.create ~conflicts:20 () in
+    let r = Diagnosis.Bsat.diagnose ~budget ~k:2 faulty tests in
+    (r.Diagnosis.Bsat.solutions, r.Diagnosis.Bsat.truncated,
+     r.Diagnosis.Bsat.solver_calls, r.Diagnosis.Bsat.stats)
+  in
+  Alcotest.(check bool) "bit-identical reruns" true (run () = run ())
+
+let test_bsat_budget_minimize_strategy () =
+  let _, faulty, _, tests = workload 23 2 in
+  (* size the budget off the unbudgeted run so truncation is guaranteed
+     whatever the workload costs *)
+  let full =
+    Diagnosis.Bsat.diagnose ~strategy:Diagnosis.Bsat.Minimize_single_pass ~k:2
+      faulty tests
+  in
+  let half = max 1 (full.Diagnosis.Bsat.stats.Sat.Solver.propagations / 2) in
+  let budget = Sat.Budget.create ~propagations:half () in
+  let r =
+    Diagnosis.Bsat.diagnose ~strategy:Diagnosis.Bsat.Minimize_single_pass
+      ~budget ~k:2 faulty tests
+  in
+  Alcotest.(check bool) "truncated" true r.Diagnosis.Bsat.truncated;
+  List.iter
+    (fun sol ->
+      Alcotest.(check bool) "shrunk-or-aborted solution still valid" true
+        (Diagnosis.Validity.check_sim faulty tests sol))
+    r.Diagnosis.Bsat.solutions
+
+let test_bsat_telemetry_counters () =
+  let _, faulty, _, tests = workload 24 1 in
+  let obs = Obs.create () in
+  let r = Diagnosis.Bsat.diagnose ~obs ~k:1 faulty tests in
+  let counters = Obs.counters obs in
+  let get name =
+    match List.assoc_opt name counters with
+    | Some v -> v
+    | None -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "conflicts snapshot" r.Diagnosis.Bsat.stats.Sat.Solver.conflicts
+    (get "bsat/conflicts");
+  Alcotest.(check int) "solutions" (List.length r.Diagnosis.Bsat.solutions)
+    (get "bsat/solutions");
+  Alcotest.(check int) "solver calls" r.Diagnosis.Bsat.solver_calls
+    (get "bsat/solver_calls");
+  Alcotest.(check int) "not truncated" 0 (get "bsat/truncated");
+  (* the counters-only emission parses with the embedded strict parser *)
+  match Obs.Json.parse (Obs.emit ~times:false obs) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
+
+let test_hybrid_budget_truncates () =
+  let _, faulty, _, tests = workload 25 2 in
+  let budget = Sat.Budget.create ~propagations:500 () in
+  let h = Diagnosis.Hybrid.guided ~budget ~k:2 faulty tests in
+  Alcotest.(check bool) "guided run truncated" true
+    h.Diagnosis.Hybrid.truncated;
+  List.iter
+    (fun sol ->
+      Alcotest.(check bool) "partial solution valid" true
+        (Diagnosis.Validity.check_sim faulty tests sol))
+    h.Diagnosis.Hybrid.solutions
+
+let test_hybrid_repair_exhausted_budget () =
+  let _, faulty, _, tests = workload 26 1 in
+  let budget = Sat.Budget.create ~conflicts:0 () in
+  Alcotest.(check bool) "exhausted budget aborts the repair" true
+    (Diagnosis.Hybrid.repair ~budget ~k:1 ~seed:[] faulty tests = None)
+
+let test_incremental_budget () =
+  let _, faulty, _, tests = workload 27 2 in
+  let inc = Diagnosis.Incremental.create ~k:2 faulty tests in
+  let budget = Sat.Budget.create ~propagations:500 () in
+  let partial = Diagnosis.Incremental.solutions ~budget inc in
+  Alcotest.(check bool) "flagged truncated" true
+    (Diagnosis.Incremental.last_truncated inc);
+  List.iter
+    (fun sol ->
+      Alcotest.(check bool) "partial solution valid" true
+        (Diagnosis.Validity.check_sim faulty tests sol))
+    partial;
+  (* the instance survives: an unbudgeted enumeration completes *)
+  let full = Diagnosis.Incremental.solutions inc in
+  Alcotest.(check bool) "cleared the flag" false
+    (Diagnosis.Incremental.last_truncated inc);
+  Alcotest.(check bool) "no solutions lost" true
+    (List.length full >= List.length partial)
+
 (* ---------- advanced approaches ---------- *)
 
 let prop_bsat_strategies_agree =
@@ -670,6 +788,22 @@ let () =
         [
           Alcotest.test_case "first solution minimal" `Quick
             test_bsat_first_solution_minimum;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "bsat prefix" `Quick test_bsat_budget_prefix;
+          Alcotest.test_case "bsat deterministic" `Quick
+            test_bsat_budget_deterministic;
+          Alcotest.test_case "minimize strategy" `Quick
+            test_bsat_budget_minimize_strategy;
+          Alcotest.test_case "telemetry counters" `Quick
+            test_bsat_telemetry_counters;
+          Alcotest.test_case "hybrid guided truncates" `Quick
+            test_hybrid_budget_truncates;
+          Alcotest.test_case "hybrid repair aborts" `Quick
+            test_hybrid_repair_exhausted_budget;
+          Alcotest.test_case "incremental budget" `Quick
+            test_incremental_budget;
         ] );
       ( "hybrid",
         [ Alcotest.test_case "repair fig5a" `Quick test_hybrid_repair_fig5a ] );

@@ -160,6 +160,48 @@ let test_cardinality_exactly () =
     Alcotest.(check int) (Printf.sprintf "exactly-%d" b) !expected !count
   done
 
+let test_cardinality_degenerate () =
+  (* n = 0: every bound is vacuous, at-least-1 is impossible *)
+  let solver = Sat.Solver.create () in
+  let e = Encode.Emit.of_solver solver in
+  let counter = Encode.Cardinality.encode_at_most e ~lits:[] ~max_bound:0 in
+  Alcotest.(check bool) "n=0, b=0 satisfiable" true
+    (Sat.Solver.solve
+       ~assumptions:(Encode.Cardinality.bound_assumption counter 0)
+       solver
+    = Sat.Solver.Sat);
+  Alcotest.(check bool) "n=0, exactly 0 satisfiable" true
+    (Sat.Solver.solve
+       ~assumptions:(Encode.Cardinality.exactly_bound counter 0)
+       solver
+    = Sat.Solver.Sat);
+  Alcotest.(check bool) "n=0, at least 1 unsat" true
+    (Sat.Solver.solve
+       ~assumptions:(Encode.Cardinality.at_least_assumption counter 1)
+       solver
+    = Sat.Solver.Unsat);
+  (* n = 1: b=0 forces the literal false, b=n is vacuous *)
+  let solver = Sat.Solver.create () in
+  let e = Encode.Emit.of_solver solver in
+  let v = e.Encode.Emit.fresh () in
+  let counter =
+    Encode.Cardinality.encode_at_most e ~lits:[ Lit.pos v ] ~max_bound:1
+  in
+  let zero = Encode.Cardinality.bound_assumption counter 0 in
+  (match Sat.Solver.solve ~assumptions:zero solver with
+  | Sat.Solver.Unsat -> Alcotest.fail "b=0 must stay satisfiable"
+  | Sat.Solver.Sat ->
+      Alcotest.(check bool) "b=0 forces the literal off" false
+        (Sat.Solver.value solver v));
+  Alcotest.(check bool) "b=0 plus the literal is unsat" true
+    (Sat.Solver.solve ~assumptions:(Lit.pos v :: zero) solver
+    = Sat.Solver.Unsat);
+  Alcotest.(check bool) "b=n accepts the literal on" true
+    (Sat.Solver.solve
+       ~assumptions:(Lit.pos v :: Encode.Cardinality.bound_assumption counter 1)
+       solver
+    = Sat.Solver.Sat)
+
 let test_cardinality_overcount_unsat () =
   let solver = Sat.Solver.create () in
   let e = Encode.Emit.of_solver solver in
@@ -305,6 +347,8 @@ let () =
         [
           Alcotest.test_case "at-most bounds" `Quick test_cardinality_bounds;
           Alcotest.test_case "exactly bounds" `Quick test_cardinality_exactly;
+          Alcotest.test_case "degenerate n=0/n=1" `Quick
+            test_cardinality_degenerate;
           Alcotest.test_case "impossible at-least" `Quick
             test_cardinality_overcount_unsat;
         ] );

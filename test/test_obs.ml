@@ -1,0 +1,181 @@
+(* Tests for the telemetry substrate: counter/span semantics, the
+   deterministic JSON emission, and the embedded JSON printer/parser
+   (round-trip against QCheck-generated trees, rejection of malformed
+   input). *)
+
+module J = Obs.Json
+
+(* ---------- counters and spans ---------- *)
+
+let test_counters_basic () =
+  let t = Obs.create () in
+  let c = Obs.counter t "a" in
+  Obs.incr c;
+  Obs.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Obs.value c);
+  Alcotest.(check bool) "same name, same counter" true
+    (Obs.value (Obs.counter t "a") = 5);
+  Obs.add t "b" 7;
+  Obs.set t "b" 2;
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("a", 5); ("b", 2) ]
+    (Obs.counters t)
+
+let test_incr_rejects_negative () =
+  let t = Obs.create () in
+  let c = Obs.counter t "a" in
+  Alcotest.(check bool) "negative by rejected" true
+    (match Obs.incr ~by:(-1) c with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_spans () =
+  let t = Obs.create () in
+  Obs.record_span t "phase" 0.25;
+  Obs.record_span t "phase" 0.5;
+  (match Obs.spans t with
+  | [ ("phase", total, 2) ] ->
+      Alcotest.(check (float 1e-9)) "accumulated" 0.75 total
+  | other -> Alcotest.failf "unexpected spans (%d)" (List.length other));
+  let r = Obs.span t "timed" (fun () -> 42) in
+  Alcotest.(check int) "span returns the result" 42 r;
+  Alcotest.(check int) "two span names" 2 (List.length (Obs.spans t))
+
+let test_reset () =
+  let t = Obs.create () in
+  Obs.add t "a" 3;
+  Obs.record_span t "s" 1.0;
+  Obs.reset t;
+  Alcotest.(check (list (pair string int))) "counters zeroed" [ ("a", 0) ]
+    (Obs.counters t);
+  match Obs.spans t with
+  | [ ("s", 0.0, 0) ] -> ()
+  | _ -> Alcotest.fail "spans not zeroed"
+
+let test_emit_deterministic () =
+  let mk () =
+    let t = Obs.create () in
+    Obs.add t "z/second" 2;
+    Obs.add t "a/first" 1;
+    Obs.record_span t "wall" 0.123;
+    t
+  in
+  Alcotest.(check string)
+    "counters-only emission is stable and sorted"
+    {|{"counters":{"a/first":1,"z/second":2}}|}
+    (Obs.emit ~times:false (mk ()));
+  Alcotest.(check string) "independent registries agree"
+    (Obs.emit ~times:false (mk ()))
+    (Obs.emit ~times:false (mk ()))
+
+(* ---------- JSON printer / parser ---------- *)
+
+let test_json_print () =
+  let j =
+    J.Obj
+      [
+        ("s", J.String "a\"b\n\t\\");
+        ("i", J.Int (-42));
+        ("f", J.Float 1.5);
+        ("nan", J.Float nan);
+        ("arr", J.Arr [ J.Bool true; J.Null ]);
+      ]
+  in
+  Alcotest.(check string) "rendering"
+    {|{"s":"a\"b\n\t\\","i":-42,"f":1.5,"nan":null,"arr":[true,null]}|}
+    (J.to_string j)
+
+let test_json_parse_ok () =
+  let ok s expected =
+    match J.parse s with
+    | Ok j -> Alcotest.(check string) s (J.to_string expected) (J.to_string j)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok " null " J.Null;
+  ok "[1,2.5,-3]" (J.Arr [ J.Int 1; J.Float 2.5; J.Int (-3) ]);
+  ok {|{"a":true,"b":[{}]}|}
+    (J.Obj [ ("a", J.Bool true); ("b", J.Arr [ J.Obj [] ]) ]);
+  ok {|"A\n"|} (J.String "A\n");
+  ok "1e3" (J.Float 1000.0)
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [
+      ""; "{"; "tru"; "[1,]"; {|{"a":}|}; "[1 2]"; "01"; {|{"a":1,}|};
+      "nullx"; {|"unterminated|}; "{1:2}";
+    ]
+
+let test_json_member () =
+  let j = J.Obj [ ("a", J.Int 1) ] in
+  Alcotest.(check bool) "present" true (J.member "a" j = Some (J.Int 1));
+  Alcotest.(check bool) "absent" true (J.member "b" j = None);
+  Alcotest.(check bool) "non-object" true (J.member "a" J.Null = None)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> J.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 8));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun xs -> J.Arr xs) (list_size (int_range 0 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* duplicate keys would not round-trip; make them unique *)
+                J.Obj
+                  (List.mapi (fun i (k, v) -> (Printf.sprintf "%d_%s" i k, v))
+                     kvs))
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 0 5))
+                    (tree (depth - 1)))) );
+        ]
+  in
+  tree 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"print |> parse is the identity"
+    (QCheck.make ~print:J.to_string json_gen)
+    (fun j ->
+      match J.parse (J.to_string j) with
+      | Error _ -> false
+      | Ok j' -> J.to_string j' = J.to_string j)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters_basic;
+          Alcotest.test_case "negative incr" `Quick test_incr_rejects_negative;
+          Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "deterministic emission" `Quick
+            test_emit_deterministic;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_json_print;
+          Alcotest.test_case "parsing" `Quick test_json_parse_ok;
+          Alcotest.test_case "rejects malformed" `Quick test_json_parse_rejects;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_json_roundtrip ] );
+    ]

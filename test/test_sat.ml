@@ -165,6 +165,87 @@ let test_cdcl_stats_move () =
   let st = Sat.Solver.stats s in
   Alcotest.(check bool) "did some propagations" true (st.Sat.Solver.propagations > 0)
 
+(* ---------- budgeted solving ---------- *)
+
+(* pigeonhole with p pigeons and h holes: UNSAT when p > h, and hard
+   enough that a small conflict budget is exhausted mid-search *)
+let php_solver p h =
+  let s = Sat.Solver.create () in
+  let var pi hi = Sat.Lit.pos ((pi * h) + hi) in
+  for pi = 0 to p - 1 do
+    Sat.Solver.add_clause s (List.init h (fun hi -> var pi hi))
+  done;
+  for hi = 0 to h - 1 do
+    for p1 = 0 to p - 1 do
+      for p2 = p1 + 1 to p - 1 do
+        Sat.Solver.add_clause s
+          [ Sat.Lit.negate (var p1 hi); Sat.Lit.negate (var p2 hi) ]
+      done
+    done
+  done;
+  s
+
+let test_budget_basics () =
+  let b = Sat.Budget.create ~conflicts:10 () in
+  Alcotest.(check bool) "fresh not exhausted" false (Sat.Budget.exhausted b);
+  Sat.Budget.charge b ~conflicts:4 ~propagations:1000;
+  Alcotest.(check int) "6 left" 6 (Sat.Budget.conflicts_left b);
+  Sat.Budget.charge b ~conflicts:100 ~propagations:0;
+  Alcotest.(check int) "floored at 0" 0 (Sat.Budget.conflicts_left b);
+  Alcotest.(check bool) "exhausted" true (Sat.Budget.exhausted b);
+  let u = Sat.Budget.unlimited () in
+  Sat.Budget.charge u ~conflicts:max_int ~propagations:max_int;
+  Alcotest.(check bool) "unlimited never exhausts" false
+    (Sat.Budget.exhausted u)
+
+let test_budget_unknown () =
+  let s = php_solver 7 6 in
+  let budget = Sat.Budget.create ~conflicts:5 () in
+  (match Sat.Solver.solve_limited ~budget s with
+  | Sat.Solver.Unknown -> ()
+  | Sat.Solver.Solved _ -> Alcotest.fail "5 conflicts must not settle php7/6");
+  Alcotest.(check bool) "budget spent" true (Sat.Budget.exhausted budget);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check int) "stopped at the budget" 5 st.Sat.Solver.conflicts;
+  (* the solver survives an Unknown: an unlimited call finishes the job *)
+  Alcotest.(check bool) "still solvable" true
+    (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_budget_determinism () =
+  let run () =
+    let s = php_solver 8 7 in
+    let budget = Sat.Budget.create ~conflicts:50 () in
+    let r = Sat.Solver.solve_limited ~budget s in
+    let st = Sat.Solver.stats s in
+    (r, st.Sat.Solver.decisions, st.Sat.Solver.propagations,
+     st.Sat.Solver.conflicts, st.Sat.Solver.learned_total)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same outcome and counters" true (a = b)
+
+let test_budget_charged_across_calls () =
+  (* one shared budget drains over successive calls on easy instances *)
+  let budget = Sat.Budget.create ~propagations:1_000_000 () in
+  let left0 = Sat.Budget.propagations_left budget in
+  let s = solver_of_lists [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ] ] in
+  (match Sat.Solver.solve_limited ~budget s with
+  | Sat.Solver.Solved Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "expected SAT");
+  Alcotest.(check bool) "propagations were charged" true
+    (Sat.Budget.propagations_left budget < left0)
+
+let test_stats_learned_accounting () =
+  let s = php_solver 7 6 in
+  ignore (Sat.Solver.solve s);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "learned something" true
+    (st.Sat.Solver.learned_total > 0);
+  Alcotest.(check bool) "gauge + deleted <= total" true
+    (st.Sat.Solver.learned + st.Sat.Solver.deleted
+     <= st.Sat.Solver.learned_total);
+  Alcotest.(check bool) "deleted non-negative" true
+    (st.Sat.Solver.deleted >= 0)
+
 (* ---------- CDCL vs DPLL on random formulas ---------- *)
 
 let random_cnf_gen =
@@ -269,6 +350,22 @@ let prop_solver_reusable_after_assumptions =
            s);
       Sat.Solver.solve s = base)
 
+let prop_solve_limited_agrees =
+  QCheck.Test.make ~count:200 ~name:"generous budget = plain solve"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let mk () =
+        let s = Sat.Solver.create () in
+        Sat.Solver.ensure_vars s nvars;
+        List.iter (Sat.Solver.add_clause s) cls;
+        s
+      in
+      let plain = Sat.Solver.solve (mk ()) in
+      let budget = Sat.Budget.create ~conflicts:1_000_000 () in
+      match Sat.Solver.solve_limited ~budget (mk ()) with
+      | Sat.Solver.Solved r -> r = plain
+      | Sat.Solver.Unknown -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -276,6 +373,7 @@ let qsuite =
       prop_enumeration_counts_models;
       prop_assumptions_consistent;
       prop_solver_reusable_after_assumptions;
+      prop_solve_limited_agrees;
     ]
 
 let () =
@@ -311,6 +409,17 @@ let () =
           Alcotest.test_case "incremental blocking" `Quick
             test_cdcl_incremental_blocking;
           Alcotest.test_case "stats move" `Quick test_cdcl_stats_move;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "charge/exhaust" `Quick test_budget_basics;
+          Alcotest.test_case "unknown on tiny budget" `Quick
+            test_budget_unknown;
+          Alcotest.test_case "deterministic" `Quick test_budget_determinism;
+          Alcotest.test_case "charged across calls" `Quick
+            test_budget_charged_across_calls;
+          Alcotest.test_case "learned accounting" `Quick
+            test_stats_learned_accounting;
         ] );
       ("properties", qsuite);
     ]
