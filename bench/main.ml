@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- table2  -- a single experiment
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks +
                                             BENCH_micro.json throughput
+     dune exec bench/main.exe -- <exp> --baseline BENCH_baseline.json
+        -- regression gate: compare the fresh BENCH_report.json blocks
+           against the committed baseline (Bench_suite.Baseline);
+           nonzero exit on any drift beyond tolerance
 
    Experiments: table1 (guarantee check), table2 (runtimes), table3
    (quality), figure5 (lemma circuits), figure6 (scatter series),
@@ -649,11 +653,46 @@ let micro cfg =
 
 (* ---------- driver ---------- *)
 
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* compare the blocks just collected against a committed baseline
+   (BENCH_baseline.json); any drift beyond tolerance is a regression *)
+let check_baseline file fresh =
+  match Obs.Json.parse (read_file file) with
+  | Error e ->
+      Fmt.epr "baseline %s does not parse: %s@." file e;
+      exit 1
+  | exception Sys_error e ->
+      Fmt.epr "cannot read baseline %s: %s@." file e;
+      exit 1
+  | Ok baseline -> (
+      match Bench_suite.Baseline.check_report ~baseline ~fresh with
+      | Error e ->
+          Fmt.epr "baseline %s is malformed: %s@." file e;
+          exit 1
+      | Ok outcome ->
+          Fmt.pr "%a" Bench_suite.Baseline.pp_outcome outcome;
+          if outcome.Bench_suite.Baseline.violations <> [] then exit 1)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let is_full = List.mem "--full" args in
   let cfg = if is_full then full else quick in
-  let selected = List.filter (fun a -> a <> "--full") args in
+  let baseline_file, selected =
+    let rec split acc = function
+      | [] -> (None, List.rev acc)
+      | "--baseline" :: file :: rest -> (Some file, List.rev acc @ rest)
+      | "--baseline" :: [] ->
+          Fmt.epr "--baseline needs a FILE argument@.";
+          exit 2
+      | a :: rest -> split (a :: acc) rest
+    in
+    split [] (List.filter (fun a -> a <> "--full") args)
+  in
   let all =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("figure5", figure5); ("figure6", figure6); ("ablation", ablation);
@@ -677,7 +716,13 @@ let () =
   in
   List.iter (fun (_, f) -> f cfg) to_run;
   match !report_blocks with
-  | [] -> ()
+  | [] ->
+      (match baseline_file with
+      | None -> ()
+      | Some _ ->
+          Fmt.epr
+            "--baseline: the selected experiments collected no stats blocks@.";
+          exit 1)
   | blocks ->
       let json =
         Obs.Json.Obj
@@ -697,4 +742,5 @@ let () =
       output_char oc '\n';
       close_out oc;
       Fmt.pr "wrote BENCH_report.json (%d stats block(s))@."
-        (List.length blocks)
+        (List.length blocks);
+      Option.iter (fun file -> check_baseline file json) baseline_file

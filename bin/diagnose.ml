@@ -93,7 +93,7 @@ let report_solutions faulty tests label solutions =
     solutions
 
 let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
-    max_solutions stats budget_seconds budget_conflicts =
+    max_solutions stats trace_out budget_seconds budget_conflicts =
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -119,7 +119,9 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
       | None, None -> None
       | seconds, conflicts -> Some (Core.Budget.create ?conflicts ?seconds ())
     in
-    let obs = if stats then Some (Core.Obs.create ()) else None in
+    let obs =
+      if stats || trace_out <> None then Some (Core.Obs.create ()) else None
+    in
     (* the simulation-based engines have no solver budget; a seconds
        budget degrades to their coarser between-solutions time limit *)
     let time_limit = budget_seconds in
@@ -129,13 +131,15 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     in
     (match approach with
     | Bsim ->
-        let r = Core.Bsim.diagnose faulty tests in
+        let r = Core.Bsim.diagnose ?obs faulty tests in
         Fmt.pr "BSIM: |union|=%d, max marks=%d@."
           (List.length r.Core.Bsim.union)
           r.Core.Bsim.max_marks;
         Fmt.pr "G_max = %a@." (pp_solution faulty) r.Core.Bsim.gmax
     | Cov ->
-        let r = Core.Cover.diagnose ~max_solutions ?time_limit ~k faulty tests in
+        let r =
+          Core.Cover.diagnose ~max_solutions ?time_limit ?obs ~k faulty tests
+        in
         report_solutions faulty tests "COV" r.Core.Cover.solutions;
         truncation_notice r.Core.Cover.truncated
     | Bsat ->
@@ -160,12 +164,14 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
           r.Core.Advanced_sat.solutions;
         truncation_notice r.Core.Advanced_sat.truncated
     | Hybrid ->
-        let cov = Core.Cover.diagnose ~max_solutions:1 ~k faulty tests in
+        let cov = Core.Cover.diagnose ~max_solutions:1 ?obs ~k faulty tests in
         (match cov.Core.Cover.solutions with
         | [] -> Fmt.pr "no COV seed available@."
         | seed_sol :: _ -> (
             Fmt.pr "COV seed: %a@." (pp_solution faulty) seed_sol;
-            match Core.Hybrid.repair ?budget ~k ~seed:seed_sol faulty tests with
+            match
+              Core.Hybrid.repair ?budget ?obs ~k ~seed:seed_sol faulty tests
+            with
             | None -> Fmt.pr "no valid correction of size <= %d@." k
             | Some r ->
                 Fmt.pr "repaired: %a (dropped %d, added %d)@."
@@ -179,11 +185,129 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     | errs ->
         Fmt.pr "actual error sites: %a@." (pp_solution faulty)
           (Core.Fault.sites errs));
-    (match obs with
-    | None -> ()
-    | Some obs -> Fmt.pr "%s@." (Core.Obs.emit ~times:false obs));
+    (* the trace-written notice must precede the stats block: consumers
+       take the *last* output line as the JSON *)
+    (match (obs, trace_out) with
+    | Some obs, Some file ->
+        let tr = Core.Obs.trace obs in
+        let oc = open_out file in
+        output_string oc
+          (Core.Obs.Json.to_string (Core.Obs.Trace.to_chrome_json tr));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s (%d trace events)@." file
+          (List.length (Core.Obs.Trace.events tr))
+    | _ -> ());
+    (if stats then
+       match obs with
+       | None -> ()
+       | Some obs -> Fmt.pr "%s@." (Core.Obs.emit ~times:false obs));
     0
   end
+
+(* ---------- report ---------- *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* engine = the name's prefix up to the first '/' (the whole name when
+   there is none) — the convention every instrumented module follows *)
+let engine_of name =
+  match String.index_opt name '/' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+let report_cmd_run file =
+  let module J = Core.Obs.Json in
+  let contents =
+    match read_file file with
+    | s -> Ok s
+    | exception Sys_error msg -> Error msg
+  in
+  match Result.bind contents J.parse with
+  | Error msg ->
+      Fmt.epr "report: cannot read %s: %s@." file msg;
+      1
+  | Ok json ->
+      let obj_of = function Some (J.Obj kvs) -> kvs | _ -> [] in
+      let int_of = function
+        | Some (J.Int n) -> n
+        | Some (J.Float f) -> int_of_float f
+        | _ -> 0
+      in
+      let float_of = function
+        | Some (J.Float f) -> f
+        | Some (J.Int n) -> float_of_int n
+        | _ -> 0.0
+      in
+      let counters = obj_of (J.member "counters" json) in
+      Fmt.pr "== counters (%d) ==@." (List.length counters);
+      List.iter
+        (fun (name, v) -> Fmt.pr "  %-42s %d@." name (int_of (Some v)))
+        counters;
+      let hists = obj_of (J.member "histograms" json) in
+      Fmt.pr "== histograms (%d) ==@." (List.length hists);
+      List.iter
+        (fun (name, h) ->
+          Fmt.pr "  %s (%d observation(s))@." name
+            (int_of (J.member "count" h));
+          match J.member "buckets" h with
+          | Some (J.Arr buckets) ->
+              List.iter
+                (function
+                  | J.Arr [ J.Int lo; J.Int hi; J.Int count ] ->
+                      if hi = max_int then
+                        Fmt.pr "    %10d ..        inf  %d@." lo count
+                      else Fmt.pr "    %10d .. %10d  %d@." lo hi count
+                  | _ -> ())
+                buckets
+          | _ -> ())
+        hists;
+      let events = J.member "events" json in
+      let items =
+        match Option.bind events (J.member "items") with
+        | Some (J.Arr items) -> items
+        | _ -> []
+      in
+      Fmt.pr "== events (%d emitted, %d dropped) ==@."
+        (int_of (Option.bind events (J.member "emitted")))
+        (int_of (Option.bind events (J.member "dropped")));
+      let per_engine = Hashtbl.create 8 in
+      List.iter
+        (fun item ->
+          match J.member "name" item with
+          | Some (J.String name) ->
+              let e = engine_of name in
+              Hashtbl.replace per_engine e
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_engine e))
+          | _ -> ())
+        items;
+      Hashtbl.fold (fun e n acc -> (e, n) :: acc) per_engine []
+      |> List.sort compare
+      |> List.iter (fun (e, n) -> Fmt.pr "  %-42s %d event(s)@." e n);
+      (match obj_of (J.member "spans" json) with
+      | [] -> ()
+      | spans ->
+          let totals =
+            List.map
+              (fun (name, s) ->
+                ( name,
+                  float_of (J.member "seconds" s),
+                  int_of (J.member "calls" s) ))
+              spans
+            |> List.sort (fun (n1, t1, _) (n2, t2, _) ->
+                   match compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+          in
+          Fmt.pr "== top spans ==@.";
+          List.iteri
+            (fun i (name, total, calls) ->
+              if i < 10 then
+                Fmt.pr "  %-42s %.6fs over %d call(s)@." name total calls)
+            totals);
+      0
 
 (* ---------- coverage (production test) ---------- *)
 
@@ -294,12 +418,13 @@ let run_cmd =
   let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
   let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print a JSON block of per-engine solver counters (deterministic under a fixed seed)") in
+  let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the run's event trace as Chrome trace_event JSON (open in chrome://tracing or Perfetto)") in
   let budget_seconds = Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget; SAT engines stop mid-search and return the truncated-but-valid prefix") in
   let budget_conflicts = Arg.(value & opt (some int) None & info [ "budget-conflicts" ] ~docv:"N" ~doc:"Total solver conflict budget across the enumeration (deterministic)") in
   Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
     Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
-          $ approach $ k $ m $ max_solutions $ stats $ budget_seconds
-          $ budget_conflicts)
+          $ approach $ k $ m $ max_solutions $ stats $ trace
+          $ budget_seconds $ budget_conflicts)
 
 let coverage_cmd =
   let vectors = Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~doc:"Random vectors to grade") in
@@ -314,6 +439,16 @@ let export_cmd =
   Cmd.v (Cmd.info "export-cnf" ~doc:"Export the BSAT diagnosis instance as DIMACS")
     Term.(const export_cmd_run $ circuit_pos $ scale $ errors $ seed $ k $ m $ out)
 
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STATS.json"
+         ~doc:"A stats JSON block (the last line of diagnose run --stats)")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize a stats JSON block (counters, histograms, events, spans) as text")
+    Term.(const report_cmd_run $ file)
+
 let experiment_cmd =
   let max_solutions = Arg.(value & opt int 20000 & info [ "max-solutions" ] ~doc:"Per-run solution cap") in
   let time_limit = Arg.(value & opt float 120.0 & info [ "time-limit" ] ~doc:"Per-run time limit (s)") in
@@ -325,7 +460,7 @@ let main =
   Cmd.group
     (Cmd.info "diagnose" ~version:Core.version
        ~doc:"Simulation-based and SAT-based circuit diagnosis")
-    [ info_cmd; generate_cmd; inject_cmd; run_cmd; coverage_cmd; export_cmd;
-      experiment_cmd ]
+    [ info_cmd; generate_cmd; inject_cmd; run_cmd; report_cmd; coverage_cmd;
+      export_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval' main)

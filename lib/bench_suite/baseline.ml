@@ -1,0 +1,110 @@
+module J = Obs.Json
+
+type outcome = {
+  checked : int;
+  violations : (string * string) list;
+}
+
+let join path key = if path = "" then key else path ^ "/" ^ key
+
+let type_name = function
+  | J.Null -> "null"
+  | J.Bool _ -> "bool"
+  | J.Int _ | J.Float _ -> "number"
+  | J.String _ -> "string"
+  | J.Arr _ -> "array"
+  | J.Obj _ -> "object"
+
+let number = function
+  | J.Int n -> Some (float_of_int n)
+  | J.Float f -> Some f
+  | _ -> None
+
+let compare_json ?(default_tolerance = 0.5) ?(tolerances = []) ~baseline
+    ~fresh () =
+  let checked = ref 0 in
+  let violations = ref [] in
+  let fail path msg = violations := (path, msg) :: !violations in
+  let tolerance path =
+    match List.assoc_opt path tolerances with
+    | Some t -> t
+    | None -> default_tolerance
+  in
+  let rec walk path base fresh =
+    match (number base, number fresh) with
+    | Some b, Some f ->
+        incr checked;
+        let tol = tolerance path in
+        let allowed = tol *. Float.max (Float.abs b) 1.0 in
+        if Float.abs (f -. b) > allowed then
+          fail path
+            (Printf.sprintf "%.17g drifted to %.17g (allowed \xc2\xb1%.3g)" b
+               f allowed)
+    | _ -> (
+        match (base, fresh) with
+        | J.Obj base_kvs, J.Obj fresh_kvs ->
+            List.iter
+              (fun (k, bv) ->
+                let p = join path k in
+                match List.assoc_opt k fresh_kvs with
+                | Some fv -> walk p bv fv
+                | None -> fail p "missing from the fresh report")
+              base_kvs
+        | J.Arr base_items, J.Arr fresh_items ->
+            if List.length base_items <> List.length fresh_items then
+              fail path
+                (Printf.sprintf "array length %d drifted to %d"
+                   (List.length base_items)
+                   (List.length fresh_items));
+            List.iteri
+              (fun i bv ->
+                match List.nth_opt fresh_items i with
+                | Some fv -> walk (join path (string_of_int i)) bv fv
+                | None -> ())
+              base_items
+        | (J.Null | J.Bool _ | J.String _), _ when base = fresh ->
+            incr checked
+        | (J.Null | J.Bool _ | J.String _), _ ->
+            incr checked;
+            fail path
+              (Printf.sprintf "%s changed to %s" (J.to_string base)
+                 (J.to_string fresh))
+        | _ ->
+            fail path
+              (Printf.sprintf "type %s changed to %s" (type_name base)
+                 (type_name fresh)))
+  in
+  walk "" baseline fresh;
+  { checked = !checked; violations = List.rev !violations }
+
+let check_report ~baseline ~fresh =
+  match J.member "report" baseline with
+  | None | Some J.Null ->
+      Error "baseline file has no \"report\" field"
+  | Some report ->
+      let default_tolerance =
+        match Option.bind (J.member "default_tolerance" baseline) number with
+        | Some t -> t
+        | None -> 0.5
+      in
+      let tolerances =
+        match J.member "tolerances" baseline with
+        | Some (J.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun t -> (k, t)) (number v))
+              kvs
+        | _ -> []
+      in
+      Ok
+        (compare_json ~default_tolerance ~tolerances ~baseline:report ~fresh
+           ())
+
+let pp_outcome ppf o =
+  List.iter
+    (fun (path, msg) -> Fmt.pf ppf "REGRESSION %s: %s@." path msg)
+    o.violations;
+  match o.violations with
+  | [] -> Fmt.pf ppf "baseline ok: %d value(s) within tolerance@." o.checked
+  | v ->
+      Fmt.pf ppf "baseline FAILED: %d violation(s) over %d value(s)@."
+        (List.length v) o.checked

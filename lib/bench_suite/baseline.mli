@@ -1,0 +1,42 @@
+(** Regression gate over BENCH_report.json.
+
+    A committed baseline file pins the deterministic stats blocks the
+    bench harness emits; {!check_report} structurally compares a fresh
+    report against it.  Numeric leaves may drift within a relative
+    tolerance (per-key overrides allowed); strings, booleans and nulls
+    must match exactly; a key present in the baseline but missing from
+    the fresh report is a violation (new keys in the fresh report are
+    not — adding instrumentation must not fail the gate).
+
+    Baseline file shape:
+    [{ "default_tolerance": 0.5,
+       "tolerances": { "<path>": 0.1, ... },
+       "report": <a BENCH_report.json document> }]
+    where [<path>] is the slash-joined location of a leaf, e.g.
+    ["experiments/incremental/alu4/counters/incremental/conflicts"]. *)
+
+type outcome = {
+  checked : int;  (** leaves compared *)
+  violations : (string * string) list;
+      (** (path, human-readable reason), in document order *)
+}
+
+val compare_json :
+  ?default_tolerance:float ->
+  ?tolerances:(string * float) list ->
+  baseline:Obs.Json.t ->
+  fresh:Obs.Json.t ->
+  unit ->
+  outcome
+(** Structural comparison.  A numeric leaf passes when
+    [|fresh - base| <= tol *. Float.max (Float.abs base) 1.0] with [tol]
+    the per-path override or [default_tolerance] (default [0.5]). *)
+
+val check_report :
+  baseline:Obs.Json.t -> fresh:Obs.Json.t -> (outcome, string) result
+(** [baseline] is the parsed baseline *file* (with its ["report"] /
+    ["default_tolerance"] / ["tolerances"] fields); [fresh] is a parsed
+    BENCH_report.json.  [Error] when the baseline file is malformed. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One line per violation, then a pass/fail summary line. *)

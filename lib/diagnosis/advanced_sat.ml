@@ -8,6 +8,9 @@ type result = {
   stats : Sat.Solver.stats;
 }
 
+(* Inner Bsat runs are deliberately not handed [obs]: their per-call
+   counters would double-count against the final-pass snapshot recorded
+   here.  Phase events around each pass carry the trajectory instead. *)
 let record obs prefix ~solver_calls (r : result) =
   match obs with
   | None -> ()
@@ -24,8 +27,11 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
   (* one budget spans both passes: the refinement pass only gets what the
      skeleton pass left over *)
   let pass1 =
-    Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
-      ?time_limit ?budget ~k c tests
+    Telemetry.phase obs "advsat/pass1"
+      ~payload:(fun r -> List.length r.Bsat.solutions)
+      (fun () ->
+        Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
+          ?time_limit ?budget ~k c tests)
   in
   (* refine: multiplexers at every implicated dominator and everything it
      dominates *)
@@ -42,8 +48,11 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
     | [] -> (pass1, pass1.Bsat.solver_calls)
     | _ ->
         let p2 =
-          Bsat.diagnose ~candidates:implicated ~force_zero:true ?max_solutions
-            ?time_limit ?budget ~k c tests
+          Telemetry.phase obs "advsat/pass2"
+            ~payload:(fun r -> List.length r.Bsat.solutions)
+            (fun () ->
+              Bsat.diagnose ~candidates:implicated ~force_zero:true
+                ?max_solutions ?time_limit ?budget ~k c tests)
         in
         (p2, pass1.Bsat.solver_calls + p2.Bsat.solver_calls)
   in
@@ -89,10 +98,16 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
         calls := !calls + r.Bsat.solver_calls;
         r
       in
+      let slice_phase f =
+        Telemetry.phase obs "advsat/slice"
+          ~payload:(fun r -> List.length r.Bsat.solutions)
+          f
+      in
       let r0 =
         note
-          (Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit ?budget
-             ~k c first)
+          (slice_phase (fun () ->
+               Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit
+                 ?budget ~k c first))
       in
       let narrow result next_tests =
         let cands =
@@ -102,8 +117,9 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
         | [] -> result
         | _ ->
             note
-              (Bsat.diagnose ~candidates:cands ~force_zero:true ?max_solutions
-                 ?time_limit ?budget ~k c next_tests)
+              (slice_phase (fun () ->
+                   Bsat.diagnose ~candidates:cands ~force_zero:true
+                     ?max_solutions ?time_limit ?budget ~k c next_tests))
       in
       (* each slice shrinks the candidate pool; solve the next slice over
          the survivors only *)

@@ -39,7 +39,9 @@ val diagnose_dominators :
   result
 (** [budget] is shared across both passes: the refinement pass only gets
     whatever allowance the skeleton pass left over.  [obs] records the
-    run under ["advsat/dominators/..."]. *)
+    run under ["advsat/dominators/..."] and brackets the passes with
+    ["advsat/pass1"]/["advsat/pass2"] [Begin]/[End] events ([End]
+    payload = pass solution count). *)
 
 val diagnose_partitioned :
   ?slice:int ->
@@ -53,4 +55,5 @@ val diagnose_partitioned :
   result
 (** [slice] — number of tests per partition (default 8).  [budget] is
     shared across all slices; [obs] records the run under
-    ["advsat/partitioned/..."]. *)
+    ["advsat/partitioned/..."] with one ["advsat/slice"] [Begin]/[End]
+    event pair per solved slice. *)

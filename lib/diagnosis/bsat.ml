@@ -76,9 +76,14 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
   in
   let t0 = Sys.time () in
   let solver = Sat.Solver.create () in
-  let inst = Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests in
+  Option.iter (Sat.Solver.attach_obs solver) obs;
+  let inst =
+    Telemetry.phase obs (obs_prefix ^ "/cnf") (fun () ->
+        Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests)
+  in
   apply_hints solver inst hints;
   let cnf_time = Sys.time () -. t0 in
+  Option.iter (fun o -> Obs.begin_event o (obs_prefix ^ "/solve")) obs;
   let start = Sys.time () in
   let solutions = ref [] in
   let nsol = ref 0 in
@@ -147,6 +152,11 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
   (match obs with
   | None -> ()
   | Some obs ->
+      Obs.end_event ~payload:!nsol obs (obs_prefix ^ "/solve");
+      List.iter
+        (fun sol ->
+          Obs.observe obs (obs_prefix ^ "/solution_size") (List.length sol))
+        !solutions;
       Telemetry.record_run obs ~prefix:obs_prefix ~solutions:!nsol
         ~solver_calls:!ncalls ~truncated:!truncated stats;
       Obs.record_span obs (obs_prefix ^ "/cnf") cnf_time;

@@ -65,7 +65,12 @@ val diagnose :
     under a fixed seed.
 
     [obs] records the run under ["<obs_prefix>/..."] counters and spans
-    (default prefix ["bsat"]); see {!Telemetry}. *)
+    (default prefix ["bsat"]), brackets instance construction and the
+    enumeration with ["<obs_prefix>/cnf"]/["<obs_prefix>/solve"]
+    [Begin]/[End] events (the solve [End] payload is the solution
+    count), fills a ["<obs_prefix>/solution_size"] histogram and
+    attaches the solver's per-conflict histograms
+    ({!Sat.Solver.attach_obs}); see {!Telemetry}. *)
 
 val first_solution :
   ?candidates:int list ->

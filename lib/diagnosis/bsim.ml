@@ -8,25 +8,31 @@ type result = {
   max_marks : int;
 }
 
-let diagnose ?tie_break ?include_inputs c tests =
-  let ctx = Sim.Sim_ctx.create c in
-  let candidate_sets =
-    Array.of_list
-      (List.map (Path_trace.trace ~ctx ?tie_break ?include_inputs c) tests)
-  in
-  let marks = Array.make (Circuit.size c) 0 in
-  Array.iter
-    (List.iter (fun g -> marks.(g) <- marks.(g) + 1))
-    candidate_sets;
-  let max_marks = Array.fold_left max 0 marks in
-  let union = ref [] and gmax = ref [] in
-  for g = Circuit.size c - 1 downto 0 do
-    if marks.(g) > 0 then begin
-      union := g :: !union;
-      if marks.(g) = max_marks then gmax := g :: !gmax
-    end
-  done;
-  { candidate_sets; marks; union = !union; gmax = !gmax; max_marks }
+let diagnose ?tie_break ?include_inputs ?obs c tests =
+  Telemetry.phase obs "bsim/trace"
+    ~payload:(fun r -> List.length r.union)
+    (fun () ->
+      let ctx = Sim.Sim_ctx.create c in
+      let candidate_sets =
+        Array.of_list
+          (List.map (Path_trace.trace ~ctx ?tie_break ?include_inputs c) tests)
+      in
+      Array.iter
+        (fun ci -> Telemetry.observe obs "bsim/candidate_set" (List.length ci))
+        candidate_sets;
+      let marks = Array.make (Circuit.size c) 0 in
+      Array.iter
+        (List.iter (fun g -> marks.(g) <- marks.(g) + 1))
+        candidate_sets;
+      let max_marks = Array.fold_left max 0 marks in
+      let union = ref [] and gmax = ref [] in
+      for g = Circuit.size c - 1 downto 0 do
+        if marks.(g) > 0 then begin
+          union := g :: !union;
+          if marks.(g) = max_marks then gmax := g :: !gmax
+        end
+      done;
+      { candidate_sets; marks; union = !union; gmax = !gmax; max_marks })
 
 (* Intersect via a hash set per C_i instead of [List.mem] inside
    [List.filter] (O(n·m) per test); the accumulator's order — and with it

@@ -13,9 +13,13 @@ type result = {
 val diagnose :
   ?tie_break:Path_trace.tie_break ->
   ?include_inputs:bool ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
+(** [obs] brackets the run with ["bsim/trace"] [Begin]/[End] events (the
+    [End] payload is the union size) and fills the
+    ["bsim/candidate_set"] histogram with each test's |C_i|. *)
 
 val single_error_candidates : result -> int list
 (** Intersection of all candidate sets — where the error site must lie if

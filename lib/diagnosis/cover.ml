@@ -160,14 +160,26 @@ let enumerate ?(engine = Sat_engine) ?(max_solutions = max_int)
   (solutions, truncated)
 
 let diagnose ?(engine = Sat_engine) ?tie_break ?(max_solutions = max_int)
-    ?(time_limit = infinity) ~k c tests =
+    ?(time_limit = infinity) ?obs ~k c tests =
   let t0 = Sys.time () in
-  let bsim = Bsim.diagnose ?tie_break c tests in
+  let bsim = Bsim.diagnose ?tie_break ?obs c tests in
   let sets = bsim.Bsim.candidate_sets in
   let cnf_time = Sys.time () -. t0 in
   let solutions, one_time, all_time, truncated =
-    match engine with
-    | Sat_engine -> enumerate_sat ~max_solutions ~time_limit ~k sets
-    | Backtrack_engine -> enumerate_backtrack ~max_solutions ~time_limit ~k sets
+    Telemetry.phase obs "cov/enumerate"
+      ~payload:(fun (sols, _, _, _) -> List.length sols)
+      (fun () ->
+        match engine with
+        | Sat_engine -> enumerate_sat ~max_solutions ~time_limit ~k sets
+        | Backtrack_engine ->
+            enumerate_backtrack ~max_solutions ~time_limit ~k sets)
   in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      List.iter
+        (fun sol -> Obs.observe o "cov/solution_size" (List.length sol))
+        solutions;
+      Obs.add o "cov/solutions" (List.length solutions);
+      Obs.add o "cov/truncated" (if truncated then 1 else 0));
   { bsim; solutions; cnf_time; one_time; all_time; truncated }

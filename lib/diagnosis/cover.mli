@@ -28,10 +28,15 @@ val diagnose :
   ?tie_break:Path_trace.tie_break ->
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?obs:Obs.t ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
+(** [obs] records the run: the underlying {!Bsim.diagnose}
+    instrumentation, ["cov/enumerate"] [Begin]/[End] events ([End]
+    payload = solution count), a ["cov/solution_size"] histogram and the
+    ["cov/solutions"]/["cov/truncated"] counters. *)
 
 val covers : int list -> int list array -> bool
 (** [covers solution sets] — does the solution hit every set? *)

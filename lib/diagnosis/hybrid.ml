@@ -46,7 +46,11 @@ type repair_result = {
   added : int;
 }
 
-let repair ?marks ?budget ~k ~seed c tests =
+let repair ?marks ?budget ?obs ~k ~seed c tests =
+  Telemetry.phase obs "hybrid/repair"
+    ~payload:(fun r ->
+      match r with None -> 0 | Some r -> List.length r.correction)
+  @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Sat.Budget.unlimited ()
   in

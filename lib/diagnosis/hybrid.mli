@@ -50,6 +50,7 @@ type repair_result = {
 val repair :
   ?marks:int array ->
   ?budget:Sat.Budget.t ->
+  ?obs:Obs.t ->
   k:int ->
   seed:int list ->
   Netlist.Circuit.t ->
@@ -60,4 +61,6 @@ val repair :
     abandoned and [None] is returned (indistinguishable by design: a
     truncated repair is not a correction).
     [marks] orders seed dropping (least-marked first); defaults to
-    running BSIM internally. *)
+    running BSIM internally.  [obs] brackets the whole repair with a
+    ["hybrid/repair"] [Begin]/[End] event pair ([End] payload = final
+    correction size, 0 on failure). *)

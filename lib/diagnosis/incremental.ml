@@ -2,19 +2,27 @@ type t = {
   solver : Sat.Solver.t;
   inst : Encode.Muxed.t;
   k : int;
+  obs : Obs.t option;
   mutable last_truncated : bool;
 }
 
-let create ?force_zero ~k c tests =
+let create ?force_zero ?obs ~k c tests =
   let solver = Sat.Solver.create () in
-  let inst = Encode.Muxed.build ?force_zero ~max_k:k solver c tests in
-  { solver; inst; k; last_truncated = false }
+  Option.iter (Sat.Solver.attach_obs ~prefix:"incremental" solver) obs;
+  let inst =
+    Telemetry.phase obs "incremental/cnf" (fun () ->
+        Encode.Muxed.build ?force_zero ~max_k:k solver c tests)
+  in
+  { solver; inst; k; obs; last_truncated = false }
 
-let add_tests t tests = List.iter (Encode.Muxed.add_test t.inst) tests
+let add_tests t tests =
+  Telemetry.instant t.obs ~payload:(List.length tests) "incremental/add_tests";
+  List.iter (Encode.Muxed.add_test t.inst) tests
 
 let num_tests t = Encode.Muxed.num_tests t.inst
 
 let solutions ?(max_solutions = max_int) ?budget t =
+  Telemetry.phase t.obs "incremental/solve" ~payload:List.length @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Sat.Budget.unlimited ()
   in

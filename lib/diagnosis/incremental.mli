@@ -12,10 +12,18 @@ type t
 
 val create :
   ?force_zero:bool ->
+  ?obs:Obs.t ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   t
+(** [obs] attaches the live solver's per-conflict histograms under
+    ["incremental/..."] ({!Sat.Solver.attach_obs}) and emits
+    ["incremental/cnf"] [Begin]/[End] events around instance
+    construction, an ["incremental/add_tests"] [Instant] event per
+    {!add_tests} call (payload = number of tests added) and
+    ["incremental/solve"] [Begin]/[End] events around each
+    {!solutions} enumeration ([End] payload = solution count). *)
 
 val add_tests : t -> Sim.Testgen.test list -> unit
 (** Extend the live instance with more tests (no re-encoding of the

@@ -14,3 +14,22 @@ let record_run obs ~prefix ~solutions ~solver_calls ~truncated
   Obs.add obs (prefix ^ "/solutions") solutions;
   Obs.add obs (prefix ^ "/solver_calls") solver_calls;
   Obs.add obs (prefix ^ "/truncated") (if truncated then 1 else 0)
+
+let phase obs name ?payload f =
+  match obs with
+  | None -> f ()
+  | Some o -> (
+      Obs.begin_event o name;
+      match f () with
+      | v ->
+          let p = match payload with None -> 0 | Some measure -> measure v in
+          Obs.end_event ~payload:p o name;
+          v
+      | exception e ->
+          Obs.end_event o name;
+          raise e)
+
+let observe obs name v = Option.iter (fun o -> Obs.observe o name v) obs
+
+let instant obs ?payload name =
+  Option.iter (fun o -> Obs.instant o ?payload name) obs

@@ -21,3 +21,18 @@ val record_run :
   unit
 (** [record_solver_stats] plus the per-run counters ["prefix/solutions"],
     ["prefix/solver_calls"] and ["prefix/truncated"] (0/1). *)
+
+val phase : Obs.t option -> string -> ?payload:('a -> int) -> (unit -> 'a) -> 'a
+(** [phase obs name f] brackets the thunk with [Begin]/[End] events when
+    a registry is present (and is [f ()] otherwise).  The [End] event
+    carries [payload result] when given (a solution count, say); on an
+    exception the [End] event is still emitted (payload 0) and the
+    exception propagates.  Event names reuse the counter vocabulary
+    (["bsat/solve"], ["advsat/pass1"], ...), so a trace viewer groups
+    them by engine. *)
+
+val observe : Obs.t option -> string -> int -> unit
+(** {!Obs.observe} when a registry is present. *)
+
+val instant : Obs.t option -> ?payload:int -> string -> unit
+(** {!Obs.instant} when a registry is present. *)

@@ -239,6 +239,143 @@ module Json = struct
     | _ -> None
 end
 
+module Clock = struct
+  let wall () = Unix.gettimeofday ()
+
+  let cpu () = Sys.time ()
+end
+
+type phase = Begin | End | Instant
+
+type event = {
+  tick : int;
+  name : string;
+  phase : phase;
+  payload : int;
+  wall : float;
+}
+
+module Histogram = struct
+  (* bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i - 1].  max_int is
+     2^62 - 1 on 64-bit OCaml, so 63 buckets cover every value. *)
+  let num_buckets = 63
+
+  type h = { counts : int array; mutable total : int }
+
+  let make () = { counts = Array.make num_buckets 0; total = 0 }
+
+  let bucket_of v =
+    if v < 0 then invalid_arg "Obs.Histogram: negative value";
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      incr i;
+      x := !x lsr 1
+    done;
+    !i
+
+  let bounds i =
+    if i <= 0 then (0, 0)
+    else
+      ( 1 lsl (i - 1),
+        (* 1 lsl 62 overflows; the top bucket is capped at max_int *)
+        if i >= num_buckets - 1 then max_int else (1 lsl i) - 1 )
+
+  let observe h v =
+    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+    h.total <- h.total + 1
+
+  let observations h = h.total
+
+  let buckets h =
+    let acc = ref [] in
+    for i = num_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then begin
+        let lo, hi = bounds i in
+        acc := (lo, hi, h.counts.(i)) :: !acc
+      end
+    done;
+    !acc
+
+  let merge a b =
+    {
+      counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+      total = a.total + b.total;
+    }
+
+  let equal a b = a.counts = b.counts
+
+  let reset h =
+    Array.fill h.counts 0 num_buckets 0;
+    h.total <- 0
+end
+
+module Trace = struct
+  type tr = { cap : int; buf : event array; mutable n_emitted : int }
+
+  let dummy_event =
+    { tick = 0; name = ""; phase = Instant; payload = 0; wall = 0.0 }
+
+  let make cap =
+    let cap = max 1 cap in
+    { cap; buf = Array.make cap dummy_event; n_emitted = 0 }
+
+  let capacity tr = tr.cap
+
+  let emitted tr = tr.n_emitted
+
+  let dropped tr = max 0 (tr.n_emitted - tr.cap)
+
+  let push tr e =
+    tr.buf.(tr.n_emitted mod tr.cap) <- e;
+    tr.n_emitted <- tr.n_emitted + 1
+
+  let events tr =
+    let n = min tr.n_emitted tr.cap in
+    let start = if tr.n_emitted <= tr.cap then 0 else tr.n_emitted mod tr.cap in
+    List.init n (fun i -> tr.buf.((start + i) mod tr.cap))
+
+  let clear tr = tr.n_emitted <- 0
+
+  let phase_string = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+  let category name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
+  let to_chrome_json tr =
+    let evs = events tr in
+    let t0 =
+      List.fold_left (fun acc e -> Float.min acc e.wall) infinity evs
+    in
+    let t0 = if Float.is_finite t0 then t0 else 0.0 in
+    let item e =
+      let base =
+        [
+          ("name", Json.String e.name);
+          ("cat", Json.String (category e.name));
+          ("ph", Json.String (phase_string e.phase));
+          ("ts", Json.Float ((e.wall -. t0) *. 1e6));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj
+              [ ("tick", Json.Int e.tick); ("payload", Json.Int e.payload) ]
+          );
+        ]
+      in
+      Json.Obj
+        (match e.phase with
+        | Instant -> base @ [ ("s", Json.String "t") ]
+        | Begin | End -> base)
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.Arr (List.map item evs));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+end
+
 type counter = { mutable count : int }
 
 type span_cell = { mutable seconds : float; mutable calls : int }
@@ -246,10 +383,19 @@ type span_cell = { mutable seconds : float; mutable calls : int }
 type t = {
   counters_tbl : (string, counter) Hashtbl.t;
   spans_tbl : (string, span_cell) Hashtbl.t;
+  hists_tbl : (string, Histogram.h) Hashtbl.t;
+  tr : Trace.tr;
 }
 
-let create () =
-  { counters_tbl = Hashtbl.create 16; spans_tbl = Hashtbl.create 8 }
+let default_trace_capacity = 4096
+
+let create ?(trace_capacity = default_trace_capacity) () =
+  {
+    counters_tbl = Hashtbl.create 16;
+    spans_tbl = Hashtbl.create 8;
+    hists_tbl = Hashtbl.create 8;
+    tr = Trace.make trace_capacity;
+  }
 
 let counter t name =
   match Hashtbl.find_opt t.counters_tbl name with
@@ -278,19 +424,44 @@ let span_cell t name =
       s
 
 let record_span t name seconds =
+  (* the negated comparison also rejects NaN *)
+  if not (seconds >= 0.0) then invalid_arg "Obs.record_span: negative duration";
   let s = span_cell t name in
   s.seconds <- s.seconds +. seconds;
   s.calls <- s.calls + 1
 
 let span t name f =
-  let start = Sys.time () in
+  let start = Clock.wall () in
+  let note () = record_span t name (Float.max 0.0 (Clock.wall () -. start)) in
   match f () with
   | v ->
-      record_span t name (Sys.time () -. start);
+      note ();
       v
   | exception e ->
-      record_span t name (Sys.time () -. start);
+      note ();
       raise e
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists_tbl name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.make () in
+      Hashtbl.add t.hists_tbl name h;
+      h
+
+let observe t name v = Histogram.observe (histogram t name) v
+
+let trace t = t.tr
+
+let event t ?(payload = 0) name phase =
+  Trace.push t.tr
+    { tick = Trace.emitted t.tr; name; phase; payload; wall = Clock.wall () }
+
+let begin_event t ?payload name = event t ?payload name Begin
+
+let end_event t ?payload name = event t ?payload name End
+
+let instant t ?payload name = event t ?payload name Instant
 
 let counters t =
   Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) t.counters_tbl []
@@ -302,19 +473,65 @@ let spans t =
     t.spans_tbl []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset t =
   Hashtbl.iter (fun _ c -> c.count <- 0) t.counters_tbl;
   Hashtbl.iter
     (fun _ s ->
       s.seconds <- 0.0;
       s.calls <- 0)
-    t.spans_tbl
+    t.spans_tbl;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.hists_tbl;
+  Trace.clear t.tr
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.observations h));
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.Arr [ Json.Int lo; Json.Int hi; Json.Int c ])
+             (Histogram.buckets h)) );
+    ]
+
+let event_json ~times e =
+  Json.Obj
+    ([
+       ("tick", Json.Int e.tick);
+       ("name", Json.String e.name);
+       ("ph", Json.String (Trace.phase_string e.phase));
+       ("arg", Json.Int e.payload);
+     ]
+    @ if times then [ ("ts", Json.Float e.wall) ] else [])
 
 let to_json ?(times = true) t =
   let counter_fields =
     List.map (fun (name, v) -> (name, Json.Int v)) (counters t)
   in
-  let base = [ ("counters", Json.Obj counter_fields) ] in
+  let histogram_fields =
+    List.map (fun (name, h) -> (name, histogram_json h)) (histograms t)
+  in
+  let events =
+    Json.Obj
+      [
+        ("emitted", Json.Int (Trace.emitted t.tr));
+        ("dropped", Json.Int (Trace.dropped t.tr));
+        ( "items",
+          Json.Arr (List.map (event_json ~times) (Trace.events t.tr)) );
+      ]
+  in
+  let base =
+    [
+      ("counters", Json.Obj counter_fields);
+      ("histograms", Json.Obj histogram_fields);
+      ("events", events);
+    ]
+  in
   let fields =
     if times then
       base

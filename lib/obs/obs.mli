@@ -1,16 +1,22 @@
-(** Telemetry substrate: named monotonic counters and cumulative spans
-    collected into a registry, emitted as deterministic JSON.
+(** Telemetry substrate: named monotonic counters, cumulative spans,
+    fixed-bucket histograms and a bounded trace of typed phase events,
+    collected into a registry and emitted as deterministic JSON.
 
-    The paper's evaluation is a *runtime* comparison (Table 2); every
-    engine in this repository records its solver effort (conflicts,
-    propagations, decisions, learned clauses) and phase timings here so
-    that experiments, the CLI ([diagnose ... --stats]) and the bench
-    harness report against one measurement layer.
+    The paper's evaluation is an *effort* comparison (Table 2 runtimes,
+    Table 3 quality); every engine in this repository records its solver
+    effort (conflicts, propagations, decisions, learned clauses), phase
+    timings, effort *distributions* (learnt-clause lengths, backtrack
+    depths, candidate-set sizes) and phase *trajectories* (Begin/End
+    events per engine stage) here, so that experiments, the CLI
+    ([diagnose ... --stats] / [--trace]) and the bench harness report
+    against one measurement layer.
 
-    Determinism contract: counter values depend only on the computation
-    (all randomness is seeded), so [emit ~times:false] is bit-reproducible
-    and safe to pin in cram tests.  Span durations are wall-clock and are
-    only included when [times:true]. *)
+    Determinism contract: counter values, histogram bucket counts and
+    event streams (tick, name, phase, payload) depend only on the
+    computation (all randomness is seeded), so [emit ~times:false] is
+    bit-reproducible and safe to pin in cram tests.  Wall-clock data —
+    span durations and the per-event ["ts"] stamp — is only included
+    when [times:true]. *)
 
 (** Minimal JSON tree: deterministic printing (object fields in the order
     given, [%.17g] floats) and a strict parser — enough to smoke-check
@@ -35,19 +41,112 @@ module Json : sig
   (** Field lookup in an [Obj]; [None] otherwise. *)
 end
 
+(** Time sources.  Everything in this library that stamps wall-clock
+    time ({!span}, event ["ts"] fields) uses {!Clock.wall}; the process
+    CPU clock stays available as {!Clock.cpu} for callers that want it
+    explicitly. *)
+module Clock : sig
+  val wall : unit -> float
+  (** Wall-clock seconds since the epoch ([Unix.gettimeofday]). *)
+
+  val cpu : unit -> float
+  (** Process CPU seconds ([Sys.time]).  Insensitive to sleeps and
+      other processes; not a wall clock. *)
+end
+
+(** Event phase, after the Chrome [trace_event] vocabulary: a [Begin]/
+    [End] pair brackets a stage (nesting allowed), [Instant] marks a
+    point occurrence. *)
+type phase = Begin | End | Instant
+
+type event = {
+  tick : int;  (** logical clock: the event's index in emission order,
+                   counted from registry creation (deterministic) *)
+  name : string;
+  phase : phase;
+  payload : int;  (** engine-specific deterministic datum (solution
+                      count, test count, ...); 0 when unused *)
+  wall : float;  (** {!Clock.wall} at emission; excluded from
+                     deterministic output *)
+}
+
+(** Fixed power-of-two-bucket histograms over non-negative integers.
+    Bucket 0 holds the value 0; bucket [i >= 1] holds values in
+    [[2^(i-1), 2^i - 1]].  Counts only — no sums or means — so the
+    contents are deterministic whenever the observations are. *)
+module Histogram : sig
+  type h
+
+  val make : unit -> h
+
+  val observe : h -> int -> unit
+  (** Count one occurrence of a value.
+      @raise Invalid_argument on a negative value. *)
+
+  val observations : h -> int
+  (** Total number of values observed. *)
+
+  val buckets : h -> (int * int * int) list
+  (** Non-empty buckets as [(lo, hi, count)], ascending in [lo]. *)
+
+  val bucket_of : int -> int
+  (** The bucket index a value falls into.
+      @raise Invalid_argument on a negative value. *)
+
+  val bounds : int -> int * int
+  (** [(lo, hi)] of a bucket index (the top bucket's [hi] is
+      [max_int]). *)
+
+  val merge : h -> h -> h
+  (** A fresh histogram with element-wise summed counts — associative
+      and commutative, and [merge (of xs) (of ys) = of (xs @ ys)]. *)
+
+  val equal : h -> h -> bool
+end
+
+(** A bounded ring buffer of {!event}s.  When more events are emitted
+    than the buffer holds, the oldest are dropped (the totals remain
+    exact). *)
+module Trace : sig
+  type tr
+
+  val capacity : tr -> int
+
+  val emitted : tr -> int
+  (** Events emitted over the trace's lifetime, including dropped
+      ones.  Also the next event's [tick]. *)
+
+  val dropped : tr -> int
+  (** [max 0 (emitted - capacity)]. *)
+
+  val events : tr -> event list
+  (** Retained events, oldest first. *)
+
+  val to_chrome_json : tr -> Json.t
+  (** The retained events in Chrome [trace_event] JSON (loadable in
+      [chrome://tracing] / Perfetto): one object per event with [name],
+      [cat] (the name's prefix up to the first ['/']), [ph]
+      ([B]/[E]/[i]), [ts] in microseconds relative to the earliest
+      retained event's {!Clock.wall} stamp, and the tick/payload under
+      [args].  Not deterministic (wall-clock [ts]); for pinnable output
+      use {!to_json}. *)
+end
+
 type t
-(** A registry of named counters and spans. *)
+(** A registry of named counters, spans, histograms and one trace. *)
 
 type counter
 (** A monotonic integer counter owned by a registry. *)
 
-val create : unit -> t
+val create : ?trace_capacity:int -> unit -> t
+(** [trace_capacity] bounds the event ring buffer (default 4096). *)
 
 val counter : t -> string -> counter
 (** Find-or-create the counter with this name. *)
 
 val incr : ?by:int -> counter -> unit
-(** Add [by] (default 1) to the counter.  [by] must be >= 0. *)
+(** Add [by] (default 1) to the counter.
+    @raise Invalid_argument if [by < 0]. *)
 
 val value : counter -> int
 
@@ -58,11 +157,36 @@ val set : t -> string -> int -> unit
 (** Overwrite a counter (for gauge-style snapshots). *)
 
 val record_span : t -> string -> float -> unit
-(** Accumulate [seconds] under the named span and count one call. *)
+(** Accumulate [seconds] under the named span and count one call.
+    @raise Invalid_argument unless [seconds >= 0.0]. *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
-(** Time the thunk with [Sys.time] and record it under the name.
+(** Time the thunk with {!Clock.wall} and record it under the name.
     Exceptions propagate; the partial duration is still recorded. *)
+
+val histogram : t -> string -> Histogram.h
+(** Find-or-create the histogram with this name. *)
+
+val observe : t -> string -> int -> unit
+(** [observe t name v] — find-or-create and {!Histogram.observe} in one
+    step.
+    @raise Invalid_argument on a negative value. *)
+
+val trace : t -> Trace.tr
+(** The registry's event trace. *)
+
+val event : t -> ?payload:int -> string -> phase -> unit
+(** Emit one event into the trace, stamped with the next logical tick
+    and {!Clock.wall}. *)
+
+val begin_event : t -> ?payload:int -> string -> unit
+(** [event t name Begin]. *)
+
+val end_event : t -> ?payload:int -> string -> unit
+(** [event t name End]. *)
+
+val instant : t -> ?payload:int -> string -> unit
+(** [event t name Instant]. *)
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
@@ -70,13 +194,27 @@ val counters : t -> (string * int) list
 val spans : t -> (string * float * int) list
 (** All spans as (name, total seconds, calls), sorted by name. *)
 
+val histograms : t -> (string * Histogram.h) list
+(** All histograms, sorted by name. *)
+
 val reset : t -> unit
-(** Zero every counter and span (names are kept). *)
+(** Zero every counter, span and histogram (names are kept) and clear
+    the trace. *)
 
 val to_json : ?times:bool -> t -> Json.t
-(** [{ "counters": {...}, "spans": {...} }], fields sorted by name.
+(** [{ "counters": {...}, "histograms": {...}, "events": {...},
+    "spans": {...} }], counter/histogram fields sorted by name.
+
+    ["histograms"] maps each name to
+    [{ "count": n, "buckets": [[lo, hi, count], ...] }] (non-empty
+    buckets only).  ["events"] is
+    [{ "emitted": n, "dropped": d, "items": [...] }] with the retained
+    events oldest first; each item carries [tick]/[name]/[ph]/[arg].
+
     [times] (default [true]) controls whether the non-deterministic
-    ["spans"] object is included. *)
+    wall-clock data is included: the ["spans"] object and the per-event
+    ["ts"] field.  With [times:false] the output is bit-reproducible
+    under a fixed seed. *)
 
 val emit : ?times:bool -> t -> string
 (** [Json.to_string (to_json t)]. *)

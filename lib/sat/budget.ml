@@ -1,7 +1,7 @@
 type t = {
   mutable conflicts_left : int;     (* max_int = unlimited *)
   mutable propagations_left : int;
-  deadline : float;                 (* absolute Sys.time; infinity = none *)
+  deadline : float;                 (* absolute Obs.Clock.wall; infinity = none *)
 }
 
 let create ?conflicts ?propagations ?seconds () =
@@ -15,7 +15,7 @@ let create ?conflicts ?propagations ?seconds () =
     match seconds with
     | None -> infinity
     | Some s when s < 0.0 -> invalid_arg "Budget.create: negative seconds"
-    | Some s -> Sys.time () +. s
+    | Some s -> Obs.Clock.wall () +. s
   in
   {
     conflicts_left = allowance "conflicts" conflicts;
@@ -40,7 +40,7 @@ let is_unlimited t =
 let exhausted t =
   t.conflicts_left <= 0
   || t.propagations_left <= 0
-  || (t.deadline < infinity && Sys.time () > t.deadline)
+  || (t.deadline < infinity && Obs.Clock.wall () > t.deadline)
 
 let conflicts_left t = t.conflicts_left
 

@@ -30,8 +30,8 @@ val clone : t -> t
 val is_unlimited : t -> bool
 
 val exhausted : t -> bool
-(** Any dimension used up?  Calls [Sys.time] only when a deadline is
-    set. *)
+(** Any dimension used up?  Reads {!Obs.Clock.wall} only when a
+    deadline is set. *)
 
 val conflicts_left : t -> int
 (** Remaining conflict allowance ([max_int] when unlimited). *)
@@ -39,7 +39,7 @@ val conflicts_left : t -> int
 val propagations_left : t -> int
 
 val deadline : t -> float
-(** Absolute [Sys.time] deadline, [infinity] when unlimited. *)
+(** Absolute {!Obs.Clock.wall} deadline, [infinity] when unlimited. *)
 
 val charge : t -> conflicts:int -> propagations:int -> unit
 (** Deduct consumed effort (floored at an exhausted, never negative,

@@ -46,6 +46,13 @@ type stats = {
   deleted : int;
 }
 
+(* histograms recording per-conflict effort shape; attached on demand *)
+type obs_hooks = {
+  h_learnt_len : Obs.Histogram.h;
+  h_backtrack : Obs.Histogram.h;
+  h_conflict_gap : Obs.Histogram.h;
+}
+
 type t = {
   mutable nvars : int;
   mutable cap : int;
@@ -78,6 +85,8 @@ type t = {
   mutable s_restarts : int;
   mutable s_learned_total : int;
   mutable s_deleted : int;
+  mutable hooks : obs_hooks option;
+  mutable last_conflict_props : int;
 }
 
 let create () =
@@ -113,7 +122,18 @@ let create () =
     s_restarts = 0;
     s_learned_total = 0;
     s_deleted = 0;
+    hooks = None;
+    last_conflict_props = 0;
   }
+
+let attach_obs ?(prefix = "sat") s obs =
+  s.hooks <-
+    Some
+      {
+        h_learnt_len = Obs.histogram obs (prefix ^ "/learnt_len");
+        h_backtrack = Obs.histogram obs (prefix ^ "/backtrack");
+        h_conflict_gap = Obs.histogram obs (prefix ^ "/conflict_gap");
+      }
 
 let num_vars s = s.nvars
 
@@ -557,7 +577,7 @@ let solve_limited ?(assumptions = []) ~budget s =
       || s.s_propagations >= prop_limit
       || deadline < infinity
          && (incr ticks;
-             !ticks land 1023 = 0 && Sys.time () > deadline)
+             !ticks land 1023 = 0 && Obs.Clock.wall () > deadline)
     in
     let restart_first = 100.0 in
     let curr_restarts = ref 0 in
@@ -570,12 +590,24 @@ let solve_limited ?(assumptions = []) ~budget s =
         | Some confl ->
             s.s_conflicts <- s.s_conflicts + 1;
             conflicts_left := !conflicts_left -. 1.0;
+            (match s.hooks with
+            | None -> ()
+            | Some h ->
+                Obs.Histogram.observe h.h_conflict_gap
+                  (s.s_propagations - s.last_conflict_props);
+                s.last_conflict_props <- s.s_propagations);
             if decision_level s = 0 then begin
               s.ok <- false;
               result := Some (Solved Unsat)
             end
             else begin
               let out, blevel = analyze s confl in
+              (match s.hooks with
+              | None -> ()
+              | Some h ->
+                  Obs.Histogram.observe h.h_learnt_len (Array.length out);
+                  Obs.Histogram.observe h.h_backtrack
+                    (decision_level s - blevel));
               cancel_until s blevel;
               record_learnt s out;
               var_decay_activities s;

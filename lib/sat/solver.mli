@@ -75,6 +75,17 @@ val stats : t -> stats
     monotonic.  [learned_total >= learned + deleted], with equality
     exactly when no unit clauses were learned. *)
 
+val attach_obs : ?prefix:string -> t -> Obs.t -> unit
+(** Record per-conflict effort distributions into the registry's
+    histograms: ["<prefix>/learnt_len"] (learnt-clause literal counts),
+    ["<prefix>/backtrack"] (levels undone per conflict) and
+    ["<prefix>/conflict_gap"] (propagations between consecutive
+    conflicts).  Default [prefix] is ["sat"].  Totals-only counters
+    ({!stats}) cannot distinguish a steady search from a stalling one;
+    these distributions can, and they are deterministic under a fixed
+    seed.  Attaching costs three histogram bumps per conflict and
+    nothing on the propagation hot path. *)
+
 val set_default_phase : t -> int -> bool -> unit
 (** Initial branching polarity for a variable (overwritten by phase saving
     once the variable has been assigned).  Hook used by the hybrid

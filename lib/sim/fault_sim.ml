@@ -108,7 +108,7 @@ let first_bit mask =
                              (Int64.mul isolated debruijn) 58)
              land 63)
 
-let run ?(drop = true) c ~vectors ~faults =
+let run ?(drop = true) ?obs c ~vectors ~faults =
   let num_inputs = Circuit.num_inputs c in
   let ctx = Sim_ctx.create c in
   let words = Array.make num_inputs 0L in
@@ -127,6 +127,7 @@ let run ?(drop = true) c ~vectors ~faults =
     | [], _ | _, [] -> alive
     | _ ->
         let batch, rest = take 64 vectors in
+        let seen_before = Hashtbl.length seen in
         pack_batch_into words batch;
         Simulator.eval_word_into ~values:good c words;
         (* mask off pattern slots beyond the batch *)
@@ -149,6 +150,11 @@ let run ?(drop = true) c ~vectors ~faults =
               else true)
             alive
         in
+        Option.iter
+          (fun o ->
+            Obs.observe o "fault_sim/drops_per_sweep"
+              (Hashtbl.length seen - seen_before))
+          obs;
         batches (base + List.length batch) rest alive
   in
   let leftover = batches 0 vectors faults in

@@ -30,13 +30,16 @@ type run = {
 
 val run :
   ?drop:bool ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   vectors:bool array list ->
   faults:Stuck_at.fault list ->
   run
 (** Simulate a vector set against a fault list (64 vectors per pass).
     [drop] (default true) removes a fault from further simulation after
-    its first detection — standard fault dropping. *)
+    its first detection — standard fault dropping.  [obs] fills a
+    ["fault_sim/drops_per_sweep"] histogram with the number of
+    newly-detected faults per 64-vector sweep. *)
 
 val signature :
   Netlist.Circuit.t -> vectors:bool array array -> Stuck_at.fault ->

@@ -34,7 +34,51 @@ timings), so it can be pinned here:
     {n19}
     {n18}
     {n20}
-  {"counters":{"bsat/conflicts":4,"bsat/decisions":463,"bsat/deleted":0,"bsat/learned":2,"bsat/learned_total":4,"bsat/propagations":2047,"bsat/restarts":0,"bsat/solutions":3,"bsat/solver_calls":4,"bsat/truncated":0}}
+  {"counters":{"bsat/conflicts":4,"bsat/decisions":463,"bsat/deleted":0,"bsat/learned":2,"bsat/learned_total":4,"bsat/propagations":2047,"bsat/restarts":0,"bsat/solutions":3,"bsat/solver_calls":4,"bsat/truncated":0},"histograms":{"bsat/solution_size":{"count":3,"buckets":[[1,1,3]]},"sat/backtrack":{"count":4,"buckets":[[1,1,3],[2,3,1]]},"sat/conflict_gap":{"count":4,"buckets":[[256,511,3],[512,1023,1]]},"sat/learnt_len":{"count":4,"buckets":[[1,1,2],[2,3,1],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":3}]}}
+
+Two identical seeded invocations emit byte-identical stats blocks:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --stats | tail -1 > stats1.json
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --stats | tail -1 > stats2.json
+  $ cmp stats1.json stats2.json
+
+The stats block summarizes as a deterministic text report:
+
+  $ diagnose report stats1.json
+  == counters (10) ==
+    bsat/conflicts                             4
+    bsat/decisions                             463
+    bsat/deleted                               0
+    bsat/learned                               2
+    bsat/learned_total                         4
+    bsat/propagations                          2047
+    bsat/restarts                              0
+    bsat/solutions                             3
+    bsat/solver_calls                          4
+    bsat/truncated                             0
+  == histograms (4) ==
+    bsat/solution_size (3 observation(s))
+               1 ..          1  3
+    sat/backtrack (4 observation(s))
+               1 ..          1  3
+               2 ..          3  1
+    sat/conflict_gap (4 observation(s))
+             256 ..        511  3
+             512 ..       1023  1
+    sat/learnt_len (4 observation(s))
+               1 ..          1  2
+               2 ..          3  1
+               4 ..          7  1
+  == events (4 emitted, 0 dropped) ==
+    bsat                                       4 event(s)
+
+--trace writes the same run's event stream as Chrome trace_event JSON
+(wall-clock timestamps, so only its shape is pinned):
+
+  $ diagnose run s27 --method bsat --seed 1 -m 8 --trace trace.json | tail -1
+  wrote trace.json (4 trace events)
+  $ grep -c traceEvents trace.json
+  1
 
 A conflict budget truncates the enumeration but keeps it sound:
 
@@ -42,7 +86,7 @@ A conflict budget truncates the enumeration but keeps it sound:
   8 failing test(s) found
   BSAT: 0 solution(s)
   budget exhausted: enumeration truncated (solutions above are still valid)
-  {"counters":{"bsat/conflicts":0,"bsat/decisions":0,"bsat/deleted":0,"bsat/learned":0,"bsat/learned_total":0,"bsat/propagations":150,"bsat/restarts":0,"bsat/solutions":0,"bsat/solver_calls":0,"bsat/truncated":1}}
+  {"counters":{"bsat/conflicts":0,"bsat/decisions":0,"bsat/deleted":0,"bsat/learned":0,"bsat/learned_total":0,"bsat/propagations":150,"bsat/restarts":0,"bsat/solutions":0,"bsat/solver_calls":0,"bsat/truncated":1},"histograms":{"sat/backtrack":{"count":0,"buckets":[]},"sat/conflict_gap":{"count":0,"buckets":[]},"sat/learnt_len":{"count":0,"buckets":[]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":0}]}}
 
 BSIM and COV on the same workload:
 

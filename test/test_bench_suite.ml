@@ -152,6 +152,144 @@ let test_seq_workload_run () =
       Alcotest.(check bool) "site hit (k=1 completeness)" true
         r.Bench_suite.Seq_workload.site_hit
 
+(* ---------- baseline regression gate ---------- *)
+
+module J = Obs.Json
+
+let sample_report () =
+  J.Obj
+    [
+      ("scale", J.Float 0.12);
+      ( "experiments",
+        J.Obj
+          [
+            ( "x",
+              J.Obj
+                [
+                  ( "counters",
+                    J.Obj [ ("i/a", J.Int 100); ("i/b", J.Int 0) ] );
+                  ("label", J.String "alu4");
+                ] );
+          ] );
+    ]
+
+let baseline_doc ?(tolerances = []) report =
+  J.Obj
+    [
+      ("default_tolerance", J.Float 0.5);
+      ("tolerances", J.Obj (List.map (fun (k, t) -> (k, J.Float t)) tolerances));
+      ("report", report);
+    ]
+
+let check ?tolerances base fresh =
+  match
+    Bench_suite.Baseline.check_report ~baseline:(baseline_doc ?tolerances base)
+      ~fresh
+  with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "baseline rejected: %s" e
+
+let perturb v =
+  (* the sample report with counter i/a set to [v] *)
+  J.Obj
+    [
+      ("scale", J.Float 0.12);
+      ( "experiments",
+        J.Obj
+          [
+            ( "x",
+              J.Obj
+                [
+                  ("counters", J.Obj [ ("i/a", J.Int v); ("i/b", J.Int 0) ]);
+                  ("label", J.String "alu4");
+                ] );
+          ] );
+    ]
+
+let test_baseline_identical () =
+  let o = check (sample_report ()) (sample_report ()) in
+  Alcotest.(check (list (pair string string))) "no violations" []
+    o.Bench_suite.Baseline.violations;
+  Alcotest.(check bool) "leaves compared" true
+    (o.Bench_suite.Baseline.checked >= 4)
+
+let test_baseline_within_tolerance () =
+  (* 100 -> 140 is within the default 50% relative tolerance *)
+  let o = check (sample_report ()) (perturb 140) in
+  Alcotest.(check (list (pair string string))) "no violations" []
+    o.Bench_suite.Baseline.violations
+
+let test_baseline_beyond_tolerance () =
+  let o = check (sample_report ()) (perturb 200) in
+  match o.Bench_suite.Baseline.violations with
+  | [ (path, _) ] ->
+      Alcotest.(check string) "violating path" "experiments/x/counters/i/a"
+        path
+  | v -> Alcotest.failf "expected one violation, got %d" (List.length v)
+
+let test_baseline_per_key_override () =
+  (* a 10% drift passes by default but fails under a 1% per-key bound *)
+  let fresh = perturb 110 in
+  let default = check (sample_report ()) fresh in
+  Alcotest.(check int) "default tolerance passes" 0
+    (List.length default.Bench_suite.Baseline.violations);
+  let tight =
+    check ~tolerances:[ ("experiments/x/counters/i/a", 0.01) ]
+      (sample_report ()) fresh
+  in
+  Alcotest.(check int) "override fails" 1
+    (List.length tight.Bench_suite.Baseline.violations)
+
+let test_baseline_missing_and_extra_keys () =
+  let missing =
+    check (sample_report ())
+      (J.Obj [ ("scale", J.Float 0.12); ("experiments", J.Obj []) ])
+  in
+  Alcotest.(check bool) "baseline key missing from fresh fails" true
+    (missing.Bench_suite.Baseline.violations <> []);
+  (* new keys in the fresh report must not fail the gate *)
+  let extra =
+    match sample_report () with
+    | J.Obj fields ->
+        check (sample_report ())
+          (J.Obj (fields @ [ ("new_section", J.Obj [ ("n", J.Int 1) ]) ]))
+    | _ -> assert false
+  in
+  Alcotest.(check (list (pair string string))) "extra keys pass" []
+    extra.Bench_suite.Baseline.violations
+
+let test_baseline_string_and_type_changes () =
+  let relabel =
+    J.Obj
+      [
+        ("scale", J.Float 0.12);
+        ( "experiments",
+          J.Obj
+            [
+              ( "x",
+                J.Obj
+                  [
+                    ("counters", J.Obj [ ("i/a", J.Int 100); ("i/b", J.Int 0) ]);
+                    ("label", J.String "mul4");
+                  ] );
+            ] );
+      ]
+  in
+  let o = check (sample_report ()) relabel in
+  Alcotest.(check int) "string change is a violation" 1
+    (List.length o.Bench_suite.Baseline.violations);
+  let o2 = check (J.Obj [ ("v", J.Int 1) ]) (J.Obj [ ("v", J.Arr []) ]) in
+  Alcotest.(check int) "number-to-array is a violation" 1
+    (List.length o2.Bench_suite.Baseline.violations)
+
+let test_baseline_malformed () =
+  match
+    Bench_suite.Baseline.check_report ~baseline:(J.Obj [])
+      ~fresh:(sample_report ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "baseline without a report field accepted"
+
 let () =
   Alcotest.run "bench_suite"
     [
@@ -183,5 +321,20 @@ let () =
         [
           Alcotest.test_case "synthetic machine" `Quick test_synthetic_machine;
           Alcotest.test_case "workload run" `Quick test_seq_workload_run;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "identical" `Quick test_baseline_identical;
+          Alcotest.test_case "within tolerance" `Quick
+            test_baseline_within_tolerance;
+          Alcotest.test_case "beyond tolerance" `Quick
+            test_baseline_beyond_tolerance;
+          Alcotest.test_case "per-key override" `Quick
+            test_baseline_per_key_override;
+          Alcotest.test_case "missing and extra keys" `Quick
+            test_baseline_missing_and_extra_keys;
+          Alcotest.test_case "string and type changes" `Quick
+            test_baseline_string_and_type_changes;
+          Alcotest.test_case "malformed" `Quick test_baseline_malformed;
         ] );
     ]

@@ -424,6 +424,30 @@ let test_bsat_telemetry_counters () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
 
+(* two identical seeded runs must emit byte-identical deterministic
+   stats — including the histogram and event sections *)
+let test_obs_emission_deterministic () =
+  let run () =
+    let _, faulty, _, tests = workload 24 1 in
+    let obs = Obs.create () in
+    let _ = Diagnosis.Cover.diagnose ~obs ~k:1 faulty tests in
+    let _ = Diagnosis.Bsat.diagnose ~obs ~k:1 faulty tests in
+    Obs.emit ~times:false obs
+  in
+  let a = run () in
+  Alcotest.(check string) "byte-identical emission" a (run ());
+  match Obs.Json.parse a with
+  | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
+  | Ok j -> (
+      (match Obs.Json.member "histograms" j with
+      | Some (Obs.Json.Obj (_ :: _)) -> ()
+      | _ -> Alcotest.fail "no histograms recorded");
+      match
+        Option.bind (Obs.Json.member "events" j) (Obs.Json.member "items")
+      with
+      | Some (Obs.Json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "no events recorded")
+
 let test_hybrid_budget_truncates () =
   let _, faulty, _, tests = workload 25 2 in
   let budget = Sat.Budget.create ~propagations:500 () in
@@ -798,6 +822,8 @@ let () =
             test_bsat_budget_minimize_strategy;
           Alcotest.test_case "telemetry counters" `Quick
             test_bsat_telemetry_counters;
+          Alcotest.test_case "emission deterministic" `Quick
+            test_obs_emission_deterministic;
           Alcotest.test_case "hybrid guided truncates" `Quick
             test_hybrid_budget_truncates;
           Alcotest.test_case "hybrid repair aborts" `Quick

@@ -63,11 +63,211 @@ let test_emit_deterministic () =
   in
   Alcotest.(check string)
     "counters-only emission is stable and sorted"
-    {|{"counters":{"a/first":1,"z/second":2}}|}
+    {|{"counters":{"a/first":1,"z/second":2},"histograms":{},"events":{"emitted":0,"dropped":0,"items":[]}}|}
     (Obs.emit ~times:false (mk ()));
   Alcotest.(check string) "independent registries agree"
     (Obs.emit ~times:false (mk ()))
     (Obs.emit ~times:false (mk ()))
+
+let test_record_span_rejects_negative () =
+  let t = Obs.create () in
+  let raises s =
+    match Obs.record_span t "x" s with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "negative duration rejected" true (raises (-0.001));
+  Alcotest.(check bool) "NaN rejected" true (raises nan);
+  Alcotest.(check bool) "zero accepted" false (raises 0.0)
+
+let test_clocks () =
+  (* Obs.span must time with the wall clock, not the CPU clock: a sleep
+     advances it even though the process burns no CPU *)
+  let t = Obs.create () in
+  Obs.span t "sleep" (fun () -> Unix.sleepf 0.02);
+  (match Obs.spans t with
+  | [ ("sleep", total, 1) ] ->
+      Alcotest.(check bool) "sleep visible on the wall clock" true
+        (total >= 0.015)
+  | _ -> Alcotest.fail "expected one span");
+  let w0 = Obs.Clock.wall () in
+  let w1 = Obs.Clock.wall () in
+  Alcotest.(check bool) "wall clock is monotone here" true (w1 >= w0);
+  Alcotest.(check bool) "cpu clock is non-negative" true
+    (Obs.Clock.cpu () >= 0.0)
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_of %d" v)
+        b
+        (Obs.Histogram.bucket_of v))
+    [ (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1023, 10);
+      (1024, 11); (max_int, 62) ];
+  (* bounds and bucket_of agree on every bucket's edges *)
+  for i = 0 to 62 do
+    let lo, hi = Obs.Histogram.bounds i in
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d" i) i
+      (Obs.Histogram.bucket_of lo);
+    Alcotest.(check int) (Printf.sprintf "hi of bucket %d" i) i
+      (Obs.Histogram.bucket_of hi)
+  done;
+  let h = Obs.Histogram.make () in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 1; 3; 8 ];
+  Alcotest.(check int) "observations" 5 (Obs.Histogram.observations h);
+  Alcotest.(check (list (triple int int int)))
+    "non-empty buckets, ascending"
+    [ (0, 0, 1); (1, 1, 2); (2, 3, 1); (8, 15, 1) ]
+    (Obs.Histogram.buckets h);
+  Alcotest.(check bool) "negative observation rejected" true
+    (match Obs.Histogram.observe h (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let hist_of xs =
+  let h = Obs.Histogram.make () in
+  List.iter (Obs.Histogram.observe h) xs;
+  h
+
+let small_values = QCheck.(list (int_bound 5000))
+
+let prop_histogram_merge_comm =
+  QCheck.Test.make ~count:300 ~name:"histogram merge commutes"
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      Obs.Histogram.equal (Obs.Histogram.merge a b) (Obs.Histogram.merge b a))
+
+let prop_histogram_merge_assoc =
+  QCheck.Test.make ~count:300 ~name:"histogram merge associates"
+    QCheck.(triple small_values small_values small_values)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      Obs.Histogram.equal
+        (Obs.Histogram.merge (Obs.Histogram.merge a b) c)
+        (Obs.Histogram.merge a (Obs.Histogram.merge b c)))
+
+let prop_histogram_merge_concat =
+  QCheck.Test.make ~count:300
+    ~name:"merge (of xs) (of ys) = of (xs @ ys)"
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      Obs.Histogram.equal
+        (Obs.Histogram.merge (hist_of xs) (hist_of ys))
+        (hist_of (xs @ ys)))
+
+(* ---------- trace ---------- *)
+
+let test_trace_ring () =
+  let t = Obs.create ~trace_capacity:4 () in
+  let tr = Obs.trace t in
+  Alcotest.(check int) "capacity" 4 (Obs.Trace.capacity tr);
+  for i = 0 to 5 do
+    Obs.instant t ~payload:i "e"
+  done;
+  Alcotest.(check int) "emitted counts drops" 6 (Obs.Trace.emitted tr);
+  Alcotest.(check int) "dropped" 2 (Obs.Trace.dropped tr);
+  let evs = Obs.Trace.events tr in
+  Alcotest.(check (list int)) "oldest first, oldest dropped" [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Obs.tick) evs);
+  Alcotest.(check (list int)) "payloads follow" [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Obs.payload) evs)
+
+let test_trace_phases_in_json () =
+  let t = Obs.create () in
+  Obs.begin_event t "bsat/solve";
+  Obs.instant t ~payload:7 "bsat/tick";
+  Obs.end_event t ~payload:3 "bsat/solve";
+  Alcotest.(check string) "deterministic event items"
+    {|{"counters":{},"histograms":{},"events":{"emitted":3,"dropped":0,"items":[{"tick":0,"name":"bsat/solve","ph":"B","arg":0},{"tick":1,"name":"bsat/tick","ph":"i","arg":7},{"tick":2,"name":"bsat/solve","ph":"E","arg":3}]}}|}
+    (Obs.emit ~times:false t);
+  (* with times, every item gains a ts field and the block still parses *)
+  match J.parse (Obs.emit ~times:true t) with
+  | Error e -> Alcotest.failf "timed emission does not parse: %s" e
+  | Ok j -> (
+      match Option.bind (J.member "events" j) (J.member "items") with
+      | Some (J.Arr (item :: _)) ->
+          Alcotest.(check bool) "ts present" true (J.member "ts" item <> None)
+      | _ -> Alcotest.fail "no event items")
+
+let test_chrome_export () =
+  let t = Obs.create () in
+  Obs.begin_event t "bsat/solve";
+  Obs.end_event t ~payload:2 "bsat/solve";
+  Obs.instant t "cov/enumerate";
+  let chrome = Obs.Trace.to_chrome_json (Obs.trace t) in
+  match J.parse (J.to_string chrome) with
+  | Error e -> Alcotest.failf "chrome JSON does not round-trip: %s" e
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.Arr items) ->
+          Alcotest.(check int) "one object per retained event" 3
+            (List.length items);
+          let cat i =
+            match J.member "cat" (List.nth items i) with
+            | Some (J.String s) -> s
+            | _ -> "?"
+          in
+          Alcotest.(check string) "category = name prefix" "bsat" (cat 0);
+          Alcotest.(check string) "category of instant" "cov" (cat 2);
+          List.iter
+            (fun item ->
+              match J.member "ts" item with
+              | Some (J.Float ts) ->
+                  Alcotest.(check bool) "ts relative to first event" true
+                    (ts >= 0.0)
+              | Some (J.Int ts) ->
+                  Alcotest.(check bool) "ts relative to first event" true
+                    (ts >= 0)
+              | _ -> Alcotest.fail "event without ts")
+            items
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_reset_clears_new_state () =
+  let t = Obs.create () in
+  Obs.observe t "h" 3;
+  Obs.instant t "e";
+  Obs.reset t;
+  (match Obs.histograms t with
+  | [ ("h", h) ] ->
+      Alcotest.(check int) "histogram zeroed" 0 (Obs.Histogram.observations h)
+  | _ -> Alcotest.fail "histogram name lost");
+  Alcotest.(check int) "trace cleared" 0
+    (Obs.Trace.emitted (Obs.trace t))
+
+(* registry-level round-trip: a randomly-populated registry's extended
+   JSON (counters + histograms + events) survives print |> parse *)
+let registry_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "bsat/a"; "cov/b"; "sat/c"; "plain" ] in
+  let op =
+    oneof
+      [
+        map2 (fun n v -> `Add (n, v)) name (int_range 0 1000);
+        map2 (fun n v -> `Observe (n, v)) name (int_range 0 100000);
+        map2 (fun n p -> `Event (n, p)) name (int_range 0 50);
+      ]
+  in
+  list_size (int_range 0 40) op
+
+let prop_registry_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"registry JSON round-trips"
+    (QCheck.make registry_gen)
+    (fun ops ->
+      let t = Obs.create ~trace_capacity:8 () in
+      List.iter
+        (function
+          | `Add (n, v) -> Obs.add t n v
+          | `Observe (n, v) -> Obs.observe t n v
+          | `Event (n, p) -> Obs.instant t ~payload:p n)
+        ops;
+      let s = Obs.emit ~times:false t in
+      match J.parse s with
+      | Error _ -> false
+      | Ok j -> J.to_string j = s)
 
 (* ---------- JSON printer / parser ---------- *)
 
@@ -165,9 +365,22 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters_basic;
           Alcotest.test_case "negative incr" `Quick test_incr_rejects_negative;
           Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "negative span" `Quick
+            test_record_span_rejects_negative;
+          Alcotest.test_case "clocks" `Quick test_clocks;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "reset clears histograms and trace" `Quick
+            test_reset_clears_new_state;
           Alcotest.test_case "deterministic emission" `Quick
             test_emit_deterministic;
+        ] );
+      ( "histogram",
+        [ Alcotest.test_case "buckets" `Quick test_histogram_buckets ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+          Alcotest.test_case "phases in JSON" `Quick test_trace_phases_in_json;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
         ] );
       ( "json",
         [
@@ -177,5 +390,11 @@ let () =
           Alcotest.test_case "member" `Quick test_json_member;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_json_roundtrip ] );
+        [
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_comm;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_concat;
+          QCheck_alcotest.to_alcotest prop_registry_roundtrip;
+        ] );
     ]
