@@ -10,6 +10,10 @@
         -- regression gate: compare the fresh BENCH_report.json blocks
            against the committed baseline (Bench_suite.Baseline);
            nonzero exit on any drift beyond tolerance
+     dune exec bench/main.exe -- --jobs 4
+        -- run per-circuit experiment cells (and the micro fault-sim
+           measurement) on 4 domains; every report block is identical
+           to --jobs 1
 
    Experiments: table1 (guarantee check), table2 (runtimes), table3
    (quality), figure5 (lemma circuits), figure6 (scatter series),
@@ -23,10 +27,11 @@ type config = {
   scale : float;
   max_solutions : int;
   time_limit : float;
+  jobs : int;  (** worker domains for experiment cells and fault sim *)
 }
 
-let quick = { scale = 0.12; max_solutions = 2000; time_limit = 30.0 }
-let full = { scale = 1.0; max_solutions = 20000; time_limit = 1800.0 }
+let quick = { scale = 0.12; max_solutions = 2000; time_limit = 30.0; jobs = 1 }
+let full = { scale = 1.0; max_solutions = 20000; time_limit = 1800.0; jobs = 1 }
 
 (* machine-readable per-experiment stats; the driver writes every block
    collected by the selected experiments to BENCH_report.json.  Blocks
@@ -37,7 +42,10 @@ let report_blocks : (string * Obs.Json.t) list ref = ref []
 let add_block name json =
   report_blocks := List.remove_assoc name !report_blocks @ [ (name, json) ]
 
-(* one shared row computation for table2/table3/figure6 *)
+(* one shared row computation for table2/table3/figure6; with
+   [cfg.jobs > 1] the per-circuit cells run on separate domains (each
+   cell owns its solvers and contexts) and the rows are stitched back in
+   spec order, so the report blocks are independent of the width *)
 let paper_rows =
   let cache : (float, Bench_suite.Runner.row list) Hashtbl.t =
     Hashtbl.create 2
@@ -48,10 +56,11 @@ let paper_rows =
     | None ->
         let rows =
           Bench_suite.Workload.paper_specs ~scale:cfg.scale
-          |> List.concat_map (fun spec ->
+          |> Par.map ~jobs:cfg.jobs (fun spec ->
                  let prepared = Bench_suite.Workload.prepare spec in
                  Bench_suite.Runner.run ~max_solutions:cfg.max_solutions
                    ~time_limit:cfg.time_limit prepared)
+          |> List.concat
         in
         Hashtbl.add cache cfg.scale rows;
         rows
@@ -500,9 +509,9 @@ let micro_throughput cfg =
     done;
     float_of_int !reps /. (Sys.time () -. start)
   in
-  Fmt.pr "== Simulation throughput (BENCH_micro.json) ==@.";
-  Fmt.pr "  %-8s %6s | %12s %12s %14s %12s@." "circuit" "gates"
-    "scalar/s" "word/s" "gate-evals/s" "faults/s";
+  Fmt.pr "== Simulation throughput (BENCH_micro.json, jobs=%d) ==@." cfg.jobs;
+  Fmt.pr "  %-8s %6s | %12s %12s %14s %12s %8s@." "circuit" "gates"
+    "scalar/s" "word/s" "gate-evals/s" "faults/s" "par-x";
   let rows =
     Bench_suite.Workload.paper_specs ~scale:cfg.scale
     |> List.map (fun spec ->
@@ -528,27 +537,57 @@ let micro_throughput cfg =
            let runs =
              rate (fun () -> Sim.Fault_sim.run ~drop:false c ~vectors ~faults)
            in
+           let runs_par =
+             if cfg.jobs > 1 then
+               rate (fun () ->
+                   Sim.Fault_sim.run ~drop:false ~jobs:cfg.jobs c ~vectors
+                     ~faults)
+             else runs
+           in
+           let sim = Sim.Fault_sim.run ~drop:false c ~vectors ~faults in
+           let detected = List.length sim.Sim.Fault_sim.detected in
            let gate_evals = word *. float_of_int (n * 64) in
            let faults_s = runs *. float_of_int nf in
-           Fmt.pr "  %-8s %6d | %12.0f %12.0f %14.3e %12.0f@."
+           let faults_s_par = runs_par *. float_of_int nf in
+           let speedup = runs_par /. runs in
+           Fmt.pr "  %-8s %6d | %12.0f %12.0f %14.3e %12.0f %8.2f@."
              spec.Bench_suite.Workload.label n scalar word gate_evals
-             faults_s;
+             faults_s speedup;
            (spec.Bench_suite.Workload.label, n, scalar, word, gate_evals,
-            faults_s))
+            faults_s, faults_s_par, speedup, nf, detected))
   in
   let oc = open_out "BENCH_micro.json" in
-  let json_row (label, gates, scalar, word, gate_evals, faults_s) =
+  let json_row
+      (label, gates, scalar, word, gate_evals, faults_s, faults_s_par,
+       speedup, _, _) =
     Printf.sprintf
       "    { \"label\": %S, \"gates\": %d, \"scalar_sweeps_per_sec\": %.1f, \
        \"word_sweeps_per_sec\": %.1f, \"gate_evals_per_sec\": %.1f, \
-       \"faults_per_sec\": %.1f }"
-      label gates scalar word gate_evals faults_s
+       \"faults_per_sec\": %.1f, \"faults_per_sec_parallel\": %.1f, \
+       \"fault_sim_speedup\": %.3f }"
+      label gates scalar word gate_evals faults_s faults_s_par speedup
   in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"micro\",\n  \"scale\": %g,\n  \"circuits\": [\n%s\n  ]\n}\n"
-    cfg.scale
+    "{\n  \"experiment\": \"micro\",\n  \"scale\": %g,\n  \"par_jobs\": %d,\n\
+    \  \"circuits\": [\n%s\n  ]\n}\n"
+    cfg.scale cfg.jobs
     (String.concat ",\n" (List.map json_row rows));
   close_out oc;
+  (* the report block keeps only the deterministic leaves (never rates,
+     speedups or the requested width) so the regression gate stays
+     machine-independent *)
+  add_block "micro"
+    (Obs.Json.Obj
+       (List.map
+          (fun (label, gates, _, _, _, _, _, _, nf, detected) ->
+            ( label,
+              Obs.Json.Obj
+                [
+                  ("gates", Obs.Json.Int gates);
+                  ("faults", Obs.Json.Int nf);
+                  ("detected", Obs.Json.Int detected);
+                ] ))
+          rows));
   Fmt.pr "  wrote BENCH_micro.json@.@."
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table ---------- *)
@@ -682,6 +721,23 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let is_full = List.mem "--full" args in
   let cfg = if is_full then full else quick in
+  let jobs, args =
+    let rec split acc = function
+      | [] -> (1, List.rev acc)
+      | "--jobs" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> (n, List.rev acc @ rest)
+          | _ ->
+              Fmt.epr "--jobs needs a positive integer argument@.";
+              exit 2)
+      | "--jobs" :: [] ->
+          Fmt.epr "--jobs needs a positive integer argument@.";
+          exit 2
+      | a :: rest -> split (a :: acc) rest
+    in
+    split [] args
+  in
+  let cfg = { cfg with jobs } in
   let baseline_file, selected =
     let rec split acc = function
       | [] -> (None, List.rev acc)

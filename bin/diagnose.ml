@@ -93,7 +93,7 @@ let report_solutions faulty tests label solutions =
     solutions
 
 let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
-    max_solutions stats trace_out budget_seconds budget_conflicts =
+    max_solutions stats trace_out budget_seconds budget_conflicts jobs =
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -131,20 +131,21 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     in
     (match approach with
     | Bsim ->
-        let r = Core.Bsim.diagnose ?obs faulty tests in
+        let r = Core.Bsim.diagnose ?obs ~jobs faulty tests in
         Fmt.pr "BSIM: |union|=%d, max marks=%d@."
           (List.length r.Core.Bsim.union)
           r.Core.Bsim.max_marks;
         Fmt.pr "G_max = %a@." (pp_solution faulty) r.Core.Bsim.gmax
     | Cov ->
         let r =
-          Core.Cover.diagnose ~max_solutions ?time_limit ?obs ~k faulty tests
+          Core.Cover.diagnose ~max_solutions ?time_limit ?obs ~jobs ~k faulty
+            tests
         in
         report_solutions faulty tests "COV" r.Core.Cover.solutions;
         truncation_notice r.Core.Cover.truncated
     | Bsat ->
         let r =
-          Core.Bsat.diagnose ~max_solutions ?budget ?obs ~k faulty tests
+          Core.Bsat.diagnose ~max_solutions ?budget ?obs ~jobs ~k faulty tests
         in
         report_solutions faulty tests "BSAT" r.Core.Bsat.solutions;
         truncation_notice r.Core.Bsat.truncated
@@ -157,14 +158,16 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
         truncation_notice r.Core.Advanced_sim.truncated
     | Advsat ->
         let r =
-          Core.Advanced_sat.diagnose_dominators ~max_solutions ?budget ?obs ~k
-            faulty tests
+          Core.Advanced_sat.diagnose_dominators ~max_solutions ?budget ?obs
+            ~jobs ~k faulty tests
         in
         report_solutions faulty tests "advanced-sat (2-pass)"
           r.Core.Advanced_sat.solutions;
         truncation_notice r.Core.Advanced_sat.truncated
     | Hybrid ->
-        let cov = Core.Cover.diagnose ~max_solutions:1 ?obs ~k faulty tests in
+        let cov =
+          Core.Cover.diagnose ~max_solutions:1 ?obs ~jobs ~k faulty tests
+        in
         (match cov.Core.Cover.solutions with
         | [] -> Fmt.pr "no COV seed available@."
         | seed_sol :: _ -> (
@@ -311,7 +314,7 @@ let report_cmd_run file =
 
 (* ---------- coverage (production test) ---------- *)
 
-let coverage_cmd_run spec scale vectors seed use_atpg =
+let coverage_cmd_run spec scale vectors seed use_atpg jobs =
   let c = load_circuit ~scale spec in
   let faults = Core.Stuck_at.all_faults c in
   Fmt.pr "%a@." Core.Circuit.pp_stats c;
@@ -332,7 +335,7 @@ let coverage_cmd_run spec scale vectors seed use_atpg =
           Array.init (Core.Circuit.num_inputs c) (fun _ ->
               Random.State.bool rng))
     in
-    let r = Core.Fault_sim.run c ~vectors:vecs ~faults in
+    let r = Core.Fault_sim.run ~jobs c ~vectors:vecs ~faults in
     Fmt.pr "random: %d vectors, coverage %.1f%% (%d undetected)@." vectors
       (100.0 *. r.Core.Fault_sim.coverage)
       (List.length r.Core.Fault_sim.undetected)
@@ -395,6 +398,13 @@ let circuit_pos =
        ~doc:"A .bench file or builtin name")
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for fault simulation and the SAT \
+                 portfolio (default 1 = sequential; the solution set is \
+                 identical at every value)")
 let errors = Arg.(value & opt int 1 & info [ "errors"; "p" ] ~doc:"Number of injected errors")
 
 let info_cmd =
@@ -424,13 +434,14 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
     Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
           $ approach $ k $ m $ max_solutions $ stats $ trace
-          $ budget_seconds $ budget_conflicts)
+          $ budget_seconds $ budget_conflicts $ jobs)
 
 let coverage_cmd =
   let vectors = Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~doc:"Random vectors to grade") in
   let atpg = Arg.(value & flag & info [ "atpg" ] ~doc:"Generate a deterministic test set instead (SAT-based ATPG)") in
   Cmd.v (Cmd.info "coverage" ~doc:"Stuck-at fault simulation / ATPG coverage")
-    Term.(const coverage_cmd_run $ circuit_pos $ scale $ vectors $ seed $ atpg)
+    Term.(const coverage_cmd_run $ circuit_pos $ scale $ vectors $ seed $ atpg
+          $ jobs)
 
 let export_cmd =
   let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output DIMACS file") in

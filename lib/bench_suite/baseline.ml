@@ -77,11 +77,46 @@ let compare_json ?(default_tolerance = 0.5) ?(tolerances = []) ~baseline
   walk "" baseline fresh;
   { checked = !checked; violations = List.rev !violations }
 
+(* a partial bench run (e.g. [micro --baseline ...]) produces a report
+   with only the selected experiments' blocks; gate those against the
+   matching baseline blocks instead of flagging every unselected block
+   as missing.  An empty intersection is a configuration error, not a
+   clean pass. *)
+let prune_experiments ~fresh report =
+  let fresh_keys =
+    match J.member "experiments" fresh with
+    | Some (J.Obj kvs) -> List.map fst kvs
+    | _ -> []
+  in
+  match report with
+  | J.Obj kvs -> (
+      match List.assoc_opt "experiments" kvs with
+      | Some (J.Obj base_exps) ->
+          let kept =
+            List.filter (fun (k, _) -> List.mem k fresh_keys) base_exps
+          in
+          if kept = [] && base_exps <> [] then
+            Error
+              (Printf.sprintf
+                 "no baseline experiment matches the fresh report (baseline \
+                  has: %s)"
+                 (String.concat ", " (List.map fst base_exps)))
+          else
+            Ok
+              (J.Obj
+                 (List.map
+                    (fun (k, v) ->
+                      if k = "experiments" then (k, J.Obj kept) else (k, v))
+                    kvs))
+      | _ -> Ok report)
+  | _ -> Ok report
+
 let check_report ~baseline ~fresh =
   match J.member "report" baseline with
   | None | Some J.Null ->
       Error "baseline file has no \"report\" field"
   | Some report ->
+      Result.bind (prune_experiments ~fresh report) @@ fun report ->
       let default_tolerance =
         match Option.bind (J.member "default_tolerance" baseline) number with
         | Some t -> t

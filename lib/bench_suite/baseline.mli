@@ -36,7 +36,13 @@ val check_report :
   baseline:Obs.Json.t -> fresh:Obs.Json.t -> (outcome, string) result
 (** [baseline] is the parsed baseline *file* (with its ["report"] /
     ["default_tolerance"] / ["tolerances"] fields); [fresh] is a parsed
-    BENCH_report.json.  [Error] when the baseline file is malformed. *)
+    BENCH_report.json.  [Error] when the baseline file is malformed.
+
+    The baseline's ["experiments"] object is first pruned to the
+    experiments actually present in [fresh], so a partial bench run
+    (e.g. [micro --baseline ...]) is gated only against its own blocks.
+    [Error] when the pruning leaves nothing to compare — running zero
+    overlapping experiments must not read as a clean pass. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One line per violation, then a pass/fail summary line. *)

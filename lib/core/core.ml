@@ -16,7 +16,9 @@ module Cnf = Sat.Cnf
 module Solver = Sat.Solver
 module Budget = Sat.Budget
 module Obs = Obs
+module Par = Par
 module Telemetry = Diagnosis.Telemetry
+module Solutions = Diagnosis.Solutions
 module Tseitin = Encode.Tseitin
 module Cardinality = Encode.Cardinality
 module Muxed = Encode.Muxed

@@ -20,7 +20,8 @@ let record obs prefix ~solver_calls (r : result) =
         ~solver_calls ~truncated:r.truncated r.stats;
       Obs.record_span obs (prefix ^ "/total") r.total_time
 
-let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
+let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c
+    tests =
   let t0 = Sys.time () in
   let dom = Dominators.compute c in
   let skeleton = Dominators.nontrivial dom in
@@ -31,7 +32,7 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
       ~payload:(fun r -> List.length r.Bsat.solutions)
       (fun () ->
         Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
-          ?time_limit ?budget ~k c tests)
+          ?time_limit ?budget ?jobs ~k c tests)
   in
   (* refine: multiplexers at every implicated dominator and everything it
      dominates *)
@@ -52,7 +53,7 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ~k c tests =
             ~payload:(fun r -> List.length r.Bsat.solutions)
             (fun () ->
               Bsat.diagnose ~candidates:implicated ~force_zero:true
-                ?max_solutions ?time_limit ?budget ~k c tests)
+                ?max_solutions ?time_limit ?budget ?jobs ~k c tests)
         in
         (p2, pass1.Bsat.solver_calls + p2.Bsat.solver_calls)
   in
@@ -78,7 +79,7 @@ let chunks n xs =
   go [] [] 0 xs
 
 let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
-    ~k c tests =
+    ?jobs ~k c tests =
   let t0 = Sys.time () in
   let slices = chunks slice tests in
   match slices with
@@ -107,7 +108,7 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
         note
           (slice_phase (fun () ->
                Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit
-                 ?budget ~k c first))
+                 ?budget ?jobs ~k c first))
       in
       let narrow result next_tests =
         let cands =
@@ -119,7 +120,7 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
             note
               (slice_phase (fun () ->
                    Bsat.diagnose ~candidates:cands ~force_zero:true
-                     ?max_solutions ?time_limit ?budget ~k c next_tests))
+                     ?max_solutions ?time_limit ?budget ?jobs ~k c next_tests))
       in
       (* each slice shrinks the candidate pool; solve the next slice over
          the survivors only *)

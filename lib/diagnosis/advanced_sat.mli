@@ -33,6 +33,7 @@ val diagnose_dominators :
   ?time_limit:float ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
@@ -41,7 +42,8 @@ val diagnose_dominators :
     whatever allowance the skeleton pass left over.  [obs] records the
     run under ["advsat/dominators/..."] and brackets the passes with
     ["advsat/pass1"]/["advsat/pass2"] [Begin]/[End] events ([End]
-    payload = pass solution count). *)
+    payload = pass solution count).  [jobs] runs every underlying BSAT
+    enumeration as a solver portfolio ({!Bsat.diagnose}). *)
 
 val diagnose_partitioned :
   ?slice:int ->
@@ -49,6 +51,7 @@ val diagnose_partitioned :
   ?time_limit:float ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->

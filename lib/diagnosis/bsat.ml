@@ -68,12 +68,8 @@ let shrink_in_instance ~budget ~count_call inst sol =
   in
   drop [] sol
 
-let diagnose ?candidates ?force_zero ?(hints = no_hints)
-    ?(strategy = Incremental_k) ?(max_solutions = max_int)
-    ?(time_limit = infinity) ?budget ?obs ?(obs_prefix = "bsat") ~k c tests =
-  let budget =
-    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
-  in
+let diagnose_sequential ~candidates ~force_zero ~hints ~strategy ~max_solutions
+    ~time_limit ~budget ~obs ~obs_prefix ~k c tests =
   let t0 = Sys.time () in
   let solver = Sat.Solver.create () in
   Option.iter (Sat.Solver.attach_obs solver) obs;
@@ -162,7 +158,7 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
       Obs.record_span obs (obs_prefix ^ "/cnf") cnf_time;
       Obs.record_span obs (obs_prefix ^ "/solve") all_time);
   {
-    solutions = List.rev !solutions;
+    solutions = Solutions.canonical (List.rev !solutions);
     cnf_time;
     one_time = !one_time;
     all_time;
@@ -170,6 +166,269 @@ let diagnose ?candidates ?force_zero ?(hints = no_hints)
     solver_calls = !ncalls;
     stats;
   }
+
+let sum_stats (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
+  Sat.Solver.
+    {
+      decisions = a.decisions + b.decisions;
+      propagations = a.propagations + b.propagations;
+      conflicts = a.conflicts + b.conflicts;
+      restarts = a.restarts + b.restarts;
+      learned = a.learned + b.learned;
+      learned_total = a.learned_total + b.learned_total;
+      deleted = a.deleted + b.deleted;
+    }
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* Solver portfolio: the solution space is partitioned into cubes by
+   fixing the first L = ⌈log2 jobs⌉ candidate select lines to each of
+   the 2^L sign patterns; cube [j] goes to worker [j mod jobs].  Every
+   worker enumerates its cubes with the sequential algorithm on its own
+   instance (so learnt clauses and blocking clauses stay worker-local),
+   charging the one shared atomic [budget].  A solution's cube is
+   determined by its own first-L membership pattern, so the cubes are
+   disjoint and exhaustive; a cube-minimal solution that is not globally
+   minimal contains a smaller solution living in another cube, so
+   filtering the merged union down to inclusion-minimal sets recovers
+   exactly the sequential essential-solution set, and the canonical sort
+   makes the list byte-identical to [jobs = 1]. *)
+let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
+    ~time_limit ~budget ~obs ~obs_prefix ~jobs ~k c tests =
+  let found = Atomic.make 0 in
+  let worker w =
+    let reg = Option.map (fun _ -> Obs.create ()) obs in
+    let solver = Sat.Solver.create () in
+    Option.iter (Sat.Solver.attach_obs solver) reg;
+    let wt0 = Obs.Clock.wall () in
+    let inst =
+      Telemetry.phase reg (obs_prefix ^ "/cnf") (fun () ->
+          Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests)
+    in
+    apply_hints solver inst hints;
+    let cnf_time = Obs.Clock.wall () -. wt0 in
+    let cands = Encode.Muxed.candidate_gates inst in
+    (* branching diversity between otherwise-identical workers: odd
+       workers try selects on first, later workers bump select activity *)
+    let select_var g = Sat.Lit.var (Encode.Muxed.select_lit inst g) in
+    if w land 1 = 1 then
+      Array.iter (fun g -> Sat.Solver.set_default_phase solver (select_var g) true) cands;
+    if w >= 2 then
+      Array.iteri
+        (fun i g ->
+          Sat.Solver.bump_priority solver (select_var g)
+            (float_of_int ((i + w) land 7)))
+        cands;
+    let l =
+      let rec fit l = if 1 lsl l >= jobs then l else fit (l + 1) in
+      min (fit 0) (Array.length cands)
+    in
+    let ncubes = 1 lsl l in
+    let cube_assumptions j =
+      List.init l (fun i ->
+          let lit = Encode.Muxed.select_lit inst cands.(i) in
+          if j land (1 lsl i) <> 0 then lit else Sat.Lit.negate lit)
+    in
+    let wstart = Obs.Clock.wall () in
+    let sols = ref [] in
+    let ncalls = ref 0 in
+    let one_time = ref 0.0 in
+    let truncated = ref false in
+    (* deepest cardinality level fully enumerated (to Unsat) in *every*
+       cube this worker owns; the merge uses the minimum across workers
+       to fence off solutions whose smaller dominator may have been lost
+       to the budget in an unfinished cube *)
+    let fence = ref k in
+    let count_call () = incr ncalls in
+    let out_of_budget () =
+      Atomic.get found >= max_solutions
+      || Obs.Clock.wall () -. wstart > time_limit
+      || Sat.Budget.exhausted budget
+    in
+    let record sol =
+      if !sols = [] then one_time := Obs.Clock.wall () -. wstart;
+      sols := sol :: !sols;
+      Atomic.incr found;
+      Encode.Muxed.block inst sol
+    in
+    Option.iter (fun o -> Obs.begin_event o (obs_prefix ^ "/solve")) reg;
+    let j = ref w in
+    while !j < ncubes do
+      let cube = cube_assumptions !j in
+      (match strategy with
+      | Incremental_k ->
+          let stop = ref false in
+          let completed = ref 0 in
+          for i = 1 to k do
+            let continue_level = ref (not !stop) in
+            while !continue_level do
+              if out_of_budget () then begin
+                truncated := true;
+                stop := true;
+                continue_level := false
+              end
+              else begin
+                count_call ();
+                match
+                  Encode.Muxed.solve_at_most_limited ~extra:cube ~budget inst i
+                with
+                | Sat.Solver.Solved Sat.Solver.Unsat ->
+                    completed := i;
+                    continue_level := false
+                | Sat.Solver.Solved Sat.Solver.Sat ->
+                    record (Encode.Muxed.solution inst)
+                | Sat.Solver.Unknown ->
+                    truncated := true;
+                    stop := true;
+                    continue_level := false
+              end
+            done
+          done;
+          fence := min !fence !completed
+      | Minimize_single_pass ->
+          let continue_ = ref true in
+          while !continue_ do
+            if out_of_budget () then begin
+              truncated := true;
+              continue_ := false
+            end
+            else begin
+              count_call ();
+              match
+                Encode.Muxed.solve_at_most_limited ~extra:cube ~budget inst k
+              with
+              | Sat.Solver.Solved Sat.Solver.Unsat -> continue_ := false
+              | Sat.Solver.Solved Sat.Solver.Sat ->
+                  record
+                    (List.sort Int.compare
+                       (shrink_in_instance ~budget ~count_call inst
+                          (Encode.Muxed.solution inst)))
+              | Sat.Solver.Unknown ->
+                  truncated := true;
+                  continue_ := false
+            end
+          done);
+      j := !j + jobs
+    done;
+    Option.iter
+      (fun o ->
+        Obs.end_event ~payload:(List.length !sols) o (obs_prefix ^ "/solve"))
+      reg;
+    ( !sols,
+      !ncalls,
+      !truncated,
+      !fence,
+      !one_time,
+      cnf_time,
+      Obs.Clock.wall () -. wstart,
+      Sat.Solver.stats solver,
+      reg )
+  in
+  let results = Par.run ~jobs worker in
+  (* a solution of size <= fence+1 that is not essential contains an
+     essential one of size <= fence, which every worker's every cube
+     enumerated to Unsat — so it is present in the union and the
+     inclusion-minimal filter removes the superset.  Above the fence a
+     dominator may have been lost to the budget; those solutions are
+     dropped (the run is already marked truncated). *)
+  let fence =
+    Array.fold_left
+      (fun acc (_, _, _, f, _, _, _, _, _) -> min acc f)
+      k results
+  in
+  let merged =
+    Array.to_list results
+    |> List.concat_map (fun (sols, _, _, _, _, _, _, _, _) -> sols)
+    |> Solutions.canonical |> Solutions.minimal_only
+    |> List.filter (fun s -> List.length s <= fence + 1)
+  in
+  let truncated =
+    Array.exists (fun (_, _, tr, _, _, _, _, _, _) -> tr) results
+    || List.length merged > max_solutions
+  in
+  let solutions =
+    if List.length merged > max_solutions then take max_solutions merged
+    else merged
+  in
+  let ncalls =
+    Array.fold_left (fun acc (_, n, _, _, _, _, _, _, _) -> acc + n) 0 results
+  in
+  let stats =
+    Array.fold_left
+      (fun acc (_, _, _, _, _, _, _, st, _) -> sum_stats acc st)
+      Sat.Solver.
+        {
+          decisions = 0;
+          propagations = 0;
+          conflicts = 0;
+          restarts = 0;
+          learned = 0;
+          learned_total = 0;
+          deleted = 0;
+        }
+      results
+  in
+  let cnf_time =
+    Array.fold_left
+      (fun acc (_, _, _, _, _, ct, _, _, _) -> Float.max acc ct)
+      0.0 results
+  in
+  let one_time =
+    Array.fold_left
+      (fun acc (sols, _, _, _, ot, _, _, _, _) ->
+        if sols = [] then acc else Float.min acc ot)
+      infinity results
+  in
+  let one_time = if Float.is_finite one_time then one_time else 0.0 in
+  let all_time =
+    Array.fold_left
+      (fun acc (_, _, _, _, _, _, at, _, _) -> Float.max acc at)
+      0.0 results
+  in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+      let regs =
+        Array.to_list results
+        |> List.filter_map (fun (_, _, _, _, _, _, _, _, reg) -> reg)
+        |> Array.of_list
+      in
+      Obs.merge_children ~into:obs regs;
+      List.iter
+        (fun sol ->
+          Obs.observe obs (obs_prefix ^ "/solution_size") (List.length sol))
+        solutions;
+      Telemetry.record_run obs ~prefix:obs_prefix
+        ~solutions:(List.length solutions) ~solver_calls:ncalls ~truncated
+        stats;
+      Obs.record_span obs (obs_prefix ^ "/cnf") cnf_time;
+      Obs.record_span obs (obs_prefix ^ "/solve") all_time);
+  {
+    solutions;
+    cnf_time;
+    one_time;
+    all_time;
+    truncated;
+    solver_calls = ncalls;
+    stats;
+  }
+
+let diagnose ?candidates ?force_zero ?(hints = no_hints)
+    ?(strategy = Incremental_k) ?(max_solutions = max_int)
+    ?(time_limit = infinity) ?budget ?obs ?(obs_prefix = "bsat") ?(jobs = 1) ~k
+    c tests =
+  let budget =
+    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
+  in
+  let jobs = Par.clamp_jobs jobs in
+  if jobs = 1 then
+    diagnose_sequential ~candidates ~force_zero ~hints ~strategy ~max_solutions
+      ~time_limit ~budget ~obs ~obs_prefix ~k c tests
+  else
+    diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
+      ~time_limit ~budget ~obs ~obs_prefix ~jobs ~k c tests
 
 let first_solution ?candidates ?force_zero ?hints ~k c tests =
   let r = diagnose ?candidates ?force_zero ?hints ~max_solutions:1 ~k c tests in

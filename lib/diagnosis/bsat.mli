@@ -8,7 +8,9 @@
     (Lemmas 1 and 3). *)
 
 type result = {
-  solutions : int list list;  (** essential valid corrections, sorted *)
+  solutions : int list list;
+      (** essential valid corrections, each sorted, in canonical
+          (cardinality, then lexicographic) order ({!Solutions}) *)
   cnf_time : float;           (** instance construction (paper "CNF") *)
   one_time : float;           (** time to the first solution (paper "One") *)
   all_time : float;           (** full enumeration time (paper "All") *)
@@ -48,6 +50,7 @@ val diagnose :
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
   ?obs_prefix:string ->
+  ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
@@ -55,6 +58,28 @@ val diagnose :
 (** [candidates] restricts the multiplexer sites (advanced approaches);
     [force_zero] adds the s=0 ⇒ c=0 pruning clauses; [hints] biases the
     solver's decision heuristic (the §6 hybrid).
+
+    [jobs] (default 1) enumerates with a portfolio of that many
+    independent solvers on their own domains: the solution space is
+    split into disjoint cubes over the first ⌈log2 jobs⌉ candidate
+    select lines, workers enumerate their cubes with the sequential
+    algorithm, charge one shared (atomic) [budget], and the merged
+    solution list — union, filtered to inclusion-minimal sets, in
+    canonical order — equals the [jobs = 1] list exactly whenever the
+    enumeration is not truncated.  Under truncation ([max_solutions],
+    [time_limit] or budget exhaustion) the portfolio still returns a
+    sound subset of the essential solutions — workers report the deepest
+    cardinality level they enumerated to completion and the merge keeps
+    only solutions one above the *minimum* such level, so a correction
+    whose smaller dominator was lost to the budget in another worker's
+    cube can never slip through — but which subset (possibly fewer
+    solutions than the sequential run found, even none) depends on the
+    parallel schedule.  [Minimize_single_pass] matches the sequential
+    caveat instead: a shrink abandoned mid-way by the budget may leave a
+    valid but non-essential correction.  Solver counters ([stats], the [obs]
+    counters) are summed across workers and genuinely differ from the
+    sequential run; worker event streams are merged into [obs] tagged
+    with their domain id.
 
     [budget] caps total solver effort across the whole enumeration —
     unlike [time_limit] (checked only between solver calls) it is

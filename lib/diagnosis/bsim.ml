@@ -8,14 +8,30 @@ type result = {
   max_marks : int;
 }
 
-let diagnose ?tie_break ?include_inputs ?obs c tests =
+let diagnose ?tie_break ?include_inputs ?obs ?(jobs = 1) c tests =
+  let jobs = Par.clamp_jobs jobs in
   Telemetry.phase obs "bsim/trace"
     ~payload:(fun r -> List.length r.union)
     (fun () ->
-      let ctx = Sim.Sim_ctx.create c in
       let candidate_sets =
-        Array.of_list
-          (List.map (Path_trace.trace ~ctx ?tie_break ?include_inputs c) tests)
+        if jobs = 1 then
+          let ctx = Sim.Sim_ctx.create c in
+          Array.of_list
+            (List.map (Path_trace.trace ~ctx ?tie_break ?include_inputs c) tests)
+        else begin
+          (* one scratch context per domain; shard order restored by the
+             round-robin interleave, so the per-test sets land exactly
+             where the sequential map puts them *)
+          let shards = Par.shard ~shards:jobs tests in
+          let traced =
+            Par.run ~jobs (fun w ->
+                let ctx = Sim.Sim_ctx.create c in
+                List.map
+                  (Path_trace.trace ~ctx ?tie_break ?include_inputs c)
+                  shards.(w))
+          in
+          Array.of_list (Par.interleave traced)
+        end
       in
       Array.iter
         (fun ci -> Telemetry.observe obs "bsim/candidate_set" (List.length ci))

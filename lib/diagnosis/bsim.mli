@@ -14,12 +14,18 @@ val diagnose :
   ?tie_break:Path_trace.tie_break ->
   ?include_inputs:bool ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   result
 (** [obs] brackets the run with ["bsim/trace"] [Begin]/[End] events (the
     [End] payload is the union size) and fills the
-    ["bsim/candidate_set"] histogram with each test's |C_i|. *)
+    ["bsim/candidate_set"] histogram with each test's |C_i|.
+
+    [jobs] (default 1) traces the tests on that many domains, each with
+    its own scratch context; every field of the result (and the [obs]
+    data, which is derived from the ordered per-test sets) is
+    bit-identical to the sequential run. *)
 
 val single_error_candidates : result -> int list
 (** Intersection of all candidate sets — where the error site must lie if

@@ -29,6 +29,7 @@ val diagnose :
   ?max_solutions:int ->
   ?time_limit:float ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
@@ -36,7 +37,16 @@ val diagnose :
 (** [obs] records the run: the underlying {!Bsim.diagnose}
     instrumentation, ["cov/enumerate"] [Begin]/[End] events ([End]
     payload = solution count), a ["cov/solution_size"] histogram and the
-    ["cov/solutions"]/["cov/truncated"] counters. *)
+    ["cov/solutions"]/["cov/truncated"] counters.
+
+    [jobs] (default 1) parallelizes both the path tracing and the SAT
+    covering enumeration (cube partition over the first union
+    variables).  Irredundant covers form an antichain, so the merged,
+    deduplicated union over cubes is exactly the sequential solution
+    set; because every [obs] datum of the covering stage is derived from
+    the final canonical solution list, the whole stats block is
+    bit-identical to [jobs = 1] whenever the enumeration is not
+    truncated.  The backtrack oracle engine always runs sequentially. *)
 
 val covers : int list -> int list array -> bool
 (** [covers solution sets] — does the solution hit every set? *)
@@ -45,6 +55,7 @@ val enumerate :
   ?engine:engine ->
   ?max_solutions:int ->
   ?time_limit:float ->
+  ?jobs:int ->
   k:int ->
   int list array ->
   int list list * bool

@@ -7,8 +7,8 @@ type guided_result = {
   truncated : bool;
 }
 
-let guided ?max_solutions ?time_limit ?budget ?obs ~k c tests =
-  let bsim = Bsim.diagnose c tests in
+let guided ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c tests =
+  let bsim = Bsim.diagnose ?jobs c tests in
   let hints =
     {
       Bsat.priority =
@@ -23,10 +23,10 @@ let guided ?max_solutions ?time_limit ?budget ?obs ~k c tests =
   let plain_budget = Option.map Sat.Budget.clone budget in
   let plain =
     Bsat.diagnose ?max_solutions ?time_limit ?budget:plain_budget ?obs
-      ~obs_prefix:"hybrid/plain" ~k c tests
+      ?jobs ~obs_prefix:"hybrid/plain" ~k c tests
   in
   let guided =
-    Bsat.diagnose ~hints ?max_solutions ?time_limit ?budget ?obs
+    Bsat.diagnose ~hints ?max_solutions ?time_limit ?budget ?obs ?jobs
       ~obs_prefix:"hybrid/guided" ~k c tests
   in
   {

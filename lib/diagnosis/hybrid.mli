@@ -26,6 +26,7 @@ val guided :
   ?time_limit:float ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->

@@ -3,6 +3,9 @@ type t = {
   inst : Encode.Muxed.t;
   k : int;
   obs : Obs.t option;
+  circuit : Netlist.Circuit.t;
+  force_zero : bool option;
+  mutable tests : Sim.Testgen.test list;  (* accumulated, in arrival order *)
   mutable last_truncated : bool;
 }
 
@@ -13,15 +16,40 @@ let create ?force_zero ?obs ~k c tests =
     Telemetry.phase obs "incremental/cnf" (fun () ->
         Encode.Muxed.build ?force_zero ~max_k:k solver c tests)
   in
-  { solver; inst; k; obs; last_truncated = false }
+  {
+    solver;
+    inst;
+    k;
+    obs;
+    circuit = c;
+    force_zero;
+    tests;
+    last_truncated = false;
+  }
 
 let add_tests t tests =
   Telemetry.instant t.obs ~payload:(List.length tests) "incremental/add_tests";
+  t.tests <- t.tests @ tests;
   List.iter (Encode.Muxed.add_test t.inst) tests
 
 let num_tests t = Encode.Muxed.num_tests t.inst
 
-let solutions ?(max_solutions = max_int) ?budget t =
+(* jobs > 1: the live solver cannot be shared across domains, so the
+   portfolio solves the accumulated workload on fresh per-worker
+   instances ({!Bsat.diagnose}) and leaves the live instance untouched —
+   the enumerated set is the same, the learned-clause reuse is not. *)
+let solutions_portfolio ~max_solutions ?budget ~jobs t =
+  let r =
+    Bsat.diagnose ?force_zero:t.force_zero ~max_solutions ?budget ~jobs
+      ~k:t.k t.circuit t.tests
+  in
+  t.last_truncated <- r.Bsat.truncated;
+  r.Bsat.solutions
+
+let solutions ?(max_solutions = max_int) ?budget ?(jobs = 1) t =
+  let jobs = Par.clamp_jobs jobs in
+  if jobs > 1 then solutions_portfolio ~max_solutions ?budget ~jobs t
+  else
   Telemetry.phase t.obs "incremental/solve" ~payload:List.length @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Sat.Budget.unlimited ()
@@ -60,7 +88,7 @@ let solutions ?(max_solutions = max_int) ?budget t =
   (* retire the guard permanently *)
   Sat.Solver.add_clause t.solver [ Sat.Lit.negate active ];
   t.last_truncated <- !truncated;
-  List.rev !solutions
+  Solutions.canonical (List.rev !solutions)
 
 let last_truncated t = t.last_truncated
 

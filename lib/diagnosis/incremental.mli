@@ -32,14 +32,22 @@ val add_tests : t -> Sim.Testgen.test list -> unit
 val num_tests : t -> int
 
 val solutions :
-  ?max_solutions:int -> ?budget:Sat.Budget.t -> t -> int list list
+  ?max_solutions:int -> ?budget:Sat.Budget.t -> ?jobs:int -> t -> int list list
 (** Enumerate the essential valid corrections for the *current* test
-    set (Fig. 3's incremental-k loop on the live instance).
+    set (Fig. 3's incremental-k loop on the live instance), in canonical
+    (cardinality, lexicographic) order.
 
     [budget] caps total solver effort for this enumeration; on
     exhaustion the prefix found so far is returned and
     {!last_truncated} reports [true].  The instance stays usable —
-    blocking clauses for the returned solutions are retired as usual. *)
+    blocking clauses for the returned solutions are retired as usual.
+
+    [jobs] > 1 enumerates the same solution set with a solver portfolio
+    ({!Bsat.diagnose}) over fresh per-worker instances built from the
+    accumulated workload: a live solver cannot be shared across domains,
+    so the parallel path trades the learned-clause reuse for the
+    portfolio.  The live instance (and {!stats}) is untouched;
+    {!last_truncated} reflects the portfolio run. *)
 
 val last_truncated : t -> bool
 (** Whether the most recent {!solutions} call was cut short by its

@@ -1,0 +1,21 @@
+(** Canonical form for enumerated solution lists.
+
+    Every engine that enumerates corrections or covers returns its
+    solutions in this one canonical order, so that differently-scheduled
+    enumerations of the same solution *set* — sequential discovery
+    order, a solver portfolio's per-cube shards — print and compare
+    byte-identically. *)
+
+val compare_solution : int list -> int list -> int
+(** Order solutions by cardinality first, then lexicographically by
+    (sorted) members — the order a reader expects from a diagnosis
+    report: smallest corrections first. *)
+
+val canonical : int list list -> int list list
+(** Sort each solution's members ascending, then sort the list of
+    solutions with {!compare_solution}, dropping exact duplicates. *)
+
+val minimal_only : int list list -> int list list
+(** Keep only the inclusion-minimal solutions: drop every solution that
+    strictly contains another solution of the list.  Expects (and
+    preserves) {!canonical} form. *)

@@ -252,6 +252,7 @@ type event = {
   name : string;
   phase : phase;
   payload : int;
+  domain : int;
   wall : float;
 }
 
@@ -302,6 +303,12 @@ module Histogram = struct
       total = a.total + b.total;
     }
 
+  let merge_into ~into b =
+    for i = 0 to num_buckets - 1 do
+      into.counts.(i) <- into.counts.(i) + b.counts.(i)
+    done;
+    into.total <- into.total + b.total
+
   let equal a b = a.counts = b.counts
 
   let reset h =
@@ -313,7 +320,7 @@ module Trace = struct
   type tr = { cap : int; buf : event array; mutable n_emitted : int }
 
   let dummy_event =
-    { tick = 0; name = ""; phase = Instant; payload = 0; wall = 0.0 }
+    { tick = 0; name = ""; phase = Instant; payload = 0; domain = 0; wall = 0.0 }
 
   let make cap =
     let cap = max 1 cap in
@@ -357,7 +364,7 @@ module Trace = struct
           ("ph", Json.String (phase_string e.phase));
           ("ts", Json.Float ((e.wall -. t0) *. 1e6));
           ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
+          ("tid", Json.Int (e.domain + 1));
           ( "args",
             Json.Obj
               [ ("tick", Json.Int e.tick); ("payload", Json.Int e.payload) ]
@@ -455,7 +462,14 @@ let trace t = t.tr
 
 let event t ?(payload = 0) name phase =
   Trace.push t.tr
-    { tick = Trace.emitted t.tr; name; phase; payload; wall = Clock.wall () }
+    {
+      tick = Trace.emitted t.tr;
+      name;
+      phase;
+      payload;
+      domain = 0;
+      wall = Clock.wall ();
+    }
 
 let begin_event t ?payload name = event t ?payload name Begin
 
@@ -487,6 +501,49 @@ let reset t =
   Hashtbl.iter (fun _ h -> Histogram.reset h) t.hists_tbl;
   Trace.clear t.tr
 
+let merge_children ~into children =
+  Array.iter
+    (fun child ->
+      List.iter (fun (name, v) -> add into name v) (counters child);
+      List.iter
+        (fun (name, seconds, calls) ->
+          let s = span_cell into name in
+          s.seconds <- s.seconds +. seconds;
+          s.calls <- s.calls + calls)
+        (spans child);
+      List.iter
+        (fun (name, h) -> Histogram.merge_into ~into:(histogram into name) h)
+        (histograms child))
+    children;
+  (* Deterministic interleave: ascending child tick, ties broken by
+     worker index — independent of which domain finished first. *)
+  let streams =
+    Array.mapi
+      (fun w child -> Array.of_list (Trace.events (trace child)), w)
+      children
+  in
+  let cursors = Array.make (Array.length streams) 0 in
+  let rec drain () =
+    let best = ref None in
+    Array.iteri
+      (fun i (evs, w) ->
+        if cursors.(i) < Array.length evs then
+          let e = evs.(cursors.(i)) in
+          let better =
+            match !best with None -> true | Some (_, be, _) -> e.tick < be.tick
+          in
+          if better then best := Some (i, e, w))
+      streams;
+    match !best with
+    | None -> ()
+    | Some (i, e, w) ->
+        cursors.(i) <- cursors.(i) + 1;
+        Trace.push into.tr
+          { e with tick = Trace.emitted into.tr; domain = w + 1 };
+        drain ()
+  in
+  drain ()
+
 let histogram_json h =
   Json.Obj
     [
@@ -507,6 +564,7 @@ let event_json ~times e =
        ("ph", Json.String (Trace.phase_string e.phase));
        ("arg", Json.Int e.payload);
      ]
+    @ (if e.domain <> 0 then [ ("dom", Json.Int e.domain) ] else [])
     @ if times then [ ("ts", Json.Float e.wall) ] else [])
 
 let to_json ?(times = true) t =

@@ -66,6 +66,9 @@ type event = {
   phase : phase;
   payload : int;  (** engine-specific deterministic datum (solution
                       count, test count, ...); 0 when unused *)
+  domain : int;  (** 0 for events emitted directly into this registry;
+                     [w + 1] for events merged from worker [w]'s
+                     registry by {!merge_children} *)
   wall : float;  (** {!Clock.wall} at emission; excluded from
                      deterministic output *)
 }
@@ -100,6 +103,9 @@ module Histogram : sig
   val merge : h -> h -> h
   (** A fresh histogram with element-wise summed counts — associative
       and commutative, and [merge (of xs) (of ys) = of (xs @ ys)]. *)
+
+  val merge_into : into:h -> h -> unit
+  (** In-place {!merge}: add the second histogram's counts to [into]. *)
 
   val equal : h -> h -> bool
 end
@@ -200,6 +206,18 @@ val histograms : t -> (string * Histogram.h) list
 val reset : t -> unit
 (** Zero every counter, span and histogram (names are kept) and clear
     the trace. *)
+
+val merge_children : into:t -> t array -> unit
+(** Merge worker registries into a parent after a parallel section:
+    counters are summed, spans accumulated, histograms merged
+    element-wise, and the workers' event streams appended to the
+    parent's trace in a deterministic interleave — ascending original
+    tick, ties broken by worker index — so the merged stream depends
+    only on what each worker recorded, never on which domain finished
+    first.  Merged events are re-ticked by the parent trace and tagged
+    with [domain = w + 1] for worker [w] ({!Trace.to_chrome_json} maps
+    the tag to the Chrome [tid], giving each worker its own track).
+    The children are not modified. *)
 
 val to_json : ?times:bool -> t -> Json.t
 (** [{ "counters": {...}, "histograms": {...}, "events": {...},

@@ -1,0 +1,67 @@
+let available () = Domain.recommended_domain_count ()
+
+let clamp_jobs n =
+  if n < 0 then invalid_arg "Par.clamp_jobs: negative jobs" else max 1 n
+
+let shard ~shards items =
+  if shards < 1 then invalid_arg "Par.shard: shards < 1";
+  let buckets = Array.make shards [] in
+  List.iteri (fun i x -> buckets.(i mod shards) <- x :: buckets.(i mod shards)) items;
+  Array.map List.rev buckets
+
+let interleave buckets =
+  let arrs = Array.map Array.of_list buckets in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrs in
+  let out = ref [] in
+  let row = ref 0 and taken = ref 0 in
+  while !taken < total do
+    Array.iter
+      (fun a ->
+        if !row < Array.length a then begin
+          out := a.(!row) :: !out;
+          incr taken
+        end)
+      arrs;
+    incr row
+  done;
+  List.rev !out
+
+(* Worker 0 runs on the calling domain: with [jobs = 1] no domain is
+   ever spawned, and with [jobs > 1] the caller does a full share of the
+   work instead of blocking in [join]. *)
+let run ~jobs f =
+  let jobs = clamp_jobs jobs in
+  if jobs = 1 then [| f 0 |]
+  else begin
+    let spawned =
+      Array.init (jobs - 1) (fun i ->
+          let w = i + 1 in
+          Domain.spawn (fun () -> f w))
+    in
+    let results = Array.make jobs None in
+    let failure = ref None in
+    let record w r =
+      match r with
+      | Ok v -> results.(w) <- Some v
+      | Error exn -> (
+          match !failure with
+          | Some (w0, _) when w0 <= w -> ()
+          | _ -> failure := Some (w, exn))
+    in
+    record 0 (try Ok (f 0) with exn -> Error exn);
+    Array.iteri
+      (fun i d -> record (i + 1) (try Ok (Domain.join d) with exn -> Error exn))
+      spawned;
+    (match !failure with Some (_, exn) -> raise exn | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* no failure recorded *))
+      results
+  end
+
+let map ~jobs f items =
+  let jobs = clamp_jobs jobs in
+  if jobs = 1 then List.map f items
+  else
+    let buckets = shard ~shards:jobs items in
+    let mapped = run ~jobs (fun w -> List.map f buckets.(w)) in
+    interleave mapped

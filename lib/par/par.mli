@@ -1,0 +1,49 @@
+(** Deterministic parallelism on OCaml 5 domains.
+
+    The layer is intentionally small and rigid: work is split by a
+    *fixed* shard assignment (round-robin by item index — never by
+    runtime load), every worker writes only into its own slot, and
+    results are merged in shard order after all domains have joined.
+    There is no work stealing and no shared mutable state beyond what
+    the caller explicitly passes in, so the result of [run]/[map] is a
+    pure function of the inputs and the requested width — bit-identical
+    across runs and across machines, regardless of scheduling.
+
+    [jobs = 1] never spawns a domain: the work runs inline on the
+    calling domain, so the sequential paths of the code base are
+    byte-for-byte unchanged when parallelism is off. *)
+
+val available : unit -> int
+(** Recommended upper bound for [jobs] on this machine
+    ([Domain.recommended_domain_count]). Callers may exceed it; extra
+    domains just time-share. *)
+
+val clamp_jobs : int -> int
+(** [clamp_jobs n] floors the requested width at 1.
+    @raise Invalid_argument on a negative width. *)
+
+val shard : shards:int -> 'a list -> 'a list array
+(** [shard ~shards items] deals [items] round-robin by index: item [i]
+    goes to shard [i mod shards], and within each shard the original
+    order is preserved.  Deterministic; total; shards may be empty when
+    there are fewer items than shards.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val interleave : 'a list array -> 'a list
+(** Inverse of {!shard}: re-interleaves round-robin shards back into the
+    original item order (shard lengths may differ by at most one, as
+    produced by {!shard}; more generally items are taken index 0 of
+    every shard in order, then index 1, …). *)
+
+val run : jobs:int -> (int -> 'a) -> 'a array
+(** [run ~jobs f] evaluates [f 0 … f (jobs-1)], each on its own domain
+    (except worker 0 — and everything when [jobs = 1] — which runs on
+    the calling domain), and returns the results in worker order.  All
+    domains are joined before [run] returns.  If any worker raises, the
+    exception of the lowest-numbered failing worker is re-raised after
+    every domain has joined. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, sharding the list
+    round-robin over [jobs] workers, and returns the results in the
+    original item order.  [map ~jobs:1 f = List.map f]. *)

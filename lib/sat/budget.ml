@@ -1,7 +1,7 @@
 type t = {
-  mutable conflicts_left : int;     (* max_int = unlimited *)
-  mutable propagations_left : int;
-  deadline : float;                 (* absolute Obs.Clock.wall; infinity = none *)
+  conflicts_left : int Atomic.t;     (* max_int = unlimited *)
+  propagations_left : int Atomic.t;
+  deadline : float;                  (* absolute Obs.Clock.wall; infinity = none *)
 }
 
 let create ?conflicts ?propagations ?seconds () =
@@ -18,8 +18,8 @@ let create ?conflicts ?propagations ?seconds () =
     | Some s -> Obs.Clock.wall () +. s
   in
   {
-    conflicts_left = allowance "conflicts" conflicts;
-    propagations_left = allowance "propagations" propagations;
+    conflicts_left = Atomic.make (allowance "conflicts" conflicts);
+    propagations_left = Atomic.make (allowance "propagations" propagations);
     deadline;
   }
 
@@ -27,29 +27,40 @@ let unlimited () = create ()
 
 let clone t =
   {
-    conflicts_left = t.conflicts_left;
-    propagations_left = t.propagations_left;
+    conflicts_left = Atomic.make (Atomic.get t.conflicts_left);
+    propagations_left = Atomic.make (Atomic.get t.propagations_left);
     deadline = t.deadline;
   }
 
 let is_unlimited t =
-  t.conflicts_left = max_int
-  && t.propagations_left = max_int
+  Atomic.get t.conflicts_left = max_int
+  && Atomic.get t.propagations_left = max_int
   && t.deadline = infinity
 
 let exhausted t =
-  t.conflicts_left <= 0
-  || t.propagations_left <= 0
+  Atomic.get t.conflicts_left <= 0
+  || Atomic.get t.propagations_left <= 0
   || (t.deadline < infinity && Obs.Clock.wall () > t.deadline)
 
-let conflicts_left t = t.conflicts_left
+let conflicts_left t = Atomic.get t.conflicts_left
 
-let propagations_left t = t.propagations_left
+let propagations_left t = Atomic.get t.propagations_left
 
 let deadline t = t.deadline
 
+(* Lock-free clamp-at-zero decrement: [max_int] means unlimited and is
+   never decremented, anything else converges to [max 0 (left - n)] even
+   when several domains charge concurrently (each unit of effort is
+   deducted exactly once; the CAS retries on contention). *)
+let deduct cell n =
+  if n > 0 then
+    let rec loop () =
+      let cur = Atomic.get cell in
+      if cur <> max_int && cur > 0 then
+        if not (Atomic.compare_and_set cell cur (max 0 (cur - n))) then loop ()
+    in
+    loop ()
+
 let charge t ~conflicts ~propagations =
-  if t.conflicts_left <> max_int then
-    t.conflicts_left <- max 0 (t.conflicts_left - conflicts);
-  if t.propagations_left <> max_int then
-    t.propagations_left <- max 0 (t.propagations_left - propagations)
+  deduct t.conflicts_left conflicts;
+  deduct t.propagations_left propagations

@@ -43,4 +43,7 @@ val deadline : t -> float
 
 val charge : t -> conflicts:int -> propagations:int -> unit
 (** Deduct consumed effort (floored at an exhausted, never negative,
-    allowance). *)
+    allowance).  Safe under concurrent charging from several domains:
+    the counters are atomics updated with a clamp-at-zero CAS loop, so
+    simultaneous charges never lose counts and never drive an allowance
+    negative. *)

@@ -108,7 +108,7 @@ let first_bit mask =
                              (Int64.mul isolated debruijn) 58)
              land 63)
 
-let run ?(drop = true) ?obs c ~vectors ~faults =
+let run_sequential ~drop ?obs c ~vectors ~faults =
   let num_inputs = Circuit.num_inputs c in
   let ctx = Sim_ctx.create c in
   let words = Array.make num_inputs 0L in
@@ -169,6 +169,104 @@ let run ?(drop = true) ?obs c ~vectors ~faults =
       (if total = 0 then 1.0
        else float_of_int (Hashtbl.length seen) /. float_of_int total);
   }
+
+(* Per-fault first detections over one shard: each worker owns a fresh
+   [Sim_ctx] and sweeps the whole vector set against only its faults.
+   A fault's detection mask never depends on other faults, so the
+   (sweep, vector) of its first detection is the same the sequential
+   dropping loop would find, whichever shard it lands in. *)
+let detect_shard c ~vectors shard =
+  let num_inputs = Circuit.num_inputs c in
+  let ctx = Sim_ctx.create c in
+  let words = Array.make num_inputs 0L in
+  let good = Sim_ctx.words ctx in
+  let scratch = Sim_ctx.words2 ctx in
+  let hits = ref [] in
+  let rec batches sweep base vectors alive =
+    match (vectors, alive) with
+    | [], _ | _, [] -> ()
+    | _ ->
+        let batch, rest = take 64 vectors in
+        pack_batch_into words batch;
+        Simulator.eval_word_into ~values:good c words;
+        let live_mask =
+          if List.length batch = 64 then -1L
+          else Int64.sub (Int64.shift_left 1L (List.length batch)) 1L
+        in
+        let alive =
+          List.filter
+            (fun ((_, f) as item) ->
+              let mask =
+                Int64.logand
+                  (detection_mask_with c (Sim_ctx.queue ctx) ~good ~scratch f)
+                  live_mask
+              in
+              if mask <> 0L then begin
+                hits := (item, base + first_bit mask, sweep) :: !hits;
+                false
+              end
+              else true)
+            alive
+        in
+        batches (sweep + 1) (base + List.length batch) rest alive
+  in
+  batches 0 0 vectors shard;
+  !hits
+
+(* Stitch shard results back into exactly the sequential [run]: the
+   sequential loop appends a fault to [detected] in the sweep where it
+   is first caught, scanning the alive list in original fault order —
+   i.e. [detected] is the fault list stably sorted by (first sweep,
+   original position), and the per-sweep histogram counts first
+   detections per sweep over however many sweeps the sequential loop
+   would have executed. *)
+let run_parallel ~drop ~jobs ?obs c ~vectors ~faults =
+  let indexed = List.mapi (fun i f -> (i, f)) faults in
+  let shards = Par.shard ~shards:jobs indexed in
+  let hits =
+    Par.run ~jobs (fun w -> detect_shard c ~vectors shards.(w))
+    |> Array.to_list |> List.concat
+  in
+  let hits =
+    List.sort
+      (fun (((i1 : int), _), _, (s1 : int)) ((i2, _), _, s2) ->
+        compare (s1, i1) (s2, i2))
+      hits
+  in
+  let detected = List.map (fun ((_, f), vec, _) -> (f, vec)) hits in
+  let caught = Hashtbl.create 64 in
+  List.iter (fun ((_, f), _, _) -> Hashtbl.replace caught f ()) hits;
+  let undetected = List.filter (fun f -> not (Hashtbl.mem caught f)) faults in
+  let total = List.length faults in
+  Option.iter
+    (fun o ->
+      let nbatches = (List.length vectors + 63) / 64 in
+      let sweeps =
+        if faults = [] || vectors = [] then 0
+        else if drop && undetected = [] then
+          1 + List.fold_left (fun acc (_, _, s) -> max acc s) 0 hits
+        else nbatches
+      in
+      let per_sweep = Array.make (max sweeps 1) 0 in
+      List.iter
+        (fun (_, _, s) -> if s < sweeps then per_sweep.(s) <- per_sweep.(s) + 1)
+        hits;
+      for s = 0 to sweeps - 1 do
+        Obs.observe o "fault_sim/drops_per_sweep" per_sweep.(s)
+      done)
+    obs;
+  {
+    detected;
+    undetected;
+    coverage =
+      (if total = 0 then 1.0
+       else float_of_int (Hashtbl.length caught) /. float_of_int total);
+  }
+
+let run ?(drop = true) ?obs ?(jobs = 1) c ~vectors ~faults =
+  let jobs = Par.clamp_jobs jobs in
+  if jobs = 1 then run_sequential ~drop ?obs c ~vectors ~faults
+  else run_parallel ~drop ~jobs ?obs c ~vectors ~faults
 
 let signature c ~vectors f =
   let acc = ref [] in

@@ -31,6 +31,7 @@ type run = {
 val run :
   ?drop:bool ->
   ?obs:Obs.t ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:bool array list ->
   faults:Stuck_at.fault list ->
@@ -39,7 +40,14 @@ val run :
     [drop] (default true) removes a fault from further simulation after
     its first detection — standard fault dropping.  [obs] fills a
     ["fault_sim/drops_per_sweep"] histogram with the number of
-    newly-detected faults per 64-vector sweep. *)
+    newly-detected faults per 64-vector sweep.
+
+    [jobs] (default 1) shards the fault list round-robin over that many
+    domains, each sweeping the vectors with its own [Sim_ctx].  A
+    fault's detection mask is independent of every other fault, so the
+    merged result — [detected] order, first-detection indices,
+    [undetected], [coverage] and the per-sweep histogram — is
+    bit-identical to the [jobs = 1] run for every [drop] setting. *)
 
 val signature :
   Netlist.Circuit.t -> vectors:bool array array -> Stuck_at.fault ->

@@ -95,6 +95,63 @@ BSIM and COV on the same workload:
   BSIM: |union|=10, max marks=8
   G_max = {n19, n18, n20}
 
+--jobs runs fault simulation and the SAT engines on worker domains; the
+solution set is identical at every width.  Engines whose stats are
+derived from the canonical output (BSIM, COV) emit a stats block
+byte-identical to the sequential run:
+
+  $ diagnose run rca4 --faulty faulty.bench --method cov -k 1 -m 8 --stats --jobs 1 | tail -1 > cov1.json
+  $ diagnose run rca4 --faulty faulty.bench --method cov -k 1 -m 8 --stats --jobs 4 | tail -1 > cov4.json
+  $ cmp cov1.json cov4.json
+
+The BSAT portfolio merges per-worker solution shards back into the
+sequential list; its solver counters are summed across workers, and two
+runs at the same width are still byte-identical:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --jobs 4
+  8 failing test(s) found
+  BSAT: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --stats --jobs 4 | tail -1 > par1.json
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --stats --jobs 4 | tail -1 > par2.json
+  $ cmp par1.json par2.json
+
+report renders a merged parallel stats block (worker event streams are
+interleaved deterministically, tagged with their domain):
+
+  $ diagnose report par1.json
+  == counters (10) ==
+    bsat/conflicts                             7
+    bsat/decisions                             467
+    bsat/deleted                               0
+    bsat/learned                               5
+    bsat/learned_total                         7
+    bsat/propagations                          3325
+    bsat/restarts                              0
+    bsat/solutions                             3
+    bsat/solver_calls                          7
+    bsat/truncated                             0
+  == histograms (4) ==
+    bsat/solution_size (3 observation(s))
+               1 ..          1  3
+    sat/backtrack (7 observation(s))
+               1 ..          1  4
+               2 ..          3  1
+               4 ..          7  2
+    sat/conflict_gap (7 observation(s))
+             128 ..        255  1
+             256 ..        511  4
+             512 ..       1023  1
+            1024 ..       2047  1
+    sat/learnt_len (7 observation(s))
+               1 ..          1  2
+               2 ..          3  5
+  == events (16 emitted, 0 dropped) ==
+    bsat                                       16 event(s)
+
 The SAT solver CLI on a tiny DIMACS formula:
 
   $ cat > sat.cnf <<CNF

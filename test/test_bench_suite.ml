@@ -241,9 +241,23 @@ let test_baseline_per_key_override () =
     (List.length tight.Bench_suite.Baseline.violations)
 
 let test_baseline_missing_and_extra_keys () =
+  (* a leaf missing inside a selected experiment is a violation *)
   let missing =
     check (sample_report ())
-      (J.Obj [ ("scale", J.Float 0.12); ("experiments", J.Obj []) ])
+      (J.Obj
+         [
+           ("scale", J.Float 0.12);
+           ( "experiments",
+             J.Obj
+               [
+                 ( "x",
+                   J.Obj
+                     [
+                       ("counters", J.Obj [ ("i/a", J.Int 100) ]);
+                       ("label", J.String "alu4");
+                     ] );
+               ] );
+         ])
   in
   Alcotest.(check bool) "baseline key missing from fresh fails" true
     (missing.Bench_suite.Baseline.violations <> []);
@@ -257,6 +271,46 @@ let test_baseline_missing_and_extra_keys () =
   in
   Alcotest.(check (list (pair string string))) "extra keys pass" []
     extra.Bench_suite.Baseline.violations
+
+let test_baseline_prunes_to_selected () =
+  (* a partial bench run is gated only against its own blocks ... *)
+  let two_exp v =
+    J.Obj
+      [
+        ("scale", J.Float 0.12);
+        ( "experiments",
+          J.Obj
+            [
+              ("x", J.Obj [ ("counters", J.Obj [ ("i/a", J.Int v) ]) ]);
+              ("y", J.Obj [ ("counters", J.Obj [ ("i/c", J.Int 7) ]) ]);
+            ] );
+      ]
+  in
+  let only_x =
+    J.Obj
+      [
+        ("scale", J.Float 0.12);
+        ( "experiments",
+          J.Obj [ ("x", J.Obj [ ("counters", J.Obj [ ("i/a", J.Int 100) ]) ]) ]
+        );
+      ]
+  in
+  let o = check (two_exp 100) only_x in
+  Alcotest.(check (list (pair string string)))
+    "unselected baseline blocks are pruned, not missing" []
+    o.Bench_suite.Baseline.violations;
+  (* ... but the selected block is still compared *)
+  let drifted = check (two_exp 10) only_x in
+  Alcotest.(check int) "selected block still gated" 1
+    (List.length drifted.Bench_suite.Baseline.violations);
+  (* ... and selecting nothing that overlaps is an error, not a pass *)
+  match
+    Bench_suite.Baseline.check_report
+      ~baseline:(baseline_doc (two_exp 100))
+      ~fresh:(J.Obj [ ("scale", J.Float 0.12); ("experiments", J.Obj []) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty experiment overlap must be rejected"
 
 let test_baseline_string_and_type_changes () =
   let relabel =
@@ -335,6 +389,8 @@ let () =
             test_baseline_missing_and_extra_keys;
           Alcotest.test_case "string and type changes" `Quick
             test_baseline_string_and_type_changes;
+          Alcotest.test_case "prunes to selected experiments" `Quick
+            test_baseline_prunes_to_selected;
           Alcotest.test_case "malformed" `Quick test_baseline_malformed;
         ] );
     ]

@@ -355,15 +355,15 @@ let test_bsat_budget_prefix () =
   let r = Diagnosis.Bsat.diagnose ~budget ~k:2 faulty tests in
   Alcotest.(check bool) "truncated" true r.Diagnosis.Bsat.truncated;
   Alcotest.(check bool) "budget exhausted" true (Sat.Budget.exhausted budget);
-  Alcotest.(check bool) "found a prefix of the full enumeration" true
+  Alcotest.(check bool) "found a subset of the full enumeration" true
     (List.length r.Diagnosis.Bsat.solutions
      <= List.length full.Diagnosis.Bsat.solutions);
-  List.iteri
-    (fun i sol ->
-      Alcotest.(check (list int))
-        (Printf.sprintf "solution %d" i)
-        (List.nth full.Diagnosis.Bsat.solutions i)
-        sol)
+  (* solutions are reported in canonical order, so the budgeted run is a
+     sublist — the budget stops the search, it must not steer it *)
+  List.iter
+    (fun sol ->
+      Alcotest.(check bool) "solution present in the full enumeration" true
+        (List.mem sol full.Diagnosis.Bsat.solutions))
     r.Diagnosis.Bsat.solutions;
   List.iter
     (fun sol ->

@@ -177,6 +177,82 @@ let prop_connection_error_rectifiable =
             (fun t -> not (Sim.Testgen.fails r.Diagnosis.Rectify.repaired t))
             tests)
 
+(* ---------- diagnosis containment relations, sequential and parallel --- *)
+
+(* The paper's containment lemmas, checked at jobs = 1 *and* on the
+   domain portfolio so a parallel-merge bug that, say, drops a dominator
+   or leaks a non-minimal solution shows up as a broken relation.  On
+   failure the shrinker minimises the workload and the printer dumps the
+   offending netlist itself as .bench text, so the counterexample is
+   reproducible without rerunning the generator. *)
+
+let diag_workload (seed, ni, ng, p) =
+  let golden =
+    Netlist.Generators.random_dag ~seed ~num_inputs:ni ~num_gates:ng
+      ~num_outputs:(max 2 (ni / 2)) ()
+  in
+  let faulty, errors =
+    Sim.Injector.inject ~seed:(seed + 1) ~num_errors:p golden
+  in
+  (golden, faulty, errors)
+
+let diag_gen =
+  QCheck.make
+    ~print:(fun ((seed, ni, ng, p) as params) ->
+      let _, faulty, errors = diag_workload params in
+      Printf.sprintf "seed=%d ni=%d ng=%d p=%d  injected=[%s]\n%s" seed ni ng
+        p
+        (String.concat ";"
+           (List.map string_of_int (Sim.Fault.sites errors)))
+        (Netlist.Bench_format.to_string faulty))
+    ~shrink:(fun (seed, ni, ng, p) ->
+      QCheck.Iter.(
+        map (fun ng -> (seed, ni, ng, p))
+          (QCheck.Iter.filter (fun ng -> ng >= 5) (QCheck.Shrink.int ng))
+        <+> map (fun p -> (seed, ni, ng, p))
+              (QCheck.Iter.filter (fun p -> p >= 1) (QCheck.Shrink.int p))))
+    QCheck.Gen.(
+      quad (int_range 0 5000) (int_range 3 8) (int_range 8 60) (int_range 1 2))
+
+let prop_containment_relations =
+  QCheck.Test.make ~count:40
+    ~name:"containment lemmas hold sequentially and in parallel" diag_gen
+    (fun ((_, _, _, p) as params) ->
+      let golden, faulty, errors = diag_workload params in
+      let sites = Sim.Fault.sites errors in
+      let tests =
+        Sim.Testgen.generate ~seed:17 ~max_vectors:1024 ~wanted:5 ~golden
+          ~faulty
+      in
+      QCheck.assume (tests <> []);
+      let check = Diagnosis.Validity.check_sat faulty tests in
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      List.for_all
+        (fun jobs ->
+          let bsim = Diagnosis.Bsim.diagnose ~jobs faulty tests in
+          let cov = Diagnosis.Cover.diagnose ~jobs ~k:p faulty tests in
+          let bsat = Diagnosis.Bsat.diagnose ~jobs ~k:p faulty tests in
+          (* Lemma 1: every BSAT solution is a valid correction *)
+          List.for_all check bsat.Diagnosis.Bsat.solutions
+          (* COV covers are drawn from the BSIM candidate union *)
+          && List.for_all
+               (fun s -> subset s bsim.Diagnosis.Bsim.union)
+               cov.Diagnosis.Cover.solutions
+          (* Lemma 3 (completeness): every valid cover, and the injected
+             error itself, contains an essential BSAT solution *)
+          && List.for_all
+               (fun cover ->
+                 (not (check cover))
+                 || List.exists
+                      (fun s -> subset s cover)
+                      bsat.Diagnosis.Bsat.solutions)
+               cov.Diagnosis.Cover.solutions
+          && ((not (check sites))
+             || List.exists
+                  (fun s -> subset s sites)
+                  bsat.Diagnosis.Bsat.solutions))
+        [ 1; 4 ])
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -190,4 +266,6 @@ let () =
             prop_xsim_monotone;
             prop_connection_error_rectifiable;
           ] );
+      ( "containment",
+        List.map QCheck_alcotest.to_alcotest [ prop_containment_relations ] );
     ]

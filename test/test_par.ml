@@ -1,0 +1,357 @@
+(* The parallel layer's oracle is the sequential engine: every property
+   here runs the same workload at jobs = 1 and jobs ∈ {2, 4, ...} and
+   demands byte-identical results — solution sets, counters, histograms
+   and (where the docs promise it) the whole stats block.  Set PAR_JOBS
+   to add a width to every equivalence property (the CI matrix exports
+   PAR_JOBS=4). *)
+
+module C = Netlist.Circuit
+
+(* widths every equivalence property is checked at, beyond the
+   sequential oracle *)
+let widths =
+  let extra =
+    match Option.bind (Sys.getenv_opt "PAR_JOBS") int_of_string_opt with
+    | Some n when n > 1 -> [ n ]
+    | _ -> []
+  in
+  List.sort_uniq Int.compare ([ 2; 4 ] @ extra)
+
+(* ---------- Par primitives ---------- *)
+
+let test_shard_empty () =
+  Alcotest.(check (array (list int)))
+    "empty list shards to empty shards"
+    [| []; []; []; [] |]
+    (Par.shard ~shards:4 []);
+  Alcotest.(check (list int))
+    "interleave of empty shards" []
+    (Par.interleave (Par.shard ~shards:4 []))
+
+let test_shard_fewer_items () =
+  Alcotest.(check (array (list int)))
+    "2 items over 4 shards" [| [ 10 ]; [ 20 ]; []; [] |]
+    (Par.shard ~shards:4 [ 10; 20 ])
+
+let test_shard_round_robin () =
+  Alcotest.(check (array (list int)))
+    "round-robin by index"
+    [| [ 0; 3; 6 ]; [ 1; 4 ]; [ 2; 5 ] |]
+    (Par.shard ~shards:3 [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let prop_shard_interleave_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"interleave (shard xs) = xs"
+    QCheck.(pair (int_range 1 9) (small_list int))
+    (fun (shards, xs) -> Par.interleave (Par.shard ~shards xs) = xs)
+
+let test_clamp_jobs () =
+  Alcotest.(check int) "0 clamps to 1" 1 (Par.clamp_jobs 0);
+  Alcotest.(check int) "1 stays 1" 1 (Par.clamp_jobs 1);
+  Alcotest.(check int) "7 stays 7" 7 (Par.clamp_jobs 7);
+  Alcotest.check_raises "negative raises"
+    (Invalid_argument "Par.clamp_jobs: negative jobs") (fun () ->
+      ignore (Par.clamp_jobs (-3)))
+
+let test_run_order_and_width () =
+  Alcotest.(check (array int))
+    "workers see their own index" [| 0; 10; 20; 30 |]
+    (Par.run ~jobs:4 (fun w -> w * 10));
+  Alcotest.(check (list string))
+    "map preserves item order"
+    [ "a!"; "b!"; "c!"; "d!"; "e!" ]
+    (Par.map ~jobs:3 (fun s -> s ^ "!") [ "a"; "b"; "c"; "d"; "e" ])
+
+exception Boom of int
+
+let test_run_reraises_lowest_worker () =
+  (* workers 1 and 3 both fail; the lowest-numbered failure wins, and
+     every domain is joined first *)
+  let joined = Atomic.make 0 in
+  (try
+     ignore
+       (Par.run ~jobs:4 (fun w ->
+            Atomic.incr joined;
+            if w = 1 || w = 3 then raise (Boom w)))
+   with Boom w -> Alcotest.(check int) "lowest failing worker" 1 w);
+  Alcotest.(check int) "all workers ran" 4 (Atomic.get joined)
+
+(* ---------- Budget under concurrent charging ---------- *)
+
+let test_budget_concurrent_charge () =
+  (* two domains each charge 10_000 single conflicts against a 50_000
+     allowance: interleavings must never lose a count *)
+  let b = Sat.Budget.create ~conflicts:50_000 ~propagations:50_000 () in
+  ignore
+    (Par.run ~jobs:2 (fun _ ->
+         for _ = 1 to 10_000 do
+           Sat.Budget.charge b ~conflicts:1 ~propagations:2
+         done));
+  Alcotest.(check int) "conflicts counted exactly" 30_000
+    (Sat.Budget.conflicts_left b);
+  Alcotest.(check int) "propagations counted exactly" 10_000
+    (Sat.Budget.propagations_left b);
+  Alcotest.(check bool) "not exhausted" false (Sat.Budget.exhausted b)
+
+let test_budget_concurrent_clamp () =
+  (* overcharging from two domains must clamp at zero, not wrap *)
+  let b = Sat.Budget.create ~conflicts:5_000 () in
+  ignore
+    (Par.run ~jobs:2 (fun _ ->
+         for _ = 1 to 10_000 do
+           Sat.Budget.charge b ~conflicts:1 ~propagations:0
+         done));
+  Alcotest.(check int) "clamped at zero" 0 (Sat.Budget.conflicts_left b);
+  Alcotest.(check bool) "exhausted" true (Sat.Budget.exhausted b);
+  Alcotest.(check int) "unlimited dimension untouched" max_int
+    (Sat.Budget.propagations_left b)
+
+(* ---------- shared random workloads ---------- *)
+
+let workload_gen =
+  QCheck.make
+    ~print:(fun (seed, ni, ng, p) ->
+      Printf.sprintf "seed=%d ni=%d ng=%d p=%d" seed ni ng p)
+    QCheck.Gen.(
+      quad (int_range 0 5000) (int_range 3 8) (int_range 8 50) (int_range 1 2))
+
+let make_workload (seed, ni, ng, p) =
+  let golden =
+    Netlist.Generators.random_dag ~seed ~num_inputs:ni ~num_gates:ng
+      ~num_outputs:(max 2 (ni / 2)) ()
+  in
+  let faulty, _ = Sim.Injector.inject ~seed:(seed + 1) ~num_errors:p golden in
+  let tests =
+    Sim.Testgen.generate ~seed:(seed + 2) ~max_vectors:1024 ~wanted:6 ~golden
+      ~faulty
+  in
+  (faulty, tests, p)
+
+let stats_string obs = Obs.emit ~times:false obs
+
+(* ---------- engine equivalence: jobs = 1 is the oracle ---------- *)
+
+let prop_bsim_equivalent =
+  QCheck.Test.make ~count:30 ~name:"BSIM: jobs>1 result and stats = jobs=1"
+    workload_gen
+    (fun params ->
+      let faulty, tests, _ = make_workload params in
+      QCheck.assume (tests <> []);
+      let obs1 = Obs.create () in
+      let r1 = Diagnosis.Bsim.diagnose ~obs:obs1 ~jobs:1 faulty tests in
+      List.for_all
+        (fun jobs ->
+          let obsn = Obs.create () in
+          let rn = Diagnosis.Bsim.diagnose ~obs:obsn ~jobs faulty tests in
+          rn.Diagnosis.Bsim.candidate_sets = r1.Diagnosis.Bsim.candidate_sets
+          && rn.Diagnosis.Bsim.marks = r1.Diagnosis.Bsim.marks
+          && rn.Diagnosis.Bsim.union = r1.Diagnosis.Bsim.union
+          && rn.Diagnosis.Bsim.gmax = r1.Diagnosis.Bsim.gmax
+          && rn.Diagnosis.Bsim.max_marks = r1.Diagnosis.Bsim.max_marks
+          && stats_string obsn = stats_string obs1)
+        widths)
+
+let prop_cov_equivalent =
+  QCheck.Test.make ~count:30 ~name:"COV: jobs>1 solutions and stats = jobs=1"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let obs1 = Obs.create () in
+      let r1 = Diagnosis.Cover.diagnose ~obs:obs1 ~jobs:1 ~k:p faulty tests in
+      List.for_all
+        (fun jobs ->
+          let obsn = Obs.create () in
+          let rn =
+            Diagnosis.Cover.diagnose ~obs:obsn ~jobs ~k:p faulty tests
+          in
+          rn.Diagnosis.Cover.solutions = r1.Diagnosis.Cover.solutions
+          && rn.Diagnosis.Cover.truncated = r1.Diagnosis.Cover.truncated
+          && stats_string obsn = stats_string obs1)
+        widths)
+
+let prop_bsat_equivalent =
+  QCheck.Test.make ~count:30 ~name:"BSAT: portfolio solutions = jobs=1"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let r1 = Diagnosis.Bsat.diagnose ~jobs:1 ~k:p faulty tests in
+      List.for_all
+        (fun jobs ->
+          let rn = Diagnosis.Bsat.diagnose ~jobs ~k:p faulty tests in
+          (* solver counters legitimately differ across widths (each
+             worker explores its own cube); the solution list is the
+             contract *)
+          rn.Diagnosis.Bsat.solutions = r1.Diagnosis.Bsat.solutions
+          && rn.Diagnosis.Bsat.truncated = r1.Diagnosis.Bsat.truncated)
+        widths)
+
+let prop_advanced_equivalent =
+  QCheck.Test.make ~count:15 ~name:"advanced SAT: portfolio = jobs=1"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let r1 =
+        Diagnosis.Advanced_sat.diagnose_dominators ~jobs:1 ~k:p faulty tests
+      in
+      List.for_all
+        (fun jobs ->
+          let rn =
+            Diagnosis.Advanced_sat.diagnose_dominators ~jobs ~k:p faulty
+              tests
+          in
+          rn.Diagnosis.Advanced_sat.solutions
+          = r1.Diagnosis.Advanced_sat.solutions)
+        widths)
+
+let prop_hybrid_equivalent =
+  QCheck.Test.make ~count:15 ~name:"hybrid guided: portfolio = jobs=1"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let r1 = Diagnosis.Hybrid.guided ~jobs:1 ~k:p faulty tests in
+      List.for_all
+        (fun jobs ->
+          let rn = Diagnosis.Hybrid.guided ~jobs ~k:p faulty tests in
+          rn.Diagnosis.Hybrid.solutions = r1.Diagnosis.Hybrid.solutions
+          && rn.Diagnosis.Hybrid.truncated = r1.Diagnosis.Hybrid.truncated)
+        widths)
+
+let prop_incremental_equivalent =
+  QCheck.Test.make ~count:15
+    ~name:"incremental: portfolio enumeration = live instance"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (List.length tests >= 2);
+      (* grow the instance in two steps, then enumerate at every width *)
+      let half = List.filteri (fun i _ -> i < List.length tests / 2) tests in
+      let rest =
+        List.filteri (fun i _ -> i >= List.length tests / 2) tests
+      in
+      let inc = Diagnosis.Incremental.create ~k:p faulty half in
+      Diagnosis.Incremental.add_tests inc rest;
+      let s1 = Diagnosis.Incremental.solutions ~jobs:1 inc in
+      List.for_all
+        (fun jobs -> Diagnosis.Incremental.solutions ~jobs inc = s1)
+        widths)
+
+(* ---------- fault simulation ---------- *)
+
+let prop_fault_sim_equivalent =
+  QCheck.Test.make ~count:40
+    ~name:"fault sim: sharded run = sequential (both drop modes)"
+    workload_gen
+    (fun (seed, ni, ng, _) ->
+      let c =
+        Netlist.Generators.random_dag ~seed ~num_inputs:ni ~num_gates:ng
+          ~num_outputs:(max 2 (ni / 2)) ()
+      in
+      let rng = Random.State.make [| seed + 7 |] in
+      let vectors =
+        List.init 96 (fun _ ->
+            Array.init (C.num_inputs c) (fun _ -> Random.State.bool rng))
+      in
+      let faults = Sim.Stuck_at.all_faults c in
+      List.for_all
+        (fun drop ->
+          let obs1 = Obs.create () in
+          let r1 = Sim.Fault_sim.run ~drop ~obs:obs1 ~jobs:1 c ~vectors ~faults in
+          List.for_all
+            (fun jobs ->
+              let obsn = Obs.create () in
+              let rn =
+                Sim.Fault_sim.run ~drop ~obs:obsn ~jobs c ~vectors ~faults
+              in
+              rn.Sim.Fault_sim.detected = r1.Sim.Fault_sim.detected
+              && rn.Sim.Fault_sim.undetected = r1.Sim.Fault_sim.undetected
+              && rn.Sim.Fault_sim.coverage = r1.Sim.Fault_sim.coverage
+              && stats_string obsn = stats_string obs1)
+            widths)
+        [ true; false ])
+
+(* ---------- budget exhaustion mid-shard ---------- *)
+
+let prop_zero_budget_truncates_identically =
+  QCheck.Test.make ~count:20
+    ~name:"exhausted budget: every width returns the same truncated result"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let run jobs =
+        let budget = Sat.Budget.create ~conflicts:0 () in
+        Diagnosis.Bsat.diagnose ~budget ~jobs ~k:p faulty tests
+      in
+      let r1 = run 1 in
+      List.for_all
+        (fun jobs ->
+          let rn = run jobs in
+          rn.Diagnosis.Bsat.truncated = r1.Diagnosis.Bsat.truncated
+          && rn.Diagnosis.Bsat.solutions = r1.Diagnosis.Bsat.solutions)
+        widths)
+
+let prop_budget_subset_under_truncation =
+  QCheck.Test.make ~count:20
+    ~name:"tight budget: parallel solutions ⊆ unbudgeted set, all valid"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let full = Diagnosis.Bsat.diagnose ~k:p faulty tests in
+      let check = Diagnosis.Validity.check_sat faulty tests in
+      List.for_all
+        (fun jobs ->
+          let budget = Sat.Budget.create ~conflicts:30 () in
+          let rn = Diagnosis.Bsat.diagnose ~budget ~jobs ~k:p faulty tests in
+          List.for_all
+            (fun s ->
+              List.mem s full.Diagnosis.Bsat.solutions && check s)
+            rn.Diagnosis.Bsat.solutions)
+        widths)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "par"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "shard: empty list" `Quick test_shard_empty;
+          Alcotest.test_case "shard: fewer items than shards" `Quick
+            test_shard_fewer_items;
+          Alcotest.test_case "shard: round-robin layout" `Quick
+            test_shard_round_robin;
+          Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs;
+          Alcotest.test_case "run/map order" `Quick test_run_order_and_width;
+          Alcotest.test_case "run re-raises lowest worker" `Quick
+            test_run_reraises_lowest_worker;
+        ]
+        @ q [ prop_shard_interleave_roundtrip ] );
+      ( "budget",
+        [
+          Alcotest.test_case "concurrent charge is exact" `Quick
+            test_budget_concurrent_charge;
+          Alcotest.test_case "concurrent overcharge clamps at zero" `Quick
+            test_budget_concurrent_clamp;
+        ] );
+      ( "engine equivalence",
+        q
+          [
+            prop_bsim_equivalent;
+            prop_cov_equivalent;
+            prop_bsat_equivalent;
+            prop_advanced_equivalent;
+            prop_hybrid_equivalent;
+            prop_incremental_equivalent;
+          ] );
+      ( "fault sim",
+        q [ prop_fault_sim_equivalent ] );
+      ( "truncation",
+        q
+          [
+            prop_zero_budget_truncates_identically;
+            prop_budget_subset_under_truncation;
+          ] );
+    ]
