@@ -556,6 +556,56 @@ let micro_throughput cfg =
            (spec.Bench_suite.Workload.label, n, scalar, word, gate_evals,
             faults_s, faults_s_par, speedup, nf, detected))
   in
+  (* proof-logging overhead: the same pigeonhole refutation solved bare,
+     with DRUP logging, and with logging plus a replay through the
+     independent checker.  Rates are machine-dependent and stay out of
+     the report block; the proof's step count and verdict are
+     deterministic for a fixed solver, so they go in. *)
+  let php =
+    let p, h = (6, 5) in
+    let f = Sat.Cnf.create () in
+    let var pi hi = Sat.Lit.pos ((pi * h) + hi) in
+    for pi = 0 to p - 1 do
+      Sat.Cnf.add_clause f (List.init h (fun hi -> var pi hi))
+    done;
+    for hi = 0 to h - 1 do
+      for p1 = 0 to p - 1 do
+        for p2 = p1 + 1 to p - 1 do
+          Sat.Cnf.add_clause f
+            [ Sat.Lit.negate (var p1 hi); Sat.Lit.negate (var p2 hi) ]
+        done
+      done
+    done;
+    f
+  in
+  let solve_php ~log ~check () =
+    let s = Sat.Solver.create () in
+    let proof = if log then Some (Sat.Proof.in_memory ()) else None in
+    Sat.Solver.set_proof s proof;
+    Sat.Solver.add_cnf s php;
+    assert (Sat.Solver.solve s = Sat.Solver.Unsat);
+    match proof with
+    | Some p when check ->
+        assert (Sat.Drup_check.check_unsat php (Sat.Proof.steps p) = Ok ())
+    | _ -> ()
+  in
+  let plain_s = rate (solve_php ~log:false ~check:false) in
+  let logged_s = rate (solve_php ~log:true ~check:false) in
+  let checked_s = rate (solve_php ~log:true ~check:true) in
+  let proof_steps =
+    let s = Sat.Solver.create () in
+    let p = Sat.Proof.in_memory () in
+    Sat.Solver.set_proof s (Some p);
+    Sat.Solver.add_cnf s php;
+    assert (Sat.Solver.solve s = Sat.Solver.Unsat);
+    Sat.Proof.num_steps p
+  in
+  let log_overhead = plain_s /. logged_s in
+  let check_overhead = plain_s /. checked_s in
+  Fmt.pr
+    "  proof (php 6/5): %.0f solve/s plain, %.0f logged (%.2fx), %.0f \
+     logged+checked (%.2fx), %d steps@."
+    plain_s logged_s log_overhead checked_s check_overhead proof_steps;
   let oc = open_out "BENCH_micro.json" in
   let json_row
       (label, gates, scalar, word, gate_evals, faults_s, faults_s_par,
@@ -569,9 +619,14 @@ let micro_throughput cfg =
   in
   Printf.fprintf oc
     "{\n  \"experiment\": \"micro\",\n  \"scale\": %g,\n  \"par_jobs\": %d,\n\
-    \  \"circuits\": [\n%s\n  ]\n}\n"
+    \  \"circuits\": [\n%s\n  ],\n\
+    \  \"proof\": { \"solves_per_sec_plain\": %.1f, \
+     \"solves_per_sec_logged\": %.1f, \"solves_per_sec_checked\": %.1f, \
+     \"logging_overhead\": %.3f, \"checking_overhead\": %.3f, \
+     \"proof_steps\": %d }\n}\n"
     cfg.scale cfg.jobs
-    (String.concat ",\n" (List.map json_row rows));
+    (String.concat ",\n" (List.map json_row rows))
+    plain_s logged_s checked_s log_overhead check_overhead proof_steps;
   close_out oc;
   (* the report block keeps only the deterministic leaves (never rates,
      speedups or the requested width) so the regression gate stays
@@ -587,7 +642,15 @@ let micro_throughput cfg =
                   ("faults", Obs.Json.Int nf);
                   ("detected", Obs.Json.Int detected);
                 ] ))
-          rows));
+          rows
+       @ [
+           ( "proof",
+             Obs.Json.Obj
+               [
+                 ("steps", Obs.Json.Int proof_steps);
+                 ("verified", Obs.Json.Int 1);
+               ] );
+         ]));
   Fmt.pr "  wrote BENCH_micro.json@.@."
 
 (* ---------- Bechamel micro-benchmarks: one Test.make per table ---------- *)

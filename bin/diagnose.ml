@@ -93,7 +93,8 @@ let report_solutions faulty tests label solutions =
     solutions
 
 let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
-    max_solutions stats trace_out budget_seconds budget_conflicts jobs =
+    max_solutions stats trace_out budget_seconds budget_conflicts certify jobs
+    =
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -129,6 +130,12 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
       if truncated then
         Fmt.pr "budget exhausted: enumeration truncated (solutions above are still valid)@."
     in
+    (* with --certify: verified-answer count, or the failures, from the
+       SAT engines; None = the method has no certification support *)
+    let certification = ref None in
+    let note_cert checks failures =
+      if certify then certification := Some (checks, failures)
+    in
     (match approach with
     | Bsim ->
         let r = Core.Bsim.diagnose ?obs ~jobs faulty tests in
@@ -145,10 +152,12 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
         truncation_notice r.Core.Cover.truncated
     | Bsat ->
         let r =
-          Core.Bsat.diagnose ~max_solutions ?budget ?obs ~jobs ~k faulty tests
+          Core.Bsat.diagnose ~max_solutions ?budget ?obs ~certify ~jobs ~k
+            faulty tests
         in
         report_solutions faulty tests "BSAT" r.Core.Bsat.solutions;
-        truncation_notice r.Core.Bsat.truncated
+        truncation_notice r.Core.Bsat.truncated;
+        note_cert r.Core.Bsat.cert_checks r.Core.Bsat.cert_failures
     | Advsim ->
         let r =
           Core.Advanced_sim.diagnose ~max_solutions ?time_limit ~k faulty tests
@@ -159,11 +168,13 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     | Advsat ->
         let r =
           Core.Advanced_sat.diagnose_dominators ~max_solutions ?budget ?obs
-            ~jobs ~k faulty tests
+            ~certify ~jobs ~k faulty tests
         in
         report_solutions faulty tests "advanced-sat (2-pass)"
           r.Core.Advanced_sat.solutions;
-        truncation_notice r.Core.Advanced_sat.truncated
+        truncation_notice r.Core.Advanced_sat.truncated;
+        note_cert r.Core.Advanced_sat.cert_checks
+          r.Core.Advanced_sat.cert_failures
     | Hybrid ->
         let cov =
           Core.Cover.diagnose ~max_solutions:1 ?obs ~jobs ~k faulty tests
@@ -201,11 +212,26 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
         Fmt.pr "wrote %s (%d trace events)@." file
           (List.length (Core.Obs.Trace.events tr))
     | _ -> ());
+    let cert_exit =
+      if not certify then 0
+      else
+        match !certification with
+        | None ->
+            Fmt.pr "certification not supported for this method@.";
+            0
+        | Some (checks, []) ->
+            Fmt.pr "certified: %d solver answer(s) verified@." checks;
+            0
+        | Some (checks, failures) ->
+            Fmt.pr "CERTIFICATION FAILED (%d check(s)):@." checks;
+            List.iter (fun msg -> Fmt.pr "  %s@." msg) failures;
+            3
+    in
     (if stats then
        match obs with
        | None -> ()
        | Some obs -> Fmt.pr "%s@." (Core.Obs.emit ~times:false obs));
-    0
+    cert_exit
   end
 
 (* ---------- report ---------- *)
@@ -431,10 +457,11 @@ let run_cmd =
   let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the run's event trace as Chrome trace_event JSON (open in chrome://tracing or Perfetto)") in
   let budget_seconds = Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget; SAT engines stop mid-search and return the truncated-but-valid prefix") in
   let budget_conflicts = Arg.(value & opt (some int) None & info [ "budget-conflicts" ] ~docv:"N" ~doc:"Total solver conflict budget across the enumeration (deterministic)") in
+  let certify = Arg.(value & flag & info [ "certify" ] ~doc:"Independently verify every SAT-engine solver answer (bsat/advsat): Sat by model evaluation, Unsat by DRUP-checking the solver's proof; exits 3 on a failed check") in
   Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
     Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
           $ approach $ k $ m $ max_solutions $ stats $ trace
-          $ budget_seconds $ budget_conflicts $ jobs)
+          $ budget_seconds $ budget_conflicts $ certify $ jobs)
 
 let coverage_cmd =
   let vectors = Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~doc:"Random vectors to grade") in

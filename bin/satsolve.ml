@@ -1,5 +1,6 @@
 (* DIMACS CNF front-end for the CDCL solver.  Exit code 10 = SAT,
-   20 = UNSAT (the conventional SAT-competition codes). *)
+   20 = UNSAT (the conventional SAT-competition codes); with --check a
+   certification failure exits 1 instead. *)
 
 let read_file path =
   let ic = open_in path in
@@ -8,14 +9,55 @@ let read_file path =
   close_in ic;
   s
 
-let run path print_model =
+let run path print_model proof_file check =
   let cnf = Sat.Cnf.of_dimacs (read_file path) in
   let solver = Sat.Solver.create () in
+  (* an in-memory sink serves both --proof (serialized at exit) and
+     --check (replayed through the independent checker) *)
+  let proof =
+    if proof_file <> None || check then begin
+      let p = Sat.Proof.in_memory () in
+      Sat.Solver.set_proof solver (Some p);
+      Some p
+    end
+    else None
+  in
   Sat.Solver.add_cnf solver cnf;
-  match Sat.Solver.solve solver with
+  let result = Sat.Solver.solve solver in
+  (match (proof_file, proof) with
+  | Some file, Some p ->
+      let oc = open_out file in
+      output_string oc (Sat.Proof.to_string p);
+      close_out oc
+  | _ -> ());
+  let verify () =
+    if not check then true
+    else
+      match result with
+      | Sat.Solver.Unsat -> (
+          let p = Option.get proof in
+          match Sat.Drup_check.check_unsat cnf (Sat.Proof.steps p) with
+          | Ok () ->
+              Printf.printf "c VERIFIED unsat (%d proof steps)\n"
+                (Sat.Proof.num_steps p);
+              true
+          | Error msg ->
+              Printf.printf "c NOT VERIFIED: %s\n" msg;
+              false)
+      | Sat.Solver.Sat ->
+          if Sat.Cnf.eval cnf (Sat.Solver.model solver) then begin
+            print_endline "c VERIFIED model";
+            true
+          end
+          else begin
+            print_endline "c NOT VERIFIED: model violates a clause";
+            false
+          end
+  in
+  match result with
   | Sat.Solver.Unsat ->
       print_endline "s UNSATISFIABLE";
-      exit 20
+      exit (if verify () then 20 else 1)
   | Sat.Solver.Sat ->
       print_endline "s SATISFIABLE";
       if print_model then begin
@@ -33,7 +75,7 @@ let run path print_model =
       Printf.printf "c decisions=%d propagations=%d conflicts=%d restarts=%d\n"
         st.Sat.Solver.decisions st.Sat.Solver.propagations
         st.Sat.Solver.conflicts st.Sat.Solver.restarts;
-      exit 10
+      exit (if verify () then 10 else 1)
 
 open Cmdliner
 
@@ -44,9 +86,28 @@ let path =
 let model =
   Arg.(value & flag & info [ "model"; "m" ] ~doc:"Print a satisfying assignment")
 
+let proof_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:
+          "Write a DRUP proof of an UNSAT answer to $(docv) (learned \
+           clauses, deletions and the final empty clause; checkable with \
+           standard DRUP checkers)")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Verify the answer before exiting: an UNSAT proof is replayed \
+           through the independent forward DRUP checker, a SAT model is \
+           evaluated against every clause.  A failed check exits 1.")
+
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"CDCL SAT solver on DIMACS CNF")
-    Term.(const run $ path $ model)
+    Term.(const run $ path $ model $ proof_file $ check)
 
 let () = exit (Cmd.eval cmd)

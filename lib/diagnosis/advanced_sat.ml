@@ -6,6 +6,8 @@ type result = {
   total_time : float;
   truncated : bool;
   stats : Sat.Solver.stats;
+  cert_checks : int;
+  cert_failures : string list;
 }
 
 (* Inner Bsat runs are deliberately not handed [obs]: their per-call
@@ -20,8 +22,8 @@ let record obs prefix ~solver_calls (r : result) =
         ~solver_calls ~truncated:r.truncated r.stats;
       Obs.record_span obs (prefix ^ "/total") r.total_time
 
-let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c
-    tests =
+let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?certify ?jobs
+    ~k c tests =
   let t0 = Sys.time () in
   let dom = Dominators.compute c in
   let skeleton = Dominators.nontrivial dom in
@@ -32,7 +34,7 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c
       ~payload:(fun r -> List.length r.Bsat.solutions)
       (fun () ->
         Bsat.diagnose ~candidates:skeleton ~force_zero:true ?max_solutions
-          ?time_limit ?budget ?jobs ~k c tests)
+          ?time_limit ?budget ?certify ?jobs ~k c tests)
   in
   (* refine: multiplexers at every implicated dominator and everything it
      dominates *)
@@ -44,18 +46,25 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c
     |> List.sort_uniq Int.compare
     |> List.filter (fun g -> not (Netlist.Circuit.is_input c g))
   in
-  let pass2, calls =
+  let pass2, calls, cert_checks, cert_failures =
     match implicated with
-    | [] -> (pass1, pass1.Bsat.solver_calls)
+    | [] ->
+        ( pass1,
+          pass1.Bsat.solver_calls,
+          pass1.Bsat.cert_checks,
+          pass1.Bsat.cert_failures )
     | _ ->
         let p2 =
           Telemetry.phase obs "advsat/pass2"
             ~payload:(fun r -> List.length r.Bsat.solutions)
             (fun () ->
               Bsat.diagnose ~candidates:implicated ~force_zero:true
-                ?max_solutions ?time_limit ?budget ?jobs ~k c tests)
+                ?max_solutions ?time_limit ?budget ?certify ?jobs ~k c tests)
         in
-        (p2, pass1.Bsat.solver_calls + p2.Bsat.solver_calls)
+        ( p2,
+          pass1.Bsat.solver_calls + p2.Bsat.solver_calls,
+          pass1.Bsat.cert_checks + p2.Bsat.cert_checks,
+          pass1.Bsat.cert_failures @ p2.Bsat.cert_failures )
   in
   let r =
     {
@@ -64,6 +73,8 @@ let diagnose_dominators ?max_solutions ?time_limit ?budget ?obs ?jobs ~k c
       total_time = Sys.time () -. t0;
       truncated = pass1.Bsat.truncated || pass2.Bsat.truncated;
       stats = pass2.Bsat.stats;
+      cert_checks;
+      cert_failures;
     }
   in
   record obs "advsat/dominators" ~solver_calls:calls r;
@@ -79,7 +90,7 @@ let chunks n xs =
   go [] [] 0 xs
 
 let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
-    ?jobs ~k c tests =
+    ?certify ?jobs ~k c tests =
   let t0 = Sys.time () in
   let slices = chunks slice tests in
   match slices with
@@ -90,13 +101,19 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
         total_time = 0.0;
         truncated = false;
         stats = Sat.Solver.stats (Sat.Solver.create ());
+        cert_checks = 0;
+        cert_failures = [];
       }
   | first :: rest ->
       let truncated = ref false in
       let calls = ref 0 in
+      let cert_checks = ref 0 in
+      let cert_failures = ref [] in
       let note (r : Bsat.result) =
         if r.Bsat.truncated then truncated := true;
         calls := !calls + r.Bsat.solver_calls;
+        cert_checks := !cert_checks + r.Bsat.cert_checks;
+        cert_failures := !cert_failures @ r.Bsat.cert_failures;
         r
       in
       let slice_phase f =
@@ -108,7 +125,7 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
         note
           (slice_phase (fun () ->
                Bsat.diagnose ~force_zero:true ?max_solutions ?time_limit
-                 ?budget ?jobs ~k c first))
+                 ?budget ?certify ?jobs ~k c first))
       in
       let narrow result next_tests =
         let cands =
@@ -120,7 +137,8 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
             note
               (slice_phase (fun () ->
                    Bsat.diagnose ~candidates:cands ~force_zero:true
-                     ?max_solutions ?time_limit ?budget ?jobs ~k c next_tests))
+                     ?max_solutions ?time_limit ?budget ?certify ?jobs ~k c
+                     next_tests))
       in
       (* each slice shrinks the candidate pool; solve the next slice over
          the survivors only *)
@@ -137,6 +155,8 @@ let diagnose_partitioned ?(slice = 8) ?max_solutions ?time_limit ?budget ?obs
           total_time = Sys.time () -. t0;
           truncated = !truncated;
           stats = final.Bsat.stats;
+          cert_checks = !cert_checks;
+          cert_failures = !cert_failures;
         }
       in
       record obs "advsat/partitioned" ~solver_calls:!calls r;

@@ -26,6 +26,10 @@ type result = {
       (** any underlying pass hit its budget or limit; the reported
           solutions are still individually valid *)
   stats : Sat.Solver.stats;        (** from the final pass *)
+  cert_checks : int;
+      (** with [certify]: verified answers, summed over all passes *)
+  cert_failures : string list;
+      (** with [certify]: verification failures over all passes *)
 }
 
 val diagnose_dominators :
@@ -33,6 +37,7 @@ val diagnose_dominators :
   ?time_limit:float ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?certify:bool ->
   ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
@@ -42,7 +47,8 @@ val diagnose_dominators :
     whatever allowance the skeleton pass left over.  [obs] records the
     run under ["advsat/dominators/..."] and brackets the passes with
     ["advsat/pass1"]/["advsat/pass2"] [Begin]/[End] events ([End]
-    payload = pass solution count).  [jobs] runs every underlying BSAT
+    payload = pass solution count).  [certify] verifies every underlying
+    solver answer ({!Bsat.diagnose}).  [jobs] runs every underlying BSAT
     enumeration as a solver portfolio ({!Bsat.diagnose}). *)
 
 val diagnose_partitioned :
@@ -51,6 +57,7 @@ val diagnose_partitioned :
   ?time_limit:float ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?certify:bool ->
   ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->

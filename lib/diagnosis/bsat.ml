@@ -6,6 +6,8 @@ type result = {
   truncated : bool;
   solver_calls : int;
   stats : Sat.Solver.stats;
+  cert_checks : int;
+  cert_failures : string list;
 }
 
 type hints = {
@@ -69,13 +71,14 @@ let shrink_in_instance ~budget ~count_call inst sol =
   drop [] sol
 
 let diagnose_sequential ~candidates ~force_zero ~hints ~strategy ~max_solutions
-    ~time_limit ~budget ~obs ~obs_prefix ~k c tests =
+    ~time_limit ~budget ~obs ~obs_prefix ~certify ~k c tests =
   let t0 = Sys.time () in
   let solver = Sat.Solver.create () in
   Option.iter (Sat.Solver.attach_obs solver) obs;
   let inst =
     Telemetry.phase obs (obs_prefix ^ "/cnf") (fun () ->
-        Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests)
+        Encode.Muxed.build ?candidates ?force_zero ~certify ~max_k:k solver c
+          tests)
   in
   apply_hints solver inst hints;
   let cnf_time = Sys.time () -. t0 in
@@ -165,6 +168,8 @@ let diagnose_sequential ~candidates ~force_zero ~hints ~strategy ~max_solutions
     truncated = !truncated;
     solver_calls = !ncalls;
     stats;
+    cert_checks = Encode.Muxed.cert_checks inst;
+    cert_failures = Encode.Muxed.cert_failures inst;
   }
 
 let sum_stats (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
@@ -196,7 +201,7 @@ let rec take n = function
    exactly the sequential essential-solution set, and the canonical sort
    makes the list byte-identical to [jobs = 1]. *)
 let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
-    ~time_limit ~budget ~obs ~obs_prefix ~jobs ~k c tests =
+    ~time_limit ~budget ~obs ~obs_prefix ~certify ~jobs ~k c tests =
   let found = Atomic.make 0 in
   let worker w =
     let reg = Option.map (fun _ -> Obs.create ()) obs in
@@ -205,7 +210,8 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
     let wt0 = Obs.Clock.wall () in
     let inst =
       Telemetry.phase reg (obs_prefix ^ "/cnf") (fun () ->
-          Encode.Muxed.build ?candidates ?force_zero ~max_k:k solver c tests)
+          Encode.Muxed.build ?candidates ?force_zero ~certify ~max_k:k solver c
+            tests)
     in
     apply_hints solver inst hints;
     let cnf_time = Obs.Clock.wall () -. wt0 in
@@ -324,7 +330,8 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
       cnf_time,
       Obs.Clock.wall () -. wstart,
       Sat.Solver.stats solver,
-      reg )
+      reg,
+      (Encode.Muxed.cert_checks inst, Encode.Muxed.cert_failures inst) )
   in
   let results = Par.run ~jobs worker in
   (* a solution of size <= fence+1 that is not essential contains an
@@ -335,17 +342,17 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
      dropped (the run is already marked truncated). *)
   let fence =
     Array.fold_left
-      (fun acc (_, _, _, f, _, _, _, _, _) -> min acc f)
+      (fun acc (_, _, _, f, _, _, _, _, _, _) -> min acc f)
       k results
   in
   let merged =
     Array.to_list results
-    |> List.concat_map (fun (sols, _, _, _, _, _, _, _, _) -> sols)
+    |> List.concat_map (fun (sols, _, _, _, _, _, _, _, _, _) -> sols)
     |> Solutions.canonical |> Solutions.minimal_only
     |> List.filter (fun s -> List.length s <= fence + 1)
   in
   let truncated =
-    Array.exists (fun (_, _, tr, _, _, _, _, _, _) -> tr) results
+    Array.exists (fun (_, _, tr, _, _, _, _, _, _, _) -> tr) results
     || List.length merged > max_solutions
   in
   let solutions =
@@ -353,11 +360,11 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
     else merged
   in
   let ncalls =
-    Array.fold_left (fun acc (_, n, _, _, _, _, _, _, _) -> acc + n) 0 results
+    Array.fold_left (fun acc (_, n, _, _, _, _, _, _, _, _) -> acc + n) 0 results
   in
   let stats =
     Array.fold_left
-      (fun acc (_, _, _, _, _, _, _, st, _) -> sum_stats acc st)
+      (fun acc (_, _, _, _, _, _, _, st, _, _) -> sum_stats acc st)
       Sat.Solver.
         {
           decisions = 0;
@@ -372,27 +379,38 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
   in
   let cnf_time =
     Array.fold_left
-      (fun acc (_, _, _, _, _, ct, _, _, _) -> Float.max acc ct)
+      (fun acc (_, _, _, _, _, ct, _, _, _, _) -> Float.max acc ct)
       0.0 results
   in
   let one_time =
     Array.fold_left
-      (fun acc (sols, _, _, _, ot, _, _, _, _) ->
+      (fun acc (sols, _, _, _, ot, _, _, _, _, _) ->
         if sols = [] then acc else Float.min acc ot)
       infinity results
   in
   let one_time = if Float.is_finite one_time then one_time else 0.0 in
   let all_time =
     Array.fold_left
-      (fun acc (_, _, _, _, _, _, at, _, _) -> Float.max acc at)
+      (fun acc (_, _, _, _, _, _, at, _, _, _) -> Float.max acc at)
       0.0 results
+  in
+  (* per-worker certification composes: each worker certifies its own
+     cubes' answers, and the cubes cover the solution space *)
+  let cert_checks =
+    Array.fold_left
+      (fun acc (_, _, _, _, _, _, _, _, _, (n, _)) -> acc + n)
+      0 results
+  in
+  let cert_failures =
+    Array.to_list results
+    |> List.concat_map (fun (_, _, _, _, _, _, _, _, _, (_, fs)) -> fs)
   in
   (match obs with
   | None -> ()
   | Some obs ->
       let regs =
         Array.to_list results
-        |> List.filter_map (fun (_, _, _, _, _, _, _, _, reg) -> reg)
+        |> List.filter_map (fun (_, _, _, _, _, _, _, _, reg, _) -> reg)
         |> Array.of_list
       in
       Obs.merge_children ~into:obs regs;
@@ -413,22 +431,24 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
     truncated;
     solver_calls = ncalls;
     stats;
+    cert_checks;
+    cert_failures;
   }
 
 let diagnose ?candidates ?force_zero ?(hints = no_hints)
     ?(strategy = Incremental_k) ?(max_solutions = max_int)
-    ?(time_limit = infinity) ?budget ?obs ?(obs_prefix = "bsat") ?(jobs = 1) ~k
-    c tests =
+    ?(time_limit = infinity) ?budget ?obs ?(obs_prefix = "bsat")
+    ?(certify = false) ?(jobs = 1) ~k c tests =
   let budget =
     match budget with Some b -> b | None -> Sat.Budget.unlimited ()
   in
   let jobs = Par.clamp_jobs jobs in
   if jobs = 1 then
     diagnose_sequential ~candidates ~force_zero ~hints ~strategy ~max_solutions
-      ~time_limit ~budget ~obs ~obs_prefix ~k c tests
+      ~time_limit ~budget ~obs ~obs_prefix ~certify ~k c tests
   else
     diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
-      ~time_limit ~budget ~obs ~obs_prefix ~jobs ~k c tests
+      ~time_limit ~budget ~obs ~obs_prefix ~certify ~jobs ~k c tests
 
 let first_solution ?candidates ?force_zero ?hints ~k c tests =
   let r = diagnose ?candidates ?force_zero ?hints ~max_solutions:1 ~k c tests in

@@ -19,6 +19,13 @@ type result = {
           enumerated prefix is still sound (every solution valid) *)
   solver_calls : int;         (** SAT oracle invocations *)
   stats : Sat.Solver.stats;   (** solver counters, for the hybrid ablation *)
+  cert_checks : int;
+      (** with [certify]: solver answers independently verified (0
+          otherwise); in a portfolio, summed over the workers *)
+  cert_failures : string list;
+      (** with [certify]: verification failures — [[]] on a healthy
+          build.  A non-empty list means a solver or checker bug; the
+          diagnosis result itself is unchanged. *)
 }
 
 type hints = {
@@ -50,6 +57,7 @@ val diagnose :
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
   ?obs_prefix:string ->
+  ?certify:bool ->
   ?jobs:int ->
   k:int ->
   Netlist.Circuit.t ->
@@ -58,6 +66,15 @@ val diagnose :
 (** [candidates] restricts the multiplexer sites (advanced approaches);
     [force_zero] adds the s=0 ⇒ c=0 pruning clauses; [hints] biases the
     solver's decision heuristic (the §6 hybrid).
+
+    [certify] (default false) independently verifies every solver answer
+    behind the enumeration ({!Encode.Muxed.build}'s certification mode):
+    [Sat] answers by model evaluation, [Unsat] answers — each
+    cardinality-level step and the final enumeration-exhausted step — by
+    DRUP-checking the solver's proof.  Results land in [cert_checks] /
+    [cert_failures].  With [jobs > 1] each portfolio worker certifies
+    its own instance; the per-cube certificates compose because the
+    cubes partition the solution space.
 
     [jobs] (default 1) enumerates with a portfolio of that many
     independent solvers on their own domains: the solution space is

@@ -5,16 +5,21 @@ type t = {
   obs : Obs.t option;
   circuit : Netlist.Circuit.t;
   force_zero : bool option;
+  certify : bool;
   mutable tests : Sim.Testgen.test list;  (* accumulated, in arrival order *)
   mutable last_truncated : bool;
+  (* portfolio runs bypass the live instance; their certification
+     outcomes accumulate here instead *)
+  mutable portfolio_checks : int;
+  mutable portfolio_failures : string list;
 }
 
-let create ?force_zero ?obs ~k c tests =
+let create ?force_zero ?obs ?(certify = false) ~k c tests =
   let solver = Sat.Solver.create () in
   Option.iter (Sat.Solver.attach_obs ~prefix:"incremental" solver) obs;
   let inst =
     Telemetry.phase obs "incremental/cnf" (fun () ->
-        Encode.Muxed.build ?force_zero ~max_k:k solver c tests)
+        Encode.Muxed.build ?force_zero ~certify ~max_k:k solver c tests)
   in
   {
     solver;
@@ -23,8 +28,11 @@ let create ?force_zero ?obs ~k c tests =
     obs;
     circuit = c;
     force_zero;
+    certify;
     tests;
     last_truncated = false;
+    portfolio_checks = 0;
+    portfolio_failures = [];
   }
 
 let add_tests t tests =
@@ -40,10 +48,12 @@ let num_tests t = Encode.Muxed.num_tests t.inst
    the enumerated set is the same, the learned-clause reuse is not. *)
 let solutions_portfolio ~max_solutions ?budget ~jobs t =
   let r =
-    Bsat.diagnose ?force_zero:t.force_zero ~max_solutions ?budget ~jobs
-      ~k:t.k t.circuit t.tests
+    Bsat.diagnose ?force_zero:t.force_zero ~max_solutions ?budget
+      ~certify:t.certify ~jobs ~k:t.k t.circuit t.tests
   in
   t.last_truncated <- r.Bsat.truncated;
+  t.portfolio_checks <- t.portfolio_checks + r.Bsat.cert_checks;
+  t.portfolio_failures <- t.portfolio_failures @ r.Bsat.cert_failures;
   r.Bsat.solutions
 
 let solutions ?(max_solutions = max_int) ?budget ?(jobs = 1) t =
@@ -85,11 +95,17 @@ let solutions ?(max_solutions = max_int) ?budget ?(jobs = 1) t =
             continue_level := false
     done
   done;
-  (* retire the guard permanently *)
-  Sat.Solver.add_clause t.solver [ Sat.Lit.negate active ];
+  (* retire the guard permanently — through the instance's emit hook so
+     the certification checker sees the unit clause too *)
+  Encode.Muxed.assert_clause t.inst [ Sat.Lit.negate active ];
   t.last_truncated <- !truncated;
   Solutions.canonical (List.rev !solutions)
 
 let last_truncated t = t.last_truncated
 
 let stats t = Sat.Solver.stats t.solver
+
+let cert_checks t = t.portfolio_checks + Encode.Muxed.cert_checks t.inst
+
+let cert_failures t =
+  t.portfolio_failures @ Encode.Muxed.cert_failures t.inst

@@ -13,11 +13,17 @@ type t
 val create :
   ?force_zero:bool ->
   ?obs:Obs.t ->
+  ?certify:bool ->
   k:int ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
   t
-(** [obs] attaches the live solver's per-conflict histograms under
+(** [certify] verifies every solver answer on the live instance
+    ({!Encode.Muxed.build}'s certification mode) — including clauses
+    added later by {!add_tests} and the guarded blocking clauses, which
+    the checker receives through the same emit hook; see {!cert_checks}.
+
+    [obs] attaches the live solver's per-conflict histograms under
     ["incremental/..."] ({!Sat.Solver.attach_obs}) and emits
     ["incremental/cnf"] [Begin]/[End] events around instance
     construction, an ["incremental/add_tests"] [Instant] event per
@@ -54,3 +60,12 @@ val last_truncated : t -> bool
     budget (initially [false]). *)
 
 val stats : t -> Sat.Solver.stats
+
+val cert_checks : t -> int
+(** With [certify]: answers verified over the instance's lifetime —
+    live-instance checks plus any portfolio runs' checks (0 without
+    [certify]). *)
+
+val cert_failures : t -> string list
+(** With [certify]: accumulated verification failures, oldest first
+    ([[]] on a healthy build). *)

@@ -23,6 +23,7 @@ val build :
   ?candidates:int list ->
   ?groups:int list list ->
   ?force_zero:bool ->
+  ?certify:bool ->
   max_k:int ->
   Sat.Solver.t ->
   Netlist.Circuit.t ->
@@ -40,7 +41,18 @@ val build :
     space projected on the select lines.
 
     [mirror] additionally copies every clause into the given CNF (see
-    {!export_dimacs}). *)
+    {!export_dimacs}).
+
+    [certify] attaches a DRUP proof sink to [solver] and an independent
+    {!Sat.Drup_check} checker that receives every emitted clause.  Each
+    subsequent solve call is then verified: a [Sat] answer by evaluating
+    the model against the full clause set, an [Unsat] answer by forward
+    DRUP-checking the solver's proof and locating the clause that
+    negates the failed assumptions (the cardinality bound and any
+    activation guards).  Outcomes accumulate in {!cert_checks} /
+    {!cert_failures}; verification never changes answers.  [certify]
+    requires [solver] to be fresh — clauses added before [build] would
+    be invisible to the checker. *)
 
 val export_dimacs :
   ?candidates:int list ->
@@ -110,8 +122,25 @@ val block : ?unless:Sat.Lit.t -> t -> int list -> unit
     takes effect while the literal is assumed true, so a whole
     enumeration can be retired (incremental diagnosis). *)
 
+val assert_clause : t -> Sat.Lit.t list -> unit
+(** Add an arbitrary clause through the instance's emit hook, so mirrors
+    and the certification checker stay in sync with the solver.  Used to
+    retire activation guards ([¬a] as a unit clause). *)
+
 val fresh_activation : t -> Sat.Lit.t
 (** A fresh activation literal for guarded blocking clauses. *)
+
+val certified : t -> bool
+(** Was the instance built with [~certify:true]? *)
+
+val cert_checks : t -> int
+(** Solver answers verified so far (both [Sat] and [Unsat]; [Unknown]
+    results carry no claim and are not counted). *)
+
+val cert_failures : t -> string list
+(** Verification failures so far, oldest first.  Always [[]] unless the
+    solver or checker has a bug — this is the paper-level soundness net:
+    every diagnosis step's SAT answer is independently replayed. *)
 
 val gate_value : t -> test:int -> gate:int -> bool
 (** After [Sat]: the (post-mux) value of any gate in a test copy. *)

@@ -44,25 +44,29 @@ let of_dimacs text =
         current := []
     | Some i -> current := Lit.of_dimacs i :: !current
   in
+  (* any whitespace separates tokens — generators emit tabs and CRLF *)
+  let tokens line =
+    String.map (function '\t' | '\r' -> ' ' | c -> c) line
+    |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+  in
+  let stop = ref false in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          let line = String.trim line in
-         if line = "" || line.[0] = 'c' then ()
+         if !stop || line = "" || line.[0] = 'c' then ()
+         else if line.[0] = '%' then
+           (* SATLIB benchmark terminator: "%" then a stray "0" line *)
+           stop := true
          else if line.[0] = 'p' then begin
-           match
-             String.split_on_char ' ' line
-             |> List.filter (fun s -> s <> "")
-           with
+           match tokens line with
            | [ "p"; "cnf"; nv; _nc ] -> (
                match int_of_string_opt nv with
                | Some n -> f.num_vars <- max f.num_vars n
                | None -> failwith "Cnf.of_dimacs: bad header")
            | _ -> failwith "Cnf.of_dimacs: bad header"
          end
-         else
-           String.split_on_char ' ' line
-           |> List.filter (fun s -> s <> "")
-           |> List.iter handle_token);
+         else List.iter handle_token (tokens line));
   if !current <> [] then failwith "Cnf.of_dimacs: unterminated clause";
   f
 

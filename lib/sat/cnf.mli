@@ -20,7 +20,12 @@ val clauses : t -> Lit.t list list
 val to_dimacs : t -> string
 
 val of_dimacs : string -> t
-(** Parse DIMACS CNF text.  @raise Failure on malformed input. *)
+(** Parse DIMACS CNF text.  Tokens may be separated by any mix of
+    spaces, tabs and CR/LF; a clause may span lines (terminated by the
+    [0] token, wherever it falls); a line starting with [%] ends the
+    input (SATLIB benchmarks append ["%\n0\n"] after the last clause).
+    A lone [0] token is the empty clause.
+    @raise Failure on malformed input. *)
 
 val eval : t -> bool array -> bool
 (** Whether an assignment (indexed by variable) satisfies every clause. *)

@@ -1,0 +1,254 @@
+(* Forward DRUP checking with a deliberately simple propagation engine:
+   per-literal occurrence lists and a full scan of each touched clause.
+   Slower than two-watched literals but independent of solver.ml and
+   easy to audit — the point of a checker.
+
+   Assignment encoding: assigns.(v) is -1 (unset), 0 (false), 1 (true);
+   literal l (code 2v/2v+1) is true iff assigns.(l lsr 1) = (l land 1)
+   lxor 1.  The root trail (everything implied by the live clause set
+   alone) persists; RUP checks push assumptions on top and roll back. *)
+
+type clause = { lits : int array; mutable dead : bool; input : bool }
+
+type t = {
+  mutable assigns : int array;
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable qhead : int;
+  mutable clauses : clause array;
+  mutable n_clauses : int;
+  mutable occs : int list array; (* lit code -> clause indices *)
+  mutable live : int;
+  index : (int list, int list) Hashtbl.t; (* sorted codes -> live ids *)
+  mutable contradiction : bool;
+}
+
+let create () =
+  {
+    assigns = Array.make 16 (-1);
+    trail = Array.make 16 0;
+    trail_n = 0;
+    qhead = 0;
+    clauses = [||];
+    n_clauses = 0;
+    occs = Array.make 32 [];
+    live = 0;
+    index = Hashtbl.create 64;
+    contradiction = false;
+  }
+
+let refuted t = t.contradiction
+let num_clauses t = t.live
+
+let grow t nvars =
+  let cap = Array.length t.assigns in
+  if nvars > cap then begin
+    let cap' = max nvars (2 * cap) in
+    let assigns = Array.make cap' (-1) in
+    Array.blit t.assigns 0 assigns 0 cap;
+    t.assigns <- assigns;
+    let trail = Array.make cap' 0 in
+    Array.blit t.trail 0 trail 0 t.trail_n;
+    t.trail <- trail;
+    let occs = Array.make (2 * cap') [] in
+    Array.blit t.occs 0 occs 0 (Array.length t.occs);
+    t.occs <- occs
+  end
+
+let lit_value t l =
+  let a = t.assigns.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let enqueue t l =
+  t.assigns.(l lsr 1) <- (l land 1) lxor 1;
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+(* scan a clause: true if satisfied; otherwise enqueue a sole unassigned
+   literal; a fully false clause is a conflict *)
+exception Conflict
+
+let scan_clause t c =
+  let sat = ref false in
+  let unknown = ref (-1) in
+  let two = ref false in
+  let len = Array.length c.lits in
+  let i = ref 0 in
+  while (not !sat) && (not !two) && !i < len do
+    let l = c.lits.(!i) in
+    (match lit_value t l with
+    | 1 -> sat := true
+    | -1 -> if !unknown < 0 then unknown := l else two := true
+    | _ -> ());
+    incr i
+  done;
+  if not (!sat || !two) then
+    if !unknown < 0 then raise Conflict else enqueue t !unknown
+
+(* propagate the queue to fixpoint; raises Conflict *)
+let propagate t =
+  while t.qhead < t.trail_n do
+    let l = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    List.iter
+      (fun ci ->
+        let c = t.clauses.(ci) in
+        if not c.dead then scan_clause t c)
+      t.occs.(l lxor 1)
+  done
+
+let rollback t mark =
+  for i = t.trail_n - 1 downto mark do
+    t.assigns.(t.trail.(i) lsr 1) <- -1
+  done;
+  t.trail_n <- mark;
+  t.qhead <- mark
+
+let key_of codes = Array.to_list codes
+
+(* normalize: sorted unique codes; None for tautologies (never unit or
+   conflicting, so they can be dropped without weakening propagation) *)
+let normalize lits =
+  let codes = List.sort_uniq Int.compare (List.map Lit.code lits) in
+  let rec tauto = function
+    | a :: (b :: _ as rest) -> (a lxor 1) = b || tauto rest
+    | _ -> false
+  in
+  if tauto codes then None else Some (Array.of_list codes)
+
+let install t ~input codes =
+  let c = { lits = codes; dead = false; input } in
+  if t.n_clauses = Array.length t.clauses then begin
+    let a = Array.make (max 16 (2 * t.n_clauses)) c in
+    Array.blit t.clauses 0 a 0 t.n_clauses;
+    t.clauses <- a
+  end;
+  let ci = t.n_clauses in
+  t.clauses.(ci) <- c;
+  t.n_clauses <- ci + 1;
+  t.live <- t.live + 1;
+  Array.iter (fun l -> t.occs.(l) <- ci :: t.occs.(l)) codes;
+  let key = key_of codes in
+  Hashtbl.replace t.index key
+    (ci :: Option.value ~default:[] (Hashtbl.find_opt t.index key));
+  (* keep the root trail at fixpoint *)
+  if not t.contradiction then begin
+    match
+      scan_clause t c;
+      propagate t
+    with
+    | () -> ()
+    | exception Conflict -> t.contradiction <- true
+  end
+
+let add_lits t ~input lits =
+  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
+  match normalize lits with
+  | None -> () (* tautology *)
+  | Some [||] -> t.contradiction <- true
+  | Some codes -> install t ~input codes
+
+let add_clause t lits = add_lits t ~input:true lits
+
+let add_cnf t f =
+  grow t f.Cnf.num_vars;
+  List.iter (add_clause t) (Cnf.clauses f)
+
+let check_rup t lits =
+  t.contradiction
+  ||
+  let mark = t.trail_n in
+  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
+  let outcome =
+    match
+      List.iter
+        (fun l ->
+          let nl = Lit.code l lxor 1 in
+          match lit_value t nl with
+          | 0 -> raise Conflict (* the clause holds a root-true literal *)
+          | -1 -> enqueue t nl
+          | _ -> ())
+        lits;
+      propagate t
+    with
+    | () -> false
+    | exception Conflict -> true
+  in
+  rollback t mark;
+  outcome
+
+(* among identical live copies, delete a derived one before an input
+   one, so [model_ok]'s input-clause coverage survives DB reduction *)
+let pick_removable t ids =
+  let rec go acc = function
+    | [] -> ( match ids with ci :: rest -> Some (ci, rest) | [] -> None)
+    | ci :: rest ->
+        if not t.clauses.(ci).input then Some (ci, List.rev_append acc rest)
+        else go (ci :: acc) rest
+  in
+  go [] ids
+
+let remove t lits =
+  match normalize lits with
+  | None -> Ok () (* tautologies were never installed *)
+  | Some codes -> (
+      let key = key_of codes in
+      match Option.bind (Hashtbl.find_opt t.index key) (pick_removable t) with
+      | Some (ci, rest) ->
+          t.clauses.(ci).dead <- true;
+          t.live <- t.live - 1;
+          if rest = [] then Hashtbl.remove t.index key
+          else Hashtbl.replace t.index key rest;
+          Ok ()
+      | None ->
+          Error
+            (Printf.sprintf "delete of absent clause (%s)"
+               (String.concat " "
+                  (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits))))
+
+let check_step t step =
+  match step with
+  | Proof.Delete lits -> remove t lits
+  | Proof.Add lits ->
+      if check_rup t lits then begin
+        add_lits t ~input:false lits;
+        Ok ()
+      end
+      else
+        Error
+          (Printf.sprintf "clause (%s) is not a RUP consequence"
+             (String.concat " "
+                (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits)))
+
+let model_ok ?(assumptions = []) t value =
+  let lit_true l = value (l lsr 1) = (l land 1 = 0) in
+  let ok = ref true in
+  for ci = 0 to t.n_clauses - 1 do
+    let c = t.clauses.(ci) in
+    if c.input && not c.dead then
+      if not (Array.exists lit_true c.lits) then ok := false
+  done;
+  !ok && List.for_all (fun l -> lit_true (Lit.code l)) assumptions
+
+let check_unsat ?(assumptions = []) cnf steps =
+  let t = create () in
+  add_cnf t cnf;
+  let n = Array.length steps in
+  let rec verify i =
+    if i >= n then Ok ()
+    else
+      match check_step t steps.(i) with
+      | Ok () -> verify (i + 1)
+      | Error msg -> Error (Printf.sprintf "step %d: %s" (i + 1) msg)
+  in
+  Result.bind (verify 0) (fun () ->
+      let neg = List.map Lit.negate assumptions in
+      let establishes = function
+        | Proof.Add lits -> List.for_all (fun l -> List.mem l neg) lits
+        | Proof.Delete _ -> false
+      in
+      if refuted t || Array.exists establishes steps then Ok ()
+      else
+        Error
+          (if assumptions = [] then "proof does not derive the empty clause"
+           else "proof does not derive a failed-assumption core clause"))

@@ -1,0 +1,57 @@
+(** Independent forward DRUP checker.
+
+    Validates a {!Proof} against the clause set it was produced from:
+    every [Add] step must be a reverse-unit-propagation (RUP)
+    consequence of the input clauses plus the previously accepted
+    additions (minus deletions), i.e. assuming its negation and unit
+    propagating must yield a conflict.  The propagation engine here is
+    written from scratch — occurrence lists and a full-clause scan, no
+    watched-literal code shared with {!Solver} — precisely so a solver
+    bug cannot hide in its own certificate check, the same way the twin
+    validity engines cross-check each other.
+
+    The checker is incremental: input clauses may be interleaved with
+    proof steps (blocking clauses during an enumeration, new circuit
+    copies in incremental diagnosis), matching how the solver's clause
+    set actually grows. *)
+
+type t
+
+val create : unit -> t
+
+val add_clause : t -> Lit.t list -> unit
+(** Install an input clause (trusted, not checked). *)
+
+val add_cnf : t -> Cnf.t -> unit
+
+val refuted : t -> bool
+(** Has the empty clause been derived or installed?  Once refuted,
+    every further step is vacuously accepted. *)
+
+val num_clauses : t -> int
+(** Live clauses (inputs plus accepted additions minus deletions). *)
+
+val check_rup : t -> Lit.t list -> bool
+(** Is the clause a RUP consequence of the live clause set?  Leaves the
+    checker state unchanged. *)
+
+val check_step : t -> Proof.step -> (unit, string) result
+(** Verify one proof step.  [Add c] must pass {!check_rup} and is then
+    installed; [Delete c] must name a live clause, which is removed.
+    The error string says what failed; after an error the step is not
+    installed/removed. *)
+
+val model_ok : ?assumptions:Lit.t list -> t -> (int -> bool) -> bool
+(** Does the assignment (variable index -> value) satisfy every *input*
+    clause, and make every [assumptions] literal true?  Certifies a
+    [Sat] answer by evaluation, independently of the solver's model
+    bookkeeping. *)
+
+val check_unsat :
+  ?assumptions:Lit.t list -> Cnf.t -> Proof.step array -> (unit, string) result
+(** One-shot certification of an Unsat answer: every step verifies
+    against [cnf], and the proof contains a step establishing the claim
+    — the empty clause for global unsatisfiability, or (with
+    [assumptions]) a clause whose literals all negate assumptions,
+    i.e. the failed-assumption core.  A refutation reached while
+    installing [cnf] itself (complementary units) also qualifies. *)

@@ -1,0 +1,51 @@
+(** DRUP proof sinks.
+
+    A proof is the sequence of clause additions (every clause the solver
+    learns, post-minimization, plus the final clause certifying an Unsat
+    answer) and clause deletions (learnt-DB reduction) in derivation
+    order.  Each added clause is a *reverse unit propagation* (RUP)
+    consequence of the input formula and the additions before it, so the
+    whole sequence can be validated by the independent forward checker
+    ({!Drup_check}) with no trust in the solver.
+
+    Steps are canonicalized on entry (literals sorted by code), so a
+    proof's serialization is a pure function of the solver trajectory:
+    the same instance solved twice yields byte-identical proofs. *)
+
+type step =
+  | Add of Lit.t list     (** derived clause; [[]] is the empty clause *)
+  | Delete of Lit.t list  (** clause removed from the active set *)
+
+type t
+
+val in_memory : unit -> t
+(** A sink that retains every step for in-process checking
+    ({!steps}) and later serialization ({!to_string}). *)
+
+val to_channel : out_channel -> t
+(** A sink that streams standard DRUP text (one step per line, DIMACS
+    literal numbering, deletions prefixed [d], terminated by [0]) and
+    retains nothing.  The caller owns the channel; {!close} flushes it. *)
+
+val add : t -> Lit.t list -> unit
+(** Record a derived clause. *)
+
+val delete : t -> Lit.t list -> unit
+(** Record a deletion. *)
+
+val close : t -> unit
+(** Flush a channel-backed sink (no-op for in-memory sinks). *)
+
+val num_steps : t -> int
+(** Steps recorded so far (both kinds). *)
+
+val steps : t -> step array
+(** The retained steps, in derivation order.
+    @raise Invalid_argument on a channel-backed sink. *)
+
+val step_to_string : step -> string
+(** One DRUP text line, newline-terminated. *)
+
+val to_string : t -> string
+(** The full DRUP text of an in-memory proof.
+    @raise Invalid_argument on a channel-backed sink. *)

@@ -87,6 +87,8 @@ type t = {
   mutable s_deleted : int;
   mutable hooks : obs_hooks option;
   mutable last_conflict_props : int;
+  mutable proof : Proof.t option;
+  mutable conflict_core : int list option; (* lit codes; after Unsat *)
 }
 
 let create () =
@@ -124,7 +126,23 @@ let create () =
     s_deleted = 0;
     hooks = None;
     last_conflict_props = 0;
+    proof = None;
+    conflict_core = None;
   }
+
+let set_proof s p = s.proof <- p
+
+let lits_of_codes codes = List.map Lit.of_code (Array.to_list codes)
+
+let proof_add s codes =
+  match s.proof with
+  | None -> ()
+  | Some p -> Proof.add p (lits_of_codes codes)
+
+let proof_delete s codes =
+  match s.proof with
+  | None -> ()
+  | Some p -> Proof.delete p (lits_of_codes codes)
 
 let attach_obs ?(prefix = "sat") s obs =
   s.hooks <-
@@ -454,7 +472,10 @@ let reduce_db s =
         && (locked s c || Array.length c.lits <= 2 || i >= limit)
       then cvec_push keep c
       else begin
-        if not c.removed then s.s_deleted <- s.s_deleted + 1;
+        if not c.removed then begin
+          s.s_deleted <- s.s_deleted + 1;
+          proof_delete s c.lits
+        end;
         c.removed <- true
       end)
     ls;
@@ -490,10 +511,15 @@ let add_clause_codes s codes =
       clean [] sorted
     with
     | exception Trivial_clause -> ()
-    | [] -> s.ok <- false
+    | [] ->
+        s.ok <- false;
+        proof_add s [||]
     | [ l ] ->
         enqueue s l dummy_clause;
-        if propagate s <> None then s.ok <- false
+        if propagate s <> None then begin
+          s.ok <- false;
+          proof_add s [||]
+        end
     | lits ->
         let c =
           { lits = Array.of_list lits; act = 0.0; learnt = false;
@@ -533,6 +559,7 @@ let pick_branch_var s =
 
 let record_learnt s out =
   s.s_learned_total <- s.s_learned_total + 1;
+  proof_add s out;
   if Array.length out = 1 then begin
     enqueue s out.(0) dummy_clause
   end
@@ -544,9 +571,41 @@ let record_learnt s out =
     enqueue s out.(0) c
   end
 
+(* Which assumptions force [p] false?  MiniSat's analyzeFinal: seed the
+   seen set with [p]'s variable and walk the trail top-down; a seen
+   literal with a dummy reason is an enqueued assumption (at the
+   detection point every open level is an assumption level), a seen
+   literal with a real reason charges the reason's tail.  Returns the
+   failed-assumption core as literal codes, [p] included. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  if decision_level s > 0 then begin
+    s.seen.(p lsr 1) <- true;
+    for i = s.trail_n - 1 downto s.trail_lim.(0) do
+      let l = s.trail.(i) in
+      let v = l lsr 1 in
+      if s.seen.(v) then begin
+        let r = s.reason.(v) in
+        if r == dummy_clause then core := l :: !core
+        else
+          Array.iter
+            (fun q ->
+              if s.level.(q lsr 1) > 0 then s.seen.(q lsr 1) <- true)
+            r.lits;
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(p lsr 1) <- false
+  end;
+  !core
+
 let solve_limited ?(assumptions = []) ~budget s =
   s.model_valid <- false;
-  if not s.ok then Solved Unsat
+  s.conflict_core <- None;
+  if not s.ok then begin
+    s.conflict_core <- Some [];
+    Solved Unsat
+  end
   else if Budget.exhausted budget then Unknown
   else begin
     cancel_until s 0;
@@ -598,6 +657,8 @@ let solve_limited ?(assumptions = []) ~budget s =
                 s.last_conflict_props <- s.s_propagations);
             if decision_level s = 0 then begin
               s.ok <- false;
+              s.conflict_core <- Some [];
+              proof_add s [||];
               result := Some (Solved Unsat)
             end
             else begin
@@ -629,7 +690,12 @@ let solve_limited ?(assumptions = []) ~budget s =
               let p = assumptions.(decision_level s) in
               match lit_value s p with
               | 1 -> new_decision_level s
-              | 0 -> result := Some (Solved Unsat)
+              | 0 ->
+                  let core = analyze_final s p in
+                  s.conflict_core <- Some core;
+                  proof_add s
+                    (Array.of_list (List.map (fun l -> l lxor 1) core));
+                  result := Some (Solved Unsat)
               | _ ->
                   new_decision_level s;
                   enqueue s p dummy_clause
@@ -685,8 +751,23 @@ let set_default_phase s v b =
   grow_to s (v + 1);
   s.phase.(v) <- b
 
+let unsat_core s =
+  match s.conflict_core with
+  | None -> invalid_arg "Solver.unsat_core: last answer was not Unsat"
+  | Some codes -> List.map Lit.of_code codes
+
+let activity_of s v = if v < s.nvars then s.activity.(v) else 0.0
+
 let bump_priority s v amount =
   if v < s.nvars then begin
     s.activity.(v) <- s.activity.(v) +. amount;
+    (* same rescale guard as [var_bump]: external seeding (hybrid/BSIM
+       priming) can otherwise push activities to infinity *)
+    if s.activity.(v) > 1e100 then begin
+      for i = 0 to s.nvars - 1 do
+        s.activity.(i) <- s.activity.(i) *. 1e-100
+      done;
+      s.var_inc <- s.var_inc *. 1e-100
+    end;
     heap_notify_increase s v
   end

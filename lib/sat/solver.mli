@@ -49,7 +49,30 @@ val solve_limited :
     which is shared state: an enumeration loop passing the same budget
     to every call gets a total-effort cap.  After [Unknown] the solver
     is fully usable — no model is available, but clauses and learnt
-    state are intact. *)
+    state are intact.
+
+    An [Unsat] answer under assumptions does {e not} make the solver
+    permanently unsatisfiable unless the conflict is independent of the
+    assumptions; use {!unsat_core} to tell the two cases apart. *)
+
+val unsat_core : t -> Lit.t list
+(** After an [Unsat] answer: the failed-assumption core, a subset of the
+    assumptions passed to the last call such that the clause set already
+    implies their disjunctive negation.  [[]] means the clause set is
+    unsatisfiable outright (independent of any assumptions).  The core
+    is not guaranteed minimal.  With a proof sink attached, the clause
+    negating the core is the proof's final step, so the core itself is
+    certified by {!Drup_check.check_unsat}.
+    @raise Invalid_argument if the last call did not answer [Unsat]. *)
+
+val set_proof : t -> Proof.t option -> unit
+(** Attach (or detach) a DRUP proof sink.  The solver then records every
+    learned clause post-minimization, every learnt-DB deletion, and the
+    step establishing each [Unsat] answer — the empty clause, or the
+    failed-assumption-core clause.  Attach before adding clauses whose
+    derivations matter; detaching mid-run yields a proof the checker
+    will reject.  Proofs are byte-deterministic for a fixed trajectory
+    (see {!Proof}). *)
 
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer.
@@ -93,4 +116,11 @@ val set_default_phase : t -> int -> bool -> unit
 
 val bump_priority : t -> int -> float -> unit
 (** Add to a variable's VSIDS activity so it is branched on earlier.
-    Hook used by the hybrid diagnosis (BSIM mark counts as hints). *)
+    Hook used by the hybrid diagnosis (BSIM mark counts as hints).
+    Applies the same 1e100 rescale guard as internal conflict-driven
+    bumps, so repeated external seeding cannot overflow activities. *)
+
+val activity_of : t -> int -> float
+(** Current VSIDS activity of a variable (0 for unallocated variables).
+    Introspection hook for tests; activities are meaningful only
+    relative to each other and to the rescale epoch. *)

@@ -152,6 +152,36 @@ interleaved deterministically, tagged with their domain):
   == events (16 emitted, 0 dropped) ==
     bsat                                       16 event(s)
 
+--certify independently verifies every solver answer behind the run:
+Sat answers by evaluating the model against the live clause set, Unsat
+answers by replaying the solver's DRUP proof through the independent
+checker.  The count is deterministic, and per-cube portfolio
+certificates compose, so wider runs just verify more answers:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --certify
+  8 failing test(s) found
+  BSAT: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  certified: 4 solver answer(s) verified
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --certify --jobs 4
+  8 failing test(s) found
+  BSAT: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  certified: 7 solver answer(s) verified
+
+  $ diagnose run rca4 --faulty faulty.bench --method advsat -k 1 -m 8 --certify
+  8 failing test(s) found
+  advanced-sat (2-pass): 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  certified: 8 solver answer(s) verified
+
 The SAT solver CLI on a tiny DIMACS formula:
 
   $ cat > sat.cnf <<CNF
@@ -170,6 +200,19 @@ The SAT solver CLI on a tiny DIMACS formula:
   $ satsolve unsat.cnf
   s UNSATISFIABLE
   [20]
+
+--proof writes a DRUP certificate of an UNSAT answer; --check replays
+it through the independent checker (or, on SAT, evaluates the model)
+before exiting:
+
+  $ satsolve unsat.cnf --proof unsat.drup --check
+  s UNSATISFIABLE
+  c VERIFIED unsat (1 proof steps)
+  [20]
+  $ cat unsat.drup
+  0
+  $ satsolve sat.cnf --check 2>/dev/null | tail -1
+  c VERIFIED model
 
 Fault-simulation coverage and SAT-based ATPG (deterministic seeds):
 

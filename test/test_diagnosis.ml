@@ -665,6 +665,34 @@ let test_incremental_reenumeration_stable () =
   let b = Diagnosis.Incremental.solutions inc |> List.sort compare in
   Alcotest.(check (list (list int))) "same twice" a b
 
+let test_incremental_certified () =
+  (* the certified live instance keeps verifying across add_tests (the
+     checker sees later clauses and retired guards through the same emit
+     hook) and across a portfolio run, with the same solutions *)
+  let _, faulty, _, tests = workload 42 1 in
+  let half = List.filteri (fun i _ -> i < List.length tests / 2) tests in
+  let rest = List.filteri (fun i _ -> i >= List.length tests / 2) tests in
+  let plain = Diagnosis.Incremental.create ~k:1 faulty half in
+  let inc = Diagnosis.Incremental.create ~certify:true ~k:1 faulty half in
+  let run i = Diagnosis.Incremental.solutions i |> List.sort compare in
+  Alcotest.(check (list (list int))) "certified = plain" (run plain) (run inc);
+  Diagnosis.Incremental.add_tests plain rest;
+  Diagnosis.Incremental.add_tests inc rest;
+  Alcotest.(check (list (list int)))
+    "certified = plain after add_tests" (run plain) (run inc);
+  let live_checks = Diagnosis.Incremental.cert_checks inc in
+  Alcotest.(check bool) "live answers verified" true (live_checks > 0);
+  let par =
+    Diagnosis.Incremental.solutions ~jobs:2 inc |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "portfolio agrees" (run plain) par;
+  Alcotest.(check bool) "portfolio answers verified" true
+    (Diagnosis.Incremental.cert_checks inc > live_checks);
+  Alcotest.(check (list string)) "no failures" []
+    (Diagnosis.Incremental.cert_failures inc);
+  Alcotest.(check int) "plain instance never checks" 0
+    (Diagnosis.Incremental.cert_checks plain)
+
 (* ---------- xlist ---------- *)
 
 let prop_xlist_contains_single_error =
@@ -837,6 +865,8 @@ let () =
         [
           Alcotest.test_case "re-enumeration stable" `Quick
             test_incremental_reenumeration_stable;
+          Alcotest.test_case "certified lifetime" `Quick
+            test_incremental_certified;
         ] );
       ( "metrics",
         [

@@ -231,9 +231,15 @@ let prop_containment_relations =
         (fun jobs ->
           let bsim = Diagnosis.Bsim.diagnose ~jobs faulty tests in
           let cov = Diagnosis.Cover.diagnose ~jobs ~k:p faulty tests in
-          let bsat = Diagnosis.Bsat.diagnose ~jobs ~k:p faulty tests in
+          let bsat =
+            Diagnosis.Bsat.diagnose ~certify:true ~jobs ~k:p faulty tests
+          in
+          (* with certification on, every solver answer behind the
+             enumeration was independently verified *)
+          bsat.Diagnosis.Bsat.cert_checks > 0
+          && bsat.Diagnosis.Bsat.cert_failures = []
           (* Lemma 1: every BSAT solution is a valid correction *)
-          List.for_all check bsat.Diagnosis.Bsat.solutions
+          && List.for_all check bsat.Diagnosis.Bsat.solutions
           (* COV covers are drawn from the BSIM candidate union *)
           && List.for_all
                (fun s -> subset s bsim.Diagnosis.Bsim.union)

@@ -50,6 +50,31 @@ let test_dimacs_comments () =
   Alcotest.(check int) "vars" 3 f.Sat.Cnf.num_vars;
   Alcotest.(check int) "clauses" 2 (Sat.Cnf.clause_count f)
 
+let test_dimacs_whitespace () =
+  (* tabs, carriage returns, clauses spanning lines, SATLIB "%" trailer *)
+  let text = "c mixed\tws\r\np cnf 3\t2\r\n1\t-2\r\n3 0\n-1 3 0\r\n%\n0\n\n" in
+  let f = Sat.Cnf.of_dimacs text in
+  Alcotest.(check int) "vars" 3 f.Sat.Cnf.num_vars;
+  Alcotest.(check int) "clauses" 2 (Sat.Cnf.clause_count f);
+  let dim = Sat.Cnf.clauses f |> List.map (List.map Sat.Lit.to_dimacs) in
+  Alcotest.(check (list (list int)))
+    "multi-line clause kept whole"
+    [ [ 1; -2; 3 ]; [ -1; 3 ] ]
+    dim
+
+let test_dimacs_empty_clause () =
+  let f = Sat.Cnf.of_dimacs "p cnf 2 2\n1 2 0\n0\n" in
+  Alcotest.(check int) "clauses" 2 (Sat.Cnf.clause_count f);
+  Alcotest.(check bool) "empty clause present" true
+    (List.mem [] (Sat.Cnf.clauses f));
+  (* the empty clause survives a round-trip *)
+  let f' = Sat.Cnf.of_dimacs (Sat.Cnf.to_dimacs f) in
+  Alcotest.(check bool) "round-trips" true (List.mem [] (Sat.Cnf.clauses f'));
+  (* and makes a solver permanently unsat *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_cnf s f';
+  Alcotest.(check bool) "solver unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
 let test_cnf_eval () =
   let f = cnf_of_lists [ [ 1; 2 ]; [ -1; 2 ] ] in
   Alcotest.(check bool) "sat by [_;T]" true
@@ -246,6 +271,173 @@ let test_stats_learned_accounting () =
   Alcotest.(check bool) "deleted non-negative" true
     (st.Sat.Solver.deleted >= 0)
 
+(* ---------- assumption edge cases and failed-assumption cores ---------- *)
+
+let test_assumptions_already_true () =
+  (* assumptions already forced at root open dummy levels; the answer and
+     the model must be unaffected, repeated literals included *)
+  let s = solver_of_lists [ [ 1 ]; [ -1; 2 ] ] in
+  let a = Sat.Lit.pos 0 in
+  Alcotest.(check bool) "sat under redundant assumptions" true
+    (Sat.Solver.solve ~assumptions:[ a; a; Sat.Lit.pos 1 ] s
+    = Sat.Solver.Sat);
+  Alcotest.(check bool) "v1 true" true (Sat.Solver.value s 1)
+
+let test_assumption_root_false_core () =
+  (* a root-false assumption is an assumption failure, not global unsat *)
+  let s = solver_of_lists [ [ 1 ] ] in
+  Alcotest.(check bool) "unsat under -1" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of 0 ] s = Sat.Solver.Unsat);
+  Alcotest.(check (list int)) "core is the assumption" [ -1 ]
+    (List.map Sat.Lit.to_dimacs (Sat.Solver.unsat_core s));
+  (* the solver is not poisoned: ok stays true *)
+  Alcotest.(check bool) "still sat without assumptions" true
+    (Sat.Solver.solve s = Sat.Solver.Sat)
+
+let test_assumption_core_via_propagation () =
+  (* x1 -> x2; assuming x1 and -x2 fails, and both are charged *)
+  let s = solver_of_lists [ [ -1; 2 ] ] in
+  let assumptions = [ Sat.Lit.pos 0; Sat.Lit.neg_of 1 ] in
+  Alcotest.(check bool) "unsat" true
+    (Sat.Solver.solve ~assumptions s = Sat.Solver.Unsat);
+  let core =
+    List.sort compare (List.map Sat.Lit.to_dimacs (Sat.Solver.unsat_core s))
+  in
+  Alcotest.(check (list int)) "core = both assumptions" [ -2; 1 ] core
+
+let test_assumption_core_global () =
+  (* a contradiction independent of the assumptions yields the empty core *)
+  let s = solver_of_lists [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "unsat" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.pos 1 ] s = Sat.Solver.Unsat);
+  Alcotest.(check (list int)) "empty core" []
+    (List.map Sat.Lit.to_dimacs (Sat.Solver.unsat_core s))
+
+let test_unsat_core_requires_unsat () =
+  let s = solver_of_lists [ [ 1 ] ] in
+  ignore (Sat.Solver.solve s);
+  Alcotest.check_raises "no core after Sat"
+    (Invalid_argument "Solver.unsat_core: last answer was not Unsat")
+    (fun () -> ignore (Sat.Solver.unsat_core s))
+
+(* ---------- activity seeding ---------- *)
+
+let test_bump_priority_rescale () =
+  (* regression: external bumps past 1e100 must rescale like var_bump,
+     not run off to infinity *)
+  let s = solver_of_lists [ [ 1; 2 ]; [ -1; 2 ] ] in
+  for _ = 1 to 4 do
+    Sat.Solver.bump_priority s 0 1e308
+  done;
+  Alcotest.(check bool) "activity stays finite" true
+    (Float.is_finite (Sat.Solver.activity_of s 0));
+  (* relative order with an unbumped variable survives the rescale *)
+  Alcotest.(check bool) "bumped var dominates" true
+    (Sat.Solver.activity_of s 0 > Sat.Solver.activity_of s 1);
+  Alcotest.(check bool) "still solves" true
+    (Sat.Solver.solve s = Sat.Solver.Sat)
+
+(* ---------- DRUP proofs and the independent checker ---------- *)
+
+let php_lists p h =
+  let var pi hi = (pi * h) + hi + 1 in
+  let at_least = List.init p (fun pi -> List.init h (fun hi -> var pi hi)) in
+  let at_most =
+    List.concat_map
+      (fun hi ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ -var p1 hi; -var p2 hi ] else None)
+              (List.init p Fun.id))
+          (List.init p Fun.id))
+      (List.init h Fun.id)
+  in
+  at_least @ at_most
+
+let solve_with_proof lists assumptions =
+  let s = Sat.Solver.create () in
+  let proof = Sat.Proof.in_memory () in
+  Sat.Solver.set_proof s (Some proof);
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  let r = Sat.Solver.solve ~assumptions s in
+  (r, proof)
+
+let test_proof_php_checked () =
+  let lists = php_lists 5 4 in
+  let r, proof = solve_with_proof lists [] in
+  Alcotest.(check bool) "php 5/4 unsat" true (r = Sat.Solver.Unsat);
+  Alcotest.(check bool) "proof has steps" true (Sat.Proof.num_steps proof > 0);
+  match Sat.Drup_check.check_unsat (cnf_of_lists lists) (Sat.Proof.steps proof) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("checker rejected the proof: " ^ msg)
+
+let test_proof_assumption_core_checked () =
+  let lists = [ [ -1; 2 ]; [ -2; 3 ] ] in
+  let assumptions = [ Sat.Lit.pos 0; Sat.Lit.neg_of 2 ] in
+  let r, proof = solve_with_proof lists assumptions in
+  Alcotest.(check bool) "unsat under assumptions" true (r = Sat.Solver.Unsat);
+  match
+    Sat.Drup_check.check_unsat ~assumptions (cnf_of_lists lists)
+      (Sat.Proof.steps proof)
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("checker rejected the core proof: " ^ msg)
+
+let test_proof_deterministic () =
+  let run () =
+    let _, proof = solve_with_proof (php_lists 5 4) [] in
+    Sat.Proof.to_string proof
+  in
+  Alcotest.(check string) "byte-identical proofs" (run ()) (run ())
+
+let test_proof_mutations_rejected () =
+  let lists = php_lists 4 3 in
+  let cnf () = cnf_of_lists lists in
+  let _, proof = solve_with_proof lists [] in
+  let steps = Sat.Proof.steps proof in
+  (* an empty proof certifies nothing *)
+  (match Sat.Drup_check.check_unsat (cnf ()) [||] with
+  | Ok () -> Alcotest.fail "empty proof accepted"
+  | Error _ -> ());
+  (* a unit over an unconstrained fresh variable is not RUP: inserting
+     it anywhere must be rejected (unlike dropping a literal, which can
+     leave a still-valid stronger clause) *)
+  let rogue = Sat.Proof.Add [ Sat.Lit.pos 1000 ] in
+  let mutated = Array.append [| rogue |] steps in
+  (match Sat.Drup_check.check_unsat (cnf ()) mutated with
+  | Ok () -> Alcotest.fail "non-RUP insertion accepted"
+  | Error _ -> ());
+  (* deleting a clause that was never added must be rejected *)
+  let mutated =
+    Array.append [| Sat.Proof.Delete (clause_of_ints [ 7; 9 ]) |] steps
+  in
+  match Sat.Drup_check.check_unsat (cnf ()) mutated with
+  | Ok () -> Alcotest.fail "bogus deletion accepted"
+  | Error _ -> ()
+
+let test_checker_rup_basics () =
+  let t = Sat.Drup_check.create () in
+  Sat.Drup_check.add_clause t (clause_of_ints [ 1; 2 ]);
+  Sat.Drup_check.add_clause t (clause_of_ints [ -1; 2 ]);
+  Alcotest.(check bool) "[2] is RUP" true
+    (Sat.Drup_check.check_rup t (clause_of_ints [ 2 ]));
+  Alcotest.(check bool) "[1] is not RUP" false
+    (Sat.Drup_check.check_rup t (clause_of_ints [ 1 ]));
+  Alcotest.(check int) "two live clauses" 2 (Sat.Drup_check.num_clauses t)
+
+let test_checker_model_ok () =
+  let lists = [ [ 1; 2; 3 ]; [ -1; -2 ]; [ 2; 3 ]; [ -3; 1 ] ] in
+  let s = solver_of_lists lists in
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  let t = Sat.Drup_check.create () in
+  Sat.Drup_check.add_cnf t (cnf_of_lists lists);
+  Alcotest.(check bool) "model accepted" true
+    (Sat.Drup_check.model_ok t (Sat.Solver.value s));
+  Alcotest.(check bool) "all-false rejected" false
+    (Sat.Drup_check.model_ok t (fun _ -> false))
+
 (* ---------- CDCL vs DPLL on random formulas ---------- *)
 
 let random_cnf_gen =
@@ -279,13 +471,17 @@ let prop_cdcl_agrees_with_dpll =
       f.Sat.Cnf.num_vars <- nvars;
       List.iter (Sat.Cnf.add_clause f) cls;
       let s = Sat.Solver.create () in
+      let proof = Sat.Proof.in_memory () in
+      Sat.Solver.set_proof s (Some proof);
       Sat.Solver.ensure_vars s nvars;
       List.iter (Sat.Solver.add_clause s) cls;
       match (Sat.Solver.solve s, Sat.Dpll.solve f) with
       | Sat.Solver.Sat, Sat.Dpll.Sat _ ->
           (* the CDCL model must actually satisfy the formula *)
           Sat.Cnf.eval f (Sat.Solver.model s)
-      | Sat.Solver.Unsat, Sat.Dpll.Unsat -> true
+      | Sat.Solver.Unsat, Sat.Dpll.Unsat ->
+          (* and every Unsat answer must carry a checkable DRUP proof *)
+          Sat.Drup_check.check_unsat f (Sat.Proof.steps proof) = Ok ()
       | Sat.Solver.Sat, Sat.Dpll.Unsat
       | Sat.Solver.Unsat, Sat.Dpll.Sat _ ->
           false)
@@ -366,6 +562,39 @@ let prop_solve_limited_agrees =
       | Sat.Solver.Solved r -> r = plain
       | Sat.Solver.Unknown -> false)
 
+let prop_unsat_core_sound =
+  QCheck.Test.make ~count:200 ~name:"failed-assumption cores are sound"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let f = Sat.Cnf.create () in
+      f.Sat.Cnf.num_vars <- nvars;
+      List.iter (Sat.Cnf.add_clause f) cls;
+      let assumptions =
+        List.init (min 4 nvars) (fun v -> Sat.Lit.make v (v mod 2 = 0))
+      in
+      let s = Sat.Solver.create () in
+      let proof = Sat.Proof.in_memory () in
+      Sat.Solver.set_proof s (Some proof);
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      match Sat.Solver.solve ~assumptions s with
+      | Sat.Solver.Sat -> true
+      | Sat.Solver.Unsat ->
+          let core = Sat.Solver.unsat_core s in
+          (* the core is a subset of the assumptions... *)
+          List.for_all
+            (fun l -> List.exists (Sat.Lit.equal l) assumptions)
+            core
+          (* ...it is itself sufficient for Unsat... *)
+          && (let s2 = Sat.Solver.create () in
+              Sat.Solver.ensure_vars s2 nvars;
+              List.iter (Sat.Solver.add_clause s2) cls;
+              Sat.Solver.solve ~assumptions:core s2 = Sat.Solver.Unsat)
+          (* ...and the proof certifies it *)
+          && Sat.Drup_check.check_unsat ~assumptions:core f
+               (Sat.Proof.steps proof)
+             = Ok ())
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -374,6 +603,7 @@ let qsuite =
       prop_assumptions_consistent;
       prop_solver_reusable_after_assumptions;
       prop_solve_limited_agrees;
+      prop_unsat_core_sound;
     ]
 
 let () =
@@ -389,6 +619,9 @@ let () =
         [
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "dimacs whitespace" `Quick test_dimacs_whitespace;
+          Alcotest.test_case "dimacs empty clause" `Quick
+            test_dimacs_empty_clause;
           Alcotest.test_case "eval" `Quick test_cnf_eval;
         ] );
       ( "dpll",
@@ -420,6 +653,36 @@ let () =
             test_budget_charged_across_calls;
           Alcotest.test_case "learned accounting" `Quick
             test_stats_learned_accounting;
+        ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "already-true assumptions" `Quick
+            test_assumptions_already_true;
+          Alcotest.test_case "root-false core" `Quick
+            test_assumption_root_false_core;
+          Alcotest.test_case "core via propagation" `Quick
+            test_assumption_core_via_propagation;
+          Alcotest.test_case "global core empty" `Quick
+            test_assumption_core_global;
+          Alcotest.test_case "core requires unsat" `Quick
+            test_unsat_core_requires_unsat;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "bump_priority rescales" `Quick
+            test_bump_priority_rescale;
+        ] );
+      ( "proof",
+        [
+          Alcotest.test_case "php proof checked" `Quick test_proof_php_checked;
+          Alcotest.test_case "assumption core checked" `Quick
+            test_proof_assumption_core_checked;
+          Alcotest.test_case "byte deterministic" `Quick
+            test_proof_deterministic;
+          Alcotest.test_case "mutations rejected" `Quick
+            test_proof_mutations_rejected;
+          Alcotest.test_case "rup basics" `Quick test_checker_rup_basics;
+          Alcotest.test_case "model_ok" `Quick test_checker_model_ok;
         ] );
       ("properties", qsuite);
     ]
