@@ -578,20 +578,30 @@ let micro_throughput cfg =
     done;
     f
   in
-  let solve_php ~log ~check () =
+  let solve_php ~log ?mode () =
     let s = Sat.Solver.create () in
     let proof = if log then Some (Sat.Proof.in_memory ()) else None in
     Sat.Solver.set_proof s proof;
     Sat.Solver.add_cnf s php;
     assert (Sat.Solver.solve s = Sat.Solver.Unsat);
-    match proof with
-    | Some p when check ->
-        assert (Sat.Drup_check.check_unsat php (Sat.Proof.steps p) = Ok ())
+    match (proof, mode) with
+    | Some p, Some mode ->
+        assert (
+          Sat.Drup_check.check_unsat ~mode php (Sat.Proof.steps p) = Ok ())
     | _ -> ()
   in
-  let plain_s = rate (solve_php ~log:false ~check:false) in
-  let logged_s = rate (solve_php ~log:true ~check:false) in
-  let checked_s = rate (solve_php ~log:true ~check:true) in
+  (* the circuit cells above leave a large heap behind; compact so GC
+     pressure from dead simulation state does not pollute these rates *)
+  Gc.compact ();
+  let plain_s = rate (solve_php ~log:false) in
+  let logged_s = rate (solve_php ~log:true) in
+  (* the headline checking overhead is the backward (needed-set) mode —
+     the cheap path --certify-style verification is expected to use at
+     scale; the strict forward replay stays as an informational figure *)
+  let checked_s = rate (solve_php ~log:true ~mode:Sat.Drup_check.Backward) in
+  let checked_fwd_s =
+    rate (solve_php ~log:true ~mode:Sat.Drup_check.Forward)
+  in
   let proof_steps =
     let s = Sat.Solver.create () in
     let p = Sat.Proof.in_memory () in
@@ -602,10 +612,12 @@ let micro_throughput cfg =
   in
   let log_overhead = plain_s /. logged_s in
   let check_overhead = plain_s /. checked_s in
+  let check_overhead_fwd = plain_s /. checked_fwd_s in
   Fmt.pr
     "  proof (php 6/5): %.0f solve/s plain, %.0f logged (%.2fx), %.0f \
-     logged+checked (%.2fx), %d steps@."
-    plain_s logged_s log_overhead checked_s check_overhead proof_steps;
+     logged+checked backward (%.2fx), %.0f forward (%.2fx), %d steps@."
+    plain_s logged_s log_overhead checked_s check_overhead checked_fwd_s
+    check_overhead_fwd proof_steps;
   let oc = open_out "BENCH_micro.json" in
   let json_row
       (label, gates, scalar, word, gate_evals, faults_s, faults_s_par,
@@ -622,11 +634,13 @@ let micro_throughput cfg =
     \  \"circuits\": [\n%s\n  ],\n\
     \  \"proof\": { \"solves_per_sec_plain\": %.1f, \
      \"solves_per_sec_logged\": %.1f, \"solves_per_sec_checked\": %.1f, \
+     \"solves_per_sec_checked_forward\": %.1f, \
      \"logging_overhead\": %.3f, \"checking_overhead\": %.3f, \
-     \"proof_steps\": %d }\n}\n"
+     \"checking_overhead_forward\": %.3f, \"proof_steps\": %d }\n}\n"
     cfg.scale cfg.jobs
     (String.concat ",\n" (List.map json_row rows))
-    plain_s logged_s checked_s log_overhead check_overhead proof_steps;
+    plain_s logged_s checked_s checked_fwd_s log_overhead check_overhead
+    check_overhead_fwd proof_steps;
   close_out oc;
   (* the report block keeps only the deterministic leaves (never rates,
      speedups or the requested width) so the regression gate stays
@@ -753,6 +767,88 @@ let micro cfg =
   Fmt.pr "@.";
   micro_throughput cfg
 
+(* ---------- checker-performance smoke lane ---------- *)
+
+(* Solves a few fixed pigeonhole refutations with DRUP logging and
+   replays each proof through the independent checker (backward,
+   needed-set mode — the cheap path certification uses at scale),
+   failing loudly if checking costs more than [max_ratio] times the
+   solve+log.  A CI gate rather than a measurement, so it is not part
+   of the default experiment set; run it explicitly with
+   `bench/main.exe -- checksmoke`.  On failure the offending proof is
+   written next to the report so the regression is reproducible with
+   `satsolve --check`. *)
+let checksmoke _cfg =
+  let max_ratio = 2.5 in
+  let php p h =
+    let f = Sat.Cnf.create () in
+    let var pi hi = Sat.Lit.pos ((pi * h) + hi) in
+    for pi = 0 to p - 1 do
+      Sat.Cnf.add_clause f (List.init h (fun hi -> var pi hi))
+    done;
+    for hi = 0 to h - 1 do
+      for p1 = 0 to p - 1 do
+        for p2 = p1 + 1 to p - 1 do
+          Sat.Cnf.add_clause f
+            [ Sat.Lit.negate (var p1 hi); Sat.Lit.negate (var p2 hi) ]
+        done
+      done
+    done;
+    f
+  in
+  let instances = [ ("php5", php 5 4); ("php6", php 6 5); ("php7", php 7 6) ] in
+  Fmt.pr "== Checker smoke (fail if check/solve ratio > %.1fx) ==@." max_ratio;
+  let failed = ref false in
+  List.iter
+    (fun (label, cnf) ->
+      (* seconds per run of [f], timed over at least 0.3 s *)
+      let time f =
+        ignore (f ());
+        let start = Sys.time () in
+        let reps = ref 0 in
+        while Sys.time () -. start < 0.3 do
+          ignore (f ());
+          incr reps
+        done;
+        (Sys.time () -. start) /. float_of_int !reps
+      in
+      let solve_logged () =
+        let s = Sat.Solver.create () in
+        let p = Sat.Proof.in_memory () in
+        Sat.Solver.set_proof s (Some p);
+        Sat.Solver.add_cnf s cnf;
+        assert (Sat.Solver.solve s = Sat.Solver.Unsat);
+        p
+      in
+      let proof = solve_logged () in
+      let steps = Sat.Proof.steps proof in
+      let t_solve = time solve_logged in
+      let t_check =
+        time (fun () ->
+            assert (
+              Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward cnf
+                steps
+              = Ok ()))
+      in
+      let ratio = t_check /. t_solve in
+      let bad = ratio > max_ratio in
+      Fmt.pr
+        "  %-6s %5d steps | solve %8.3f ms  check %8.3f ms  ratio %5.2fx  \
+         %s@."
+        label (Array.length steps) (1e3 *. t_solve) (1e3 *. t_check) ratio
+        (if bad then "FAIL" else "ok");
+      if bad then begin
+        failed := true;
+        let file = Printf.sprintf "BENCH_checksmoke_%s.drup" label in
+        let oc = open_out file in
+        output_string oc (Sat.Proof.to_string proof);
+        close_out oc;
+        Fmt.pr "  wrote offending proof to %s@." file
+      end)
+    instances;
+  Fmt.pr "@.";
+  if !failed then exit 1
+
 (* ---------- driver ---------- *)
 
 let read_file file =
@@ -819,17 +915,21 @@ let () =
       ("related", related);
       ("resolution", resolution); ("micro", micro) ]
   in
+  (* selectable by name but excluded from the default sweep: gates that
+     exit nonzero rather than measure *)
+  let extra = [ ("checksmoke", checksmoke) ] in
   let to_run =
     match selected with
     | [] | [ "all" ] -> all
     | names ->
         List.map
           (fun n ->
-            match List.assoc_opt n all with
+            match List.assoc_opt n (all @ extra) with
             | Some f -> (n, f)
             | None ->
                 Fmt.epr "unknown experiment %S (available: %s)@." n
-                  (String.concat ", " (List.map fst all));
+                  (String.concat ", "
+                     (List.map fst all @ List.map fst extra));
                 exit 2)
           names
   in

@@ -9,7 +9,7 @@ let read_file path =
   close_in ic;
   s
 
-let run path print_model proof_file check =
+let run path print_model proof_file check check_mode check_jobs =
   let cnf = Sat.Cnf.of_dimacs (read_file path) in
   let solver = Sat.Solver.create () in
   (* an in-memory sink serves both --proof (serialized at exit) and
@@ -36,7 +36,10 @@ let run path print_model proof_file check =
       match result with
       | Sat.Solver.Unsat -> (
           let p = Option.get proof in
-          match Sat.Drup_check.check_unsat cnf (Sat.Proof.steps p) with
+          match
+            Sat.Drup_check.check_unsat ~mode:check_mode ~jobs:check_jobs cnf
+              (Sat.Proof.steps p)
+          with
           | Ok () ->
               Printf.printf "c VERIFIED unsat (%d proof steps)\n"
                 (Sat.Proof.num_steps p);
@@ -105,9 +108,31 @@ let check =
            through the independent forward DRUP checker, a SAT model is \
            evaluated against every clause.  A failed check exits 1.")
 
+let check_mode =
+  let modes =
+    [ ("forward", Sat.Drup_check.Forward); ("backward", Sat.Drup_check.Backward) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Sat.Drup_check.Forward
+    & info [ "check-mode" ] ~docv:"MODE"
+        ~doc:
+          "Proof checking mode for --check: $(b,forward) verifies every \
+           step in proof order, $(b,backward) verifies only the steps the \
+           conclusion depends on (cheaper on deletion-heavy proofs).")
+
+let check_jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "check-jobs" ] ~docv:"N"
+        ~doc:
+          "Shard forward proof checking over $(docv) domains (round-robin \
+           by step; the verdict is identical at every width).")
+
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"CDCL SAT solver on DIMACS CNF")
-    Term.(const run $ path $ model $ proof_file $ check)
+    Term.(
+      const run $ path $ model $ proof_file $ check $ check_mode $ check_jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,10 @@ let solver_stats_json (st : Sat.Solver.stats) =
       ("learned", Obs.Json.Int st.Sat.Solver.learned);
       ("learned_total", Obs.Json.Int st.Sat.Solver.learned_total);
       ("deleted", Obs.Json.Int st.Sat.Solver.deleted);
+      ("subsumed", Obs.Json.Int st.Sat.Solver.subsumed);
+      ("strengthened", Obs.Json.Int st.Sat.Solver.strengthened);
+      ("vivified", Obs.Json.Int st.Sat.Solver.vivified);
+      ("eliminated", Obs.Json.Int st.Sat.Solver.eliminated);
     ]
 
 let row_stats_json (r : Runner.row) =

@@ -182,6 +182,10 @@ let sum_stats (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
       learned = a.learned + b.learned;
       learned_total = a.learned_total + b.learned_total;
       deleted = a.deleted + b.deleted;
+      subsumed = a.subsumed + b.subsumed;
+      strengthened = a.strengthened + b.strengthened;
+      vivified = a.vivified + b.vivified;
+      eliminated = a.eliminated + b.eliminated;
     }
 
 let rec take n = function
@@ -374,6 +378,10 @@ let diagnose_portfolio ~candidates ~force_zero ~hints ~strategy ~max_solutions
           learned = 0;
           learned_total = 0;
           deleted = 0;
+          subsumed = 0;
+          strengthened = 0;
+          vivified = 0;
+          eliminated = 0;
         }
       results
   in

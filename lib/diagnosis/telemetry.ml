@@ -6,7 +6,11 @@ let record_solver_stats obs ~prefix (st : Sat.Solver.stats) =
   field "restarts" st.Sat.Solver.restarts;
   field "learned" st.Sat.Solver.learned;
   field "learned_total" st.Sat.Solver.learned_total;
-  field "deleted" st.Sat.Solver.deleted
+  field "deleted" st.Sat.Solver.deleted;
+  field "subsumed" st.Sat.Solver.subsumed;
+  field "strengthened" st.Sat.Solver.strengthened;
+  field "vivified" st.Sat.Solver.vivified;
+  field "eliminated" st.Sat.Solver.eliminated
 
 let record_run obs ~prefix ~solutions ~solver_calls ~truncated
     (st : Sat.Solver.stats) =

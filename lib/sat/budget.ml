@@ -37,10 +37,12 @@ let is_unlimited t =
   && Atomic.get t.propagations_left = max_int
   && t.deadline = infinity
 
+(* [>=], not [>]: a zero-second budget is born exhausted — its deadline
+   is the creation instant, and the clock never runs backwards *)
 let exhausted t =
   Atomic.get t.conflicts_left <= 0
   || Atomic.get t.propagations_left <= 0
-  || (t.deadline < infinity && Obs.Clock.wall () > t.deadline)
+  || (t.deadline < infinity && Obs.Clock.wall () >= t.deadline)
 
 let conflicts_left t = Atomic.get t.conflicts_left
 

@@ -1,26 +1,66 @@
-(* Forward DRUP checking with a deliberately simple propagation engine:
-   per-literal occurrence lists and a full scan of each touched clause.
-   Slower than two-watched literals but independent of solver.ml and
-   easy to audit — the point of a checker.
+(* Forward and backward DRUP checking with a deliberately simple
+   propagation engine: per-literal occurrence lists and a full scan of
+   each touched clause.  Slower than two-watched literals but
+   independent of solver.ml and easy to audit — the point of a checker.
+   The occurrence lists are flat int vectors rather than linked lists so
+   replay walks contiguous memory, and propagation is counter-based:
+   fc.(ci) tracks how many literals of clause [ci] are false among the
+   *processed* trail prefix trail.(0 .. qhead-1), so falsifying one more
+   literal costs O(1) and a clause is scanned only when it becomes unit
+   or conflicting.  Seeding scans (installation, trail rebuilds, clause
+   revival) recount a clause directly; deaths freeze its counter and
+   revival recounts it.
 
    Assignment encoding: assigns.(v) is -1 (unset), 0 (false), 1 (true);
    literal l (code 2v/2v+1) is true iff assigns.(l lsr 1) = (l land 1)
    lxor 1.  The root trail (everything implied by the live clause set
-   alone) persists; RUP checks push assumptions on top and roll back. *)
+   alone) persists; RUP checks push assumptions on top and roll back.
+
+   Deletion semantics are strict: the root trail is a function of the
+   live clause set, nothing else.  Deleting a clause that justified a
+   root-trail literal (its "reason") rebuilds the trail from scratch, so
+   the literal does not survive as a ghost of the deleted clause; a
+   contradiction reached by propagation is likewise recomputed, while a
+   literally installed empty clause is a permanent refutation.  reason.(v)
+   is the id of the clause whose scan enqueued v's literal (-1 for a RUP
+   assumption); the reason graph doubles as the antecedent structure the
+   backward checker marks through. *)
 
 type clause = { lits : int array; mutable dead : bool; input : bool }
+
+(* growable int vector *)
+type ivec = { mutable a : int array; mutable n : int }
+
+let ivec_make () = { a = [||]; n = 0 }
+
+let ivec_push v x =
+  if v.n = Array.length v.a then begin
+    let a' = Array.make (max 4 (2 * v.n)) 0 in
+    Array.blit v.a 0 a' 0 v.n;
+    v.a <- a'
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
 
 type t = {
   mutable assigns : int array;
   mutable trail : int array;
   mutable trail_n : int;
   mutable qhead : int;
+  mutable reason : int array; (* var -> justifying clause id, -1 none *)
   mutable clauses : clause array;
   mutable n_clauses : int;
-  mutable occs : int list array; (* lit code -> clause indices *)
+  mutable occs : ivec array; (* lit code -> clause indices *)
   mutable live : int;
-  index : (int list, int list) Hashtbl.t; (* sorted codes -> live ids *)
-  mutable contradiction : bool;
+  index : (int array, int list) Hashtbl.t; (* sorted codes -> live ids *)
+  mutable empty_count : int; (* installed empty clauses: permanent *)
+  mutable contradiction : bool; (* propagation conflict: recomputable *)
+  mutable conflict_at : int; (* clause id of the last conflict *)
+  mutable prune : bool; (* occurrence-list pruning enabled *)
+  mutable dead_unpruned : int; (* deaths since the last prune *)
+  mutable fc : int array;
+  (* clause id -> false literals among trail.(0..qhead-1); live only *)
+  pending : ivec; (* scratch for the antecedent-marking traversal *)
 }
 
 let create () =
@@ -29,15 +69,22 @@ let create () =
     trail = Array.make 16 0;
     trail_n = 0;
     qhead = 0;
+    reason = Array.make 16 (-1);
     clauses = [||];
     n_clauses = 0;
-    occs = Array.make 32 [];
+    occs = Array.init 32 (fun _ -> ivec_make ());
     live = 0;
     index = Hashtbl.create 64;
+    empty_count = 0;
     contradiction = false;
+    conflict_at = -1;
+    prune = true;
+    dead_unpruned = 0;
+    fc = [||];
+    pending = ivec_make ();
   }
 
-let refuted t = t.contradiction
+let refuted t = t.empty_count > 0 || t.contradiction
 let num_clauses t = t.live
 
 let grow t nvars =
@@ -50,17 +97,17 @@ let grow t nvars =
     let trail = Array.make cap' 0 in
     Array.blit t.trail 0 trail 0 t.trail_n;
     t.trail <- trail;
-    let occs = Array.make (2 * cap') [] in
+    let reason = Array.make cap' (-1) in
+    Array.blit t.reason 0 reason 0 cap;
+    t.reason <- reason;
+    let occs = Array.init (2 * cap') (fun _ -> ivec_make ()) in
     Array.blit t.occs 0 occs 0 (Array.length t.occs);
     t.occs <- occs
   end
 
-let lit_value t l =
-  let a = t.assigns.(l lsr 1) in
-  if a < 0 then -1 else a lxor (l land 1)
-
-let enqueue t l =
+let enqueue t l reason =
   t.assigns.(l lsr 1) <- (l land 1) lxor 1;
+  t.reason.(l lsr 1) <- reason;
   t.trail.(t.trail_n) <- l;
   t.trail_n <- t.trail_n + 1
 
@@ -68,43 +115,148 @@ let enqueue t l =
    literal; a fully false clause is a conflict *)
 exception Conflict
 
-let scan_clause t c =
+(* recount a clause's false-literal counter against the processed trail
+   prefix; used when a clause enters (or re-enters) the live set.  The
+   queue is empty at every such moment, so "processed" = "assigned". *)
+let recount t ci =
+  let lits = t.clauses.(ci).lits in
+  let assigns = t.assigns in
+  let f = ref 0 in
+  for i = 0 to Array.length lits - 1 do
+    let l = Array.unsafe_get lits i in
+    if Array.unsafe_get assigns (l lsr 1) lxor (l land 1) = 0 then incr f
+  done;
+  t.fc.(ci) <- !f
+
+let scan_clause t ci =
+  let lits = t.clauses.(ci).lits in
+  let assigns = t.assigns in
   let sat = ref false in
   let unknown = ref (-1) in
   let two = ref false in
-  let len = Array.length c.lits in
+  let len = Array.length lits in
   let i = ref 0 in
   while (not !sat) && (not !two) && !i < len do
-    let l = c.lits.(!i) in
-    (match lit_value t l with
-    | 1 -> sat := true
-    | -1 -> if !unknown < 0 then unknown := l else two := true
-    | _ -> ());
+    let l = Array.unsafe_get lits !i in
+    let a = Array.unsafe_get assigns (l lsr 1) in
+    if a < 0 then begin
+      if !unknown < 0 then unknown := l else two := true
+    end
+    else if a lxor (l land 1) = 1 then sat := true;
     incr i
   done;
   if not (!sat || !two) then
-    if !unknown < 0 then raise Conflict else enqueue t !unknown
+    if !unknown < 0 then begin
+      t.conflict_at <- ci;
+      raise Conflict
+    end
+    else enqueue t !unknown ci
+
+(* act on a clause whose counter reached len-1: enqueue its sole
+   unassigned literal.  The clause may instead be satisfied, or its last
+   non-counted literal may be false but still queued — then nothing
+   happens here and the conflict surfaces when that literal is
+   processed. *)
+let unit_or_sat t ci =
+  let lits = t.clauses.(ci).lits in
+  let assigns = t.assigns in
+  let len = Array.length lits in
+  let k = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !k < len do
+    let l = Array.unsafe_get lits !k in
+    let a = Array.unsafe_get assigns (l lsr 1) in
+    if a < 0 then begin
+      enqueue t l ci;
+      stop := true
+    end
+    else if a lxor (l land 1) = 1 then stop := true
+    else incr k
+  done
 
 (* propagate the queue to fixpoint; raises Conflict *)
 let propagate t =
   while t.qhead < t.trail_n do
     let l = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
-    List.iter
-      (fun ci ->
-        let c = t.clauses.(ci) in
-        if not c.dead then scan_clause t c)
-      t.occs.(l lxor 1)
+    let os = t.occs.(l lxor 1) in
+    let oa = os.a in
+    let n = os.n in
+    let fc = t.fc in
+    let k = ref 0 in
+    while !k < n do
+      let ci = Array.unsafe_get oa !k in
+      let c = Array.unsafe_get t.clauses ci in
+      if not c.dead then begin
+        let f = Array.unsafe_get fc ci + 1 in
+        Array.unsafe_set fc ci f;
+        let len = Array.length c.lits in
+        if f >= len - 1 then
+          if f = len then begin
+            (* conflict: retract this literal's walk so the counters
+               again match the processed prefix, then report *)
+            for j = 0 to !k do
+              let cj = oa.(j) in
+              if not t.clauses.(cj).dead then fc.(cj) <- fc.(cj) - 1
+            done;
+            t.qhead <- t.qhead - 1;
+            t.conflict_at <- ci;
+            raise Conflict
+          end
+          else unit_or_sat t ci
+      end;
+      incr k
+    done
   done
 
 let rollback t mark =
   for i = t.trail_n - 1 downto mark do
-    t.assigns.(t.trail.(i) lsr 1) <- -1
+    let l = t.trail.(i) in
+    let v = l lsr 1 in
+    t.assigns.(v) <- -1;
+    t.reason.(v) <- -1;
+    if i < t.qhead then begin
+      (* this literal's falsifications were counted: take them back *)
+      let os = t.occs.(l lxor 1) in
+      let oa = os.a in
+      let fc = t.fc in
+      for k = 0 to os.n - 1 do
+        let ci = Array.unsafe_get oa k in
+        if not t.clauses.(ci).dead then
+          Array.unsafe_set fc ci (Array.unsafe_get fc ci - 1)
+      done
+    end
   done;
   t.trail_n <- mark;
-  t.qhead <- mark
+  t.qhead <- min t.qhead mark
 
-let key_of codes = Array.to_list codes
+(* recompute the root trail and the propagation-contradiction flag from
+   the live clause set alone — the post-deletion ground truth *)
+let rebuild t =
+  rollback t 0;
+  t.contradiction <- false;
+  (match
+     for ci = 0 to t.n_clauses - 1 do
+       if not t.clauses.(ci).dead then begin
+         t.fc.(ci) <- 0;
+         scan_clause t ci
+       end
+     done;
+     propagate t
+   with
+  | () -> ()
+  | exception Conflict -> t.contradiction <- true)
+
+(* is [ci] the recorded reason of any root-trail literal? *)
+let clause_locked t ci =
+  let rec go i =
+    i < t.trail_n
+    && (t.reason.(t.trail.(i) lsr 1) = ci || go (i + 1))
+  in
+  go 0
+
+(* the sorted codes array itself keys the index (structural hash) *)
+let key_of codes = codes
 
 (* normalize: sorted unique codes; None for tautologies (never unit or
    conflicting, so they can be dropped without weakening propagation) *)
@@ -116,37 +268,44 @@ let normalize lits =
   in
   if tauto codes then None else Some (Array.of_list codes)
 
+let normalize_grown t lits =
+  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
+  normalize lits
+
 let install t ~input codes =
   let c = { lits = codes; dead = false; input } in
   if t.n_clauses = Array.length t.clauses then begin
     let a = Array.make (max 16 (2 * t.n_clauses)) c in
     Array.blit t.clauses 0 a 0 t.n_clauses;
-    t.clauses <- a
+    t.clauses <- a;
+    let fcs = Array.make (max 16 (2 * t.n_clauses)) 0 in
+    Array.blit t.fc 0 fcs 0 t.n_clauses;
+    t.fc <- fcs
   end;
   let ci = t.n_clauses in
   t.clauses.(ci) <- c;
   t.n_clauses <- ci + 1;
   t.live <- t.live + 1;
-  Array.iter (fun l -> t.occs.(l) <- ci :: t.occs.(l)) codes;
+  Array.iter (fun l -> ivec_push t.occs.(l) ci) codes;
   let key = key_of codes in
   Hashtbl.replace t.index key
     (ci :: Option.value ~default:[] (Hashtbl.find_opt t.index key));
   (* keep the root trail at fixpoint *)
-  if not t.contradiction then begin
-    match
-      scan_clause t c;
-      propagate t
-    with
-    | () -> ()
-    | exception Conflict -> t.contradiction <- true
-  end
+  (if not (refuted t) then
+     match
+       recount t ci;
+       scan_clause t ci;
+       propagate t
+     with
+     | () -> ()
+     | exception Conflict -> t.contradiction <- true);
+  ci
 
 let add_lits t ~input lits =
-  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
-  match normalize lits with
+  match normalize_grown t lits with
   | None -> () (* tautology *)
-  | Some [||] -> t.contradiction <- true
-  | Some codes -> install t ~input codes
+  | Some [||] -> t.empty_count <- t.empty_count + 1
+  | Some codes -> ignore (install t ~input codes)
 
 let add_clause t lits = add_lits t ~input:true lits
 
@@ -154,28 +313,66 @@ let add_cnf t f =
   grow t f.Cnf.num_vars;
   List.iter (add_clause t) (Cnf.clauses f)
 
-let check_rup t lits =
-  t.contradiction
+(* RUP check over literal codes.  With [marker], a successful check also
+   marks every antecedent clause id (the conflicting clause — or the
+   clause chain satisfying a root-true literal — plus the transitive
+   reasons of the false literals involved): the needed-set traversal of
+   backward checking.  Marking happens before rollback, while the
+   assumption literals' reasons are still on the trail. *)
+exception Root_sat of int (* var of a literal true at root *)
+
+let mark_antecedents t marker ~from_clause ~from_var =
+  let pending = t.pending in
+  pending.n <- 0;
+  let push ci =
+    if ci >= 0 && ci < Bytes.length marker && Bytes.get marker ci = '\000'
+    then begin
+      Bytes.set marker ci '\001';
+      ivec_push pending ci
+    end
+  in
+  push from_clause;
+  if from_var >= 0 then push t.reason.(from_var);
+  while pending.n > 0 do
+    pending.n <- pending.n - 1;
+    let ci = pending.a.(pending.n) in
+    Array.iter
+      (fun l ->
+        let r = t.reason.(l lsr 1) in
+        if r >= 0 then push r)
+      t.clauses.(ci).lits
+  done
+
+let rup_codes t ?marker codes =
+  refuted t
   ||
-  let mark = t.trail_n in
-  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
-  let outcome =
+  let mark0 = t.trail_n in
+  let ok, from_clause, from_var =
     match
-      List.iter
+      let assigns = t.assigns in
+      Array.iter
         (fun l ->
-          let nl = Lit.code l lxor 1 in
-          match lit_value t nl with
-          | 0 -> raise Conflict (* the clause holds a root-true literal *)
-          | -1 -> enqueue t nl
-          | _ -> ())
-        lits;
+          let nl = l lxor 1 in
+          let a = assigns.(nl lsr 1) in
+          if a < 0 then enqueue t nl (-1)
+          else if a lxor (nl land 1) = 0 then
+            raise (Root_sat (nl lsr 1)) (* l is true at root *))
+        codes;
       propagate t
     with
-    | () -> false
-    | exception Conflict -> true
+    | () -> (false, -1, -1)
+    | exception Conflict -> (true, t.conflict_at, -1)
+    | exception Root_sat v -> (true, -1, v)
   in
-  rollback t mark;
-  outcome
+  (match marker with
+  | Some m when ok -> mark_antecedents t m ~from_clause ~from_var
+  | _ -> ());
+  rollback t mark0;
+  ok
+
+let check_rup t lits =
+  List.iter (fun l -> grow t (Lit.var l + 1)) lits;
+  rup_codes t (Array.of_list (List.map Lit.code lits))
 
 (* among identical live copies, delete a derived one before an input
    one, so [model_ok]'s input-clause coverage survives DB reduction *)
@@ -188,37 +385,65 @@ let pick_removable t ids =
   in
   go [] ids
 
-let remove t lits =
-  match normalize lits with
-  | None -> Ok () (* tautologies were never installed *)
+let prune_occs t =
+  for l = 0 to Array.length t.occs - 1 do
+    let os = t.occs.(l) in
+    let j = ref 0 in
+    for k = 0 to os.n - 1 do
+      let ci = os.a.(k) in
+      if not t.clauses.(ci).dead then begin
+        os.a.(!j) <- ci;
+        incr j
+      end
+    done;
+    os.n <- !j
+  done;
+  t.dead_unpruned <- 0
+
+let remove_ci t lits =
+  match normalize_grown t lits with
+  | None -> Ok (-1) (* tautologies were never installed *)
   | Some codes -> (
       let key = key_of codes in
       match Option.bind (Hashtbl.find_opt t.index key) (pick_removable t) with
       | Some (ci, rest) ->
           t.clauses.(ci).dead <- true;
           t.live <- t.live - 1;
+          t.dead_unpruned <- t.dead_unpruned + 1;
           if rest = [] then Hashtbl.remove t.index key
           else Hashtbl.replace t.index key rest;
-          Ok ()
+          (* strict deletion: a root-trail literal must not outlive the
+             clause that propagated it, and a propagation contradiction
+             must not outlive the clauses it was derived from *)
+          if
+            t.empty_count = 0
+            && (t.contradiction || clause_locked t ci)
+          then rebuild t;
+          if
+            t.prune && t.dead_unpruned >= 64
+            && 2 * t.dead_unpruned > t.n_clauses
+          then prune_occs t;
+          Ok ci
       | None ->
           Error
             (Printf.sprintf "delete of absent clause (%s)"
                (String.concat " "
                   (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits))))
 
+let not_rup_msg lits =
+  Printf.sprintf "clause (%s) is not a RUP consequence"
+    (String.concat " "
+       (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits))
+
 let check_step t step =
   match step with
-  | Proof.Delete lits -> remove t lits
+  | Proof.Delete lits -> Result.map (fun _ci -> ()) (remove_ci t lits)
   | Proof.Add lits ->
       if check_rup t lits then begin
         add_lits t ~input:false lits;
         Ok ()
       end
-      else
-        Error
-          (Printf.sprintf "clause (%s) is not a RUP consequence"
-             (String.concat " "
-                (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits)))
+      else Error (not_rup_msg lits)
 
 let model_ok ?(assumptions = []) t value =
   let lit_true l = value (l lsr 1) = (l land 1 = 0) in
@@ -230,25 +455,232 @@ let model_ok ?(assumptions = []) t value =
   done;
   !ok && List.for_all (fun l -> lit_true (Lit.code l)) assumptions
 
-let check_unsat ?(assumptions = []) cnf steps =
+(* ------------------------------------------------------------------ *)
+(* One-shot certification                                             *)
+
+type mode = Forward | Backward
+
+let neg_codes assumptions =
+  List.map (fun l -> Lit.code (Lit.negate l)) assumptions
+
+let establishes neg = function
+  | Proof.Add (_ :: _ as lits) ->
+      List.for_all (fun l -> List.mem (Lit.code l) neg) lits
+  | Proof.Add [] | Proof.Delete _ -> false
+
+(* conclusion check against the FINAL live clause set: the claim must
+   still hold once every deletion has been applied.  An establishing
+   core clause counts only if it is live at the end of the proof, or a
+   RUP consequence of what is. *)
+let conclusion_ok t ~assumptions steps =
+  refuted t
+  ||
+  (assumptions <> []
+  &&
+  let neg = neg_codes assumptions in
+  Array.exists
+    (fun step ->
+      establishes neg step
+      &&
+      match step with
+      | Proof.Add lits -> (
+          match normalize_grown t lits with
+          | None | Some [||] -> false
+          | Some codes ->
+              Hashtbl.mem t.index (key_of codes) || rup_codes t codes)
+      | Proof.Delete _ -> false)
+    steps)
+
+let no_conclusion_msg assumptions =
+  if assumptions = [] then "proof does not derive the empty clause"
+  else
+    "proof does not derive a failed-assumption core clause that survives \
+     to the end of the proof"
+
+(* Forward verification of one shard: every step is replayed to keep the
+   clause set exact, but only Add steps with index ≡ residue (mod jobs)
+   are RUP-verified.  Delete steps are validated by every worker (the
+   check is a hash lookup, and skipping one would desynchronize the
+   replay).  Errors carry the 0-based step index so shard results merge
+   deterministically; the conclusion check uses index [n]. *)
+let verify_forward ~assumptions ~residue ~jobs cnf steps =
   let t = create () in
   add_cnf t cnf;
   let n = Array.length steps in
-  let rec verify i =
-    if i >= n then Ok ()
-    else
-      match check_step t steps.(i) with
-      | Ok () -> verify (i + 1)
-      | Error msg -> Error (Printf.sprintf "step %d: %s" (i + 1) msg)
+  let err = ref None in
+  (try
+     for i = 0 to n - 1 do
+       let r =
+         match steps.(i) with
+         | Proof.Delete lits -> Result.map (fun _ -> ()) (remove_ci t lits)
+         | Proof.Add lits ->
+             if i mod jobs <> residue || check_rup t lits then begin
+               add_lits t ~input:false lits;
+               Ok ()
+             end
+             else Error (not_rup_msg lits)
+       in
+       match r with
+       | Ok () -> ()
+       | Error m ->
+           err := Some (i, m);
+           raise Exit
+     done
+   with Exit -> ());
+  match !err with
+  | Some (i, m) -> Error (i, m)
+  | None ->
+      if conclusion_ok t ~assumptions steps then Ok ()
+      else Error (n, no_conclusion_msg assumptions)
+
+(* Backward checking: an untrusted forward replay locates the conclusion
+   and records which clause id each step touched, then a reverse walk
+   un-installs additions and revives deletions, RUP-verifying only the
+   steps in the needed set (seeded from the conclusion's antecedents and
+   grown through each verified step's own antecedents). *)
+type action = A_none | A_empty | A_install of int | A_delete of int
+
+let verify_backward ~assumptions cnf steps =
+  let t = create () in
+  t.prune <- false (* dead clauses must stay revivable *);
+  add_cnf t cnf;
+  let input_refuted = refuted t in
+  let n = Array.length steps in
+  let acts = Array.make (max 1 n) A_none in
+  let err = ref None in
+  (try
+     for i = 0 to n - 1 do
+       match steps.(i) with
+       | Proof.Add lits -> (
+           match normalize_grown t lits with
+           | None -> ()
+           | Some [||] ->
+               t.empty_count <- t.empty_count + 1;
+               acts.(i) <- A_empty
+           | Some codes -> acts.(i) <- A_install (install t ~input:false codes)
+           )
+       | Proof.Delete lits -> (
+           match remove_ci t lits with
+           | Ok ci -> if ci >= 0 then acts.(i) <- A_delete ci
+           | Error m ->
+               err := Some (i, m);
+               raise Exit)
+     done
+   with Exit -> ());
+  match !err with
+  | Some (i, m) -> Error (i, m)
+  | None ->
+      if input_refuted then Ok () (* the inputs alone are contradictory *)
+      else begin
+        let marked = Bytes.make (max 1 t.n_clauses) '\000' in
+        (* seed the needed set from the conclusion, evaluated against the
+           final clause set *)
+        let seed =
+          if t.empty_count > 0 then Ok true
+          (* rely on the last Add [] step; verified during the walk *)
+          else if t.contradiction then begin
+            mark_antecedents t marked ~from_clause:t.conflict_at
+              ~from_var:(-1);
+            Ok false
+          end
+          else if
+            assumptions <> []
+            &&
+            let neg = neg_codes assumptions in
+            Array.exists
+              (fun step ->
+                establishes neg step
+                &&
+                match step with
+                | Proof.Add lits -> (
+                    match normalize_grown t lits with
+                    | None | Some [||] -> false
+                    | Some codes -> (
+                        match Hashtbl.find_opt t.index (key_of codes) with
+                        | Some (ci :: _) ->
+                            Bytes.set marked ci '\001';
+                            true
+                        | Some [] | None -> rup_codes t ~marker:marked codes))
+                | Proof.Delete _ -> false)
+              steps
+          then Ok false
+          else Error (n, no_conclusion_msg assumptions)
+        in
+        match seed with
+        | Error (i, m) -> Error (i, m)
+        | Ok rely0 ->
+            (* reverse walk: restore the state just before step i, and
+               verify step i there when it is in the needed set *)
+            let rec walk i rely_empty =
+              if i < 0 then Ok ()
+              else
+                match acts.(i) with
+                | A_none -> walk (i - 1) rely_empty
+                | A_delete ci ->
+                    t.clauses.(ci).dead <- false;
+                    t.live <- t.live + 1;
+                    (if not (refuted t) then
+                       match
+                         recount t ci;
+                         scan_clause t ci;
+                         propagate t
+                       with
+                       | () -> ()
+                       | exception Conflict -> t.contradiction <- true);
+                    walk (i - 1) rely_empty
+                | A_empty ->
+                    t.empty_count <- t.empty_count - 1;
+                    if t.empty_count = 0 then rebuild t;
+                    if rely_empty then
+                      if t.contradiction then begin
+                        mark_antecedents t marked ~from_clause:t.conflict_at
+                          ~from_var:(-1);
+                        walk (i - 1) false
+                      end
+                      else if t.empty_count > 0 then walk (i - 1) true
+                      else Error (i, not_rup_msg [])
+                    else walk (i - 1) rely_empty
+                | A_install ci ->
+                    let needed = Bytes.get marked ci <> '\000' in
+                    let codes = t.clauses.(ci).lits in
+                    t.clauses.(ci).dead <- true;
+                    t.live <- t.live - 1;
+                    if
+                      t.empty_count = 0
+                      && (t.contradiction || clause_locked t ci)
+                    then rebuild t;
+                    if (not needed) || rup_codes t ~marker:marked codes then
+                      walk (i - 1) rely_empty
+                    else
+                      Error
+                        ( i,
+                          not_rup_msg
+                            (List.map Lit.of_code (Array.to_list codes)) )
+            in
+            walk (n - 1) rely0
+      end
+
+let check_unsat ?(mode = Forward) ?(jobs = 1) ?(assumptions = []) cnf steps =
+  let n = Array.length steps in
+  let finish = function
+    | Ok () -> Ok ()
+    | Error (i, m) ->
+        Error (if i >= n then m else Printf.sprintf "step %d: %s" (i + 1) m)
   in
-  Result.bind (verify 0) (fun () ->
-      let neg = List.map Lit.negate assumptions in
-      let establishes = function
-        | Proof.Add lits -> List.for_all (fun l -> List.mem l neg) lits
-        | Proof.Delete _ -> false
+  match mode with
+  | Backward -> finish (verify_backward ~assumptions cnf steps)
+  | Forward ->
+      let jobs = min (Par.clamp_jobs jobs) (max 1 n) in
+      let shards =
+        Par.run ~jobs (fun residue ->
+            verify_forward ~assumptions ~residue ~jobs cnf steps)
       in
-      if refuted t || Array.exists establishes steps then Ok ()
-      else
-        Error
-          (if assumptions = [] then "proof does not derive the empty clause"
-           else "proof does not derive a failed-assumption core clause"))
+      (* the earliest failing step wins, deterministically *)
+      finish
+        (Array.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | Error (i, _), Error (j, _) -> if j < i then r else acc
+             | (Ok () as ok), Ok () -> ok
+             | Ok (), (Error _ as e) | (Error _ as e), Ok () -> e)
+           (Ok ()) shards)

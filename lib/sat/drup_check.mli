@@ -1,4 +1,4 @@
-(** Independent forward DRUP checker.
+(** Independent DRUP proof checker.
 
     Validates a {!Proof} against the clause set it was produced from:
     every [Add] step must be a reverse-unit-propagation (RUP)
@@ -9,6 +9,17 @@
     watched-literal code shared with {!Solver} — precisely so a solver
     bug cannot hide in its own certificate check, the same way the twin
     validity engines cross-check each other.
+
+    {b Deletion semantics} are strict: the checker's root trail (the
+    literals implied by unit propagation from the live clause set alone)
+    is always a function of the live clause set.  Deleting a clause that
+    propagated a root-trail literal rebuilds the trail, so no literal
+    survives as a ghost of a deleted clause; a contradiction reached by
+    propagation is likewise recomputed on deletion, while an explicitly
+    installed empty clause refutes permanently.  Dead entries are pruned
+    from the occurrence lists once they outnumber half the clause
+    database, so deletion-heavy proofs (DB reduction, inprocessing) do
+    not degrade propagation.
 
     The checker is incremental: input clauses may be interleaved with
     proof steps (blocking clauses during an enumeration, new circuit
@@ -37,7 +48,8 @@ val check_rup : t -> Lit.t list -> bool
 
 val check_step : t -> Proof.step -> (unit, string) result
 (** Verify one proof step.  [Add c] must pass {!check_rup} and is then
-    installed; [Delete c] must name a live clause, which is removed.
+    installed; [Delete c] must name a live clause, which is removed
+    (rebuilding the root trail if the clause justified part of it).
     The error string says what failed; after an error the step is not
     installed/removed. *)
 
@@ -47,11 +59,38 @@ val model_ok : ?assumptions:Lit.t list -> t -> (int -> bool) -> bool
     [Sat] answer by evaluation, independently of the solver's model
     bookkeeping. *)
 
+type mode =
+  | Forward
+      (** Verify every [Add] step in proof order.  The strictest mode
+          and the default: a proof accepted forward contains no
+          unjustified step at all. *)
+  | Backward
+      (** Verify only the needed set: locate the conclusion, then walk
+          the proof backwards un-installing steps, RUP-checking just the
+          steps the conclusion transitively depends on (each verified
+          step's propagation antecedents join the needed set).  Much
+          cheaper on proofs whose learnt clauses were mostly deleted
+          before the end, and accepts every forward-valid proof; it may
+          additionally accept proofs containing unjustified steps the
+          conclusion never uses, which is why it is not the default. *)
+
 val check_unsat :
-  ?assumptions:Lit.t list -> Cnf.t -> Proof.step array -> (unit, string) result
+  ?mode:mode ->
+  ?jobs:int ->
+  ?assumptions:Lit.t list ->
+  Cnf.t ->
+  Proof.step array ->
+  (unit, string) result
 (** One-shot certification of an Unsat answer: every step verifies
-    against [cnf], and the proof contains a step establishing the claim
-    — the empty clause for global unsatisfiability, or (with
-    [assumptions]) a clause whose literals all negate assumptions,
-    i.e. the failed-assumption core.  A refutation reached while
-    installing [cnf] itself (complementary units) also qualifies. *)
+    against [cnf] (per [mode]), and the conclusion holds against the
+    {e final} clause set — the empty clause for global
+    unsatisfiability, or (with [assumptions]) an establishing core
+    clause (every literal negating an assumption) that is still live
+    once all deletions are applied, or a RUP consequence of the final
+    live set.  A refutation reached while installing [cnf] itself
+    (complementary units) also qualifies.
+
+    [jobs > 1] (Forward mode only) shards the RUP checks round-robin
+    over that many domains; every worker replays all installs and
+    deletions, so the verdict — including which failing step is
+    reported — is identical at every width. *)

@@ -39,6 +39,32 @@ let record t s =
 let add t lits = record t (Add (canon lits))
 let delete t lits = record t (Delete (canon lits))
 
+(* canonical list straight from raw literal codes: insertion-sort a
+   private copy (clauses are short, and Lit's order is the code order),
+   then build the deduplicated list back-to-front *)
+let canon_codes codes =
+  let a = Array.copy codes in
+  let n = Array.length a in
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done;
+  let lits = ref [] in
+  for i = n - 1 downto 0 do
+    match !lits with
+    | l :: _ when Lit.code l = a.(i) -> ()
+    | _ -> lits := Lit.of_code a.(i) :: !lits
+  done;
+  !lits
+
+let add_codes t codes = record t (Add (canon_codes codes))
+let delete_codes t codes = record t (Delete (canon_codes codes))
+
 let close t = match t.sink with Channel oc -> flush oc | Memory _ -> ()
 
 let num_steps t = t.count

@@ -33,6 +33,13 @@ val add : t -> Lit.t list -> unit
 val delete : t -> Lit.t list -> unit
 (** Record a deletion. *)
 
+val add_codes : t -> int array -> unit
+(** [add t] of the literals encoded by {!Lit.code}; avoids the
+    intermediate list on the solver's hot logging path. *)
+
+val delete_codes : t -> int array -> unit
+(** [delete t] of the literals encoded by {!Lit.code}. *)
+
 val close : t -> unit
 (** Flush a channel-backed sink (no-op for in-memory sinks). *)
 

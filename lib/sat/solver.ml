@@ -2,35 +2,43 @@
    assignment is -1 (undef), 0 (false) or 1 (true); the value of literal l
    under assignment a is a.(l lsr 1) lxor (l land 1) when defined.
 
+   Clause storage is a flat int-array arena: a clause is an offset [cr]
+   into [arena], whose word at [cr] packs the header
+   (len lsl 2) lor (removed lsl 1) lor learnt and whose literals occupy
+   arena.(cr+1 .. cr+len).  Learnt-clause activities live in the parallel
+   unboxed [acts] array (indexed by the same offsets).  Watch lists are
+   int vectors of (arena offset, blocker literal) pairs, so BCP walks
+   contiguous memory and skips satisfied clauses without loading them.
+   Removed clauses are only marked; they are dropped lazily from watch
+   lists and reclaimed by [gc_arena] once waste passes half the arena.
+
    Invariants:
-   - a clause's watched literals are lits.(0) and lits.(1); the clause is
-     registered in watches.(negate lits.(0)) and watches.(negate lits.(1));
-   - the literal propagated by a reason clause sits at lits.(0);
+   - a clause's watched literals are at cr+1 and cr+2; the clause is
+     registered in watches.(negate arena.(cr+1)) and
+     watches.(negate arena.(cr+2));
+   - the literal propagated by a reason clause sits at cr+1; reasons are
+     arena offsets, -1 meaning "decision/assumption/unit";
    - the trail holds literals in assignment order; trail_lim.(d) is the
-     trail height when decision level d+1 was opened. *)
+     trail height when decision level d+1 was opened;
+   - clauses of eliminated variables are out of the active set; the
+     variable is restored on demand when it reappears in an added clause
+     or an assumption (see [restore_var]). *)
 
-type clause = {
-  mutable lits : int array;
-  mutable act : float;
-  learnt : bool;
-  mutable removed : bool;
-}
+(* growable int vector *)
+type ivec = { mutable a : int array; mutable n : int }
 
-let dummy_clause = { lits = [||]; act = 0.0; learnt = false; removed = true }
+let ivec_make () = { a = Array.make 4 0; n = 0 }
 
-(* growable vector of clauses *)
-type cvec = { mutable a : clause array; mutable n : int }
-
-let cvec_create () = { a = Array.make 4 dummy_clause; n = 0 }
-
-let cvec_push v c =
+let ivec_push v x =
   if v.n = Array.length v.a then begin
-    let a' = Array.make (2 * v.n) dummy_clause in
+    let a' = Array.make (2 * v.n) 0 in
     Array.blit v.a 0 a' 0 v.n;
     v.a <- a'
   end;
-  v.a.(v.n) <- c;
+  v.a.(v.n) <- x;
   v.n <- v.n + 1
+
+let ivec_clear v = v.n <- 0
 
 type result = Sat | Unsat
 
@@ -44,6 +52,10 @@ type stats = {
   learned : int;
   learned_total : int;
   deleted : int;
+  subsumed : int;
+  strengthened : int;
+  vivified : int;
+  eliminated : int;
 }
 
 (* histograms recording per-conflict effort shape; attached on demand *)
@@ -58,13 +70,13 @@ type t = {
   mutable cap : int;
   mutable assigns : int array;          (* var -> -1/0/1 *)
   mutable level : int array;            (* var -> decision level *)
-  mutable reason : clause array;        (* var -> reason (dummy = none) *)
+  mutable reason : int array;           (* var -> arena offset or -1 *)
   mutable trail : int array;
   mutable trail_n : int;
   mutable trail_lim : int array;
   mutable trail_lim_n : int;
   mutable qhead : int;
-  mutable watches : cvec array;         (* lit code -> watchers *)
+  mutable watches : ivec array;         (* lit code -> (offset, blocker) pairs *)
   mutable activity : float array;
   mutable var_inc : float;
   mutable phase : bool array;
@@ -72,10 +84,20 @@ type t = {
   mutable heap_n : int;
   mutable heap_pos : int array;         (* var -> index in heap, -1 absent *)
   mutable seen : bool array;
-  clauses : cvec;
-  learnts : cvec;
+  mutable eliminated : bool array;      (* var -> removed by BVE *)
+  mutable frozen : bool array;          (* var -> protected from BVE *)
+  mutable arena : int array;
+  mutable arena_n : int;
+  mutable acts : float array;           (* arena offset -> activity *)
+  mutable waste : int;                  (* words held by removed clauses *)
+  clauses : ivec;                       (* problem-clause offsets *)
+  learnts : ivec;                       (* learnt-clause offsets *)
+  mutable elim_stack : (int * int array list) list;
+      (* newest first: (var, its clauses at elimination time) *)
   mutable cla_inc : float;
   mutable max_learnts : float;
+  mutable simp_interval : int;
+  mutable simp_next : int;              (* conflict count of next simplify *)
   mutable ok : bool;
   mutable model_valid : bool;
   mutable final_model : bool array;
@@ -85,6 +107,13 @@ type t = {
   mutable s_restarts : int;
   mutable s_learned_total : int;
   mutable s_deleted : int;
+  mutable s_subsumed : int;
+  mutable s_strengthened : int;
+  mutable s_vivified : int;
+  mutable s_eliminated : int;
+  analyze_buf : ivec;                   (* scratch for conflict analysis *)
+  min_stack : ivec;                     (* DFS stack for clause minimization *)
+  min_clear : ivec;                     (* seen marks to undo after minimization *)
   mutable hooks : obs_hooks option;
   mutable last_conflict_props : int;
   mutable proof : Proof.t option;
@@ -111,10 +140,19 @@ let create () =
     heap_n = 0;
     heap_pos = [||];
     seen = [||];
-    clauses = cvec_create ();
-    learnts = cvec_create ();
+    eliminated = [||];
+    frozen = [||];
+    arena = Array.make 1024 0;
+    arena_n = 0;
+    acts = Array.make 1024 0.0;
+    waste = 0;
+    clauses = ivec_make ();
+    learnts = ivec_make ();
+    elim_stack = [];
     cla_inc = 1.0;
     max_learnts = 1000.0;
+    simp_interval = 1000;
+    simp_next = 1000;
     ok = true;
     model_valid = false;
     final_model = [||];
@@ -124,6 +162,13 @@ let create () =
     s_restarts = 0;
     s_learned_total = 0;
     s_deleted = 0;
+    s_subsumed = 0;
+    s_strengthened = 0;
+    s_vivified = 0;
+    s_eliminated = 0;
+    analyze_buf = ivec_make ();
+    min_stack = ivec_make ();
+    min_clear = ivec_make ();
     hooks = None;
     last_conflict_props = 0;
     proof = None;
@@ -132,17 +177,44 @@ let create () =
 
 let set_proof s p = s.proof <- p
 
-let lits_of_codes codes = List.map Lit.of_code (Array.to_list codes)
+(* ---------- arena ---------- *)
+
+let c_len s cr = s.arena.(cr) lsr 2
+let c_learnt s cr = s.arena.(cr) land 1 = 1
+let c_removed s cr = s.arena.(cr) land 2 <> 0
+let c_lit s cr k = s.arena.(cr + 1 + k)
+let c_codes s cr = Array.init (c_len s cr) (fun k -> s.arena.(cr + 1 + k))
+
+let mark_removed s cr =
+  if not (c_removed s cr) then begin
+    s.arena.(cr) <- s.arena.(cr) lor 2;
+    s.waste <- s.waste + c_len s cr + 1
+  end
+
+let alloc_clause s codes ~learnt =
+  let len = Array.length codes in
+  let need = s.arena_n + len + 1 in
+  if need > Array.length s.arena then begin
+    let cap = max need (2 * Array.length s.arena) in
+    let a' = Array.make cap 0 in
+    Array.blit s.arena 0 a' 0 s.arena_n;
+    s.arena <- a';
+    let f' = Array.make cap 0.0 in
+    Array.blit s.acts 0 f' 0 s.arena_n;
+    s.acts <- f'
+  end;
+  let cr = s.arena_n in
+  s.arena.(cr) <- (len lsl 2) lor (if learnt then 1 else 0);
+  Array.blit codes 0 s.arena (cr + 1) len;
+  s.acts.(cr) <- 0.0;
+  s.arena_n <- need;
+  cr
 
 let proof_add s codes =
-  match s.proof with
-  | None -> ()
-  | Some p -> Proof.add p (lits_of_codes codes)
+  match s.proof with None -> () | Some p -> Proof.add_codes p codes
 
 let proof_delete s codes =
-  match s.proof with
-  | None -> ()
-  | Some p -> Proof.delete p (lits_of_codes codes)
+  match s.proof with None -> () | Some p -> Proof.delete_codes p codes
 
 let attach_obs ?(prefix = "sat") s obs =
   s.hooks <-
@@ -221,26 +293,30 @@ let grow_to s n =
     in
     s.assigns <- copy_int s.assigns (-1);
     s.level <- copy_int s.level 0;
+    s.reason <- copy_int s.reason (-1);
     s.trail <- copy_int s.trail 0;
     s.trail_lim <- copy_int s.trail_lim 0;
     s.heap <- copy_int s.heap 0;
     s.heap_pos <- copy_int s.heap_pos (-1);
-    let reason = Array.make cap dummy_clause in
-    Array.blit s.reason 0 reason 0 (Array.length s.reason);
-    s.reason <- reason;
-    let activity = Array.make cap 0.0 in
-    Array.blit s.activity 0 activity 0 (Array.length s.activity);
-    s.activity <- activity;
-    let phase = Array.make cap false in
-    Array.blit s.phase 0 phase 0 (Array.length s.phase);
-    s.phase <- phase;
-    let seen = Array.make cap false in
-    Array.blit s.seen 0 seen 0 (Array.length s.seen);
-    s.seen <- seen;
-    let watches = Array.make (2 * cap) (cvec_create ()) in
+    let copy_f old =
+      let a = Array.make cap 0.0 in
+      Array.blit old 0 a 0 (Array.length old);
+      a
+    in
+    s.activity <- copy_f s.activity;
+    let copy_b old =
+      let a = Array.make cap false in
+      Array.blit old 0 a 0 (Array.length old);
+      a
+    in
+    s.phase <- copy_b s.phase;
+    s.seen <- copy_b s.seen;
+    s.eliminated <- copy_b s.eliminated;
+    s.frozen <- copy_b s.frozen;
+    let watches = Array.make (2 * cap) (ivec_make ()) in
     Array.blit s.watches 0 watches 0 (Array.length s.watches);
     for i = Array.length s.watches to (2 * cap) - 1 do
-      watches.(i) <- cvec_create ()
+      watches.(i) <- ivec_make ()
     done;
     s.watches <- watches;
     s.cap <- cap
@@ -284,7 +360,7 @@ let cancel_until s lvl =
       let v = l lsr 1 in
       s.phase.(v) <- l land 1 = 0;
       s.assigns.(v) <- -1;
-      s.reason.(v) <- dummy_clause;
+      s.reason.(v) <- -1;
       heap_insert s v
     done;
     s.trail_n <- s.trail_lim.(lvl);
@@ -309,11 +385,12 @@ let var_bump s v =
 
 let var_decay_activities s = s.var_inc <- s.var_inc /. var_decay
 
-let clause_bump s c =
-  c.act <- c.act +. s.cla_inc;
-  if c.act > 1e20 then begin
+let clause_bump s cr =
+  s.acts.(cr) <- s.acts.(cr) +. s.cla_inc;
+  if s.acts.(cr) > 1e20 then begin
     for i = 0 to s.learnts.n - 1 do
-      s.learnts.a.(i).act <- s.learnts.a.(i).act *. 1e-20
+      let r = s.learnts.a.(i) in
+      s.acts.(r) <- s.acts.(r) *. 1e-20
     done;
     s.cla_inc <- s.cla_inc *. 1e-20
   end
@@ -322,57 +399,145 @@ let clause_decay_activities s = s.cla_inc <- s.cla_inc /. clause_decay
 
 (* ---------- clause attachment ---------- *)
 
-let attach s c =
-  cvec_push s.watches.(c.lits.(0) lxor 1) c;
-  cvec_push s.watches.(c.lits.(1) lxor 1) c
+(* A watch entry is the pair (clause offset, blocker literal) stored as
+   two consecutive ints; the blocker — initially the other watched
+   literal — lets BCP skip satisfied clauses without touching the arena.
+   Binary clauses store [lnot cr] (negative) instead of the offset: the
+   blocker then IS the whole rest of the clause, so BCP resolves the
+   entry arena-free.  Because the binary fast path never reads the
+   removed bit, a removed binary must leave the watch lists eagerly
+   (see the detach calls at the simplification removal sites); clauses
+   satisfied at the root are the one safe exception — their surviving
+   watch can only be reached through a false blocker, which a root-true
+   literal never is. *)
+let attach s cr =
+  let l0 = c_lit s cr 0 and l1 = c_lit s cr 1 in
+  let tag = if c_len s cr = 2 then lnot cr else cr in
+  let w0 = s.watches.(l0 lxor 1) in
+  ivec_push w0 tag;
+  ivec_push w0 l1;
+  let w1 = s.watches.(l1 lxor 1) in
+  ivec_push w1 tag;
+  ivec_push w1 l0
+
+(* explicit (eager) watch removal; only used off the hot path *)
+let watch_remove s l cr =
+  let ws = s.watches.(l) in
+  let enc = lnot cr in
+  let i = ref 0 in
+  while !i < ws.n && ws.a.(!i) <> cr && ws.a.(!i) <> enc do
+    i := !i + 2
+  done;
+  if !i < ws.n then begin
+    for k = !i to ws.n - 3 do
+      ws.a.(k) <- ws.a.(k + 2)
+    done;
+    ws.n <- ws.n - 2
+  end
+
+let detach s cr =
+  watch_remove s (c_lit s cr 0 lxor 1) cr;
+  watch_remove s (c_lit s cr 1 lxor 1) cr
 
 (* ---------- propagation ---------- *)
 
+(* returns the conflicting clause's offset, or -1.  No clause is
+   allocated while propagating, so [arena] and [assigns] can be cached;
+   the freshly watched literal is never false, so its watch list is
+   never the one being traversed. *)
 let propagate s =
-  let confl = ref None in
-  while !confl = None && s.qhead < s.trail_n do
-    let p = s.trail.(s.qhead) in
+  let confl = ref (-1) in
+  let arena = s.arena in
+  let assigns = s.assigns in
+  while !confl < 0 && s.qhead < s.trail_n do
+    let p = Array.unsafe_get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.s_propagations <- s.s_propagations + 1;
-    let ws = s.watches.(p) in
+    let ws = Array.unsafe_get s.watches p in
+    let wa = ws.a in
     let n = ws.n in
     let j = ref 0 in
     let i = ref 0 in
     while !i < n do
-      let c = ws.a.(!i) in
-      incr i;
-      if c.removed then () (* lazily detached *)
-      else if !confl <> None then begin
-        ws.a.(!j) <- c;
-        incr j
+      let cr = Array.unsafe_get wa !i in
+      let blocker = Array.unsafe_get wa (!i + 1) in
+      i := !i + 2;
+      let bv = Array.unsafe_get assigns (blocker lsr 1) in
+      (* bv is -1/0/1, so bv lxor bit = 1 already implies bv >= 0 *)
+      if bv lxor (blocker land 1) = 1 then begin
+        (* blocker already true: clause satisfied, arena never read *)
+        Array.unsafe_set wa !j cr;
+        Array.unsafe_set wa (!j + 1) blocker;
+        j := !j + 2
+      end
+      else if cr < 0 then begin
+        (* binary clause: the blocker is the whole rest of the clause *)
+        Array.unsafe_set wa !j cr;
+        Array.unsafe_set wa (!j + 1) blocker;
+        j := !j + 2;
+        if !confl < 0 then begin
+          let bcr = lnot cr in
+          if bv < 0 then begin
+            (* keep the implied literal at slot 0 (reason invariant) *)
+            (if Array.unsafe_get arena (bcr + 1) <> blocker then begin
+               Array.unsafe_set arena (bcr + 1) blocker;
+               Array.unsafe_set arena (bcr + 2) (p lxor 1)
+             end);
+            enqueue s blocker bcr
+          end
+          else confl := bcr
+        end
       end
       else begin
-        let lits = c.lits in
-        let false_lit = p lxor 1 in
-        if lits.(0) = false_lit then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- false_lit
-        end;
-        if lit_value s lits.(0) = 1 then begin
-          ws.a.(!j) <- c;
-          incr j
+        let hdr = Array.unsafe_get arena cr in
+        if hdr land 2 <> 0 then () (* removed: lazily drop the watch *)
+        else if !confl >= 0 then begin
+          Array.unsafe_set wa !j cr;
+          Array.unsafe_set wa (!j + 1) blocker;
+          j := !j + 2
         end
         else begin
-          let len = Array.length lits in
-          let k = ref 2 in
-          while !k < len && lit_value s lits.(!k) = 0 do incr k done;
-          if !k < len then begin
-            lits.(1) <- lits.(!k);
-            lits.(!k) <- false_lit;
-            cvec_push s.watches.(lits.(1) lxor 1) c
+          let false_lit = p lxor 1 in
+          (if Array.unsafe_get arena (cr + 1) = false_lit then begin
+             Array.unsafe_set arena (cr + 1) (Array.unsafe_get arena (cr + 2));
+             Array.unsafe_set arena (cr + 2) false_lit
+           end);
+          let first = Array.unsafe_get arena (cr + 1) in
+          let v0 = Array.unsafe_get assigns (first lsr 1) in
+          if v0 lxor (first land 1) = 1 then begin
+            Array.unsafe_set wa !j cr;
+            Array.unsafe_set wa (!j + 1) first;
+            j := !j + 2
           end
           else begin
-            ws.a.(!j) <- c;
-            incr j;
-            match lit_value s lits.(0) with
-            | 0 -> confl := Some c
-            | -1 -> enqueue s lits.(0) c
-            | _ -> ()
+            let len = hdr lsr 2 in
+            let k = ref 2 in
+            let continue_ = ref true in
+            while !continue_ && !k < len do
+              let l = Array.unsafe_get arena (cr + 1 + !k) in
+              (* any non-false literal will do: unset gives -1/-2, true gives 1 *)
+              if
+                Array.unsafe_get assigns (l lsr 1) lxor (l land 1) <> 0
+              then continue_ := false
+              else incr k
+            done;
+            if !k < len then begin
+              Array.unsafe_set arena (cr + 2)
+                (Array.unsafe_get arena (cr + 1 + !k));
+              Array.unsafe_set arena (cr + 1 + !k) false_lit;
+              let ws' =
+                Array.unsafe_get s.watches
+                  (Array.unsafe_get arena (cr + 2) lxor 1)
+              in
+              ivec_push ws' cr;
+              ivec_push ws' first
+            end
+            else begin
+              Array.unsafe_set wa !j cr;
+              Array.unsafe_set wa (!j + 1) first;
+              j := !j + 2;
+              if v0 < 0 then enqueue s first cr else confl := cr
+            end
           end
         end
       end
@@ -384,58 +549,132 @@ let propagate s =
 (* ---------- conflict analysis (first UIP) ---------- *)
 
 let analyze s confl =
-  let learnt = ref [] in
+  let arena = s.arena and seen = s.seen and level = s.level in
+  let buf = s.analyze_buf in
+  ivec_clear buf;
+  let dl = decision_level s in
   let path = ref 0 in
   let p = ref (-1) in
   let c = ref confl in
   let index = ref (s.trail_n - 1) in
   let stop = ref false in
   while not !stop do
-    let cl = !c in
-    if cl.learnt then clause_bump s cl;
-    let lits = cl.lits in
+    let cr = !c in
+    if Array.unsafe_get arena cr land 1 = 1 then clause_bump s cr;
+    let len = Array.unsafe_get arena cr lsr 2 in
     let start = if !p < 0 then 0 else 1 in
-    for k = start to Array.length lits - 1 do
-      let q = lits.(k) in
+    for k = start to len - 1 do
+      let q = Array.unsafe_get arena (cr + 1 + k) in
       let v = q lsr 1 in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
-        s.seen.(v) <- true;
+      if
+        (not (Array.unsafe_get seen v)) && Array.unsafe_get level v > 0
+      then begin
+        Array.unsafe_set seen v true;
         var_bump s v;
-        if s.level.(v) >= decision_level s then incr path
-        else learnt := q :: !learnt
+        if Array.unsafe_get level v >= dl then incr path
+        else ivec_push buf q
       end
     done;
-    while not s.seen.(s.trail.(!index) lsr 1) do decr index done;
+    while
+      not (Array.unsafe_get seen (Array.unsafe_get s.trail !index lsr 1))
+    do
+      decr index
+    done;
     let pl = s.trail.(!index) in
     decr index;
     p := pl;
-    s.seen.(pl lsr 1) <- false;
+    seen.(pl lsr 1) <- false;
     c := s.reason.(pl lsr 1);
     decr path;
     if !path = 0 then stop := true
   done;
-  (* clause minimization (basic self-subsumption): a literal whose reason
-     consists only of other marked (or root-level) literals is implied by
-     the rest of the clause and can be dropped *)
-  let redundant q =
-    let c = s.reason.(q lsr 1) in
-    c != dummy_clause
-    &&
-    let ok = ref true in
-    Array.iteri
-      (fun i r ->
-        if i > 0 && !ok then begin
-          let v = r lsr 1 in
-          if (not s.seen.(v)) && s.level.(v) > 0 then ok := false
-        end)
-      c.lits;
-    !ok
+  (* recursive clause minimization: a literal is redundant if every path
+     through its reason graph terminates in marked clause literals or the
+     root level without leaving the clause's decision levels (the
+     abstract-level mask is a cheap early exit for the latter).  Marks set
+     on a successful probe stay in [seen] as memoization for later probes;
+     a failed probe rolls back only its own marks. *)
+  let clear0 = s.min_clear in
+  ivec_clear clear0;
+  let abstract_levels = ref 0 in
+  for k = 0 to buf.n - 1 do
+    abstract_levels :=
+      !abstract_levels
+      lor (1 lsl (Array.unsafe_get level (buf.a.(k) lsr 1) land 31))
+  done;
+  let abstract_levels = !abstract_levels in
+  let redundant q0 =
+    s.reason.(q0 lsr 1) >= 0
+    && begin
+         let stack = s.min_stack in
+         ivec_clear stack;
+         ivec_push stack q0;
+         let top = clear0.n in
+         let ok = ref true in
+         while !ok && stack.n > 0 do
+           stack.n <- stack.n - 1;
+           let cr = s.reason.(Array.unsafe_get stack.a stack.n lsr 1) in
+           let len = Array.unsafe_get arena cr lsr 2 in
+           let k = ref 1 in
+           while !ok && !k < len do
+             let l = Array.unsafe_get arena (cr + 1 + !k) in
+             let v = l lsr 1 in
+             if
+               (not (Array.unsafe_get seen v))
+               && Array.unsafe_get level v > 0
+             then
+               if
+                 s.reason.(v) >= 0
+                 && 1 lsl (Array.unsafe_get level v land 31)
+                    land abstract_levels
+                    <> 0
+               then begin
+                 Array.unsafe_set seen v true;
+                 ivec_push stack l;
+                 ivec_push clear0 l
+               end
+               else begin
+                 for j = top to clear0.n - 1 do
+                   seen.(clear0.a.(j) lsr 1) <- false
+                 done;
+                 clear0.n <- top;
+                 ok := false
+               end;
+             incr k
+           done
+         done;
+         !ok
+       end
   in
-  let minimized = List.filter (fun q -> not (redundant q)) !learnt in
-  let out = Array.of_list ((!p lxor 1) :: minimized) in
-  (* clear seen for every var marked during the analysis *)
-  List.iter (fun q -> s.seen.(q lsr 1) <- false) !learnt;
-  s.seen.(!p lsr 1) <- false;
+  (* the learnt clause keeps the literals in reverse push order (as the
+     list-prepend construction did); survivors are marked first so the
+     reason-side [seen] marks are intact throughout minimization *)
+  let m = buf.n in
+  let keep = Array.make (max 1 m) false in
+  let nkeep = ref 0 in
+  for k = 0 to m - 1 do
+    if not (redundant buf.a.(k)) then begin
+      keep.(k) <- true;
+      incr nkeep
+    end
+  done;
+  let out = Array.make (!nkeep + 1) 0 in
+  out.(0) <- !p lxor 1;
+  let pos = ref 1 in
+  for k = m - 1 downto 0 do
+    if keep.(k) then begin
+      out.(!pos) <- buf.a.(k);
+      incr pos
+    end
+  done;
+  (* clear seen for every var marked during analysis or minimization *)
+  for k = 0 to m - 1 do
+    seen.(buf.a.(k) lsr 1) <- false
+  done;
+  for k = 0 to clear0.n - 1 do
+    seen.(clear0.a.(k) lsr 1) <- false
+  done;
+  seen.(!p lsr 1) <- false;
   (* move a literal of the highest remaining level to slot 1 *)
   let blevel =
     if Array.length out <= 1 then 0
@@ -454,35 +693,160 @@ let analyze s confl =
 
 (* ---------- learned clause database reduction ---------- *)
 
-let locked s c =
-  Array.length c.lits > 0
+let locked s cr =
+  c_len s cr > 0
   &&
-  let v = c.lits.(0) lsr 1 in
-  s.reason.(v) == c && s.assigns.(v) >= 0 && lit_value s c.lits.(0) = 1
+  let l0 = c_lit s cr 0 in
+  let v = l0 lsr 1 in
+  s.reason.(v) = cr && s.assigns.(v) >= 0 && lit_value s l0 = 1
 
 let reduce_db s =
   let ls = Array.sub s.learnts.a 0 s.learnts.n in
-  Array.sort (fun a b -> Float.compare a.act b.act) ls;
-  let keep = cvec_create () in
-  let limit = s.learnts.n / 2 in
+  Array.sort (fun x y -> Float.compare s.acts.(x) s.acts.(y)) ls;
+  ivec_clear s.learnts;
+  let limit = Array.length ls / 2 in
   Array.iteri
-    (fun i c ->
-      if
-        (not c.removed)
-        && (locked s c || Array.length c.lits <= 2 || i >= limit)
-      then cvec_push keep c
-      else begin
-        if not c.removed then begin
+    (fun i cr ->
+      (* entries promoted to problem clauses by subsumption just leave
+         the learnt list: they live on in [clauses] and must never be
+         deleted *)
+      if (not (c_removed s cr)) && c_learnt s cr then
+        if locked s cr || c_len s cr <= 2 || i >= limit then
+          ivec_push s.learnts cr
+        else begin
           s.s_deleted <- s.s_deleted + 1;
-          proof_delete s c.lits
-        end;
-        c.removed <- true
-      end)
-    ls;
-  s.learnts.a <- keep.a;
-  s.learnts.n <- keep.n
+          proof_delete s (c_codes s cr);
+          mark_removed s cr
+        end)
+    ls
 
-(* ---------- clause addition ---------- *)
+(* ---------- arena compaction ---------- *)
+
+(* Copy live clauses into a fresh arena (level 0 only).  Forwarding
+   offsets are written over the old headers, which is safe because every
+   root reason is a locked — hence live and just-moved — clause.  Watch
+   lists are rebuilt from scratch in database order. *)
+let gc_arena s =
+  let old = s.arena and old_acts = s.acts in
+  let live = s.arena_n - s.waste in
+  let cap = max 1024 (2 * live) in
+  let na = Array.make cap 0 in
+  let nf = Array.make cap 0.0 in
+  let n = ref 0 in
+  let move vec =
+    let keep = ivec_make () in
+    for i = 0 to vec.n - 1 do
+      let cr = vec.a.(i) in
+      if old.(cr) land 2 = 0 then begin
+        let len = old.(cr) lsr 2 in
+        let cr' = !n in
+        na.(cr') <- old.(cr);
+        Array.blit old (cr + 1) na (cr' + 1) len;
+        nf.(cr') <- old_acts.(cr);
+        n := !n + len + 1;
+        old.(cr) <- cr';
+        ivec_push keep cr'
+      end
+    done;
+    vec.a <- keep.a;
+    vec.n <- keep.n
+  in
+  move s.clauses;
+  move s.learnts;
+  for i = 0 to s.trail_n - 1 do
+    let v = s.trail.(i) lsr 1 in
+    if s.reason.(v) >= 0 then s.reason.(v) <- old.(s.reason.(v))
+  done;
+  s.arena <- na;
+  s.acts <- nf;
+  s.arena_n <- !n;
+  s.waste <- 0;
+  for l = 0 to (2 * s.cap) - 1 do
+    ivec_clear s.watches.(l)
+  done;
+  for i = 0 to s.clauses.n - 1 do
+    attach s s.clauses.a.(i)
+  done;
+  for i = 0 to s.learnts.n - 1 do
+    attach s s.learnts.a.(i)
+  done
+
+(* ---------- clause addition / variable restoration ---------- *)
+
+(* Install a clause whose derivation the proof sink has already seen (a
+   stored input clause being restored, a BVE resolvent, or a
+   strengthened clause whose Add/Delete pair was just emitted).
+   Normalizes against the root assignment — inprocessing propagation may
+   have assigned some of its literals since the codes were computed, and
+   a watched root-false literal would never be woken again.  Emits no
+   Add step; only a root conflict surfaces in the proof (as the empty
+   clause, a genuine RUP consequence at that point).  When [occs] is
+   given, the fresh clause joins the occurrence lists so later passes
+   see the complete live database. *)
+let install_simplified s codes ~learnt ~act occs =
+  if s.ok then begin
+    let sat = ref false in
+    let lits = ref [] in
+    Array.iter
+      (fun l ->
+        match lit_value s l with
+        | 1 -> sat := true
+        | 0 -> ()
+        | _ -> lits := l :: !lits)
+      codes;
+    if not !sat then
+      match List.rev !lits with
+      | [] ->
+          s.ok <- false;
+          proof_add s [||]
+      | [ l ] ->
+          enqueue s l (-1);
+          if propagate s >= 0 then begin
+            s.ok <- false;
+            proof_add s [||]
+          end
+      | lits ->
+          let arr = Array.of_list lits in
+          let cr = alloc_clause s arr ~learnt in
+          s.acts.(cr) <- act;
+          ivec_push (if learnt then s.learnts else s.clauses) cr;
+          attach s cr;
+          (match occs with
+          | None -> ()
+          | Some occs -> Array.iter (fun l -> ivec_push occs.(l) cr) arr)
+  end
+
+let install_permanent s codes =
+  install_simplified s codes ~learnt:false ~act:0.0 None
+
+(* undo a variable elimination: reactivate the stored clauses, first
+   restoring (recursively) any variable eliminated after this one that
+   they mention.  No proof steps: the checker never saw the stored
+   clauses leave its database. *)
+let rec restore_var s v =
+  if s.eliminated.(v) then begin
+    s.eliminated.(v) <- false;
+    let stored = ref [] in
+    s.elim_stack <-
+      List.filter
+        (fun (w, cls) ->
+          if w = v then begin
+            stored := cls;
+            false
+          end
+          else true)
+        s.elim_stack;
+    if s.assigns.(v) < 0 then heap_insert s v;
+    List.iter
+      (fun codes ->
+        Array.iter
+          (fun l ->
+            let w = l lsr 1 in
+            if s.eliminated.(w) then restore_var s w)
+          codes;
+        install_permanent s codes)
+      !stored
+  end
 
 exception Trivial_clause
 
@@ -491,6 +855,11 @@ let add_clause_codes s codes =
     s.model_valid <- false;
     List.iter (fun l -> ensure_vars s ((l lsr 1) + 1)) codes;
     cancel_until s 0;
+    List.iter
+      (fun l ->
+        let v = l lsr 1 in
+        if s.eliminated.(v) then restore_var s v)
+      codes;
     (* normalize: sort, dedupe, drop root-false lits, detect tautology and
        root-true lits *)
     match
@@ -515,18 +884,15 @@ let add_clause_codes s codes =
         s.ok <- false;
         proof_add s [||]
     | [ l ] ->
-        enqueue s l dummy_clause;
-        if propagate s <> None then begin
+        enqueue s l (-1);
+        if propagate s >= 0 then begin
           s.ok <- false;
           proof_add s [||]
         end
     | lits ->
-        let c =
-          { lits = Array.of_list lits; act = 0.0; learnt = false;
-            removed = false }
-        in
-        cvec_push s.clauses c;
-        attach s c
+        let cr = alloc_clause s (Array.of_list lits) ~learnt:false in
+        ivec_push s.clauses cr;
+        attach s cr
   end
 
 let add_clause s lits = add_clause_codes s (List.map Lit.code lits)
@@ -534,6 +900,346 @@ let add_clause s lits = add_clause_codes s (List.map Lit.code lits)
 let add_cnf s f =
   ensure_vars s f.Cnf.num_vars;
   List.iter (fun c -> add_clause s c) (Cnf.clauses f)
+
+(* ---------- inprocessing ---------- *)
+
+(* All passes run at decision level 0 with the trail at fixpoint.  Every
+   derived clause enters the proof before the clause it replaces is
+   deleted, and no clause locked as a root reason is ever deleted from
+   the proof, so the strict checker's root trail never loses a literal
+   it cannot re-derive. *)
+
+(* drop clauses satisfied at the root.  Learnt clauses leave the proof;
+   problem clauses stay in it (they are permanently satisfied, so the
+   checker keeping them is sound and [model_ok] coverage is preserved). *)
+let remove_satisfied_pass s =
+  let pass vec =
+    for i = 0 to vec.n - 1 do
+      let cr = vec.a.(i) in
+      if (not (c_removed s cr)) && not (locked s cr) then begin
+        let len = c_len s cr in
+        let sat = ref false in
+        for k = 0 to len - 1 do
+          if lit_value s (c_lit s cr k) = 1 then sat := true
+        done;
+        if !sat then begin
+          if c_learnt s cr then begin
+            s.s_deleted <- s.s_deleted + 1;
+            proof_delete s (c_codes s cr)
+          end;
+          mark_removed s cr
+        end
+      end
+    done
+  in
+  pass s.clauses;
+  pass s.learnts
+
+(* occurrence lists over the live database *)
+let build_occs s =
+  let occs = Array.make (2 * s.cap) (ivec_make ()) in
+  for l = 0 to (2 * s.cap) - 1 do
+    occs.(l) <- ivec_make ()
+  done;
+  let scan vec =
+    for i = 0 to vec.n - 1 do
+      let cr = vec.a.(i) in
+      if not (c_removed s cr) then
+        for k = 0 to c_len s cr - 1 do
+          ivec_push occs.(c_lit s cr k) cr
+        done
+    done
+  in
+  scan s.clauses;
+  scan s.learnts;
+  occs
+
+(* replace [old_cr] by its strengthened version [out] (one literal
+   fewer); Add-new-before-Delete-old so the checker can justify [out]
+   while the original is still live *)
+let commit_strengthened s occs old_cr out =
+  s.s_strengthened <- s.s_strengthened + 1;
+  proof_add s out;
+  proof_delete s (c_codes s old_cr);
+  let learnt = c_learnt s old_cr in
+  let act = s.acts.(old_cr) in
+  (* binary watches skip the removed bit: detach eagerly *)
+  if c_len s old_cr = 2 then detach s old_cr;
+  mark_removed s old_cr;
+  install_simplified s out ~learnt ~act (Some occs)
+
+(* backward subsumption and self-subsuming resolution.  For each clause
+   C (the subsumer) walk the occurrence list of its rarest literal; a
+   candidate D with every literal of C present is subsumed, one literal
+   present negated means D can be strengthened by resolving with C. *)
+let subsumption_pass s occs =
+  let smark = Bytes.make (2 * s.cap) '\000' in
+  let subsume_with cr =
+    if (not (c_removed s cr)) && s.ok then begin
+      let len = c_len s cr in
+      for k = 0 to len - 1 do
+        Bytes.set smark (c_lit s cr k) '\001'
+      done;
+      (* rarest literal's occurrence list *)
+      let best = ref (c_lit s cr 0) in
+      for k = 1 to len - 1 do
+        let l = c_lit s cr k in
+        if occs.(l).n < occs.(!best).n then best := l
+      done;
+      (* candidates with every literal of C live in occ(best); candidates
+         strengthenable on best itself contain its negation instead and
+         live only in occ(not best) — both lists must be walked, or a
+         clause whose flipped literal is C's rarest is never found *)
+      let scan_candidates cand =
+      let i = ref 0 in
+      while !i < cand.n do
+        let dr = cand.a.(!i) in
+        incr i;
+        if
+          dr <> cr && s.ok
+          && (not (c_removed s dr))
+          && (not (c_removed s cr))
+          && c_len s dr >= len
+          && not (locked s dr)
+        then begin
+          let dlen = c_len s dr in
+          let matched = ref 0 in
+          let flips = ref 0 in
+          let flip = ref (-1) in
+          for k = 0 to dlen - 1 do
+            let l = c_lit s dr k in
+            if Bytes.get smark l = '\001' then incr matched
+            else if Bytes.get smark (l lxor 1) = '\001' then begin
+              incr flips;
+              flip := l
+            end
+          done;
+          if !matched = len && !flips = 0 then begin
+            (* C subsumes D; a learnt subsumer of a problem clause is
+               promoted so the model-relevant clause survives later
+               learnt-DB deletion *)
+            s.s_subsumed <- s.s_subsumed + 1;
+            if c_learnt s cr && not (c_learnt s dr) then begin
+              s.arena.(cr) <- s.arena.(cr) land lnot 1;
+              ivec_push s.clauses cr
+            end;
+            if c_learnt s dr then s.s_deleted <- s.s_deleted + 1;
+            proof_delete s (c_codes s dr);
+            (* binary watches skip the removed bit: detach eagerly *)
+            if c_len s dr = 2 then detach s dr;
+            mark_removed s dr
+          end
+          else if !matched = len - 1 && !flips = 1 then begin
+            (* self-subsumption: strengthen D by dropping !flip *)
+            let out =
+              Array.of_list
+                (List.filter
+                   (fun l -> l <> !flip)
+                   (Array.to_list (c_codes s dr)))
+            in
+            commit_strengthened s occs dr out
+          end
+        end
+      done
+      in
+      scan_candidates occs.(!best);
+      scan_candidates occs.(!best lxor 1);
+      for k = 0 to len - 1 do
+        Bytes.set smark (c_lit s cr k) '\000'
+      done
+    end
+  in
+  let snapshot vec = Array.sub vec.a 0 vec.n in
+  Array.iter subsume_with (snapshot s.clauses);
+  Array.iter subsume_with (snapshot s.learnts)
+
+(* vivification: re-derive a learnt clause literal by literal under
+   trial assignments; a conflict or an implied literal part-way through
+   yields a shorter clause.  The clause is detached during probing so it
+   cannot justify itself. *)
+let vivify_one s occs cr =
+  let codes = c_codes s cr in
+  let len = Array.length codes in
+  detach s cr;
+  new_decision_level s;
+  let kept = ref [] in
+  let stop = ref false in
+  let k = ref 0 in
+  while (not !stop) && !k < len do
+    let l = codes.(!k) in
+    (match lit_value s l with
+    | 1 ->
+        kept := l :: !kept;
+        stop := true
+    | 0 -> () (* implied false: drop *)
+    | _ ->
+        kept := l :: !kept;
+        enqueue s (l lxor 1) (-1);
+        if propagate s >= 0 then stop := true);
+    incr k
+  done;
+  cancel_until s 0;
+  let out = Array.of_list (List.rev !kept) in
+  if Array.length out < len then begin
+    s.s_vivified <- s.s_vivified + 1;
+    proof_add s out;
+    proof_delete s codes;
+    let act = s.acts.(cr) in
+    mark_removed s cr;
+    install_simplified s out ~learnt:true ~act (Some occs)
+  end
+  else attach s cr
+
+let vivify_pass s occs =
+  let props0 = s.s_propagations in
+  let snapshot = Array.sub s.learnts.a 0 s.learnts.n in
+  let i = ref 0 in
+  while
+    !i < Array.length snapshot
+    && s.ok
+    && s.s_propagations - props0 < 30_000
+  do
+    let cr = snapshot.(!i) in
+    incr i;
+    if (not (c_removed s cr)) && (not (locked s cr)) && c_len s cr >= 3 then
+      vivify_one s occs cr
+  done
+
+(* bounded variable elimination.  A variable goes if it is unassigned,
+   not frozen (an assumption of the running call) and the non-trivial
+   resolvents of its positive and negative occurrences number no more
+   than the occurrences themselves.  Resolvents enter the proof (each is
+   a RUP consequence while the originals are live); learnt occurrences
+   leave the proof; problem occurrences are merely deactivated and kept
+   on [elim_stack] for model reconstruction and on-demand restoration —
+   the checker keeping them is sound (a superset only propagates more). *)
+let bve_pass s occs =
+  let resolve pcodes ncodes v =
+    (* merge, dropping the pivot; None for tautologies *)
+    let codes =
+      List.sort_uniq Int.compare
+        (List.filter
+           (fun l -> l lsr 1 <> v)
+           (Array.to_list pcodes @ Array.to_list ncodes))
+    in
+    let rec tauto = function
+      | a :: (b :: _ as rest) -> (a lxor 1) = b || tauto rest
+      | _ -> false
+    in
+    if tauto codes then None
+    else begin
+      (* normalize against the root assignment *)
+      let sat = ref false in
+      let lits =
+        List.filter
+          (fun l ->
+            match lit_value s l with
+            | 1 ->
+                sat := true;
+                false
+            | 0 -> false
+            | _ -> true)
+          codes
+      in
+      if !sat then None else Some (Array.of_list lits)
+    end
+  in
+  let live ivec =
+    let out = ref [] in
+    for i = ivec.n - 1 downto 0 do
+      let cr = ivec.a.(i) in
+      if not (c_removed s cr) then out := cr :: !out
+    done;
+    !out
+  in
+  let v = ref 0 in
+  while !v < s.nvars && s.ok do
+    let x = !v in
+    if
+      (not s.eliminated.(x))
+      && (not s.frozen.(x))
+      && s.assigns.(x) < 0
+    then begin
+      let pos = live occs.(2 * x) and neg = live occs.((2 * x) + 1) in
+      let np = List.length pos and nn = List.length neg in
+      if np + nn > 0 && np <= 8 && nn <= 8 then begin
+        let resolvents =
+          List.concat_map
+            (fun p ->
+              List.filter_map
+                (fun nr -> resolve (c_codes s p) (c_codes s nr) x)
+                neg)
+            pos
+        in
+        if List.length resolvents <= np + nn then begin
+          s.s_eliminated <- s.s_eliminated + 1;
+          (* proof: all resolvents first, then the learnt originals'
+             deletions (their RUP checks need the originals live) *)
+          List.iter (fun codes -> proof_add s codes) resolvents;
+          let stored = ref [] in
+          List.iter
+            (fun cr ->
+              if c_learnt s cr then begin
+                s.s_deleted <- s.s_deleted + 1;
+                proof_delete s (c_codes s cr)
+              end
+              else stored := c_codes s cr :: !stored;
+              (* binary watches skip the removed bit: detach eagerly *)
+              if c_len s cr = 2 then detach s cr;
+              mark_removed s cr)
+            (pos @ neg);
+          s.elim_stack <- (x, List.rev !stored) :: s.elim_stack;
+          s.eliminated.(x) <- true;
+          (* activate the resolvents (no further Add steps) *)
+          List.iter
+            (fun codes ->
+              install_simplified s codes ~learnt:false ~act:0.0 (Some occs))
+            resolvents
+        end
+      end
+    end;
+    incr v
+  done
+
+let compact_dbs s =
+  let keep vec pred =
+    let out = ivec_make () in
+    for i = 0 to vec.n - 1 do
+      let cr = vec.a.(i) in
+      if pred cr then ivec_push out cr
+    done;
+    vec.a <- out.a;
+    vec.n <- out.n
+  in
+  keep s.clauses (fun cr -> (not (c_removed s cr)) && not (c_learnt s cr));
+  keep s.learnts (fun cr -> (not (c_removed s cr)) && c_learnt s cr)
+
+let simplify_now s =
+  if s.ok && decision_level s = 0 then begin
+    s.simp_interval <- 2 * s.simp_interval;
+    s.simp_next <- s.s_conflicts + s.simp_interval;
+    if propagate s >= 0 then begin
+      s.ok <- false;
+      proof_add s [||]
+    end;
+    if s.ok then begin
+      remove_satisfied_pass s;
+      if s.ok then begin
+        let occs = build_occs s in
+        subsumption_pass s occs;
+        if s.ok then vivify_pass s occs;
+        if s.ok then bve_pass s occs
+      end;
+      compact_dbs s;
+      if s.waste > s.arena_n / 2 && s.arena_n > 4096 then gc_arena s
+    end
+  end
+
+let simplify s =
+  if s.ok then begin
+    cancel_until s 0;
+    simplify_now s
+  end
 
 (* ---------- search ---------- *)
 
@@ -553,30 +1259,28 @@ let pick_branch_var s =
     if s.heap_n = 0 then None
     else
       let v = heap_pop s in
-      if s.assigns.(v) < 0 then Some v else loop ()
+      if s.assigns.(v) < 0 && not s.eliminated.(v) then Some v else loop ()
   in
   loop ()
 
 let record_learnt s out =
   s.s_learned_total <- s.s_learned_total + 1;
   proof_add s out;
-  if Array.length out = 1 then begin
-    enqueue s out.(0) dummy_clause
-  end
+  if Array.length out = 1 then enqueue s out.(0) (-1)
   else begin
-    let c = { lits = out; act = 0.0; learnt = true; removed = false } in
-    cvec_push s.learnts c;
-    clause_bump s c;
-    attach s c;
-    enqueue s out.(0) c
+    let cr = alloc_clause s out ~learnt:true in
+    ivec_push s.learnts cr;
+    clause_bump s cr;
+    attach s cr;
+    enqueue s out.(0) cr
   end
 
 (* Which assumptions force [p] false?  MiniSat's analyzeFinal: seed the
    seen set with [p]'s variable and walk the trail top-down; a seen
-   literal with a dummy reason is an enqueued assumption (at the
-   detection point every open level is an assumption level), a seen
-   literal with a real reason charges the reason's tail.  Returns the
-   failed-assumption core as literal codes, [p] included. *)
+   literal without a reason is an enqueued assumption (at the detection
+   point every open level is an assumption level), a seen literal with a
+   reason charges the reason's tail.  Returns the failed-assumption core
+   as literal codes, [p] included. *)
 let analyze_final s p =
   let core = ref [ p ] in
   if decision_level s > 0 then begin
@@ -585,19 +1289,38 @@ let analyze_final s p =
       let l = s.trail.(i) in
       let v = l lsr 1 in
       if s.seen.(v) then begin
-        let r = s.reason.(v) in
-        if r == dummy_clause then core := l :: !core
+        let cr = s.reason.(v) in
+        if cr < 0 then core := l :: !core
         else
-          Array.iter
-            (fun q ->
-              if s.level.(q lsr 1) > 0 then s.seen.(q lsr 1) <- true)
-            r.lits;
+          for k = 0 to c_len s cr - 1 do
+            let q = c_lit s cr k in
+            if s.level.(q lsr 1) > 0 then s.seen.(q lsr 1) <- true
+          done;
         s.seen.(v) <- false
       end
     done;
     s.seen.(p lsr 1) <- false
   end;
   !core
+
+(* complete the model of the active set into a model of the original
+   formula: walk eliminations newest-first, making each variable true
+   exactly when one of its stored positive occurrences has every other
+   literal false (every negative occurrence is then satisfied, or one
+   of the recorded resolvents would have been falsified) *)
+let extend_model s m =
+  List.iter
+    (fun (v, cls) ->
+      let lit_true l =
+        if l land 1 = 0 then m.(l lsr 1) else not m.(l lsr 1)
+      in
+      m.(v) <-
+        List.exists
+          (fun codes ->
+            Array.exists (fun l -> l = 2 * v) codes
+            && Array.for_all (fun l -> l = 2 * v || not (lit_true l)) codes)
+          cls)
+    s.elim_stack
 
 let solve_limited ?(assumptions = []) ~budget s =
   s.model_valid <- false;
@@ -610,43 +1333,65 @@ let solve_limited ?(assumptions = []) ~budget s =
   else begin
     cancel_until s 0;
     let assumptions = Array.of_list (List.map Lit.code assumptions) in
-    (* decision levels are bounded by nvars + |assumptions| (already-true
-       assumptions open dummy levels), so trail_lim may need extra room *)
-    let lim_needed = s.nvars + Array.length assumptions + 1 in
-    if Array.length s.trail_lim < lim_needed then begin
-      let a = Array.make lim_needed 0 in
-      Array.blit s.trail_lim 0 a 0 (Array.length s.trail_lim);
-      s.trail_lim <- a
-    end;
-    (* only ever raise the learnt-DB cap: restarts grow it by 1.1x and
-       that growth must survive into the next call of an enumeration *)
-    s.max_learnts <- max s.max_learnts (float_of_int s.clauses.n /. 3.0);
-    (* budget horizons on the cumulative counters; saturating so that an
-       unlimited allowance (max_int) never wraps *)
-    let horizon base left =
-      if left >= max_int - base then max_int else base + left
-    in
+    Array.iter (fun l -> ensure_vars s ((l lsr 1) + 1)) assumptions;
+    Array.iter
+      (fun l ->
+        let v = l lsr 1 in
+        if s.eliminated.(v) then restore_var s v)
+      assumptions;
+    Array.iter (fun l -> s.frozen.(l lsr 1) <- true) assumptions;
     let conflicts0 = s.s_conflicts and propagations0 = s.s_propagations in
-    let conf_limit = horizon conflicts0 (Budget.conflicts_left budget) in
-    let prop_limit = horizon propagations0 (Budget.propagations_left budget) in
-    let deadline = Budget.deadline budget in
-    let ticks = ref 0 in
-    let out_of_budget () =
-      s.s_conflicts >= conf_limit
-      || s.s_propagations >= prop_limit
-      || deadline < infinity
-         && (incr ticks;
-             !ticks land 1023 = 0 && Obs.Clock.wall () > deadline)
+    if s.s_conflicts >= s.simp_next then simplify_now s;
+    let release () =
+      Array.iter (fun l -> s.frozen.(l lsr 1) <- false) assumptions;
+      Budget.charge budget
+        ~conflicts:(s.s_conflicts - conflicts0)
+        ~propagations:(s.s_propagations - propagations0)
     in
-    let restart_first = 100.0 in
-    let curr_restarts = ref 0 in
-    let conflicts_left = ref (luby restart_first !curr_restarts) in
-    let result = ref None in
-    while !result = None do
-      if out_of_budget () then result := Some Unknown
-      else
-        match propagate s with
-        | Some confl ->
+    if not s.ok then begin
+      release ();
+      s.conflict_core <- Some [];
+      Solved Unsat
+    end
+    else begin
+      (* decision levels are bounded by nvars + |assumptions| (already-true
+         assumptions open dummy levels), so trail_lim may need extra room *)
+      let lim_needed = s.nvars + Array.length assumptions + 1 in
+      if Array.length s.trail_lim < lim_needed then begin
+        let a = Array.make lim_needed 0 in
+        Array.blit s.trail_lim 0 a 0 (Array.length s.trail_lim);
+        s.trail_lim <- a
+      end;
+      (* only ever raise the learnt-DB cap: restarts grow it by 1.1x and
+         that growth must survive into the next call of an enumeration *)
+      s.max_learnts <- max s.max_learnts (float_of_int s.clauses.n /. 3.0);
+      (* budget horizons on the cumulative counters; saturating so that an
+         unlimited allowance (max_int) never wraps *)
+      let horizon base left =
+        if left >= max_int - base then max_int else base + left
+      in
+      let conf_limit = horizon conflicts0 (Budget.conflicts_left budget) in
+      let prop_limit =
+        horizon propagations0 (Budget.propagations_left budget)
+      in
+      let deadline = Budget.deadline budget in
+      let ticks = ref 0 in
+      let out_of_budget () =
+        s.s_conflicts >= conf_limit
+        || s.s_propagations >= prop_limit
+        || deadline < infinity
+           && (incr ticks;
+               !ticks land 1023 = 0 && Obs.Clock.wall () >= deadline)
+      in
+      let restart_first = 100.0 in
+      let curr_restarts = ref 0 in
+      let conflicts_left = ref (luby restart_first !curr_restarts) in
+      let result = ref None in
+      while !result = None do
+        if out_of_budget () then result := Some Unknown
+        else begin
+          let confl = propagate s in
+          if confl >= 0 then begin
             s.s_conflicts <- s.s_conflicts + 1;
             conflicts_left := !conflicts_left -. 1.0;
             (match s.hooks with
@@ -663,7 +1408,7 @@ let solve_limited ?(assumptions = []) ~budget s =
             end
             else begin
               let out, blevel = analyze s confl in
-              (match s.hooks with
+                  (match s.hooks with
               | None -> ()
               | Some h ->
                   Obs.Histogram.observe h.h_learnt_len (Array.length out);
@@ -671,56 +1416,65 @@ let solve_limited ?(assumptions = []) ~budget s =
                     (decision_level s - blevel));
               cancel_until s blevel;
               record_learnt s out;
-              var_decay_activities s;
+                  var_decay_activities s;
               clause_decay_activities s;
-              if float_of_int s.learnts.n -. float_of_int s.trail_n
-                 > s.max_learnts
+              if
+                float_of_int s.learnts.n -. float_of_int s.trail_n
+                > s.max_learnts
               then reduce_db s
             end
-        | None ->
-            if !conflicts_left <= 0.0 then begin
-              (* restart *)
-              s.s_restarts <- s.s_restarts + 1;
-              incr curr_restarts;
-              conflicts_left := luby restart_first !curr_restarts;
-              s.max_learnts <- s.max_learnts *. 1.1;
-              cancel_until s 0
+          end
+          else if !conflicts_left <= 0.0 then begin
+            (* restart *)
+            s.s_restarts <- s.s_restarts + 1;
+            incr curr_restarts;
+            conflicts_left := luby restart_first !curr_restarts;
+            s.max_learnts <- s.max_learnts *. 1.1;
+            cancel_until s 0;
+            if s.s_conflicts >= s.simp_next then simplify_now s;
+            if s.waste > s.arena_n / 2 && s.arena_n > 4096 then gc_arena s;
+            if not s.ok then begin
+              s.conflict_core <- Some [];
+              result := Some (Solved Unsat)
             end
-            else if decision_level s < Array.length assumptions then begin
-              let p = assumptions.(decision_level s) in
-              match lit_value s p with
-              | 1 -> new_decision_level s
-              | 0 ->
-                  let core = analyze_final s p in
-                  s.conflict_core <- Some core;
-                  proof_add s
-                    (Array.of_list (List.map (fun l -> l lxor 1) core));
-                  result := Some (Solved Unsat)
-              | _ ->
-                  new_decision_level s;
-                  enqueue s p dummy_clause
-            end
-            else begin
-              match pick_branch_var s with
-              | None -> result := Some (Solved Sat)
-              | Some v ->
-                  s.s_decisions <- s.s_decisions + 1;
-                  new_decision_level s;
-                  let l = (2 * v) lor (if s.phase.(v) then 0 else 1) in
-                  enqueue s l dummy_clause
-            end
-    done;
-    let r = match !result with Some r -> r | None -> assert false in
-    (* keep the final model readable, then reset the trail *)
-    if r = Solved Sat then begin
-      s.model_valid <- true;
-      s.final_model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1)
-    end;
-    cancel_until s 0;
-    Budget.charge budget
-      ~conflicts:(s.s_conflicts - conflicts0)
-      ~propagations:(s.s_propagations - propagations0);
-    r
+          end
+          else if decision_level s < Array.length assumptions then begin
+            let p = assumptions.(decision_level s) in
+            match lit_value s p with
+            | 1 -> new_decision_level s
+            | 0 ->
+                let core = analyze_final s p in
+                s.conflict_core <- Some core;
+                proof_add s
+                  (Array.of_list (List.map (fun l -> l lxor 1) core));
+                result := Some (Solved Unsat)
+            | _ ->
+                new_decision_level s;
+                enqueue s p (-1)
+          end
+          else begin
+            match pick_branch_var s with
+            | None -> result := Some (Solved Sat)
+            | Some v ->
+                s.s_decisions <- s.s_decisions + 1;
+                new_decision_level s;
+                let l = (2 * v) lor (if s.phase.(v) then 0 else 1) in
+                enqueue s l (-1)
+          end
+        end
+      done;
+      let r = match !result with Some r -> r | None -> assert false in
+      (* keep the final model readable, then reset the trail *)
+      if r = Solved Sat then begin
+        s.model_valid <- true;
+        let m = Array.init s.nvars (fun v -> s.assigns.(v) = 1) in
+        extend_model s m;
+        s.final_model <- m
+      end;
+      cancel_until s 0;
+      release ();
+      r
+    end
   end
 
 let solve ?assumptions s =
@@ -745,6 +1499,10 @@ let stats s =
     learned = s.learnts.n;
     learned_total = s.s_learned_total;
     deleted = s.s_deleted;
+    subsumed = s.s_subsumed;
+    strengthened = s.s_strengthened;
+    vivified = s.s_vivified;
+    eliminated = s.s_eliminated;
   }
 
 let set_default_phase s v b =

@@ -89,14 +89,33 @@ type stats = {
   learned : int;        (** learnt clauses currently in the database *)
   learned_total : int;  (** clauses learned over the solver's lifetime,
                             including unit learnts that bypass the DB *)
-  deleted : int;        (** learnt clauses removed by DB reduction *)
+  deleted : int;        (** learnt clauses removed by DB reduction or
+                            inprocessing *)
+  subsumed : int;       (** clauses deleted by backward subsumption *)
+  strengthened : int;   (** clauses shortened by self-subsumption *)
+  vivified : int;       (** learnt clauses shortened by vivification *)
+  eliminated : int;     (** variables removed by bounded variable
+                            elimination (cumulative; restorations are
+                            not subtracted) *)
 }
 
 val stats : t -> stats
 (** Cumulative counters across every [solve]/[solve_limited] call on
     this solver.  [learned] is a gauge (current DB size); the others are
-    monotonic.  [learned_total >= learned + deleted], with equality
-    exactly when no unit clauses were learned. *)
+    monotonic. *)
+
+val simplify : t -> unit
+(** Run one inprocessing pass at the root level: drop root-satisfied
+    clauses, backward (self-)subsumption, bounded clause vivification
+    and bounded variable elimination.  Every change is reflected in the
+    attached proof (derived clauses are added before the clauses they
+    replace are deleted, and clauses backing root-trail literals are
+    never deleted), so certified runs stay certified.  Eliminated
+    variables are restored transparently when they reappear in an added
+    clause or an assumption; models returned by later [solve] calls are
+    extended over them, so callers never observe the elimination.
+    The solver also triggers this pass on its own on a doubling
+    conflict-count cadence. *)
 
 val attach_obs : ?prefix:string -> t -> Obs.t -> unit
 (** Record per-conflict effort distributions into the registry's

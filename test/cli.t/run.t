@@ -34,7 +34,7 @@ timings), so it can be pinned here:
     {n19}
     {n18}
     {n20}
-  {"counters":{"bsat/conflicts":4,"bsat/decisions":463,"bsat/deleted":0,"bsat/learned":2,"bsat/learned_total":4,"bsat/propagations":2047,"bsat/restarts":0,"bsat/solutions":3,"bsat/solver_calls":4,"bsat/truncated":0},"histograms":{"bsat/solution_size":{"count":3,"buckets":[[1,1,3]]},"sat/backtrack":{"count":4,"buckets":[[1,1,3],[2,3,1]]},"sat/conflict_gap":{"count":4,"buckets":[[256,511,3],[512,1023,1]]},"sat/learnt_len":{"count":4,"buckets":[[1,1,2],[2,3,1],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":3}]}}
+  {"counters":{"bsat/conflicts":4,"bsat/decisions":474,"bsat/deleted":0,"bsat/eliminated":0,"bsat/learned":1,"bsat/learned_total":4,"bsat/propagations":2055,"bsat/restarts":0,"bsat/solutions":3,"bsat/solver_calls":4,"bsat/strengthened":0,"bsat/subsumed":0,"bsat/truncated":0,"bsat/vivified":0},"histograms":{"bsat/solution_size":{"count":3,"buckets":[[1,1,3]]},"sat/backtrack":{"count":4,"buckets":[[1,1,2],[2,3,2]]},"sat/conflict_gap":{"count":4,"buckets":[[256,511,3],[1024,2047,1]]},"sat/learnt_len":{"count":4,"buckets":[[1,1,3],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":3}]}}
 
 Two identical seeded invocations emit byte-identical stats blocks:
 
@@ -45,29 +45,32 @@ Two identical seeded invocations emit byte-identical stats blocks:
 The stats block summarizes as a deterministic text report:
 
   $ diagnose report stats1.json
-  == counters (10) ==
+  == counters (14) ==
     bsat/conflicts                             4
-    bsat/decisions                             463
+    bsat/decisions                             474
     bsat/deleted                               0
-    bsat/learned                               2
+    bsat/eliminated                            0
+    bsat/learned                               1
     bsat/learned_total                         4
-    bsat/propagations                          2047
+    bsat/propagations                          2055
     bsat/restarts                              0
     bsat/solutions                             3
     bsat/solver_calls                          4
+    bsat/strengthened                          0
+    bsat/subsumed                              0
     bsat/truncated                             0
+    bsat/vivified                              0
   == histograms (4) ==
     bsat/solution_size (3 observation(s))
                1 ..          1  3
     sat/backtrack (4 observation(s))
-               1 ..          1  3
-               2 ..          3  1
+               1 ..          1  2
+               2 ..          3  2
     sat/conflict_gap (4 observation(s))
              256 ..        511  3
-             512 ..       1023  1
+            1024 ..       2047  1
     sat/learnt_len (4 observation(s))
-               1 ..          1  2
-               2 ..          3  1
+               1 ..          1  3
                4 ..          7  1
   == events (4 emitted, 0 dropped) ==
     bsat                                       4 event(s)
@@ -86,7 +89,15 @@ A conflict budget truncates the enumeration but keeps it sound:
   8 failing test(s) found
   BSAT: 0 solution(s)
   budget exhausted: enumeration truncated (solutions above are still valid)
-  {"counters":{"bsat/conflicts":0,"bsat/decisions":0,"bsat/deleted":0,"bsat/learned":0,"bsat/learned_total":0,"bsat/propagations":150,"bsat/restarts":0,"bsat/solutions":0,"bsat/solver_calls":0,"bsat/truncated":1},"histograms":{"sat/backtrack":{"count":0,"buckets":[]},"sat/conflict_gap":{"count":0,"buckets":[]},"sat/learnt_len":{"count":0,"buckets":[]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":0}]}}
+  {"counters":{"bsat/conflicts":0,"bsat/decisions":0,"bsat/deleted":0,"bsat/eliminated":0,"bsat/learned":0,"bsat/learned_total":0,"bsat/propagations":150,"bsat/restarts":0,"bsat/solutions":0,"bsat/solver_calls":0,"bsat/strengthened":0,"bsat/subsumed":0,"bsat/truncated":1,"bsat/vivified":0},"histograms":{"sat/backtrack":{"count":0,"buckets":[]},"sat/conflict_gap":{"count":0,"buckets":[]},"sat/learnt_len":{"count":0,"buckets":[]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"bsat/cnf","ph":"B","arg":0},{"tick":1,"name":"bsat/cnf","ph":"E","arg":0},{"tick":2,"name":"bsat/solve","ph":"B","arg":0},{"tick":3,"name":"bsat/solve","ph":"E","arg":0}]}}
+
+A zero time budget is born exhausted: no solver call is admitted, and
+the result is an immediately-truncated (but still valid) diagnosis:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat -k 1 -m 8 --budget 0
+  8 failing test(s) found
+  BSAT: 0 solution(s)
+  budget exhausted: enumeration truncated (solutions above are still valid)
 
 BSIM and COV on the same workload:
 
@@ -123,17 +134,21 @@ report renders a merged parallel stats block (worker event streams are
 interleaved deterministically, tagged with their domain):
 
   $ diagnose report par1.json
-  == counters (10) ==
+  == counters (14) ==
     bsat/conflicts                             7
-    bsat/decisions                             467
+    bsat/decisions                             468
     bsat/deleted                               0
+    bsat/eliminated                            0
     bsat/learned                               5
     bsat/learned_total                         7
     bsat/propagations                          3325
     bsat/restarts                              0
     bsat/solutions                             3
     bsat/solver_calls                          7
+    bsat/strengthened                          0
+    bsat/subsumed                              0
     bsat/truncated                             0
+    bsat/vivified                              0
   == histograms (4) ==
     bsat/solution_size (3 observation(s))
                1 ..          1  3
@@ -219,7 +234,7 @@ Fault-simulation coverage and SAT-based ATPG (deterministic seeds):
   $ diagnose coverage mul4 --atpg
   mul4: 8 inputs, 8 outputs, 146 gates, depth 24
   fault universe: 308 single stuck-at faults
-  ATPG: 17 deterministic vectors, 75 untestable fault(s)
+  ATPG: 18 deterministic vectors, 75 untestable fault(s)
   coverage: 233/233 testable faults (100% by construction)
 
 Export the diagnosis instance as DIMACS and solve it externally:

@@ -236,6 +236,29 @@ let test_budget_unknown () =
   Alcotest.(check bool) "still solvable" true
     (Sat.Solver.solve s = Sat.Solver.Unsat)
 
+let test_budget_zero () =
+  (* boundary: a zero allowance is born exhausted, and a budgeted call
+     must return immediately-truncated without spending any effort *)
+  let zero_sec = Sat.Budget.create ~seconds:0.0 () in
+  Alcotest.(check bool) "0s budget born exhausted" true
+    (Sat.Budget.exhausted zero_sec);
+  let s = php_solver 7 6 in
+  (match Sat.Solver.solve_limited ~budget:zero_sec s with
+  | Sat.Solver.Unknown -> ()
+  | Sat.Solver.Solved _ -> Alcotest.fail "zero-second budget must truncate");
+  let st = Sat.Solver.stats s in
+  Alcotest.(check int) "no conflicts spent" 0 st.Sat.Solver.conflicts;
+  Alcotest.(check int) "no decisions spent" 0 st.Sat.Solver.decisions;
+  let zero_conf = Sat.Budget.create ~conflicts:0 () in
+  Alcotest.(check bool) "0-conflict budget born exhausted" true
+    (Sat.Budget.exhausted zero_conf);
+  (match Sat.Solver.solve_limited ~budget:zero_conf (php_solver 7 6) with
+  | Sat.Solver.Unknown -> ()
+  | Sat.Solver.Solved _ -> Alcotest.fail "zero-conflict budget must truncate");
+  (* the solver survives the immediate truncation *)
+  Alcotest.(check bool) "still solvable afterwards" true
+    (Sat.Solver.solve s = Sat.Solver.Unsat)
+
 let test_budget_determinism () =
   let run () =
     let s = php_solver 8 7 in
@@ -438,6 +461,192 @@ let test_checker_model_ok () =
   Alcotest.(check bool) "all-false rejected" false
     (Sat.Drup_check.model_ok t (fun _ -> false))
 
+let test_checker_ghost_unit_rejected () =
+  (* regression: deleting a unit clause must retract the root-trail
+     literal it propagated.  Before the strict-deletion fix the literal
+     survived as a ghost of the deleted clause, and any clause mentioning
+     it passed check_rup forever after. *)
+  let t = Sat.Drup_check.create () in
+  Sat.Drup_check.add_clause t (clause_of_ints [ 1 ]);
+  Sat.Drup_check.add_clause t (clause_of_ints [ -1; 2 ]);
+  Alcotest.(check bool) "[2] RUP while the unit lives" true
+    (Sat.Drup_check.check_rup t (clause_of_ints [ 2 ]));
+  (match
+     Sat.Drup_check.check_step t (Sat.Proof.Delete (clause_of_ints [ 1 ]))
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "[2] not RUP against the ghost" false
+    (Sat.Drup_check.check_rup t (clause_of_ints [ 2 ]));
+  Alcotest.(check bool) "[1] not RUP either" false
+    (Sat.Drup_check.check_rup t (clause_of_ints [ 1 ]));
+  (* end to end: a hand-crafted proof that deletes the unit and then
+     RUP-checks against its ghost literal must be rejected, in both
+     checking modes *)
+  let cnf () = cnf_of_lists [ [ 1 ]; [ -1; 2 ] ] in
+  let steps =
+    [|
+      Sat.Proof.Delete (clause_of_ints [ 1 ]);
+      Sat.Proof.Add (clause_of_ints [ 2 ]);
+    |]
+  in
+  let assumptions = [ Sat.Lit.neg_of 1 ] in
+  (match Sat.Drup_check.check_unsat ~assumptions (cnf ()) steps with
+  | Ok () -> Alcotest.fail "ghost-literal proof accepted (forward)"
+  | Error msg ->
+      Alcotest.(check bool)
+        ("rejected at the Add step: " ^ msg)
+        true
+        (String.length msg >= 6 && String.sub msg 0 6 = "step 2"));
+  match
+    Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward ~assumptions
+      (cnf ()) steps
+  with
+  | Ok () -> Alcotest.fail "ghost-literal proof accepted (backward)"
+  | Error _ -> ()
+
+let test_checker_core_must_survive () =
+  (* the establishing core clause must hold against the FINAL clause
+     set: deriving it and then deleting every live copy leaves the
+     conclusion unsupported *)
+  let cnf () = cnf_of_lists [ [ -1; -2 ] ] in
+  let assumptions = [ Sat.Lit.pos 0; Sat.Lit.pos 1 ] in
+  let core = clause_of_ints [ -1; -2 ] in
+  (* deriving the core and keeping a live copy is fine (the derived copy
+     is deleted, the input copy survives) *)
+  let ok_steps = [| Sat.Proof.Add core; Sat.Proof.Delete core |] in
+  (match Sat.Drup_check.check_unsat ~assumptions (cnf ()) ok_steps with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("surviving core rejected: " ^ m));
+  (* deleting the input copy too removes every clause backing the core *)
+  let bad_steps =
+    [|
+      Sat.Proof.Add core; Sat.Proof.Delete core; Sat.Proof.Delete core;
+    |]
+  in
+  (match Sat.Drup_check.check_unsat ~assumptions (cnf ()) bad_steps with
+  | Ok () -> Alcotest.fail "vanished core accepted (forward)"
+  | Error _ -> ());
+  match
+    Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward ~assumptions
+      (cnf ()) bad_steps
+  with
+  | Ok () -> Alcotest.fail "vanished core accepted (backward)"
+  | Error _ -> ()
+
+(* ---------- inprocessing ---------- *)
+
+let stats_of s = Sat.Solver.stats s
+
+let replay_proof_incrementally lists proof =
+  (* feed the inputs and then every proof step to a fresh checker; any
+     rejected step fails the test *)
+  let t = Sat.Drup_check.create () in
+  List.iter (fun c -> Sat.Drup_check.add_clause t (clause_of_ints c)) lists;
+  Array.iteri
+    (fun i st ->
+      match Sat.Drup_check.check_step t st with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (Printf.sprintf "step %d rejected: %s" i m))
+    (Sat.Proof.steps proof);
+  t
+
+let test_simplify_subsumption () =
+  let lists = [ [ 1; 2 ]; [ 1; 2; 3 ]; [ -3; 1 ] ] in
+  let s = Sat.Solver.create () in
+  let proof = Sat.Proof.in_memory () in
+  Sat.Solver.set_proof s (Some proof);
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "subsumed something" true
+    ((stats_of s).Sat.Solver.subsumed >= 1);
+  Alcotest.(check bool) "still sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "model satisfies the original formula" true
+    (Sat.Cnf.eval (cnf_of_lists lists) (Sat.Solver.model s));
+  ignore (replay_proof_incrementally lists proof)
+
+let test_simplify_strengthen () =
+  (* {1,2} self-subsumes {-1,2,3} down to {2,3} *)
+  let lists = [ [ 1; 2 ]; [ -1; 2; 3 ]; [ -2; 4 ] ] in
+  let s = Sat.Solver.create () in
+  let proof = Sat.Proof.in_memory () in
+  Sat.Solver.set_proof s (Some proof);
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "strengthened something" true
+    ((stats_of s).Sat.Solver.strengthened >= 1);
+  Alcotest.(check bool) "still sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "model satisfies the original formula" true
+    (Sat.Cnf.eval (cnf_of_lists lists) (Sat.Solver.model s));
+  ignore (replay_proof_incrementally lists proof)
+
+let test_simplify_bve_model_extension () =
+  (* var 1 has one positive and one negative occurrence: a textbook BVE
+     target.  The model of the simplified instance must be extended back
+     over the eliminated variable. *)
+  let lists = [ [ 1; 2 ]; [ -1; 3 ]; [ 2; -3 ]; [ -2; 3 ] ] in
+  let s = Sat.Solver.create () in
+  let proof = Sat.Proof.in_memory () in
+  Sat.Solver.set_proof s (Some proof);
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "eliminated something" true
+    ((stats_of s).Sat.Solver.eliminated >= 1);
+  Alcotest.(check bool) "still sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "model covers the eliminated variables" true
+    (Sat.Cnf.eval (cnf_of_lists lists) (Sat.Solver.model s));
+  ignore (replay_proof_incrementally lists proof)
+
+let test_simplify_restore_on_demand () =
+  (* an eliminated variable reappearing in a new clause or an assumption
+     is restored transparently *)
+  let mk () =
+    let s = Sat.Solver.create () in
+    List.iter
+      (fun c -> Sat.Solver.add_clause s (clause_of_ints c))
+      [ [ 1; 2 ]; [ -1; 3 ] ];
+    Sat.Solver.simplify s;
+    s
+  in
+  (* restore via a new clause: the unit [1] pins the variable *)
+  let s = mk () in
+  Sat.Solver.add_clause s (clause_of_ints [ 1 ]);
+  Alcotest.(check bool) "sat after re-adding the variable" true
+    (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "unit forced the restored variable" true
+    (Sat.Solver.value s 0);
+  Alcotest.(check bool) "implication chain respected" true
+    (Sat.Solver.value s 2);
+  (* restore via an assumption, in both polarities *)
+  let s = mk () in
+  Alcotest.(check bool) "sat under pos assumption" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.pos 0 ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "assumed value honoured" true (Sat.Solver.value s 0);
+  Alcotest.(check bool) "sat under neg assumption" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.neg_of 0 ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "assumed value honoured (neg)" false
+    (Sat.Solver.value s 0)
+
+let test_simplify_unsat_certified () =
+  (* explicit inprocessing on an UNSAT instance keeps the proof
+     checkable, in both modes *)
+  let lists = php_lists 5 4 in
+  let s = Sat.Solver.create () in
+  let proof = Sat.Proof.in_memory () in
+  Sat.Solver.set_proof s (Some proof);
+  List.iter (fun c -> Sat.Solver.add_clause s (clause_of_ints c)) lists;
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "php 5/4 unsat" true
+    (Sat.Solver.solve s = Sat.Solver.Unsat);
+  let f = cnf_of_lists lists in
+  let steps = Sat.Proof.steps proof in
+  (match Sat.Drup_check.check_unsat f steps with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("forward check failed: " ^ m));
+  match Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward f steps with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("backward check failed: " ^ m)
+
 (* ---------- CDCL vs DPLL on random formulas ---------- *)
 
 let random_cnf_gen =
@@ -595,6 +804,104 @@ let prop_unsat_core_sound =
                (Sat.Proof.steps proof)
              = Ok ())
 
+let prop_simplify_agrees_with_dpll =
+  QCheck.Test.make ~count:150
+    ~name:"simplify preserves satisfiability, models and certification"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let f = Sat.Cnf.create () in
+      f.Sat.Cnf.num_vars <- nvars;
+      List.iter (Sat.Cnf.add_clause f) cls;
+      let s = Sat.Solver.create () in
+      let proof = Sat.Proof.in_memory () in
+      Sat.Solver.set_proof s (Some proof);
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      Sat.Solver.simplify s;
+      match (Sat.Solver.solve s, Sat.Dpll.solve f) with
+      | Sat.Solver.Sat, Sat.Dpll.Sat _ ->
+          (* the model must be extended over eliminated variables *)
+          Sat.Cnf.eval f (Sat.Solver.model s)
+      | Sat.Solver.Unsat, Sat.Dpll.Unsat ->
+          (* inprocessing steps keep the proof checkable in both modes *)
+          Sat.Drup_check.check_unsat f (Sat.Proof.steps proof) = Ok ()
+          && Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward f
+               (Sat.Proof.steps proof)
+             = Ok ()
+      | Sat.Solver.Sat, Sat.Dpll.Unsat | Sat.Solver.Unsat, Sat.Dpll.Sat _ ->
+          false)
+
+(* splice [x] into [xs] at position [i] *)
+let insert_at i x xs =
+  let rec go i acc = function
+    | rest when i = 0 -> List.rev_append acc (x :: rest)
+    | [] -> List.rev (x :: acc)
+    | y :: rest -> go (i - 1) (y :: acc) rest
+  in
+  go i [] xs
+
+let prop_deletion_heavy_proofs =
+  QCheck.Test.make ~count:40
+    ~name:"deletion-heavy proofs: forward, sharded and backward agree"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let f = Sat.Cnf.create () in
+      f.Sat.Cnf.num_vars <- nvars;
+      List.iter (Sat.Cnf.add_clause f) cls;
+      let s = Sat.Solver.create () in
+      let proof = Sat.Proof.in_memory () in
+      Sat.Solver.set_proof s (Some proof);
+      Sat.Solver.ensure_vars s nvars;
+      List.iter (Sat.Solver.add_clause s) cls;
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> true
+      | Sat.Solver.Unsat ->
+          (* interleave learn/delete churn mirroring reduce_db into the
+             real refutation: weakened copies of input clauses — tagged
+             with a fresh variable so they collide with nothing — are
+             added and later deleted at seeded-random positions.  Each
+             add is RUP (a superset of a live clause), so the mutated
+             proof is valid by construction. *)
+          let rng = Random.State.make [| 0xd4c; nvars; List.length cls |] in
+          let inputs = Array.of_list cls in
+          let extra = Sat.Lit.pos nvars in
+          let steps = ref (Array.to_list (Sat.Proof.steps proof)) in
+          for _ = 1 to 8 do
+            let c = inputs.(Random.State.int rng (Array.length inputs)) in
+            let weak = extra :: c in
+            let n = List.length !steps in
+            let i = Random.State.int rng (n + 1) in
+            let j = i + Random.State.int rng (n - i + 1) in
+            steps := insert_at i (Sat.Proof.Add weak) !steps;
+            steps := insert_at (j + 1) (Sat.Proof.Delete weak) !steps
+          done;
+          let steps = Array.of_list !steps in
+          let fwd1 = Sat.Drup_check.check_unsat f steps in
+          let fwd4 = Sat.Drup_check.check_unsat ~jobs:4 f steps in
+          let bwd =
+            Sat.Drup_check.check_unsat ~mode:Sat.Drup_check.Backward f steps
+          in
+          fwd1 = Ok ()
+          && fwd4 = Ok ()
+          && bwd = Ok ()
+          &&
+          (* a rogue insertion is rejected identically at every width —
+             unless the inputs alone already refute, which makes any
+             step vacuously acceptable *)
+          let vacuous =
+            let t = Sat.Drup_check.create () in
+            Sat.Drup_check.add_cnf t f;
+            Sat.Drup_check.refuted t
+          in
+          vacuous
+          ||
+          let rogue =
+            Array.append [| Sat.Proof.Add [ Sat.Lit.pos (nvars + 3) ] |] steps
+          in
+          let e1 = Sat.Drup_check.check_unsat f rogue in
+          let e4 = Sat.Drup_check.check_unsat ~jobs:4 f rogue in
+          e1 <> Ok () && e1 = e4)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -604,6 +911,8 @@ let qsuite =
       prop_solver_reusable_after_assumptions;
       prop_solve_limited_agrees;
       prop_unsat_core_sound;
+      prop_simplify_agrees_with_dpll;
+      prop_deletion_heavy_proofs;
     ]
 
 let () =
@@ -648,6 +957,7 @@ let () =
           Alcotest.test_case "charge/exhaust" `Quick test_budget_basics;
           Alcotest.test_case "unknown on tiny budget" `Quick
             test_budget_unknown;
+          Alcotest.test_case "zero budget boundary" `Quick test_budget_zero;
           Alcotest.test_case "deterministic" `Quick test_budget_determinism;
           Alcotest.test_case "charged across calls" `Quick
             test_budget_charged_across_calls;
@@ -683,6 +993,22 @@ let () =
             test_proof_mutations_rejected;
           Alcotest.test_case "rup basics" `Quick test_checker_rup_basics;
           Alcotest.test_case "model_ok" `Quick test_checker_model_ok;
+          Alcotest.test_case "ghost unit deletion rejected" `Quick
+            test_checker_ghost_unit_rejected;
+          Alcotest.test_case "core must survive deletions" `Quick
+            test_checker_core_must_survive;
+        ] );
+      ( "inprocessing",
+        [
+          Alcotest.test_case "subsumption" `Quick test_simplify_subsumption;
+          Alcotest.test_case "self-subsumption strengthening" `Quick
+            test_simplify_strengthen;
+          Alcotest.test_case "bve model extension" `Quick
+            test_simplify_bve_model_extension;
+          Alcotest.test_case "restore on demand" `Quick
+            test_simplify_restore_on_demand;
+          Alcotest.test_case "unsat stays certified" `Quick
+            test_simplify_unsat_certified;
         ] );
       ("properties", qsuite);
     ]
