@@ -19,8 +19,9 @@
    (quality), figure5 (lemma circuits), figure6 (scatter series),
    ablation (advanced SAT heuristics), hybrid (§6 decision hints and
    seed repair), sequential (time-frame expansion), incremental
-   (growing test sets on one live instance), related (BDD space vs
-   SAT), resolution (random vs ATPG test sets), micro (Bechamel +
+   (growing test sets on one live instance), serve (cold vs warm
+   request throughput of the diagnose serve layer), related (BDD space
+   vs SAT), resolution (random vs ATPG test sets), micro (Bechamel +
    simulation-throughput JSON baseline). *)
 
 type config = {
@@ -403,6 +404,103 @@ let incremental _cfg =
       end)
     specs;
   add_block "incremental" (Obs.Json.Obj (List.rev !blocks));
+  Fmt.pr "@."
+
+(* ---------- diagnosis as a service (warm pooled contexts) ------------- *)
+
+(* Throughput of the serve layer on a repeat-circuit stream: one batch
+   of g38417 requests served cold (fresh server — every request
+   generates tests and encodes from scratch) and then warm (same
+   server, same batch — every request hits a pooled incremental
+   context).  Wall-clock rates are printed only; the report block keeps
+   the deterministic counts and the warm-equals-cold verdict, so
+   BENCH_report.json stays diffable. *)
+let serve cfg =
+  Fmt.pr "== Serve: cold vs warm on a repeat-circuit stream (g38417) ==@.";
+  let circuit = Bench_suite.Embedded.g38417 ~scale:cfg.scale () in
+  let resolve = function
+    | "g38417" -> circuit
+    | name -> Fmt.failwith "unknown circuit %S" name
+  in
+  let n = 6 in
+  let requests =
+    List.init n (fun i ->
+        {
+          Core.Serve.Protocol.id = None;
+          circuit = "g38417";
+          faulty = None;
+          errors = 1;
+          seed = i + 1;
+          k = None;
+          tests = 8;
+          max_solutions = 10_000;
+          budget = None;
+          certify = false;
+          stats = false;
+        })
+  in
+  let batch = Core.Serve.Protocol.Batch { id = None; requests } in
+  (* a batch response's per-request solution lists, as canonical text *)
+  let solutions_of resp =
+    match Obs.Json.member "responses" resp with
+    | Some (Obs.Json.Arr rs) ->
+        List.map
+          (fun r ->
+            match Obs.Json.member "solutions" r with
+            | Some s -> Obs.Json.to_string s
+            | None -> "<missing>")
+          rs
+    | _ -> []
+  in
+  let count_solutions resp =
+    match Obs.Json.member "responses" resp with
+    | Some (Obs.Json.Arr rs) ->
+        List.fold_left
+          (fun acc r ->
+            match Obs.Json.member "solutions" r with
+            | Some (Obs.Json.Arr ss) -> acc + List.length ss
+            | _ -> acc)
+          0 rs
+    | _ -> 0
+  in
+  let widths = if cfg.jobs > 1 then [ 1; cfg.jobs ] else [ 1 ] in
+  Fmt.pr "%5s | %10s %10s | %8s | %s@." "jobs" "cold r/s" "warm r/s" "speedup"
+    "warm = cold";
+  Fmt.pr "%s@." (String.make 56 '-');
+  let agree_all = ref true in
+  let widths_agree = ref true in
+  let reference = ref None in
+  let total = ref 0 in
+  List.iter
+    (fun jobs ->
+      let server = Core.Serve.Server.create ~jobs resolve in
+      let t0 = Obs.Clock.wall () in
+      let cold, _ = Core.Serve.Server.handle server batch in
+      let t1 = Obs.Clock.wall () in
+      let warm, _ = Core.Serve.Server.handle server batch in
+      let t2 = Obs.Clock.wall () in
+      let cold_rate = float_of_int n /. Float.max 1e-9 (t1 -. t0) in
+      let warm_rate = float_of_int n /. Float.max 1e-9 (t2 -. t1) in
+      let agree = solutions_of cold = solutions_of warm in
+      agree_all := !agree_all && agree;
+      (match !reference with
+      | None ->
+          reference := Some (solutions_of warm);
+          total := count_solutions warm
+      | Some r -> widths_agree := !widths_agree && solutions_of warm = r);
+      Fmt.pr "%5d | %10.2f %10.2f | %7.1fx | %b@." jobs cold_rate warm_rate
+        (warm_rate /. cold_rate) agree)
+    widths;
+  add_block "serve"
+    (Obs.Json.Obj
+       [
+         ("requests", Obs.Json.Int n);
+         ("cold_misses", Obs.Json.Int n);
+         ("warm_hits", Obs.Json.Int n);
+         ("solutions", Obs.Json.Int !total);
+         ("warm_equals_cold", Obs.Json.Int (if !agree_all then 1 else 0));
+         ("widths_agree", Obs.Json.Int (if !widths_agree then 1 else 0));
+       ]);
   Fmt.pr "@."
 
 (* ---------- related work: BDD space complexity (§1) ------------------- *)
@@ -912,7 +1010,7 @@ let () =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("figure5", figure5); ("figure6", figure6); ("ablation", ablation);
       ("hybrid", hybrid); ("sequential", sequential); ("incremental", incremental);
-      ("related", related);
+      ("serve", serve); ("related", related);
       ("resolution", resolution); ("micro", micro) ]
   in
   (* selectable by name but excluded from the default sweep: gates that

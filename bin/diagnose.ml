@@ -62,7 +62,7 @@ let inject_cmd_run spec scale errors seed out =
 
 (* ---------- run (diagnosis) ---------- *)
 
-type approach = Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist
+type approach = Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist | Inc
 
 let approach_conv =
   let parse = function
@@ -73,13 +73,15 @@ let approach_conv =
     | "advsat" -> Ok Advsat
     | "hybrid" -> Ok Hybrid
     | "xlist" -> Ok Xlist
+    | "incremental" -> Ok Inc
     | s -> Error (`Msg (Printf.sprintf "unknown approach %S" s))
   in
   let print ppf a =
     Fmt.string ppf
       (match a with
       | Bsim -> "bsim" | Cov -> "cov" | Bsat -> "bsat" | Advsim -> "advsim"
-      | Advsat -> "advsat" | Hybrid -> "hybrid" | Xlist -> "xlist")
+      | Advsat -> "advsat" | Hybrid -> "hybrid" | Xlist -> "xlist"
+      | Inc -> "incremental")
   in
   Cmdliner.Arg.conv (parse, print)
 
@@ -193,7 +195,20 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
                   r.Core.Hybrid.dropped r.Core.Hybrid.added))
     | Xlist ->
         let r = Core.Xlist.diagnose faulty tests in
-        Fmt.pr "Xlist: |union|=%d@." (List.length r.Core.Xlist.union));
+        Fmt.pr "Xlist: |union|=%d@." (List.length r.Core.Xlist.union)
+    | Inc ->
+        (* the exact engine `diagnose serve` runs per request, on a
+           cold context — a served response's stats block is
+           byte-identical to this run's *)
+        let inc = Core.Incremental.create ?obs ~certify ~k faulty tests in
+        let r =
+          Core.Serve.Engine.run ?obs ?budget ~jobs ~max_solutions inc
+        in
+        report_solutions faulty tests "incremental"
+          r.Core.Serve.Engine.solutions;
+        truncation_notice r.Core.Serve.Engine.truncated;
+        note_cert r.Core.Serve.Engine.cert_checks
+          r.Core.Serve.Engine.cert_failures);
     (match injected with
     | [] -> ()
     | errs ->
@@ -251,15 +266,12 @@ let engine_of name =
 
 let report_cmd_run file =
   let module J = Core.Obs.Json in
-  let contents =
-    match read_file file with
-    | s -> Ok s
-    | exception Sys_error msg -> Error msg
-  in
-  match Result.bind contents J.parse with
+  (* an unreadable file raises Sys_error, caught by the top-level
+     handler (one-line diagnostic, exit 2) *)
+  match J.parse (read_file file) with
   | Error msg ->
-      Fmt.epr "report: cannot read %s: %s@." file msg;
-      1
+      Fmt.epr "diagnose: %s is not a stats block: %s@." file msg;
+      2
   | Ok json ->
       let obj_of = function Some (J.Obj kvs) -> kvs | _ -> [] in
       let int_of = function
@@ -393,6 +405,15 @@ let export_cmd_run golden_spec scale errors seed k m out =
     0
   end
 
+(* ---------- serve ---------- *)
+
+let serve_cmd_run scale jobs circuit_capacity context_capacity =
+  let server =
+    Core.Serve.Server.create ~circuit_capacity ~context_capacity ~jobs
+      (load_circuit ~scale)
+  in
+  Core.Serve.Server.session server stdin stdout
+
 (* ---------- experiment ---------- *)
 
 let experiment_cmd_run scale max_solutions time_limit small =
@@ -449,7 +470,7 @@ let inject_cmd =
 
 let run_cmd =
   let faulty = Arg.(value & opt (some string) None & info [ "faulty" ] ~docv:"CIRCUIT" ~doc:"Faulty implementation (default: inject errors into CIRCUIT)") in
-  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist") in
+  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist | incremental") in
   let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit (default: number of injected errors)") in
   let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
   let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in
@@ -494,11 +515,36 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce the paper's Tables 2/3 and Figure 6")
     Term.(const experiment_cmd_run $ scale $ max_solutions $ time_limit $ small)
 
+let serve_cmd =
+  let circuits = Arg.(value & opt int 8 & info [ "circuits" ] ~docv:"N" ~doc:"Parsed-netlist cache capacity") in
+  let contexts = Arg.(value & opt int 16 & info [ "contexts" ] ~docv:"N" ~doc:"Warm incremental-context cache capacity (evicted contexts are retired)") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a stream of diagnosis requests with warm pooled \
+             incremental solvers (length-prefixed JSON frames on \
+             stdin/stdout; ops: load, diagnose, batch, stats, shutdown)")
+    Term.(const serve_cmd_run $ scale $ jobs $ circuits $ contexts)
+
+let exits =
+  Cmd.Exit.info 2
+    ~doc:"on invalid input: unknown circuit, unreadable or malformed \
+          file, or an unrecoverable serve framing error."
+  :: Cmd.Exit.info 3 ~doc:"on a failed certification check (run --certify)."
+  :: Cmd.Exit.defaults
+
 let main =
   Cmd.group
-    (Cmd.info "diagnose" ~version:Core.version
+    (Cmd.info "diagnose" ~version:Core.version ~exits
        ~doc:"Simulation-based and SAT-based circuit diagnosis")
     [ info_cmd; generate_cmd; inject_cmd; run_cmd; report_cmd; coverage_cmd;
-      export_cmd; experiment_cmd ]
+      export_cmd; experiment_cmd; serve_cmd ]
 
-let () = exit (Cmd.eval' main)
+(* user-facing errors (unknown circuit, unreadable file, malformed
+   input) must exit with a one-line diagnostic and a documented code,
+   not escape through cmdliner as a backtrace with exit 125 *)
+let () =
+  exit
+    (try Cmd.eval' ~catch:false main with
+    | Failure msg | Sys_error msg | Invalid_argument msg ->
+        Fmt.epr "diagnose: %s@." msg;
+        2)

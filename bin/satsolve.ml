@@ -1,6 +1,7 @@
 (* DIMACS CNF front-end for the CDCL solver.  Exit code 10 = SAT,
    20 = UNSAT (the conventional SAT-competition codes); with --check a
-   certification failure exits 1 instead. *)
+   certification failure exits 1 instead; invalid input (unreadable or
+   malformed DIMACS) exits 2 with a one-line diagnostic. *)
 
 let read_file path =
   let ic = open_in path in
@@ -129,10 +130,24 @@ let check_jobs =
           "Shard forward proof checking over $(docv) domains (round-robin \
            by step; the verdict is identical at every width).")
 
+let exits =
+  Cmd.Exit.info 1 ~doc:"on a failed --check verification."
+  :: Cmd.Exit.info 2 ~doc:"on invalid input (unreadable or malformed DIMACS)."
+  :: Cmd.Exit.info 10 ~doc:"when the instance is satisfiable."
+  :: Cmd.Exit.info 20 ~doc:"when the instance is unsatisfiable."
+  :: Cmd.Exit.defaults
+
 let cmd =
   Cmd.v
-    (Cmd.info "satsolve" ~doc:"CDCL SAT solver on DIMACS CNF")
+    (Cmd.info "satsolve" ~exits ~doc:"CDCL SAT solver on DIMACS CNF")
     Term.(
       const run $ path $ model $ proof_file $ check $ check_mode $ check_jobs)
 
-let () = exit (Cmd.eval cmd)
+(* malformed DIMACS (Cnf.of_dimacs) and unreadable files must not
+   escape as backtraces with exit 125 *)
+let () =
+  exit
+    (try Cmd.eval ~catch:false cmd with
+    | Failure msg | Sys_error msg | Invalid_argument msg ->
+        Printf.eprintf "satsolve: %s\n" msg;
+        2)

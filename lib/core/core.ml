@@ -69,3 +69,4 @@ module Miter = Encode.Miter
 module Rectify = Diagnosis.Rectify
 module Atpg = Diagnosis.Atpg
 module Incremental = Diagnosis.Incremental
+module Serve = Serve

@@ -55,6 +55,7 @@ module Miter = Encode.Miter
 module Rectify = Diagnosis.Rectify
 module Atpg = Diagnosis.Atpg
 module Incremental = Diagnosis.Incremental
+module Serve = Serve
 
 type report = {
   tests : Testgen.test list;        (** the failing triples used *)

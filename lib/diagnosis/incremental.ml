@@ -2,12 +2,13 @@ type t = {
   solver : Sat.Solver.t;
   inst : Encode.Muxed.t;
   k : int;
-  obs : Obs.t option;
+  mutable obs : Obs.t option;
   circuit : Netlist.Circuit.t;
   force_zero : bool option;
   certify : bool;
   mutable tests : Sim.Testgen.test list;  (* accumulated, in arrival order *)
   mutable last_truncated : bool;
+  mutable retired : bool;
   (* portfolio runs bypass the live instance; their certification
      outcomes accumulate here instead *)
   mutable portfolio_checks : int;
@@ -31,11 +32,33 @@ let create ?force_zero ?obs ?(certify = false) ~k c tests =
     certify;
     tests;
     last_truncated = false;
+    retired = false;
     portfolio_checks = 0;
     portfolio_failures = [];
   }
 
+let check_live t ~what =
+  if t.retired then
+    invalid_arg (Printf.sprintf "Incremental.%s: context is retired" what)
+
+let attach t obs =
+  check_live t ~what:"attach";
+  t.obs <- obs;
+  match obs with
+  | Some o -> Sat.Solver.attach_obs ~prefix:"incremental" t.solver o
+  | None -> Sat.Solver.detach_obs t.solver
+
+let retire t =
+  if not t.retired then begin
+    t.retired <- true;
+    t.obs <- None;
+    Sat.Solver.detach_obs t.solver
+  end
+
+let retired t = t.retired
+
 let add_tests t tests =
+  check_live t ~what:"add_tests";
   Telemetry.instant t.obs ~payload:(List.length tests) "incremental/add_tests";
   t.tests <- t.tests @ tests;
   List.iter (Encode.Muxed.add_test t.inst) tests
@@ -57,6 +80,7 @@ let solutions_portfolio ~max_solutions ?budget ~jobs t =
   r.Bsat.solutions
 
 let solutions ?(max_solutions = max_int) ?budget ?(jobs = 1) t =
+  check_live t ~what:"solutions";
   let jobs = Par.clamp_jobs jobs in
   if jobs > 1 then solutions_portfolio ~max_solutions ?budget ~jobs t
   else
@@ -75,7 +99,9 @@ let solutions ?(max_solutions = max_int) ?budget ?(jobs = 1) t =
     let continue_level = ref (not !stop) in
     while !continue_level do
       if !nsol >= max_solutions || Sat.Budget.exhausted budget then begin
-        if Sat.Budget.exhausted budget then truncated := true;
+        (* the cap counts as truncation, like Bsat's [out_of_budget] —
+           the jobs>1 portfolio path already reports it that way *)
+        truncated := true;
         stop := true;
         continue_level := false
       end

@@ -31,6 +31,25 @@ val create :
     ["incremental/solve"] [Begin]/[End] events around each
     {!solutions} enumeration ([End] payload = solution count). *)
 
+val attach : t -> Obs.t option -> unit
+(** Re-point the context's telemetry at another registry — or detach it
+    with [None].  A pooled context served across requests must re-attach
+    per request: {!Obs.reset} detaches the histogram handles the solver
+    acquired at {!create} time, so the previous registry would silently
+    stop recording.  Subsequent phase/instant events and the solver's
+    per-conflict histograms ({!Sat.Solver.attach_obs}, prefix
+    ["incremental"]) go to the new registry. *)
+
+val retire : t -> unit
+(** Permanently take the context out of service (e.g. on cache
+    eviction): detaches telemetry and marks the context dead —
+    subsequent {!add_tests}, {!solutions} or {!attach} calls raise
+    [Invalid_argument].  Idempotent.  Read-only accessors ({!stats},
+    {!num_tests}, {!cert_checks}, …) keep working so a server can log a
+    context's final state after eviction. *)
+
+val retired : t -> bool
+
 val add_tests : t -> Sim.Testgen.test list -> unit
 (** Extend the live instance with more tests (no re-encoding of the
     existing copies; learned clauses are kept). *)
@@ -43,9 +62,10 @@ val solutions :
     set (Fig. 3's incremental-k loop on the live instance), in canonical
     (cardinality, lexicographic) order.
 
-    [budget] caps total solver effort for this enumeration; on
-    exhaustion the prefix found so far is returned and
-    {!last_truncated} reports [true].  The instance stays usable —
+    [budget] caps total solver effort and [max_solutions] the
+    enumeration length; when either cuts the run short the prefix found
+    so far is returned and {!last_truncated} reports [true] (consistent
+    with {!Bsat.diagnose}'s [truncated]).  The instance stays usable —
     blocking clauses for the returned solutions are retired as usual.
 
     [jobs] > 1 enumerates the same solution set with a solver portfolio
@@ -57,7 +77,7 @@ val solutions :
 
 val last_truncated : t -> bool
 (** Whether the most recent {!solutions} call was cut short by its
-    budget (initially [false]). *)
+    budget or solution cap (initially [false]). *)
 
 val stats : t -> Sat.Solver.stats
 

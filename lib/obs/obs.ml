@@ -311,9 +311,6 @@ module Histogram = struct
 
   let equal a b = a.counts = b.counts
 
-  let reset h =
-    Array.fill h.counts 0 num_buckets 0;
-    h.total <- 0
 end
 
 module Trace = struct
@@ -491,14 +488,16 @@ let histograms t =
   Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Pristine, not merely zeroed: a reused registry must serialize
+   byte-identically to a fresh one, so the name tables are emptied
+   rather than kept with zero values (a kept name would still appear in
+   [to_json] and leak the previous request's vocabulary).  Handles
+   obtained before the reset are thereby detached — callers must
+   re-acquire them (and re-attach any solver hooks). *)
 let reset t =
-  Hashtbl.iter (fun _ c -> c.count <- 0) t.counters_tbl;
-  Hashtbl.iter
-    (fun _ s ->
-      s.seconds <- 0.0;
-      s.calls <- 0)
-    t.spans_tbl;
-  Hashtbl.iter (fun _ h -> Histogram.reset h) t.hists_tbl;
+  Hashtbl.reset t.counters_tbl;
+  Hashtbl.reset t.spans_tbl;
+  Hashtbl.reset t.hists_tbl;
   Trace.clear t.tr
 
 let merge_children ~into children =

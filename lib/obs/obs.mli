@@ -204,8 +204,14 @@ val histograms : t -> (string * Histogram.h) list
 (** All histograms, sorted by name. *)
 
 val reset : t -> unit
-(** Zero every counter, span and histogram (names are kept) and clear
-    the trace. *)
+(** Return the registry to the pristine state of a fresh [create]: all
+    counter/span/histogram names are dropped (not merely zeroed), the
+    trace ring is emptied and its logical tick restarts at 0, so
+    [to_json] of a reset registry is byte-identical to that of a fresh
+    one.  Handles obtained before the reset ({!counter},
+    {!histogram}, …) are detached — updates through them are no longer
+    visible; re-acquire handles (and re-attach any solver hooks, e.g.
+    [Sat.Solver.attach_obs]) after resetting. *)
 
 val merge_children : into:t -> t array -> unit
 (** Merge worker registries into a parent after a parallel section:

@@ -2,6 +2,8 @@ type t = {
   conflicts_left : int Atomic.t;     (* max_int = unlimited *)
   propagations_left : int Atomic.t;
   deadline : float;                  (* absolute Obs.Clock.wall; infinity = none *)
+  seconds_allowance : float;         (* the relative allowance [deadline] was
+                                        derived from; infinity = none *)
 }
 
 let create ?conflicts ?propagations ?seconds () =
@@ -11,16 +13,21 @@ let create ?conflicts ?propagations ?seconds () =
         invalid_arg (Printf.sprintf "Budget.create: negative %s" name)
     | Some n -> n
   in
-  let deadline =
+  let seconds_allowance =
     match seconds with
     | None -> infinity
     | Some s when s < 0.0 -> invalid_arg "Budget.create: negative seconds"
-    | Some s -> Obs.Clock.wall () +. s
+    | Some s -> s
+  in
+  let deadline =
+    if seconds_allowance = infinity then infinity
+    else Obs.Clock.wall () +. seconds_allowance
   in
   {
     conflicts_left = Atomic.make (allowance "conflicts" conflicts);
     propagations_left = Atomic.make (allowance "propagations" propagations);
     deadline;
+    seconds_allowance;
   }
 
 let unlimited () = create ()
@@ -30,6 +37,23 @@ let clone t =
     conflicts_left = Atomic.make (Atomic.get t.conflicts_left);
     propagations_left = Atomic.make (Atomic.get t.propagations_left);
     deadline = t.deadline;
+    seconds_allowance = t.seconds_allowance;
+  }
+
+(* Re-anchor the wall-clock allowance at the *current* instant: the
+   returned budget grants the full [seconds] window starting now, with
+   the conflict/propagation counters carried over as they stand.  This
+   is the dispatch-time start a request scheduler needs — a budget
+   created when a request is *enqueued* must not charge queue-wait
+   against solve time. *)
+let renewed t =
+  {
+    conflicts_left = Atomic.make (Atomic.get t.conflicts_left);
+    propagations_left = Atomic.make (Atomic.get t.propagations_left);
+    deadline =
+      (if t.seconds_allowance = infinity then infinity
+       else Obs.Clock.wall () +. t.seconds_allowance);
+    seconds_allowance = t.seconds_allowance;
   }
 
 let is_unlimited t =

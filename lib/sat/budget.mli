@@ -27,6 +27,16 @@ val clone : t -> t
     currently left).  Used to give sequential engine runs comparable
     effort caps. *)
 
+val renewed : t -> t
+(** A budget with the same *remaining* conflict/propagation allowances
+    but the wall-clock window re-anchored at the current instant: if
+    [t] was created with [~seconds:s], the result's deadline is
+    [Obs.Clock.wall () +. s].  This is the dispatch-time start a
+    request scheduler needs — a budget created when a request is
+    enqueued and held idle in a queue does not lose solve time.
+    Budgets without a [seconds] allowance are unaffected (deadline
+    stays [infinity]). *)
+
 val is_unlimited : t -> bool
 
 val exhausted : t -> bool

@@ -225,6 +225,8 @@ let attach_obs ?(prefix = "sat") s obs =
         h_conflict_gap = Obs.histogram obs (prefix ^ "/conflict_gap");
       }
 
+let detach_obs s = s.hooks <- None
+
 let num_vars s = s.nvars
 
 (* ---------- variable order heap (max-heap on activity) ---------- *)

@@ -126,7 +126,16 @@ val attach_obs : ?prefix:string -> t -> Obs.t -> unit
     ({!stats}) cannot distinguish a steady search from a stalling one;
     these distributions can, and they are deterministic under a fixed
     seed.  Attaching costs three histogram bumps per conflict and
-    nothing on the propagation hot path. *)
+    nothing on the propagation hot path.  Attaching again (to the same
+    or another registry) simply replaces the hooks — necessary after
+    {!Obs.reset}, which detaches previously acquired histogram
+    handles. *)
+
+val detach_obs : t -> unit
+(** Drop the observation hooks installed by {!attach_obs}: subsequent
+    solving records no histograms.  A solver pooled across requests
+    must detach (or re-attach) before its registry is handed to another
+    request. *)
 
 val set_default_phase : t -> int -> bool -> unit
 (** Initial branching polarity for a variable (overwritten by phase saving

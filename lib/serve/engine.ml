@@ -1,0 +1,55 @@
+type outcome = {
+  solutions : int list list;
+  truncated : bool;
+  cert_checks : int;
+  cert_failures : string list;
+  stats : Obs.Json.t option;
+}
+
+(* per-request view of cumulative solver counters; [learned] is a gauge
+   (clauses currently in the database), not a counter, so it is
+   reported as-is *)
+let delta (a : Sat.Solver.stats) (b : Sat.Solver.stats) : Sat.Solver.stats =
+  {
+    Sat.Solver.decisions = b.Sat.Solver.decisions - a.Sat.Solver.decisions;
+    propagations = b.Sat.Solver.propagations - a.Sat.Solver.propagations;
+    conflicts = b.Sat.Solver.conflicts - a.Sat.Solver.conflicts;
+    restarts = b.Sat.Solver.restarts - a.Sat.Solver.restarts;
+    learned = b.Sat.Solver.learned;
+    learned_total = b.Sat.Solver.learned_total - a.Sat.Solver.learned_total;
+    deleted = b.Sat.Solver.deleted - a.Sat.Solver.deleted;
+    subsumed = b.Sat.Solver.subsumed - a.Sat.Solver.subsumed;
+    strengthened = b.Sat.Solver.strengthened - a.Sat.Solver.strengthened;
+    vivified = b.Sat.Solver.vivified - a.Sat.Solver.vivified;
+    eliminated = b.Sat.Solver.eliminated - a.Sat.Solver.eliminated;
+  }
+
+let run ?obs ?budget ?(jobs = 1) ~max_solutions inc =
+  Diagnosis.Incremental.attach inc obs;
+  let budget = Option.map Sat.Budget.renewed budget in
+  let st0 = Diagnosis.Incremental.stats inc in
+  let checks0 = Diagnosis.Incremental.cert_checks inc in
+  let failures0 = List.length (Diagnosis.Incremental.cert_failures inc) in
+  let solutions =
+    Diagnosis.Incremental.solutions ~max_solutions ?budget ~jobs inc
+  in
+  let truncated = Diagnosis.Incremental.last_truncated inc in
+  let cert_checks = Diagnosis.Incremental.cert_checks inc - checks0 in
+  let cert_failures =
+    List.filteri
+      (fun i _ -> i >= failures0)
+      (Diagnosis.Incremental.cert_failures inc)
+  in
+  let stats =
+    Option.map
+      (fun o ->
+        Diagnosis.Telemetry.record_solver_stats o ~prefix:"incremental"
+          (delta st0 (Diagnosis.Incremental.stats inc));
+        Obs.add o "incremental/solutions" (List.length solutions);
+        Obs.add o "incremental/tests" (Diagnosis.Incremental.num_tests inc);
+        Obs.add o "incremental/truncated" (if truncated then 1 else 0);
+        Obs.add o "incremental/cert_checks" cert_checks;
+        Obs.to_json ~times:false o)
+      obs
+  in
+  { solutions; truncated; cert_checks; cert_failures; stats }

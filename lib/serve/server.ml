@@ -1,0 +1,428 @@
+module J = Obs.Json
+
+(* One warm diagnosis context: the unit of caching and of scheduling
+   (all requests for one context run on one worker, in arrival order).
+   [faulty]/[injected]/[tests]/[inc] are filled in on the worker that
+   first uses the context; the main domain only creates the record and
+   looks it up, so cache state mutates on exactly one domain at a
+   time. *)
+type context = {
+  ckey : string;
+  golden : Netlist.Circuit.t;
+  explicit_faulty : Netlist.Circuit.t option;
+  errors : int;
+  seed : int;
+  k : int;
+  certify : bool;
+  mutable faulty : Netlist.Circuit.t option;
+  mutable injected : Sim.Fault.error list;
+  mutable tests : Sim.Testgen.test list;
+  mutable wanted : int;  (* largest test count generated so far; -1 = none *)
+  mutable inc : Diagnosis.Incremental.t option;
+}
+
+type t = {
+  resolve : string -> Netlist.Circuit.t;
+  jobs : int;
+  circuits : (string, Netlist.Circuit.t) Cache.t;
+  spec_keys : (string, string) Hashtbl.t;  (* spec -> content hash memo *)
+  contexts : (string, context) Cache.t;
+  mutable registries : Obs.t list;  (* pooled per-request registries *)
+  mutable served : int;
+  mutable warm_hits : int;
+  mutable cold_misses : int;
+  mutable evictions : int;
+}
+
+let create ?(circuit_capacity = 8) ?(context_capacity = 16) ~jobs resolve =
+  {
+    resolve;
+    jobs = Par.clamp_jobs jobs;
+    circuits = Cache.create ~capacity:circuit_capacity;
+    spec_keys = Hashtbl.create 16;
+    contexts = Cache.create ~capacity:context_capacity;
+    registries = [];
+    served = 0;
+    warm_hits = 0;
+    cold_misses = 0;
+    evictions = 0;
+  }
+
+(* ---------- circuit cache ---------- *)
+
+let circuit_key c =
+  Digest.to_hex (Digest.string (Netlist.Bench_format.to_string c))
+
+(* may raise [Failure] via [resolve] *)
+let resolve_circuit t spec =
+  let insert () =
+    let c = t.resolve spec in
+    let key = circuit_key c in
+    Hashtbl.replace t.spec_keys spec key;
+    Cache.add t.circuits key c;
+    (* parsed netlists hold no external resources: evicting the cache
+       entry just drops the reference (live contexts keep theirs) *)
+    ignore (Cache.trim t.circuits);
+    (key, c)
+  in
+  match Hashtbl.find_opt t.spec_keys spec with
+  | Some key -> (
+      match Cache.find t.circuits key with
+      | Some c -> (key, c)
+      | None -> insert ())
+  | None -> insert ()
+
+(* ---------- context cache ---------- *)
+
+let context_key ~golden_key ~faulty_part ~seed ~k ~certify =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            golden_key;
+            faulty_part;
+            string_of_int seed;
+            string_of_int k;
+            string_of_bool certify;
+          ]))
+
+(* get-or-create on the main domain; may raise [Failure] via [resolve] *)
+let context_for t (d : Protocol.diagnose) =
+  let golden_key, golden = resolve_circuit t d.Protocol.circuit in
+  let explicit_faulty, faulty_part =
+    match d.Protocol.faulty with
+    | Some spec ->
+        let fkey, fc = resolve_circuit t spec in
+        (Some fc, "spec:" ^ fkey)
+    | None -> (None, "inject:" ^ string_of_int d.Protocol.errors)
+  in
+  let k =
+    match d.Protocol.k with Some k -> k | None -> max 1 d.Protocol.errors
+  in
+  let ckey =
+    context_key ~golden_key ~faulty_part ~seed:d.Protocol.seed ~k
+      ~certify:d.Protocol.certify
+  in
+  match Cache.find t.contexts ckey with
+  | Some ctx -> ctx
+  | None ->
+      let ctx =
+        {
+          ckey;
+          golden;
+          explicit_faulty;
+          errors = d.Protocol.errors;
+          seed = d.Protocol.seed;
+          k;
+          certify = d.Protocol.certify;
+          faulty = None;
+          injected = [];
+          tests = [];
+          wanted = -1;
+          inc = None;
+        }
+      in
+      Cache.add t.contexts ckey ctx;
+      ctx
+
+let retire_context ctx = Option.iter Diagnosis.Incremental.retire ctx.inc
+
+(* ---------- per-request work (runs on a worker domain) ---------- *)
+
+let ensure_faulty ctx =
+  match ctx.faulty with
+  | Some f -> f
+  | None ->
+      let f, errs =
+        match ctx.explicit_faulty with
+        | Some f -> (f, [])
+        | None ->
+            Sim.Injector.inject ~seed:ctx.seed ~num_errors:ctx.errors
+              ctx.golden
+      in
+      ctx.faulty <- Some f;
+      ctx.injected <- errs;
+      f
+
+(* same generator call as the CLI's [run], so a served request sees the
+   test set of the equivalent one-shot run; prefix-stable in [wanted] *)
+let gen_tests ~golden ~faulty ~seed ~wanted =
+  Sim.Testgen.generate ~seed:(seed + 1) ~max_vectors:(1 lsl 16) ~wanted
+    ~golden ~faulty
+
+let solution_names circuit sol =
+  J.Arr
+    (List.map (fun g -> J.String circuit.Netlist.Circuit.names.(g)) sol)
+
+let diagnose_response ~(d : Protocol.diagnose) ~ckey ~warm ~faulty ~injected
+    ~ntests ~k (o : Engine.outcome) =
+  let fields =
+    [
+      ("op", J.String "diagnose");
+      ("context", J.String ckey);
+      ("warm", J.Bool warm);
+      ("tests", J.Int ntests);
+      ("k", J.Int k);
+      ("solutions", J.Arr (List.map (solution_names faulty) o.Engine.solutions));
+      ("truncated", J.Bool o.Engine.truncated);
+    ]
+    @ (match injected with
+      | [] -> []
+      | errs ->
+          [ ("injected", solution_names faulty (Sim.Fault.sites errs)) ])
+    @ (if d.Protocol.certify then
+         [
+           ("cert_checks", J.Int o.Engine.cert_checks);
+           ( "cert_failures",
+             J.Arr (List.map (fun s -> J.String s) o.Engine.cert_failures) );
+         ]
+       else [])
+    @ match o.Engine.stats with Some s -> [ ("stats", s) ] | None -> []
+  in
+  Protocol.ok ?id:d.Protocol.id fields
+
+let empty_response ~(d : Protocol.diagnose) ~ckey ~warm ~faulty ~injected ~k =
+  let o =
+    {
+      Engine.solutions = [];
+      truncated = false;
+      cert_checks = 0;
+      cert_failures = [];
+      stats = None;
+    }
+  in
+  diagnose_response ~d ~ckey ~warm ~faulty ~injected ~ntests:0 ~k o
+
+(* serve one request from its context; returns the response and whether
+   the request was a warm hit *)
+let serve_one registry ctx (d : Protocol.diagnose) =
+  Obs.reset registry;
+  let obs = if d.Protocol.stats then Some registry else None in
+  let faulty = ensure_faulty ctx in
+  let m = max 0 d.Protocol.tests in
+  let run_cold () =
+    (* deterministic one-shot: fresh tests, fresh instance — used for
+       first contact and for requests shrinking the test count *)
+    let tests = gen_tests ~golden:ctx.golden ~faulty ~seed:ctx.seed ~wanted:m in
+    if tests = [] then (None, [], tests) else begin
+      let inc =
+        Diagnosis.Incremental.create ?obs ~certify:ctx.certify ~k:ctx.k faulty
+          tests
+      in
+      let o =
+        Engine.run ?obs ?budget:d.Protocol.budget
+          ~max_solutions:d.Protocol.max_solutions inc
+      in
+      (Some inc, [ o ], tests)
+    end
+  in
+  match ctx.inc with
+  | None -> (
+      (* cold: first solving use of this context *)
+      let inc, outcomes, tests = run_cold () in
+      if m >= ctx.wanted then begin
+        ctx.wanted <- m;
+        ctx.tests <- tests;
+        ctx.inc <- inc
+      end
+      else Option.iter Diagnosis.Incremental.retire inc;
+      match outcomes with
+      | [ o ] ->
+          ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+              ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
+            false )
+      | _ ->
+          ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+              ~injected:ctx.injected ~k:ctx.k,
+            false ))
+  | Some inc when m >= ctx.wanted ->
+      (* warm hit; grow the live instance first if more tests are asked
+         for (prefix stability makes the grown instance equal a cold
+         one at the same count) *)
+      if m > ctx.wanted then begin
+        let full =
+          gen_tests ~golden:ctx.golden ~faulty ~seed:ctx.seed ~wanted:m
+        in
+        let have = List.length ctx.tests in
+        let suffix = List.filteri (fun i _ -> i >= have) full in
+        Diagnosis.Incremental.attach inc obs;
+        if suffix <> [] then Diagnosis.Incremental.add_tests inc suffix;
+        ctx.tests <- full;
+        ctx.wanted <- m
+      end;
+      let o =
+        Engine.run ?obs ?budget:d.Protocol.budget
+          ~max_solutions:d.Protocol.max_solutions inc
+      in
+      ( diagnose_response ~d ~ckey:ctx.ckey ~warm:true ~faulty
+          ~injected:ctx.injected ~ntests:(List.length ctx.tests) ~k:ctx.k o,
+        true )
+  | Some _ -> (
+      (* shrinking the test count cannot reuse the live instance (tests
+         are clauses, not assumptions); serve a throwaway cold run and
+         leave the cached state untouched *)
+      let inc, outcomes, tests = run_cold () in
+      Option.iter Diagnosis.Incremental.retire inc;
+      match outcomes with
+      | [ o ] ->
+          ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+              ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
+            false )
+      | _ ->
+          ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+              ~injected:ctx.injected ~k:ctx.k,
+            false ))
+
+(* ---------- batch scheduling ---------- *)
+
+let take_registries t n =
+  let rec go acc n pool =
+    if n = 0 then (List.rev acc, pool)
+    else
+      match pool with
+      | r :: rest -> go (r :: acc) (n - 1) rest
+      | [] -> go (Obs.create () :: acc) (n - 1) []
+  in
+  let rs, rest = go [] n t.registries in
+  t.registries <- rest;
+  rs
+
+(* Serve a list of diagnose requests, returning responses in request
+   order.  Prepare (cache get-or-create) runs on the main domain in
+   arrival order; requests are then grouped by context and the groups
+   run on the domain pool, each group sequentially on one worker. *)
+let run_batch t (requests : Protocol.diagnose list) =
+  let items = List.mapi (fun idx d -> (idx, d)) requests in
+  let prepared =
+    List.map
+      (fun (idx, d) ->
+        match context_for t d with
+        | ctx -> Either.Right (idx, d, ctx)
+        | exception Failure msg ->
+            Either.Left (idx, Protocol.error ?id:d.Protocol.id msg))
+      items
+  in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Either.Left _ -> ()
+      | Either.Right (idx, d, ctx) -> (
+          match Hashtbl.find_opt tbl ctx.ckey with
+          | Some cell -> cell := (idx, d) :: !cell
+          | None ->
+              let cell = ref [ (idx, d) ] in
+              Hashtbl.add tbl ctx.ckey cell;
+              order := (ctx, cell) :: !order))
+    prepared;
+  let groups =
+    List.rev_map (fun (ctx, cell) -> (ctx, List.rev !cell)) !order |> List.rev
+  in
+  let registries = take_registries t (List.length groups) in
+  let work = List.combine groups registries in
+  let results =
+    Par.map ~jobs:t.jobs
+      (fun ((ctx, reqs), registry) ->
+        List.map
+          (fun (idx, d) ->
+            match serve_one registry ctx d with
+            | resp, warm -> (idx, resp, Some warm)
+            | exception e ->
+                ( idx,
+                  Protocol.error ?id:d.Protocol.id (Printexc.to_string e),
+                  None ))
+          reqs)
+      work
+  in
+  t.registries <- registries @ t.registries;
+  let answered =
+    List.filter_map
+      (function Either.Left (idx, resp) -> Some (idx, resp, None) | _ -> None)
+      prepared
+    @ List.concat results
+  in
+  List.iter
+    (fun (_, _, warm) ->
+      t.served <- t.served + 1;
+      match warm with
+      | Some true -> t.warm_hits <- t.warm_hits + 1
+      | Some false -> t.cold_misses <- t.cold_misses + 1
+      | None -> ())
+    answered;
+  let evicted = Cache.trim t.contexts in
+  List.iter (fun (_, ctx) -> retire_context ctx) evicted;
+  t.evictions <- t.evictions + List.length evicted;
+  List.sort (fun (i, _, _) (j, _, _) -> compare i j) answered
+  |> List.map (fun (_, resp, _) -> resp)
+
+(* ---------- request dispatch ---------- *)
+
+let stats_response t id =
+  Protocol.ok ?id
+    [
+      ("op", J.String "stats");
+      ("served", J.Int t.served);
+      ("warm_hits", J.Int t.warm_hits);
+      ("cold_misses", J.Int t.cold_misses);
+      ("evictions", J.Int t.evictions);
+      ("circuits", J.Int (Cache.length t.circuits));
+      ("contexts", J.Int (Cache.length t.contexts));
+    ]
+
+let handle t (req : Protocol.request) =
+  match req with
+  | Protocol.Load { id; circuit } -> (
+      match resolve_circuit t circuit with
+      | key, c ->
+          ( Protocol.ok ?id
+              [
+                ("op", J.String "load");
+                ("circuit", J.String key);
+                ("gates", J.Int (Netlist.Circuit.size c));
+                ("inputs", J.Int (Netlist.Circuit.num_inputs c));
+                ("outputs", J.Int (Netlist.Circuit.num_outputs c));
+              ],
+            true )
+      | exception Failure msg -> (Protocol.error ?id msg, true))
+  | Protocol.Diagnose d -> (
+      match run_batch t [ d ] with
+      | [ resp ] -> (resp, true)
+      | _ -> (Protocol.error ?id:d.Protocol.id "internal batch error", true))
+  | Protocol.Batch { id; requests } ->
+      let resps = run_batch t requests in
+      ( Protocol.ok ?id
+          [ ("op", J.String "batch"); ("responses", J.Arr resps) ],
+        true )
+  | Protocol.Stats { id } -> (stats_response t id, true)
+  | Protocol.Shutdown { id } ->
+      (Protocol.ok ?id [ ("op", J.String "shutdown") ], false)
+
+(* ---------- session loop ---------- *)
+
+let retire_all t =
+  List.iter (fun (_, ctx) -> retire_context ctx) (Cache.items t.contexts)
+
+let session t ic oc =
+  let write j = Protocol.write_frame oc (J.to_string j) in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> 0
+    | Some payload -> (
+        match Protocol.parse payload with
+        | Error msg ->
+            write (Protocol.error msg);
+            loop ()
+        | Ok req ->
+            let resp, continue = handle t req in
+            write resp;
+            if continue then loop () else 0)
+  in
+  let code =
+    match loop () with
+    | code -> code
+    | exception Protocol.Framing msg ->
+        write (Protocol.error ("framing: " ^ msg));
+        2
+  in
+  retire_all t;
+  code

@@ -1,0 +1,49 @@
+(** The [diagnose serve] daemon: warm pooled incremental diagnosis.
+
+    One server owns two LRU caches keyed by circuit content hash
+    (MD5 of the canonical .bench text): parsed netlists, and warm
+    {!Diagnosis.Incremental} contexts keyed by the full request shape
+    (golden circuit, faulty provenance, seed, k, certify).  A repeat
+    request skips parse, test generation and CNF encoding entirely and
+    reuses the warm solver's learned clauses; a request growing the
+    test count extends the live instance incrementally
+    ({!Diagnosis.Incremental.add_tests} — test generation is
+    prefix-stable in the wanted count, so the grown context equals a
+    cold one).  A request {e shrinking} the test count is served from a
+    throwaway cold context so cached state stays monotone.
+
+    Batches are scheduled across the [lib/par] domain pool: requests
+    are grouped by context (first-appearance order), one worker per
+    group, each request with its own renewed {!Sat.Budget} and a pooled
+    per-request {!Obs.t} registry ({!Obs.reset} between requests).  All
+    cache mutation happens on the main domain between parallel
+    sections, so responses are a pure function of the request stream —
+    identical at every [jobs] width. *)
+
+type t
+
+val create :
+  ?circuit_capacity:int ->
+  ?context_capacity:int ->
+  jobs:int ->
+  (string -> Netlist.Circuit.t) ->
+  t
+(** [create ~jobs resolve] — [resolve] maps a circuit spec (file path
+    or builtin name) to a circuit and reports failures by raising
+    [Failure] (answered as an error response).  [circuit_capacity]
+    (default 8) bounds the parsed-netlist cache, [context_capacity]
+    (default 16) the warm-context cache; evicted contexts are retired
+    ({!Diagnosis.Incremental.retire}).  [jobs] is the domain-pool width
+    for batches (clamped to at least 1). *)
+
+val handle : t -> Protocol.request -> Obs.Json.t * bool
+(** Serve one request; the boolean is [false] exactly for [Shutdown]
+    (the session should end).  Never raises on request-level failures —
+    they become error responses. *)
+
+val session : t -> in_channel -> out_channel -> int
+(** Serve frames until end of stream or a shutdown request (exit 0).
+    Request-level errors (unknown circuit, malformed JSON payload)
+    yield an error response and keep the session alive; an
+    unrecoverable framing error yields a final error response and
+    exit 2.  All cached contexts are retired on the way out. *)

@@ -197,6 +197,64 @@ certificates compose, so wider runs just verify more answers:
     {n20}
   certified: 8 solver answer(s) verified
 
+The incremental engine (encode once, enumerate per request) is the
+CLI's SAT method behind diagnose serve; one-shot runs pin its stats
+block:
+
+  $ diagnose run rca4 --faulty faulty.bench --method incremental -k 1 -m 8 --stats
+  8 failing test(s) found
+  incremental: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  {"counters":{"incremental/cert_checks":0,"incremental/conflicts":4,"incremental/decisions":474,"incremental/deleted":0,"incremental/eliminated":0,"incremental/learned":3,"incremental/learned_total":4,"incremental/propagations":1969,"incremental/restarts":0,"incremental/solutions":3,"incremental/strengthened":0,"incremental/subsumed":0,"incremental/tests":8,"incremental/truncated":0,"incremental/vivified":0},"histograms":{"incremental/backtrack":{"count":4,"buckets":[[1,1,3],[4,7,1]]},"incremental/conflict_gap":{"count":4,"buckets":[[128,255,1],[256,511,2],[1024,2047,1]]},"incremental/learnt_len":{"count":4,"buckets":[[1,1,1],[2,3,2],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"incremental/cnf","ph":"B","arg":0},{"tick":1,"name":"incremental/cnf","ph":"E","arg":0},{"tick":2,"name":"incremental/solve","ph":"B","arg":0},{"tick":3,"name":"incremental/solve","ph":"E","arg":3}]}}
+
+  $ diagnose run rca4 --faulty faulty.bench --method incremental -k 1 -m 8 --stats | tail -1 > one_shot.json
+
+diagnose serve answers length-prefixed JSON frames on stdin/stdout.
+The same request is served cold, then warm from the pooled context
+(fewer conflicts, no cnf phase); an unknown circuit is an error
+response that keeps the session alive; stats reports the server's
+counters; shutdown ends the session with exit 0.  Every response is
+deterministic, so whole frames (lengths included) are pinned:
+
+  $ req1='{"id":1,"op":"diagnose","circuit":"rca4","faulty":"faulty.bench","k":1,"tests":8,"stats":true}'
+  $ req2='{"id":2,"op":"diagnose","circuit":"rca4","faulty":"faulty.bench","k":1,"tests":8,"stats":true}'
+  $ req3='{"id":3,"op":"diagnose","circuit":"nosuch.bench"}'
+  $ req4='{"id":4,"op":"stats"}'
+  $ req5='{"id":5,"op":"shutdown"}'
+  $ for r in "$req1" "$req2" "$req3" "$req4" "$req5"; do printf '%d\n%s\n' "${#r}" "$r"; done | diagnose serve > serve_out.txt
+  $ cat serve_out.txt
+  1086
+  {"id":1,"ok":true,"op":"diagnose","context":"3a4ac3cf0415019076958f833a90d9f4","warm":false,"tests":8,"k":1,"solutions":[["n19"],["n18"],["n20"]],"truncated":false,"stats":{"counters":{"incremental/cert_checks":0,"incremental/conflicts":4,"incremental/decisions":474,"incremental/deleted":0,"incremental/eliminated":0,"incremental/learned":3,"incremental/learned_total":4,"incremental/propagations":1969,"incremental/restarts":0,"incremental/solutions":3,"incremental/strengthened":0,"incremental/subsumed":0,"incremental/tests":8,"incremental/truncated":0,"incremental/vivified":0},"histograms":{"incremental/backtrack":{"count":4,"buckets":[[1,1,3],[4,7,1]]},"incremental/conflict_gap":{"count":4,"buckets":[[128,255,1],[256,511,2],[1024,2047,1]]},"incremental/learnt_len":{"count":4,"buckets":[[1,1,1],[2,3,2],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"incremental/cnf","ph":"B","arg":0},{"tick":1,"name":"incremental/cnf","ph":"E","arg":0},{"tick":2,"name":"incremental/solve","ph":"B","arg":0},{"tick":3,"name":"incremental/solve","ph":"E","arg":3}]}}}
+  954
+  {"id":2,"ok":true,"op":"diagnose","context":"3a4ac3cf0415019076958f833a90d9f4","warm":true,"tests":8,"k":1,"solutions":[["n19"],["n18"],["n20"]],"truncated":false,"stats":{"counters":{"incremental/cert_checks":0,"incremental/conflicts":3,"incremental/decisions":462,"incremental/deleted":0,"incremental/eliminated":0,"incremental/learned":6,"incremental/learned_total":3,"incremental/propagations":1615,"incremental/restarts":0,"incremental/solutions":3,"incremental/strengthened":0,"incremental/subsumed":0,"incremental/tests":8,"incremental/truncated":0,"incremental/vivified":0},"histograms":{"incremental/backtrack":{"count":3,"buckets":[[1,1,3]]},"incremental/conflict_gap":{"count":3,"buckets":[[128,255,1],[256,511,1],[512,1023,1]]},"incremental/learnt_len":{"count":3,"buckets":[[2,3,3]]}},"events":{"emitted":2,"dropped":0,"items":[{"tick":0,"name":"incremental/solve","ph":"B","arg":0},{"tick":1,"name":"incremental/solve","ph":"E","arg":3}]}}}
+  86
+  {"id":3,"ok":false,"error":"unknown circuit \"nosuch.bench\" (not a file or builtin)"}
+  112
+  {"id":4,"ok":true,"op":"stats","served":3,"warm_hits":1,"cold_misses":1,"evictions":0,"circuits":2,"contexts":1}
+  34
+  {"id":5,"ok":true,"op":"shutdown"}
+
+A served cold response embeds, byte for byte, the stats block of the
+equivalent one-shot run:
+
+  $ grep -cF "$(cat one_shot.json)" serve_out.txt
+  1
+
+Invalid input exits 2 with a one-line diagnostic, never a backtrace:
+
+  $ diagnose run nosuch.bench
+  diagnose: unknown circuit "nosuch.bench" (not a file or builtin)
+  [2]
+  $ diagnose report missing.json
+  diagnose: missing.json: No such file or directory
+  [2]
+  $ echo garbage > bad.cnf
+  $ satsolve bad.cnf
+  satsolve: Cnf.of_dimacs: bad token "garbage"
+  [2]
+
 The SAT solver CLI on a tiny DIMACS formula:
 
   $ cat > sat.cnf <<CNF

@@ -43,15 +43,19 @@ let test_spans () =
   Alcotest.(check int) "two span names" 2 (List.length (Obs.spans t))
 
 let test_reset () =
+  (* reset is pristine, not zeroing: the previous request's names must
+     not survive into the next request's emission *)
   let t = Obs.create () in
   Obs.add t "a" 3;
   Obs.record_span t "s" 1.0;
   Obs.reset t;
-  Alcotest.(check (list (pair string int))) "counters zeroed" [ ("a", 0) ]
+  Alcotest.(check (list (pair string int))) "counter names dropped" []
     (Obs.counters t);
-  match Obs.spans t with
-  | [ ("s", 0.0, 0) ] -> ()
-  | _ -> Alcotest.fail "spans not zeroed"
+  Alcotest.(check int) "span names dropped" 0 (List.length (Obs.spans t));
+  (* the registry is still usable after the reset *)
+  Obs.add t "b" 1;
+  Alcotest.(check (list (pair string int))) "usable after reset" [ ("b", 1) ]
+    (Obs.counters t)
 
 let test_emit_deterministic () =
   let mk () =
@@ -231,12 +235,49 @@ let test_reset_clears_new_state () =
   Obs.observe t "h" 3;
   Obs.instant t "e";
   Obs.reset t;
-  (match Obs.histograms t with
-  | [ ("h", h) ] ->
-      Alcotest.(check int) "histogram zeroed" 0 (Obs.Histogram.observations h)
-  | _ -> Alcotest.fail "histogram name lost");
-  Alcotest.(check int) "trace cleared" 0
-    (Obs.Trace.emitted (Obs.trace t))
+  Alcotest.(check int) "histogram names dropped" 0
+    (List.length (Obs.histograms t));
+  Alcotest.(check int) "trace cleared" 0 (Obs.Trace.emitted (Obs.trace t));
+  (* the logical tick restarts at 0, as in a fresh registry *)
+  Obs.instant t "f";
+  match Obs.Trace.events (Obs.trace t) with
+  | [ e ] -> Alcotest.(check int) "tick restarts" 0 e.Obs.tick
+  | _ -> Alcotest.fail "expected one event"
+
+(* the reuse-equals-fresh property per-request registries rely on: fill
+   a registry with everything it can hold (counters, spans, histograms,
+   an overflowing trace), reset it, replay a workload, and require the
+   timed JSON to be byte-identical to a fresh registry under the same
+   workload — including the events/emitted/dropped bookkeeping. *)
+let test_reset_reuse_equals_fresh () =
+  let fill t =
+    Obs.add t "stale/counter" 41;
+    Obs.record_span t "stale/span" 0.5;
+    Obs.observe t "stale/hist" 9;
+    (* overflow the ring so dropped > 0 and the tick is far from 0 *)
+    for i = 0 to 7 do
+      Obs.instant t ~payload:i "stale/event"
+    done
+  in
+  let workload t =
+    Obs.add t "req/counter" 2;
+    Obs.observe t "req/hist" 3;
+    Obs.begin_event t "req/solve";
+    Obs.end_event t ~payload:1 "req/solve"
+  in
+  let reused = Obs.create ~trace_capacity:4 () in
+  fill reused;
+  Obs.reset reused;
+  workload reused;
+  let fresh = Obs.create ~trace_capacity:4 () in
+  workload fresh;
+  Alcotest.(check string) "untimed emission identical"
+    (Obs.emit ~times:false fresh)
+    (Obs.emit ~times:false reused);
+  Alcotest.(check (list (pair string int))) "counters identical"
+    (Obs.counters fresh) (Obs.counters reused);
+  Alcotest.(check int) "span table empty in both" (List.length (Obs.spans fresh))
+    (List.length (Obs.spans reused))
 
 (* registry-level round-trip: a randomly-populated registry's extended
    JSON (counters + histograms + events) survives print |> parse *)
@@ -371,6 +412,8 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "reset clears histograms and trace" `Quick
             test_reset_clears_new_state;
+          Alcotest.test_case "reset reuse equals fresh" `Quick
+            test_reset_reuse_equals_fresh;
           Alcotest.test_case "deterministic emission" `Quick
             test_emit_deterministic;
         ] );

@@ -282,6 +282,32 @@ let test_budget_charged_across_calls () =
   Alcotest.(check bool) "propagations were charged" true
     (Sat.Budget.propagations_left budget < left0)
 
+let test_budget_renewed () =
+  (* a budget created at enqueue time and held idle must not charge the
+     queue wait against solve time: [renewed] re-anchors the wall-clock
+     window at dispatch while keeping the remaining counters *)
+  let b = Sat.Budget.create ~conflicts:10 ~seconds:10.0 () in
+  Sat.Budget.charge b ~conflicts:4 ~propagations:0;
+  Unix.sleepf 0.05;
+  let r = Sat.Budget.renewed b in
+  Alcotest.(check int) "counters carried over" 6
+    (Sat.Budget.conflicts_left r);
+  let slack = Sat.Budget.deadline r -. Sat.Budget.deadline b in
+  Alcotest.(check bool) "idle time restored to the window" true
+    (slack >= 0.05);
+  let full = Sat.Budget.deadline r -. Obs.Clock.wall () in
+  Alcotest.(check bool) "renewed window is the full allowance" true
+    (full > 9.5 && full <= 10.0);
+  (* renewal survives clone: the relative allowance travels with the
+     budget, so a cloned-then-renewed budget also restarts at full *)
+  let rc = Sat.Budget.renewed (Sat.Budget.clone b) in
+  Alcotest.(check bool) "clone keeps the allowance" true
+    (Sat.Budget.deadline rc -. Obs.Clock.wall () > 9.5);
+  (* unlimited budgets stay unlimited *)
+  let u = Sat.Budget.renewed (Sat.Budget.unlimited ()) in
+  Alcotest.(check bool) "unlimited stays unlimited" true
+    (Sat.Budget.is_unlimited u)
+
 let test_stats_learned_accounting () =
   let s = php_solver 7 6 in
   ignore (Sat.Solver.solve s);
@@ -961,6 +987,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_budget_determinism;
           Alcotest.test_case "charged across calls" `Quick
             test_budget_charged_across_calls;
+          Alcotest.test_case "renewed restarts the clock" `Quick
+            test_budget_renewed;
           Alcotest.test_case "learned accounting" `Quick
             test_stats_learned_accounting;
         ] );
