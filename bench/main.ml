@@ -471,6 +471,7 @@ let serve cfg =
   let widths_agree = ref true in
   let reference = ref None in
   let total = ref 0 in
+  let width_blocks = ref [] in
   List.iter
     (fun jobs ->
       let server = Core.Serve.Server.create ~jobs resolve in
@@ -488,19 +489,59 @@ let serve cfg =
           reference := Some (solutions_of warm);
           total := count_solutions warm
       | Some r -> widths_agree := !widths_agree && solutions_of warm = r);
+      (* the first batch ran every request cold, the second every
+         request warm, so the server's cold/warm sketches split the two
+         batches' latency and queue-wait distributions exactly *)
+      let sk = Core.Serve.Server.sketches server in
+      let sketch name = List.assoc name sk in
+      let q s p = Obs.Sketch.quantile s p in
+      let quants s =
+        Obs.Json.Obj
+          [
+            ("p50", Obs.Json.Float (q s 0.5));
+            ("p95", Obs.Json.Float (q s 0.95));
+            ("p99", Obs.Json.Float (q s 0.99));
+          ]
+      in
+      let lat_cold = sketch "latency_cold_us"
+      and lat_warm = sketch "latency_warm_us" in
       Fmt.pr "%5d | %10.2f %10.2f | %7.1fx | %b@." jobs cold_rate warm_rate
-        (warm_rate /. cold_rate) agree)
+        (warm_rate /. cold_rate) agree;
+      Fmt.pr "      | latency p50/p99 us: cold %.0f/%.0f, warm %.0f/%.0f@."
+        (q lat_cold 0.5) (q lat_cold 0.99) (q lat_warm 0.5)
+        (q lat_warm 0.99);
+      width_blocks :=
+        ( Printf.sprintf "jobs%d" jobs,
+          Obs.Json.Obj
+            [
+              ("cold_req_per_s", Obs.Json.Float cold_rate);
+              ("warm_req_per_s", Obs.Json.Float warm_rate);
+              ( "cold",
+                Obs.Json.Obj
+                  [
+                    ("latency_us", quants lat_cold);
+                    ("queue_wait_us", quants (sketch "queue_wait_cold_us"));
+                  ] );
+              ( "warm",
+                Obs.Json.Obj
+                  [
+                    ("latency_us", quants lat_warm);
+                    ("queue_wait_us", quants (sketch "queue_wait_warm_us"));
+                  ] );
+            ] )
+        :: !width_blocks)
     widths;
   add_block "serve"
     (Obs.Json.Obj
-       [
-         ("requests", Obs.Json.Int n);
-         ("cold_misses", Obs.Json.Int n);
-         ("warm_hits", Obs.Json.Int n);
-         ("solutions", Obs.Json.Int !total);
-         ("warm_equals_cold", Obs.Json.Int (if !agree_all then 1 else 0));
-         ("widths_agree", Obs.Json.Int (if !widths_agree then 1 else 0));
-       ]);
+       ([
+          ("requests", Obs.Json.Int n);
+          ("cold_misses", Obs.Json.Int n);
+          ("warm_hits", Obs.Json.Int n);
+          ("solutions", Obs.Json.Int !total);
+          ("warm_equals_cold", Obs.Json.Int (if !agree_all then 1 else 0));
+          ("widths_agree", Obs.Json.Int (if !widths_agree then 1 else 0));
+        ]
+       @ List.rev !width_blocks));
   Fmt.pr "@."
 
 (* ---------- related work: BDD space complexity (§1) ------------------- *)

@@ -350,6 +350,79 @@ let report_cmd_run file =
             totals);
       0
 
+(* ---------- report --diff ---------- *)
+
+(* side-by-side comparison of two saved stats blocks with relative
+   deltas, for before/after reading of a change (e.g. cold vs warm
+   serve stats, or two solver configurations) *)
+let report_diff_run file_a file_b =
+  let module J = Core.Obs.Json in
+  match (J.parse (read_file file_a), J.parse (read_file file_b)) with
+  | Error msg, _ ->
+      Fmt.epr "diagnose: %s is not a stats block: %s@." file_a msg;
+      2
+  | _, Error msg ->
+      Fmt.epr "diagnose: %s is not a stats block: %s@." file_b msg;
+      2
+  | Ok a, Ok b ->
+      let obj_of = function Some (J.Obj kvs) -> kvs | _ -> [] in
+      let int_of = function
+        | Some (J.Int n) -> Some n
+        | Some (J.Float f) -> Some (int_of_float f)
+        | _ -> None
+      in
+      let cell = function Some n -> string_of_int n | None -> "-" in
+      let delta va vb =
+        match (va, vb) with
+        | Some va, Some vb when va = vb -> "="
+        | Some va, Some vb ->
+            Printf.sprintf "%+.1f%%"
+              (100.0 *. float_of_int (vb - va)
+              /. float_of_int (max 1 (abs va)))
+        | _ -> "-"
+      in
+      let row name va vb =
+        Fmt.pr "  %-42s %12s %12s  %s@." name (cell va) (cell vb)
+          (delta va vb)
+      in
+      let union rows_a rows_b =
+        List.sort_uniq String.compare
+          (List.map fst rows_a @ List.map fst rows_b)
+      in
+      let section title rows_a rows_b =
+        Fmt.pr "== %s: %s vs %s ==@." title file_a file_b;
+        List.iter
+          (fun name ->
+            row name
+              (List.assoc_opt name rows_a)
+              (List.assoc_opt name rows_b))
+          (union rows_a rows_b)
+      in
+      let counters j =
+        List.filter_map
+          (fun (name, v) -> Option.map (fun n -> (name, n)) (int_of (Some v)))
+          (obj_of (J.member "counters" j))
+      in
+      section "counters" (counters a) (counters b);
+      let hist_counts j =
+        List.filter_map
+          (fun (name, h) ->
+            Option.map (fun n -> (name, n)) (int_of (J.member "count" h)))
+          (obj_of (J.member "histograms" j))
+      in
+      section "histogram observations" (hist_counts a) (hist_counts b);
+      let event_totals j =
+        let events = J.member "events" j in
+        List.filter_map
+          (fun key ->
+            Option.map
+              (fun n -> (key, n))
+              (int_of (Option.bind events (J.member key))))
+          [ "emitted"; "dropped" ]
+      in
+      section "events" (event_totals a) (event_totals b);
+      0
+
 (* ---------- coverage (production test) ---------- *)
 
 let coverage_cmd_run spec scale vectors seed use_atpg jobs =
@@ -407,12 +480,29 @@ let export_cmd_run golden_spec scale errors seed k m out =
 
 (* ---------- serve ---------- *)
 
-let serve_cmd_run scale jobs circuit_capacity context_capacity =
-  let server =
-    Core.Serve.Server.create ~circuit_capacity ~context_capacity ~jobs
-      (load_circuit ~scale)
+let serve_cmd_run scale jobs circuit_capacity context_capacity slow_ms
+    trace_file =
+  (* slow-request records go to stderr as JSON lines — stdout carries
+     the framed protocol stream and must stay clean *)
+  let log =
+    Option.map (fun _ -> Core.Obs.Log.make ~sink:stderr ()) slow_ms
   in
-  Core.Serve.Server.session server stdin stdout
+  let server =
+    Core.Serve.Server.create ~circuit_capacity ~context_capacity ?slow_ms ?log
+      ~trace:(trace_file <> None) ~jobs (load_circuit ~scale)
+  in
+  let code = Core.Serve.Server.session server stdin stdout in
+  (match trace_file with
+  | None -> ()
+  | Some file ->
+      let tr = Core.Obs.trace (Core.Serve.Server.obs server) in
+      let oc = open_out file in
+      output_string oc
+        (Core.Obs.Json.to_string (Core.Obs.Trace.to_chrome_json tr));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "wrote %s (%d trace events)@." file (Core.Obs.Trace.emitted tr));
+  code
 
 (* ---------- experiment ---------- *)
 
@@ -503,10 +593,20 @@ let report_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"STATS.json"
          ~doc:"A stats JSON block (the last line of diagnose run --stats)")
   in
+  let diff =
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"B.json"
+         ~doc:"Render STATS.json and B.json side by side (counters, \
+               histogram observation counts, event totals) with relative \
+               deltas instead of summarizing one block")
+  in
+  let dispatch file = function
+    | None -> report_cmd_run file
+    | Some file_b -> report_diff_run file file_b
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Summarize a stats JSON block (counters, histograms, events, spans) as text")
-    Term.(const report_cmd_run $ file)
+    Term.(const dispatch $ file $ diff)
 
 let experiment_cmd =
   let max_solutions = Arg.(value & opt int 20000 & info [ "max-solutions" ] ~doc:"Per-run solution cap") in
@@ -518,12 +618,16 @@ let experiment_cmd =
 let serve_cmd =
   let circuits = Arg.(value & opt int 8 & info [ "circuits" ] ~docv:"N" ~doc:"Parsed-netlist cache capacity") in
   let contexts = Arg.(value & opt int 16 & info [ "contexts" ] ~docv:"N" ~doc:"Warm incremental-context cache capacity (evicted contexts are retired)") in
+  let slow_ms = Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"N" ~doc:"Log requests with wall latency >= N ms as structured JSON records on stderr (level warn, with the request's measured deltas)") in
+  let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Stitch every request's queue/dispatch/solve spans (tagged with worker domain ids) into one session trace and write it as Chrome trace_event JSON on shutdown") in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a stream of diagnosis requests with warm pooled \
              incremental solvers (length-prefixed JSON frames on \
-             stdin/stdout; ops: load, diagnose, batch, stats, shutdown)")
-    Term.(const serve_cmd_run $ scale $ jobs $ circuits $ contexts)
+             stdin/stdout; ops: load, diagnose, batch, stats, metrics, \
+             health, shutdown)")
+    Term.(const serve_cmd_run $ scale $ jobs $ circuits $ contexts $ slow_ms
+          $ trace)
 
 let exits =
   Cmd.Exit.info 2

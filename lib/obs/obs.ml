@@ -313,6 +313,163 @@ module Histogram = struct
 
 end
 
+module Sketch = struct
+  (* A quantile sketch is a Histogram plus enough extra state (sum,
+     min, max) to interpolate quantiles inside a bucket and clamp the
+     estimate to the observed range.  All state is integer counts over
+     deterministic observations, so sketches are as pinnable as the
+     histograms they wrap. *)
+  type s = {
+    hist : Histogram.h;
+    mutable sum : int;
+    mutable min_v : int; (* max_int = no observations yet *)
+    mutable max_v : int; (* -1 = no observations yet *)
+  }
+
+  let make () =
+    { hist = Histogram.make (); sum = 0; min_v = max_int; max_v = -1 }
+
+  let observe s v =
+    Histogram.observe s.hist v;
+    s.sum <- s.sum + v;
+    if v < s.min_v then s.min_v <- v;
+    if v > s.max_v then s.max_v <- v
+
+  let count s = Histogram.observations s.hist
+
+  let sum s = s.sum
+
+  let min_value s = if s.min_v = max_int then 0 else s.min_v
+
+  let max_value s = if s.max_v < 0 then 0 else s.max_v
+
+  let quantile s q =
+    let n = count s in
+    if n = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      (* 1-based fractional rank; rank r selects the bucket holding the
+         ceil(r)-th smallest observation, matching the sorted-array
+         oracle index ceil(q*n) - 1 (see test_obs). *)
+      let rank = q *. float_of_int n in
+      if rank <= 0.0 then float_of_int (min_value s)
+      else begin
+        let result = ref (float_of_int (max_value s)) in
+        let cum = ref 0.0 and found = ref false in
+        List.iter
+          (fun (lo, hi, c) ->
+            if not !found then begin
+              let c = float_of_int c in
+              if !cum +. c >= rank then begin
+                found := true;
+                (* interpolate within the bucket, clamped to the
+                   observed range (the top bucket's nominal hi is
+                   max_int) *)
+                let lo_eff = max lo s.min_v and hi_eff = min hi s.max_v in
+                let width = float_of_int (hi_eff - lo_eff + 1) in
+                let frac = (rank -. !cum) /. c in
+                result := float_of_int lo_eff +. (width *. frac)
+              end
+              else cum := !cum +. c
+            end)
+          (Histogram.buckets s.hist);
+        Float.max
+          (float_of_int (min_value s))
+          (Float.min (float_of_int (max_value s)) !result)
+      end
+    end
+
+  let merge a b =
+    {
+      hist = Histogram.merge a.hist b.hist;
+      sum = a.sum + b.sum;
+      min_v = min a.min_v b.min_v;
+      max_v = max a.max_v b.max_v;
+    }
+
+  let merge_into ~into b =
+    Histogram.merge_into ~into:into.hist b.hist;
+    into.sum <- into.sum + b.sum;
+    if b.min_v < into.min_v then into.min_v <- b.min_v;
+    if b.max_v > into.max_v then into.max_v <- b.max_v
+
+  let equal a b =
+    Histogram.equal a.hist b.hist
+    && a.sum = b.sum
+    && a.min_v = b.min_v
+    && a.max_v = b.max_v
+
+  let buckets s = Histogram.buckets s.hist
+
+  let to_json s =
+    Json.Obj
+      [
+        ("count", Json.Int (count s));
+        ("sum", Json.Int s.sum);
+        ("min", Json.Int (min_value s));
+        ("max", Json.Int (max_value s));
+        ("p50", Json.Float (quantile s 0.5));
+        ("p90", Json.Float (quantile s 0.9));
+        ("p99", Json.Float (quantile s 0.99));
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (lo, hi, c) ->
+                 Json.Arr [ Json.Int lo; Json.Int hi; Json.Int c ])
+               (buckets s)) );
+      ]
+end
+
+module Rolling = struct
+  (* One bucket per clock unit, indexed [now mod window]: noting at a
+     timestamp lazily reclaims the slot if its stamp is stale, so the
+     structure is O(window) space with O(1) note and O(window) rate. *)
+  type r = {
+    window : int;
+    stamps : int array;
+    counts : int array;
+    mutable total : int;
+    mutable last : int;
+  }
+
+  let make ~window =
+    if window < 1 then invalid_arg "Obs.Rolling.make: window < 1";
+    {
+      window;
+      stamps = Array.make window min_int;
+      counts = Array.make window 0;
+      total = 0;
+      last = min_int;
+    }
+
+  let window r = r.window
+
+  let note ?(by = 1) r ~now =
+    if by < 0 then invalid_arg "Obs.Rolling.note: negative increment";
+    if now < 0 then invalid_arg "Obs.Rolling.note: negative timestamp";
+    if now < r.last then invalid_arg "Obs.Rolling.note: clock went backwards";
+    let slot = now mod r.window in
+    if r.stamps.(slot) <> now then begin
+      r.stamps.(slot) <- now;
+      r.counts.(slot) <- 0
+    end;
+    r.counts.(slot) <- r.counts.(slot) + by;
+    r.total <- r.total + by;
+    r.last <- now
+
+  let in_window r ~now =
+    let acc = ref 0 in
+    for slot = 0 to r.window - 1 do
+      let s = r.stamps.(slot) in
+      if s > now - r.window && s <= now then acc := !acc + r.counts.(slot)
+    done;
+    !acc
+
+  let rate r ~now = float_of_int (in_window r ~now) /. float_of_int r.window
+
+  let total r = r.total
+end
+
 module Trace = struct
   type tr = { cap : int; buf : event array; mutable n_emitted : int }
 
@@ -373,10 +530,106 @@ module Trace = struct
         | Instant -> base @ [ ("s", Json.String "t") ]
         | Begin | End -> base)
     in
+    (* A truncated ring must not present itself as a complete stream:
+       lead with an explicit global instant carrying the drop count. *)
+    let marker =
+      if dropped tr = 0 then []
+      else
+        [
+          Json.Obj
+            [
+              ("name", Json.String "obs/dropped");
+              ("cat", Json.String "obs");
+              ("ph", Json.String "i");
+              ("ts", Json.Float 0.0);
+              ("pid", Json.Int 1);
+              ("tid", Json.Int 1);
+              ("args", Json.Obj [ ("dropped", Json.Int (dropped tr)) ]);
+              ("s", Json.String "g");
+            ];
+        ]
+    in
     Json.Obj
       [
-        ("traceEvents", Json.Arr (List.map item evs));
+        ("traceEvents", Json.Arr (marker @ List.map item evs));
         ("displayTimeUnit", Json.String "ms");
+      ]
+end
+
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_string = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  type record = {
+    seq : int;
+    level : level;
+    req : string;
+    name : string;
+    payload : Json.t;
+    wall : float;
+  }
+
+  type l = {
+    cap : int;
+    buf : record array;
+    mutable n_emitted : int;
+    sink : out_channel option;
+  }
+
+  let dummy =
+    { seq = 0; level = Debug; req = ""; name = ""; payload = Json.Null;
+      wall = 0.0 }
+
+  let default_capacity = 256
+
+  let make ?(capacity = default_capacity) ?sink () =
+    let cap = max 1 capacity in
+    { cap; buf = Array.make cap dummy; n_emitted = 0; sink }
+
+  let record_json ?(times = true) r =
+    Json.Obj
+      ([
+         ("seq", Json.Int r.seq);
+         ("level", Json.String (level_string r.level));
+         ("req", Json.String r.req);
+         ("event", Json.String r.name);
+         ("payload", r.payload);
+       ]
+      @ if times then [ ("ts", Json.Float r.wall) ] else [])
+
+  let log l ?(payload = Json.Null) ?(req = "") ~level name =
+    let r =
+      { seq = l.n_emitted; level; req; name; payload; wall = Clock.wall () }
+    in
+    l.buf.(l.n_emitted mod l.cap) <- r;
+    l.n_emitted <- l.n_emitted + 1;
+    match l.sink with
+    | None -> ()
+    | Some oc ->
+        output_string oc (Json.to_string (record_json ~times:true r));
+        output_char oc '\n';
+        flush oc
+
+  let emitted l = l.n_emitted
+
+  let dropped l = max 0 (l.n_emitted - l.cap)
+
+  let records l =
+    let n = min l.n_emitted l.cap in
+    let start = if l.n_emitted <= l.cap then 0 else l.n_emitted mod l.cap in
+    List.init n (fun i -> l.buf.((start + i) mod l.cap))
+
+  let to_json ?times l =
+    Json.Obj
+      [
+        ("emitted", Json.Int l.n_emitted);
+        ("dropped", Json.Int (dropped l));
+        ("items", Json.Arr (List.map (record_json ?times) (records l)));
       ]
 end
 
@@ -467,6 +720,16 @@ let event t ?(payload = 0) name phase =
       domain = 0;
       wall = Clock.wall ();
     }
+
+let inject t ?(payload = 0) ?(domain = 0) ?wall name phase =
+  let wall = match wall with Some w -> w | None -> Clock.wall () in
+  Trace.push t.tr
+    { tick = Trace.emitted t.tr; name; phase; payload; domain; wall }
+
+let absorb ~into ~domain events =
+  List.iter
+    (fun e -> inject into ~payload:e.payload ~domain ~wall:e.wall e.name e.phase)
+    events
 
 let begin_event t ?payload name = event t ?payload name Begin
 
@@ -574,12 +837,28 @@ let to_json ?(times = true) t =
     List.map (fun (name, h) -> (name, histogram_json h)) (histograms t)
   in
   let events =
+    (* mirror [Trace.to_chrome_json]: a truncated ring leads with an
+       explicit marker item instead of silently reading as complete *)
+    let marker =
+      if Trace.dropped t.tr = 0 then []
+      else
+        [
+          Json.Obj
+            [
+              ("tick", Json.Int (-1));
+              ("name", Json.String "obs/dropped");
+              ("ph", Json.String "i");
+              ("arg", Json.Int (Trace.dropped t.tr));
+            ];
+        ]
+    in
     Json.Obj
       [
         ("emitted", Json.Int (Trace.emitted t.tr));
         ("dropped", Json.Int (Trace.dropped t.tr));
         ( "items",
-          Json.Arr (List.map (event_json ~times) (Trace.events t.tr)) );
+          Json.Arr (marker @ List.map (event_json ~times) (Trace.events t.tr))
+        );
       ]
   in
   let base =

@@ -110,6 +110,87 @@ module Histogram : sig
   val equal : h -> h -> bool
 end
 
+(** Mergeable quantile sketch: a {!Histogram} plus the observation sum
+    and the exact min/max, enough to answer interpolated quantile
+    queries with per-bucket error while staying associative and
+    commutative under {!Sketch.merge}.  All state is integer counts of
+    deterministic observations, so sketches (and their quantiles) are
+    bit-reproducible and safe to pin. *)
+module Sketch : sig
+  type s
+
+  val make : unit -> s
+
+  val observe : s -> int -> unit
+  (** Record one non-negative value.
+      @raise Invalid_argument on a negative value. *)
+
+  val count : s -> int
+  (** Number of values observed. *)
+
+  val sum : s -> int
+  (** Sum of all observed values. *)
+
+  val min_value : s -> int
+  (** Smallest observed value; [0] when empty. *)
+
+  val max_value : s -> int
+  (** Largest observed value; [0] when empty. *)
+
+  val quantile : s -> float -> float
+  (** [quantile s q] estimates the [q]-quantile ([q] clamped to
+      [0..1]): the bucket holding the rank-[ceil (q * count)]
+      observation is found by a cumulative-count walk and the value is
+      linearly interpolated inside it, clamped to the observed
+      [min..max] range.  The estimate is within one bucket width of the
+      exact sorted-array quantile (see the differential oracle in
+      [test_obs]).  Returns [0.0] on an empty sketch. *)
+
+  val merge : s -> s -> s
+  (** A fresh sketch holding both inputs' observations — associative,
+      commutative, and [merge (of xs) (of ys) = of (xs @ ys)]. *)
+
+  val merge_into : into:s -> s -> unit
+  (** In-place {!merge}: fold the second sketch into [into]. *)
+
+  val equal : s -> s -> bool
+
+  val buckets : s -> (int * int * int) list
+  (** Non-empty buckets as [(lo, hi, count)], ascending in [lo]. *)
+
+  val to_json : s -> Json.t
+  (** [{ "count", "sum", "min", "max", "p50", "p90", "p99",
+      "buckets" }] — deterministic whenever the observations are. *)
+end
+
+(** Rolling-window counters over an integer logical clock: rates such
+    as requests/sec without unbounded memory.  The clock unit is the
+    caller's choice (the server feeds whole wall seconds; tests drive a
+    synthetic clock), and timestamps must be non-decreasing. *)
+module Rolling : sig
+  type r
+
+  val make : window:int -> r
+  (** A window of [window >= 1] clock units.
+      @raise Invalid_argument if [window < 1]. *)
+
+  val window : r -> int
+
+  val note : ?by:int -> r -> now:int -> unit
+  (** Count [by] (default 1) occurrences at timestamp [now].
+      @raise Invalid_argument on a negative increment, a negative
+      timestamp, or a timestamp earlier than a previous [note]. *)
+
+  val in_window : r -> now:int -> int
+  (** Occurrences with timestamps in [(now - window, now]]. *)
+
+  val rate : r -> now:int -> float
+  (** [in_window r ~now / window] — occurrences per clock unit. *)
+
+  val total : r -> int
+  (** Lifetime total, independent of the window. *)
+end
+
 (** A bounded ring buffer of {!event}s.  When more events are emitted
     than the buffer holds, the oldest are dropped (the totals remain
     exact). *)
@@ -134,8 +215,57 @@ module Trace : sig
       [cat] (the name's prefix up to the first ['/']), [ph]
       ([B]/[E]/[i]), [ts] in microseconds relative to the earliest
       retained event's {!Clock.wall} stamp, and the tick/payload under
-      [args].  Not deterministic (wall-clock [ts]); for pinnable output
-      use {!to_json}. *)
+      [args].  When the ring has dropped events, the stream leads with
+      an explicit [obs/dropped] global instant whose [args.dropped]
+      carries the drop count, so a truncated trace never reads as
+      complete.  Not deterministic (wall-clock [ts]); for pinnable
+      output use {!to_json}. *)
+end
+
+(** Severity-tagged structured log: a bounded ring of JSONL-renderable
+    records plus an optional sink channel each record is written to (and
+    flushed) as it is emitted.  Used by the serve layer for the
+    slow-request log. *)
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_string : level -> string
+  (** ["debug"] / ["info"] / ["warn"] / ["error"]. *)
+
+  type record = {
+    seq : int;  (** emission index, counted from [make] *)
+    level : level;
+    req : string;  (** request correlation id; [""] when none *)
+    name : string;  (** event name, e.g. ["serve/slow"] *)
+    payload : Json.t;  (** structured detail; [Null] when none *)
+    wall : float;  (** {!Clock.wall} at emission *)
+  }
+
+  type l
+
+  val make : ?capacity:int -> ?sink:out_channel -> unit -> l
+  (** A log retaining the last [capacity] records (default 256).  When
+      [sink] is given, every record is also written to it as one JSON
+      line (with the wall-clock ["ts"]) and flushed immediately. *)
+
+  val log : l -> ?payload:Json.t -> ?req:string -> level:level -> string -> unit
+  (** Emit one record under the given event name. *)
+
+  val emitted : l -> int
+  (** Records emitted over the log's lifetime, including dropped ones. *)
+
+  val dropped : l -> int
+  (** [max 0 (emitted - capacity)]. *)
+
+  val records : l -> record list
+  (** Retained records, oldest first. *)
+
+  val record_json : ?times:bool -> record -> Json.t
+  (** [{ "seq", "level", "req", "event", "payload" }] plus ["ts"] when
+      [times] (default [true]). *)
+
+  val to_json : ?times:bool -> l -> Json.t
+  (** [{ "emitted", "dropped", "items": [...] }], oldest first. *)
 end
 
 type t
@@ -184,6 +314,19 @@ val trace : t -> Trace.tr
 val event : t -> ?payload:int -> string -> phase -> unit
 (** Emit one event into the trace, stamped with the next logical tick
     and {!Clock.wall}. *)
+
+val inject : t -> ?payload:int -> ?domain:int -> ?wall:float -> string ->
+  phase -> unit
+(** Like {!event} but with an explicit domain tag and wall stamp: the
+    serve layer uses this to stitch spans measured on worker domains
+    into one session trace with their original timestamps (the Chrome
+    export maps [domain] to the [tid] track). *)
+
+val absorb : into:t -> domain:int -> event list -> unit
+(** Append captured events (e.g. {!Trace.events} of a per-request
+    registry) into [into]'s trace via {!inject}: re-ticked by the
+    receiving trace, tagged with [domain], original wall stamps and
+    payloads preserved. *)
 
 val begin_event : t -> ?payload:int -> string -> unit
 (** [event t name Begin]. *)
@@ -234,6 +377,9 @@ val to_json : ?times:bool -> t -> Json.t
     buckets only).  ["events"] is
     [{ "emitted": n, "dropped": d, "items": [...] }] with the retained
     events oldest first; each item carries [tick]/[name]/[ph]/[arg].
+    When [d > 0] the items lead with an explicit marker record
+    [{ "tick": -1, "name": "obs/dropped", "ph": "i", "arg": d }] so a
+    truncated stream is visibly truncated.
 
     [times] (default [true]) controls whether the non-deterministic
     wall-clock data is included: the ["spans"] object and the per-event

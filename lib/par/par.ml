@@ -3,6 +3,10 @@ let available () = Domain.recommended_domain_count ()
 let clamp_jobs n =
   if n < 0 then invalid_arg "Par.clamp_jobs: negative jobs" else max 1 n
 
+let worker_of ~jobs i =
+  if i < 0 then invalid_arg "Par.worker_of: negative index";
+  i mod clamp_jobs jobs
+
 let shard ~shards items =
   if shards < 1 then invalid_arg "Par.shard: shards < 1";
   let buckets = Array.make shards [] in

@@ -22,6 +22,14 @@ val clamp_jobs : int -> int
 (** [clamp_jobs n] floors the requested width at 1.
     @raise Invalid_argument on a negative width. *)
 
+val worker_of : jobs:int -> int -> int
+(** [worker_of ~jobs i] is the worker index that {!map}/{!shard} assign
+    item [i] to: [i mod clamp_jobs jobs].  This makes the fixed
+    round-robin contract a queryable function, so callers (the serve
+    layer tags trace spans with domain ids) can attribute item [i]'s
+    work to a domain without re-deriving the sharding.
+    @raise Invalid_argument on a negative index or width. *)
+
 val shard : shards:int -> 'a list -> 'a list array
 (** [shard ~shards items] deals [items] round-robin by index: item [i]
     goes to shard [i mod shards], and within each shard the original

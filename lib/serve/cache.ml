@@ -4,11 +4,18 @@ type ('k, 'v) t = {
   tbl : ('k, 'v entry) Hashtbl.t;
   cap : int;
   mutable clock : int;  (* strictly increasing => recency is a total order *)
+  obs : Obs.t option;
+  name : string;  (* counter prefix, e.g. "cache/circuit" *)
 }
 
-let create ~capacity =
+let create ?obs ?(name = "cache") ~capacity () =
   if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
-  { tbl = Hashtbl.create 16; cap = capacity; clock = 0 }
+  { tbl = Hashtbl.create 16; cap = capacity; clock = 0; obs; name }
+
+let count t suffix n =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Obs.add obs (t.name ^ "/" ^ suffix) n
 
 let capacity t = t.cap
 
@@ -22,9 +29,12 @@ let tick t =
 
 let find t key =
   match Hashtbl.find_opt t.tbl key with
-  | None -> None
+  | None ->
+      count t "misses" 1;
+      None
   | Some e ->
       e.stamp <- tick t;
+      count t "hits" 1;
       Some e.value
 
 let add t key value = Hashtbl.replace t.tbl key { value; stamp = tick t }
@@ -52,7 +62,9 @@ let trim ?keep t =
           Hashtbl.remove t.tbl key;
           go ((key, e.value) :: acc)
   in
-  go []
+  let evicted = go [] in
+  count t "evictions" (List.length evicted);
+  evicted
 
 let items t =
   Hashtbl.fold (fun key e acc -> (key, e.value, e.stamp) :: acc) t.tbl []

@@ -9,8 +9,12 @@
 
 type ('k, 'v) t
 
-val create : capacity:int -> ('k, 'v) t
-(** @raise Invalid_argument when [capacity < 1]. *)
+val create : ?obs:Obs.t -> ?name:string -> capacity:int -> unit -> ('k, 'v) t
+(** When [obs] is given, the cache bumps [<name>/hits] on every
+    {!find} hit, [<name>/misses] on every miss, and [<name>/evictions]
+    per entry evicted by {!trim} ([name] defaults to ["cache"]) — the
+    server wires both LRUs to its metrics registry this way.
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val capacity : ('k, 'v) t -> int
 

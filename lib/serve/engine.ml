@@ -3,6 +3,7 @@ type outcome = {
   truncated : bool;
   cert_checks : int;
   cert_failures : string list;
+  conflicts : int;
   stats : Obs.Json.t option;
 }
 
@@ -40,11 +41,12 @@ let run ?obs ?budget ?(jobs = 1) ~max_solutions inc =
       (fun i _ -> i >= failures0)
       (Diagnosis.Incremental.cert_failures inc)
   in
+  let st_delta = delta st0 (Diagnosis.Incremental.stats inc) in
   let stats =
     Option.map
       (fun o ->
         Diagnosis.Telemetry.record_solver_stats o ~prefix:"incremental"
-          (delta st0 (Diagnosis.Incremental.stats inc));
+          st_delta;
         Obs.add o "incremental/solutions" (List.length solutions);
         Obs.add o "incremental/tests" (Diagnosis.Incremental.num_tests inc);
         Obs.add o "incremental/truncated" (if truncated then 1 else 0);
@@ -52,4 +54,11 @@ let run ?obs ?budget ?(jobs = 1) ~max_solutions inc =
         Obs.to_json ~times:false o)
       obs
   in
-  { solutions; truncated; cert_checks; cert_failures; stats }
+  {
+    solutions;
+    truncated;
+    cert_checks;
+    cert_failures;
+    conflicts = st_delta.Sat.Solver.conflicts;
+    stats;
+  }

@@ -10,6 +10,11 @@ type outcome = {
   truncated : bool;    (** enumeration cut short by the budget *)
   cert_checks : int;   (** solver answers verified {e by this request} *)
   cert_failures : string list;  (** this request's verification failures *)
+  conflicts : int;
+      (** this request's solver-conflict delta (0 under the [jobs > 1]
+          portfolio, which bypasses the live solver) — always computed,
+          with or without [obs]; the server feeds it into its
+          per-request effort sketch *)
   stats : Obs.Json.t option;
       (** with [obs]: the request's deterministic stats block —
           [Obs.to_json ~times:false] of the registry after recording

@@ -19,6 +19,8 @@ type request =
   | Diagnose of diagnose
   | Batch of { id : J.t option; requests : diagnose list }
   | Stats of { id : J.t option }
+  | Metrics of { id : J.t option; times : bool }
+  | Health of { id : J.t option }
   | Shutdown of { id : J.t option }
 
 exception Framing of string
@@ -132,6 +134,9 @@ let request_of_json j =
       | Some _ -> bad {|field "requests" must be an array|}
       | None -> bad {|batch request needs a "requests" field|})
   | Some (J.String "stats") -> Stats { id }
+  | Some (J.String "metrics") ->
+      Metrics { id; times = bool_field ~default:true j "times" }
+  | Some (J.String "health") -> Health { id }
   | Some (J.String "shutdown") -> Shutdown { id }
   | Some (J.String op) -> bad "unknown op %S" op
   | Some _ -> bad {|field "op" must be a string|}

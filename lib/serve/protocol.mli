@@ -44,7 +44,18 @@ type request =
       (** Independent diagnose requests scheduled across the domain
           pool.  Only diagnose requests may appear in a batch. *)
   | Stats of { id : Obs.Json.t option }
-      (** Server-level counters (served, warm hits, cache sizes). *)
+      (** Server-level counters (served, warm hits, cache hit/miss/
+          eviction counts, cache sizes). *)
+  | Metrics of { id : Obs.Json.t option; times : bool }
+      (** Prometheus-style text exposition of the server's counters,
+          gauges, cache ratios and latency-sketch quantiles.  With
+          ["times": false] only the deterministic families are emitted
+          (logical-tick/count data — cram-pinnable); the default
+          [true] adds the wall-clock latency/queue-wait/GC summaries
+          and rolling requests-per-second gauges. *)
+  | Health of { id : Obs.Json.t option }
+      (** Readiness/liveness plus cache occupancy and the in-flight
+          count — fully deterministic. *)
   | Shutdown of { id : Obs.Json.t option }
 
 exception Framing of string

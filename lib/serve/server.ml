@@ -32,21 +32,90 @@ type t = {
   mutable warm_hits : int;
   mutable cold_misses : int;
   mutable evictions : int;
+  mutable errors : int;
+  (* observability: [mobs] holds the session's cache counters and (when
+     [tracing]) the stitched cross-domain trace; mutated only on the
+     main domain *)
+  mobs : Obs.t;
+  tracing : bool;
+  slow_ms : int option;
+  log : Obs.Log.l;
+  mutable next_trace : int;  (* trace ids, assigned at decode order *)
+  mutable rate_clock : int;  (* monotone whole-second clock for rates *)
+  lat_cold : Obs.Sketch.s;
+  lat_warm : Obs.Sketch.s;
+  queue_cold : Obs.Sketch.s;
+  queue_warm : Obs.Sketch.s;
+  gc_alloc : Obs.Sketch.s;
+  req_conflicts : Obs.Sketch.s;
+  req_events : Obs.Sketch.s;
+  req_rate : Obs.Rolling.r;
+  err_rate : Obs.Rolling.r;
 }
 
-let create ?(circuit_capacity = 8) ?(context_capacity = 16) ~jobs resolve =
+let rate_window = 60
+
+let create ?(circuit_capacity = 8) ?(context_capacity = 16) ?slow_ms ?log
+    ?(trace = false) ~jobs resolve =
+  let mobs = Obs.create ~trace_capacity:(1 lsl 16) () in
   {
     resolve;
     jobs = Par.clamp_jobs jobs;
-    circuits = Cache.create ~capacity:circuit_capacity;
+    circuits =
+      Cache.create ~obs:mobs ~name:"cache/circuit" ~capacity:circuit_capacity
+        ();
     spec_keys = Hashtbl.create 16;
-    contexts = Cache.create ~capacity:context_capacity;
+    contexts =
+      Cache.create ~obs:mobs ~name:"cache/context" ~capacity:context_capacity
+        ();
     registries = [];
     served = 0;
     warm_hits = 0;
     cold_misses = 0;
     evictions = 0;
+    errors = 0;
+    mobs;
+    tracing = trace;
+    slow_ms;
+    log = (match log with Some l -> l | None -> Obs.Log.make ());
+    next_trace = 0;
+    rate_clock = 0;
+    lat_cold = Obs.Sketch.make ();
+    lat_warm = Obs.Sketch.make ();
+    queue_cold = Obs.Sketch.make ();
+    queue_warm = Obs.Sketch.make ();
+    gc_alloc = Obs.Sketch.make ();
+    req_conflicts = Obs.Sketch.make ();
+    req_events = Obs.Sketch.make ();
+    req_rate = Obs.Rolling.make ~window:rate_window;
+    err_rate = Obs.Rolling.make ~window:rate_window;
   }
+
+let obs t = t.mobs
+
+let slow_log t = t.log
+
+let sketches t =
+  [
+    ("latency_cold_us", t.lat_cold);
+    ("latency_warm_us", t.lat_warm);
+    ("queue_wait_cold_us", t.queue_cold);
+    ("queue_wait_warm_us", t.queue_warm);
+    ("gc_allocated_words", t.gc_alloc);
+    ("request_conflicts", t.req_conflicts);
+    ("request_events", t.req_events);
+  ]
+
+(* wall-second timestamps from concurrent workers are not monotone in
+   response order; clamp them onto one non-decreasing session clock *)
+let rate_now t wall =
+  let now = max t.rate_clock (int_of_float (Float.max 0.0 wall)) in
+  t.rate_clock <- now;
+  now
+
+let note_error t =
+  t.errors <- t.errors + 1;
+  Obs.Rolling.note t.err_rate ~now:(rate_now t (Obs.Clock.wall ()))
 
 (* ---------- circuit cache ---------- *)
 
@@ -70,7 +139,12 @@ let resolve_circuit t spec =
       match Cache.find t.circuits key with
       | Some c -> (key, c)
       | None -> insert ())
-  | None -> insert ()
+  | None ->
+      (* an unseen spec never consulted the cache proper; count the
+         miss so hit/miss totals cover every resolution *)
+      let r = insert () in
+      Obs.add t.mobs "cache/circuit/misses" 1;
+      r
 
 (* ---------- context cache ---------- *)
 
@@ -181,23 +255,48 @@ let diagnose_response ~(d : Protocol.diagnose) ~ckey ~warm ~faulty ~injected
   in
   Protocol.ok ?id:d.Protocol.id fields
 
-let empty_response ~(d : Protocol.diagnose) ~ckey ~warm ~faulty ~injected ~k =
-  let o =
-    {
-      Engine.solutions = [];
-      truncated = false;
-      cert_checks = 0;
-      cert_failures = [];
-      stats = None;
-    }
-  in
-  diagnose_response ~d ~ckey ~warm ~faulty ~injected ~ntests:0 ~k o
+let empty_outcome =
+  {
+    Engine.solutions = [];
+    truncated = false;
+    cert_checks = 0;
+    cert_failures = [];
+    conflicts = 0;
+    stats = None;
+  }
 
-(* serve one request from its context; returns the response and whether
-   the request was a warm hit *)
-let serve_one registry ctx (d : Protocol.diagnose) =
+let empty_response ~(d : Protocol.diagnose) ~ckey ~warm ~faulty ~injected ~k =
+  diagnose_response ~d ~ckey ~warm ~faulty ~injected ~ntests:0 ~k
+    empty_outcome
+
+(* what [serve_one] hands back to the scheduler, beyond the response:
+   the per-request effort and (when tracing) the captured engine events
+   the main domain stitches into the session trace *)
+type served_one = {
+  sr_resp : J.t;
+  sr_warm : bool;
+  sr_conflicts : int;
+  sr_nevents : int;
+  sr_events : Obs.event list;
+}
+
+(* serve one request from its context *)
+let serve_one ~tracing registry ctx (d : Protocol.diagnose) =
   Obs.reset registry;
-  let obs = if d.Protocol.stats then Some registry else None in
+  (* the registry records whenever the response wants a stats block OR
+     the session is tracing; the stats block itself is only emitted for
+     [stats:true], so responses are unchanged by tracing *)
+  let want_obs = d.Protocol.stats || tracing in
+  let obs = if want_obs then Some registry else None in
+  let conflicts = ref 0 in
+  let run_engine inc =
+    let o =
+      Engine.run ?obs ?budget:d.Protocol.budget
+        ~max_solutions:d.Protocol.max_solutions inc
+    in
+    conflicts := o.Engine.conflicts;
+    if d.Protocol.stats then o else { o with Engine.stats = None }
+  in
   let faulty = ensure_faulty ctx in
   let m = max 0 d.Protocol.tests in
   let run_cold () =
@@ -209,69 +308,74 @@ let serve_one registry ctx (d : Protocol.diagnose) =
         Diagnosis.Incremental.create ?obs ~certify:ctx.certify ~k:ctx.k faulty
           tests
       in
-      let o =
-        Engine.run ?obs ?budget:d.Protocol.budget
-          ~max_solutions:d.Protocol.max_solutions inc
-      in
+      let o = run_engine inc in
       (Some inc, [ o ], tests)
     end
   in
-  match ctx.inc with
-  | None -> (
-      (* cold: first solving use of this context *)
-      let inc, outcomes, tests = run_cold () in
-      if m >= ctx.wanted then begin
-        ctx.wanted <- m;
-        ctx.tests <- tests;
-        ctx.inc <- inc
-      end
-      else Option.iter Diagnosis.Incremental.retire inc;
-      match outcomes with
-      | [ o ] ->
-          ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
-              ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
-            false )
-      | _ ->
-          ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
-              ~injected:ctx.injected ~k:ctx.k,
-            false ))
-  | Some inc when m >= ctx.wanted ->
-      (* warm hit; grow the live instance first if more tests are asked
-         for (prefix stability makes the grown instance equal a cold
-         one at the same count) *)
-      if m > ctx.wanted then begin
-        let full =
-          gen_tests ~golden:ctx.golden ~faulty ~seed:ctx.seed ~wanted:m
-        in
-        let have = List.length ctx.tests in
-        let suffix = List.filteri (fun i _ -> i >= have) full in
-        Diagnosis.Incremental.attach inc obs;
-        if suffix <> [] then Diagnosis.Incremental.add_tests inc suffix;
-        ctx.tests <- full;
-        ctx.wanted <- m
-      end;
-      let o =
-        Engine.run ?obs ?budget:d.Protocol.budget
-          ~max_solutions:d.Protocol.max_solutions inc
-      in
-      ( diagnose_response ~d ~ckey:ctx.ckey ~warm:true ~faulty
-          ~injected:ctx.injected ~ntests:(List.length ctx.tests) ~k:ctx.k o,
-        true )
-  | Some _ -> (
-      (* shrinking the test count cannot reuse the live instance (tests
-         are clauses, not assumptions); serve a throwaway cold run and
-         leave the cached state untouched *)
-      let inc, outcomes, tests = run_cold () in
-      Option.iter Diagnosis.Incremental.retire inc;
-      match outcomes with
-      | [ o ] ->
-          ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
-              ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
-            false )
-      | _ ->
-          ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
-              ~injected:ctx.injected ~k:ctx.k,
-            false ))
+  let resp, warm =
+    match ctx.inc with
+    | None -> (
+        (* cold: first solving use of this context *)
+        let inc, outcomes, tests = run_cold () in
+        if m >= ctx.wanted then begin
+          ctx.wanted <- m;
+          ctx.tests <- tests;
+          ctx.inc <- inc
+        end
+        else Option.iter Diagnosis.Incremental.retire inc;
+        match outcomes with
+        | [ o ] ->
+            ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+                ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
+              false )
+        | _ ->
+            ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+                ~injected:ctx.injected ~k:ctx.k,
+              false ))
+    | Some inc when m >= ctx.wanted ->
+        (* warm hit; grow the live instance first if more tests are
+           asked for (prefix stability makes the grown instance equal a
+           cold one at the same count) *)
+        if m > ctx.wanted then begin
+          let full =
+            gen_tests ~golden:ctx.golden ~faulty ~seed:ctx.seed ~wanted:m
+          in
+          let have = List.length ctx.tests in
+          let suffix = List.filteri (fun i _ -> i >= have) full in
+          Diagnosis.Incremental.attach inc obs;
+          if suffix <> [] then Diagnosis.Incremental.add_tests inc suffix;
+          ctx.tests <- full;
+          ctx.wanted <- m
+        end;
+        let o = run_engine inc in
+        ( diagnose_response ~d ~ckey:ctx.ckey ~warm:true ~faulty
+            ~injected:ctx.injected ~ntests:(List.length ctx.tests) ~k:ctx.k o,
+          true )
+    | Some _ -> (
+        (* shrinking the test count cannot reuse the live instance
+           (tests are clauses, not assumptions); serve a throwaway cold
+           run and leave the cached state untouched *)
+        let inc, outcomes, tests = run_cold () in
+        Option.iter Diagnosis.Incremental.retire inc;
+        match outcomes with
+        | [ o ] ->
+            ( diagnose_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+                ~injected:ctx.injected ~ntests:(List.length tests) ~k:ctx.k o,
+              false )
+        | _ ->
+            ( empty_response ~d ~ckey:ctx.ckey ~warm:false ~faulty
+                ~injected:ctx.injected ~k:ctx.k,
+              false ))
+  in
+  {
+    sr_resp = resp;
+    sr_warm = warm;
+    sr_conflicts = !conflicts;
+    sr_nevents =
+      (if want_obs then Obs.Trace.emitted (Obs.trace registry) else 0);
+    sr_events =
+      (if tracing then Obs.Trace.events (Obs.trace registry) else []);
+  }
 
 (* ---------- batch scheduling ---------- *)
 
@@ -287,17 +391,128 @@ let take_registries t n =
   t.registries <- rest;
   rs
 
+(* per-request measurement produced on the worker, folded into the
+   session's sketches/counters/trace on the main domain *)
+type measure = {
+  m_idx : int;
+  m_resp : J.t;
+  m_warm : bool option;  (* [None] = the request failed *)
+  m_trace : int;
+  m_ckey : string;
+  m_enqueue : float;
+  m_dispatch : float;
+  m_finish : float;
+  m_gc_words : int;
+  m_conflicts : int;
+  m_nevents : int;
+  m_events : Obs.event list;
+}
+
+let gc_words (g : Gc.stat) =
+  g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
+
+let work_one ~tracing registry ctx (idx, d, trace_id, enqueue) =
+  let dispatch = Obs.Clock.wall () in
+  let g0 = gc_words (Gc.quick_stat ()) in
+  match serve_one ~tracing registry ctx d with
+  | s ->
+      let allocated = Float.max 0.0 (gc_words (Gc.quick_stat ()) -. g0) in
+      {
+        m_idx = idx;
+        m_resp = s.sr_resp;
+        m_warm = Some s.sr_warm;
+        m_trace = trace_id;
+        m_ckey = ctx.ckey;
+        m_enqueue = enqueue;
+        m_dispatch = dispatch;
+        m_finish = Obs.Clock.wall ();
+        m_gc_words = int_of_float allocated;
+        m_conflicts = s.sr_conflicts;
+        m_nevents = s.sr_nevents;
+        m_events = s.sr_events;
+      }
+  | exception e ->
+      {
+        m_idx = idx;
+        m_resp = Protocol.error ?id:d.Protocol.id (Printexc.to_string e);
+        m_warm = None;
+        m_trace = trace_id;
+        m_ckey = ctx.ckey;
+        m_enqueue = enqueue;
+        m_dispatch = dispatch;
+        m_finish = Obs.Clock.wall ();
+        m_gc_words = 0;
+        m_conflicts = 0;
+        m_nevents = 0;
+        m_events = [];
+      }
+
+let micros dt = int_of_float (Float.max 0.0 dt *. 1e6)
+
+(* fold one request's measurement into the session state; [w] is the
+   worker the request ran on (its stitched spans land on tid [w + 1]) *)
+let account t w m =
+  t.served <- t.served + 1;
+  let latency_us = micros (m.m_finish -. m.m_enqueue) in
+  let queue_us = micros (m.m_dispatch -. m.m_enqueue) in
+  match m.m_warm with
+  | None -> note_error t
+  | Some warm ->
+      if warm then t.warm_hits <- t.warm_hits + 1
+      else t.cold_misses <- t.cold_misses + 1;
+      Obs.Sketch.observe (if warm then t.lat_warm else t.lat_cold) latency_us;
+      Obs.Sketch.observe (if warm then t.queue_warm else t.queue_cold)
+        queue_us;
+      Obs.Sketch.observe t.gc_alloc m.m_gc_words;
+      Obs.Sketch.observe t.req_conflicts m.m_conflicts;
+      Obs.Sketch.observe t.req_events m.m_nevents;
+      Obs.Rolling.note t.req_rate ~now:(rate_now t m.m_finish);
+      (match t.slow_ms with
+      | Some ms when latency_us >= ms * 1000 ->
+          Obs.add t.mobs "serve/slow" 1;
+          Obs.Log.log t.log ~level:Obs.Log.Warn
+            ~req:(string_of_int m.m_trace)
+            ~payload:
+              (J.Obj
+                 [
+                   ("context", J.String m.m_ckey);
+                   ("warm", J.Bool warm);
+                   ("latency_us", J.Int latency_us);
+                   ("queue_wait_us", J.Int queue_us);
+                   ("conflicts", J.Int m.m_conflicts);
+                   ("events", J.Int m.m_nevents);
+                 ])
+            "serve/slow"
+      | _ -> ());
+      if t.tracing then begin
+        let domain = w + 1 in
+        let inj ?payload ~wall name phase =
+          Obs.inject t.mobs ?payload ~domain ~wall name phase
+        in
+        inj ~payload:m.m_trace ~wall:m.m_enqueue "serve/request" Obs.Begin;
+        inj ~payload:m.m_trace ~wall:m.m_enqueue "serve/queue" Obs.Begin;
+        inj ~payload:m.m_trace ~wall:m.m_dispatch "serve/queue" Obs.End;
+        Obs.absorb ~into:t.mobs ~domain m.m_events;
+        inj ~payload:m.m_trace ~wall:m.m_finish "serve/request" Obs.End
+      end
+
 (* Serve a list of diagnose requests, returning responses in request
-   order.  Prepare (cache get-or-create) runs on the main domain in
-   arrival order; requests are then grouped by context and the groups
-   run on the domain pool, each group sequentially on one worker. *)
+   order.  Prepare (cache get-or-create, trace-id assignment) runs on
+   the main domain in arrival order; requests are then grouped by
+   context and the groups run on the domain pool, each group
+   sequentially on one worker.  Workers only measure — all accounting
+   and trace stitching folds back on the main domain, in request
+   order. *)
 let run_batch t (requests : Protocol.diagnose list) =
   let items = List.mapi (fun idx d -> (idx, d)) requests in
   let prepared =
     List.map
       (fun (idx, d) ->
+        let trace_id = t.next_trace in
+        t.next_trace <- trace_id + 1;
+        let enqueue = Obs.Clock.wall () in
         match context_for t d with
-        | ctx -> Either.Right (idx, d, ctx)
+        | ctx -> Either.Right (idx, d, ctx, trace_id, enqueue)
         | exception Failure msg ->
             Either.Left (idx, Protocol.error ?id:d.Protocol.id msg))
       items
@@ -307,11 +522,12 @@ let run_batch t (requests : Protocol.diagnose list) =
   List.iter
     (function
       | Either.Left _ -> ()
-      | Either.Right (idx, d, ctx) -> (
+      | Either.Right (idx, d, ctx, trace_id, enqueue) -> (
+          let item = (idx, d, trace_id, enqueue) in
           match Hashtbl.find_opt tbl ctx.ckey with
-          | Some cell -> cell := (idx, d) :: !cell
+          | Some cell -> cell := item :: !cell
           | None ->
-              let cell = ref [ (idx, d) ] in
+              let cell = ref [ item ] in
               Hashtbl.add tbl ctx.ckey cell;
               order := (ctx, cell) :: !order))
     prepared;
@@ -320,42 +536,45 @@ let run_batch t (requests : Protocol.diagnose list) =
   in
   let registries = take_registries t (List.length groups) in
   let work = List.combine groups registries in
+  let tracing = t.tracing in
   let results =
     Par.map ~jobs:t.jobs
       (fun ((ctx, reqs), registry) ->
-        List.map
-          (fun (idx, d) ->
-            match serve_one registry ctx d with
-            | resp, warm -> (idx, resp, Some warm)
-            | exception e ->
-                ( idx,
-                  Protocol.error ?id:d.Protocol.id (Printexc.to_string e),
-                  None ))
-          reqs)
+        List.map (work_one ~tracing registry ctx) reqs)
       work
   in
   t.registries <- registries @ t.registries;
-  let answered =
+  (* group gi ran on worker [Par.worker_of ~jobs gi] (fixed round-robin
+     sharding), which names the tid track its spans belong to *)
+  let measured =
+    List.concat
+      (List.mapi
+         (fun gi ms ->
+           List.map (fun m -> (Par.worker_of ~jobs:t.jobs gi, m)) ms)
+         results)
+    |> List.sort (fun (_, a) (_, b) -> compare a.m_idx b.m_idx)
+  in
+  List.iter (fun (w, m) -> account t w m) measured;
+  let prepare_errors =
     List.filter_map
-      (function Either.Left (idx, resp) -> Some (idx, resp, None) | _ -> None)
+      (function Either.Left (idx, resp) -> Some (idx, resp) | _ -> None)
       prepared
-    @ List.concat results
   in
   List.iter
-    (fun (_, _, warm) ->
+    (fun _ ->
       t.served <- t.served + 1;
-      match warm with
-      | Some true -> t.warm_hits <- t.warm_hits + 1
-      | Some false -> t.cold_misses <- t.cold_misses + 1
-      | None -> ())
-    answered;
+      note_error t)
+    prepare_errors;
   let evicted = Cache.trim t.contexts in
   List.iter (fun (_, ctx) -> retire_context ctx) evicted;
   t.evictions <- t.evictions + List.length evicted;
-  List.sort (fun (i, _, _) (j, _, _) -> compare i j) answered
-  |> List.map (fun (_, resp, _) -> resp)
+  prepare_errors @ List.map (fun (_, m) -> (m.m_idx, m.m_resp)) measured
+  |> List.sort (fun (i, _) (j, _) -> compare i j)
+  |> List.map snd
 
 (* ---------- request dispatch ---------- *)
+
+let mval t name = Obs.value (Obs.counter t.mobs name)
 
 let stats_response t id =
   Protocol.ok ?id
@@ -364,10 +583,160 @@ let stats_response t id =
       ("served", J.Int t.served);
       ("warm_hits", J.Int t.warm_hits);
       ("cold_misses", J.Int t.cold_misses);
+      ("errors", J.Int t.errors);
       ("evictions", J.Int t.evictions);
       ("circuits", J.Int (Cache.length t.circuits));
       ("contexts", J.Int (Cache.length t.contexts));
+      ("circuit_hits", J.Int (mval t "cache/circuit/hits"));
+      ("circuit_misses", J.Int (mval t "cache/circuit/misses"));
+      ("circuit_evictions", J.Int (mval t "cache/circuit/evictions"));
+      ("context_hits", J.Int (mval t "cache/context/hits"));
+      ("context_misses", J.Int (mval t "cache/context/misses"));
+      ("context_evictions", J.Int (mval t "cache/context/evictions"));
     ]
+
+let health_response t id =
+  Protocol.ok ?id
+    [
+      ("op", J.String "health");
+      ("ready", J.Bool true);
+      ("live", J.Bool true);
+      (* ops are answered between frames, so nothing is in flight while
+         a health frame is being served *)
+      ("in_flight", J.Int 0);
+      ("served", J.Int t.served);
+      ("errors", J.Int t.errors);
+      ("circuits", J.Int (Cache.length t.circuits));
+      ("circuit_capacity", J.Int (Cache.capacity t.circuits));
+      ("contexts", J.Int (Cache.length t.contexts));
+      ("context_capacity", J.Int (Cache.capacity t.contexts));
+    ]
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let exposition t ~times =
+  let b = Buffer.create 2048 in
+  let header name help typ =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n" name help name typ
+  in
+  let label_string = function
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+        ^ "}"
+  in
+  let irow name ls v =
+    Printf.bprintf b "%s%s %d\n" name (label_string ls) v
+  in
+  let frow name ls v =
+    Printf.bprintf b "%s%s %g\n" name (label_string ls) v
+  in
+  let counter name help v =
+    header name help "counter";
+    irow name [] v
+  in
+  let summary_rows name ls s =
+    List.iter
+      (fun (q, qs) ->
+        frow name (ls @ [ ("quantile", qs) ]) (Obs.Sketch.quantile s q))
+      [ (0.5, "0.5"); (0.9, "0.9"); (0.99, "0.99") ];
+    irow (name ^ "_sum") ls (Obs.Sketch.sum s);
+    irow (name ^ "_count") ls (Obs.Sketch.count s)
+  in
+  let summary name help s =
+    header name help "summary";
+    summary_rows name [] s
+  in
+  let cache_gauge name help circuit_v context_v =
+    header name help "gauge";
+    irow name [ ("cache", "circuit") ] circuit_v;
+    irow name [ ("cache", "context") ] context_v
+  in
+  counter "diagnose_requests_total" "Diagnose requests served" t.served;
+  counter "diagnose_warm_hits_total" "Requests served from a warm context"
+    t.warm_hits;
+  counter "diagnose_cold_misses_total" "Requests that built a cold context"
+    t.cold_misses;
+  counter "diagnose_errors_total" "Requests answered with an error" t.errors;
+  counter "diagnose_slow_requests_total"
+    "Requests at or above the --slow-ms threshold" (mval t "serve/slow");
+  header "diagnose_cache_hits_total" "LRU cache hits" "counter";
+  irow "diagnose_cache_hits_total"
+    [ ("cache", "circuit") ]
+    (mval t "cache/circuit/hits");
+  irow "diagnose_cache_hits_total"
+    [ ("cache", "context") ]
+    (mval t "cache/context/hits");
+  header "diagnose_cache_misses_total" "LRU cache misses" "counter";
+  irow "diagnose_cache_misses_total"
+    [ ("cache", "circuit") ]
+    (mval t "cache/circuit/misses");
+  irow "diagnose_cache_misses_total"
+    [ ("cache", "context") ]
+    (mval t "cache/context/misses");
+  header "diagnose_cache_evictions_total" "LRU cache evictions" "counter";
+  irow "diagnose_cache_evictions_total"
+    [ ("cache", "circuit") ]
+    (mval t "cache/circuit/evictions");
+  irow "diagnose_cache_evictions_total"
+    [ ("cache", "context") ]
+    (mval t "cache/context/evictions");
+  cache_gauge "diagnose_cache_entries" "Entries currently cached"
+    (Cache.length t.circuits) (Cache.length t.contexts);
+  cache_gauge "diagnose_cache_capacity" "Configured cache capacity"
+    (Cache.capacity t.circuits) (Cache.capacity t.contexts);
+  let ratio pfx =
+    let hits = mval t (pfx ^ "/hits") and misses = mval t (pfx ^ "/misses") in
+    let total = hits + misses in
+    if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+  in
+  header "diagnose_cache_hit_ratio" "hits / (hits + misses); 0 when unused"
+    "gauge";
+  frow "diagnose_cache_hit_ratio" [ ("cache", "circuit") ]
+    (ratio "cache/circuit");
+  frow "diagnose_cache_hit_ratio" [ ("cache", "context") ]
+    (ratio "cache/context");
+  header "diagnose_in_flight"
+    "Requests currently executing (0 between frames: ops are serialized)"
+    "gauge";
+  irow "diagnose_in_flight" [] 0;
+  summary "diagnose_request_conflicts"
+    "Per-request solver conflict deltas (logical effort)" t.req_conflicts;
+  summary "diagnose_request_events"
+    "Per-request trace events emitted (logical effort)" t.req_events;
+  if times then begin
+    header "diagnose_request_latency_microseconds"
+      "Wall latency enqueue->response per request" "summary";
+    summary_rows "diagnose_request_latency_microseconds"
+      [ ("warm", "false") ]
+      t.lat_cold;
+    summary_rows "diagnose_request_latency_microseconds"
+      [ ("warm", "true") ]
+      t.lat_warm;
+    header "diagnose_queue_wait_microseconds"
+      "Wall time enqueue->dispatch per request" "summary";
+    summary_rows "diagnose_queue_wait_microseconds"
+      [ ("warm", "false") ]
+      t.queue_cold;
+    summary_rows "diagnose_queue_wait_microseconds"
+      [ ("warm", "true") ]
+      t.queue_warm;
+    summary "diagnose_gc_allocated_words"
+      "GC words allocated per request (Gc.quick_stat delta)" t.gc_alloc;
+    header "diagnose_requests_per_second"
+      (Printf.sprintf "Requests over the last %ds window" rate_window)
+      "gauge";
+    frow "diagnose_requests_per_second" []
+      (Obs.Rolling.rate t.req_rate ~now:t.rate_clock);
+    header "diagnose_errors_per_second"
+      (Printf.sprintf "Errors over the last %ds window" rate_window)
+      "gauge";
+    frow "diagnose_errors_per_second" []
+      (Obs.Rolling.rate t.err_rate ~now:t.rate_clock)
+  end;
+  Buffer.contents b
 
 let handle t (req : Protocol.request) =
   match req with
@@ -383,7 +752,9 @@ let handle t (req : Protocol.request) =
                 ("outputs", J.Int (Netlist.Circuit.num_outputs c));
               ],
             true )
-      | exception Failure msg -> (Protocol.error ?id msg, true))
+      | exception Failure msg ->
+          note_error t;
+          (Protocol.error ?id msg, true))
   | Protocol.Diagnose d -> (
       match run_batch t [ d ] with
       | [ resp ] -> (resp, true)
@@ -394,6 +765,14 @@ let handle t (req : Protocol.request) =
           [ ("op", J.String "batch"); ("responses", J.Arr resps) ],
         true )
   | Protocol.Stats { id } -> (stats_response t id, true)
+  | Protocol.Metrics { id; times } ->
+      ( Protocol.ok ?id
+          [
+            ("op", J.String "metrics");
+            ("exposition", J.String (exposition t ~times));
+          ],
+        true )
+  | Protocol.Health { id } -> (health_response t id, true)
   | Protocol.Shutdown { id } ->
       (Protocol.ok ?id [ ("op", J.String "shutdown") ], false)
 
@@ -410,6 +789,7 @@ let session t ic oc =
     | Some payload -> (
         match Protocol.parse payload with
         | Error msg ->
+            note_error t;
             write (Protocol.error msg);
             loop ()
         | Ok req ->
@@ -421,6 +801,7 @@ let session t ic oc =
     match loop () with
     | code -> code
     | exception Protocol.Framing msg ->
+        note_error t;
         write (Protocol.error ("framing: " ^ msg));
         2
   in

@@ -222,8 +222,10 @@ deterministic, so whole frames (lengths included) are pinned:
   $ req2='{"id":2,"op":"diagnose","circuit":"rca4","faulty":"faulty.bench","k":1,"tests":8,"stats":true}'
   $ req3='{"id":3,"op":"diagnose","circuit":"nosuch.bench"}'
   $ req4='{"id":4,"op":"stats"}'
-  $ req5='{"id":5,"op":"shutdown"}'
-  $ for r in "$req1" "$req2" "$req3" "$req4" "$req5"; do printf '%d\n%s\n' "${#r}" "$r"; done | diagnose serve > serve_out.txt
+  $ req5='{"id":5,"op":"metrics","times":false}'
+  $ req6='{"id":6,"op":"health"}'
+  $ req7='{"id":7,"op":"shutdown"}'
+  $ for r in "$req1" "$req2" "$req3" "$req4" "$req5" "$req6" "$req7"; do printf '%d\n%s\n' "${#r}" "$r"; done | diagnose serve > serve_out.txt
   $ cat serve_out.txt
   1086
   {"id":1,"ok":true,"op":"diagnose","context":"3a4ac3cf0415019076958f833a90d9f4","warm":false,"tests":8,"k":1,"solutions":[["n19"],["n18"],["n20"]],"truncated":false,"stats":{"counters":{"incremental/cert_checks":0,"incremental/conflicts":4,"incremental/decisions":474,"incremental/deleted":0,"incremental/eliminated":0,"incremental/learned":3,"incremental/learned_total":4,"incremental/propagations":1969,"incremental/restarts":0,"incremental/solutions":3,"incremental/strengthened":0,"incremental/subsumed":0,"incremental/tests":8,"incremental/truncated":0,"incremental/vivified":0},"histograms":{"incremental/backtrack":{"count":4,"buckets":[[1,1,3],[4,7,1]]},"incremental/conflict_gap":{"count":4,"buckets":[[128,255,1],[256,511,2],[1024,2047,1]]},"incremental/learnt_len":{"count":4,"buckets":[[1,1,1],[2,3,2],[4,7,1]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"incremental/cnf","ph":"B","arg":0},{"tick":1,"name":"incremental/cnf","ph":"E","arg":0},{"tick":2,"name":"incremental/solve","ph":"B","arg":0},{"tick":3,"name":"incremental/solve","ph":"E","arg":3}]}}}
@@ -231,16 +233,70 @@ deterministic, so whole frames (lengths included) are pinned:
   {"id":2,"ok":true,"op":"diagnose","context":"3a4ac3cf0415019076958f833a90d9f4","warm":true,"tests":8,"k":1,"solutions":[["n19"],["n18"],["n20"]],"truncated":false,"stats":{"counters":{"incremental/cert_checks":0,"incremental/conflicts":3,"incremental/decisions":462,"incremental/deleted":0,"incremental/eliminated":0,"incremental/learned":6,"incremental/learned_total":3,"incremental/propagations":1615,"incremental/restarts":0,"incremental/solutions":3,"incremental/strengthened":0,"incremental/subsumed":0,"incremental/tests":8,"incremental/truncated":0,"incremental/vivified":0},"histograms":{"incremental/backtrack":{"count":3,"buckets":[[1,1,3]]},"incremental/conflict_gap":{"count":3,"buckets":[[128,255,1],[256,511,1],[512,1023,1]]},"incremental/learnt_len":{"count":3,"buckets":[[2,3,3]]}},"events":{"emitted":2,"dropped":0,"items":[{"tick":0,"name":"incremental/solve","ph":"B","arg":0},{"tick":1,"name":"incremental/solve","ph":"E","arg":3}]}}}
   86
   {"id":3,"ok":false,"error":"unknown circuit \"nosuch.bench\" (not a file or builtin)"}
-  112
-  {"id":4,"ok":true,"op":"stats","served":3,"warm_hits":1,"cold_misses":1,"evictions":0,"circuits":2,"contexts":1}
+  239
+  {"id":4,"ok":true,"op":"stats","served":3,"warm_hits":1,"cold_misses":1,"errors":1,"evictions":0,"circuits":2,"contexts":1,"circuit_hits":2,"circuit_misses":2,"circuit_evictions":0,"context_hits":1,"context_misses":1,"context_evictions":0}
+  2731
+  {"id":5,"ok":true,"op":"metrics","exposition":"# HELP diagnose_requests_total Diagnose requests served\n# TYPE diagnose_requests_total counter\ndiagnose_requests_total 3\n# HELP diagnose_warm_hits_total Requests served from a warm context\n# TYPE diagnose_warm_hits_total counter\ndiagnose_warm_hits_total 1\n# HELP diagnose_cold_misses_total Requests that built a cold context\n# TYPE diagnose_cold_misses_total counter\ndiagnose_cold_misses_total 1\n# HELP diagnose_errors_total Requests answered with an error\n# TYPE diagnose_errors_total counter\ndiagnose_errors_total 1\n# HELP diagnose_slow_requests_total Requests at or above the --slow-ms threshold\n# TYPE diagnose_slow_requests_total counter\ndiagnose_slow_requests_total 0\n# HELP diagnose_cache_hits_total LRU cache hits\n# TYPE diagnose_cache_hits_total counter\ndiagnose_cache_hits_total{cache=\"circuit\"} 2\ndiagnose_cache_hits_total{cache=\"context\"} 1\n# HELP diagnose_cache_misses_total LRU cache misses\n# TYPE diagnose_cache_misses_total counter\ndiagnose_cache_misses_total{cache=\"circuit\"} 2\ndiagnose_cache_misses_total{cache=\"context\"} 1\n# HELP diagnose_cache_evictions_total LRU cache evictions\n# TYPE diagnose_cache_evictions_total counter\ndiagnose_cache_evictions_total{cache=\"circuit\"} 0\ndiagnose_cache_evictions_total{cache=\"context\"} 0\n# HELP diagnose_cache_entries Entries currently cached\n# TYPE diagnose_cache_entries gauge\ndiagnose_cache_entries{cache=\"circuit\"} 2\ndiagnose_cache_entries{cache=\"context\"} 1\n# HELP diagnose_cache_capacity Configured cache capacity\n# TYPE diagnose_cache_capacity gauge\ndiagnose_cache_capacity{cache=\"circuit\"} 8\ndiagnose_cache_capacity{cache=\"context\"} 16\n# HELP diagnose_cache_hit_ratio hits / (hits + misses); 0 when unused\n# TYPE diagnose_cache_hit_ratio gauge\ndiagnose_cache_hit_ratio{cache=\"circuit\"} 0.5\ndiagnose_cache_hit_ratio{cache=\"context\"} 0.5\n# HELP diagnose_in_flight Requests currently executing (0 between frames: ops are serialized)\n# TYPE diagnose_in_flight gauge\ndiagnose_in_flight 0\n# HELP diagnose_request_conflicts Per-request solver conflict deltas (logical effort)\n# TYPE diagnose_request_conflicts summary\ndiagnose_request_conflicts{quantile=\"0.5\"} 4\ndiagnose_request_conflicts{quantile=\"0.9\"} 4\ndiagnose_request_conflicts{quantile=\"0.99\"} 4\ndiagnose_request_conflicts_sum 7\ndiagnose_request_conflicts_count 2\n# HELP diagnose_request_events Per-request trace events emitted (logical effort)\n# TYPE diagnose_request_events summary\ndiagnose_request_events{quantile=\"0.5\"} 4\ndiagnose_request_events{quantile=\"0.9\"} 4\ndiagnose_request_events{quantile=\"0.99\"} 4\ndiagnose_request_events_sum 6\ndiagnose_request_events_count 2\n"}
+  162
+  {"id":6,"ok":true,"op":"health","ready":true,"live":true,"in_flight":0,"served":3,"errors":1,"circuits":2,"circuit_capacity":8,"contexts":1,"context_capacity":16}
   34
-  {"id":5,"ok":true,"op":"shutdown"}
+  {"id":7,"ok":true,"op":"shutdown"}
 
 A served cold response embeds, byte for byte, the stats block of the
 equivalent one-shot run:
 
   $ grep -cF "$(cat one_shot.json)" serve_out.txt
   1
+
+A two-domain batch with --trace stitches every worker's spans into one
+session trace written on shutdown; each request contributes a
+serve/request span enclosing a serve/queue wait and the engine's own
+cnf/solve spans, and the two contexts land on distinct tid tracks (one
+per worker domain), so the file opens in Perfetto as a per-worker
+timeline:
+
+  $ breq='{"id":10,"op":"batch","requests":[{"circuit":"rca4","faulty":"faulty.bench","k":1,"tests":4},{"circuit":"rca8","errors":1,"seed":7,"k":1,"tests":4}]}'
+  $ sreq='{"id":11,"op":"shutdown"}'
+  $ for r in "$breq" "$sreq"; do printf '%d\n%s\n' "${#r}" "$r"; done | diagnose serve --jobs 2 --trace trace.json > batch_out.txt
+  wrote trace.json (16 trace events)
+  $ grep -o '"tid":2' trace.json | wc -l
+  8
+  $ grep -o '"tid":3' trace.json | wc -l
+  8
+  $ grep -o '"name":"serve/request"' trace.json | wc -l
+  4
+  $ grep -o '"name":"serve/queue"' trace.json | wc -l
+  4
+  $ grep -o '"name":"incremental/solve"' trace.json | wc -l
+  4
+
+report --diff compares two saved stats blocks side by side:
+
+  $ diagnose run rca4 --faulty faulty.bench --method incremental -k 1 -m 4 --stats 2> /dev/null | tail -1 > one_shot_m4.json
+  $ diagnose report one_shot.json --diff one_shot_m4.json
+  == counters: one_shot.json vs one_shot_m4.json ==
+    incremental/cert_checks                               0            0  =
+    incremental/conflicts                                 4            3  -25.0%
+    incremental/decisions                               474          322  -32.1%
+    incremental/deleted                                   0            0  =
+    incremental/eliminated                                0            0  =
+    incremental/learned                                   3            1  -66.7%
+    incremental/learned_total                             4            3  -25.0%
+    incremental/propagations                           1969         1280  -35.0%
+    incremental/restarts                                  0            0  =
+    incremental/solutions                                 3            4  +33.3%
+    incremental/strengthened                              0            0  =
+    incremental/subsumed                                  0            0  =
+    incremental/tests                                     8            4  -50.0%
+    incremental/truncated                                 0            0  =
+    incremental/vivified                                  0            0  =
+  == histogram observations: one_shot.json vs one_shot_m4.json ==
+    incremental/backtrack                                 4            3  -25.0%
+    incremental/conflict_gap                              4            3  -25.0%
+    incremental/learnt_len                                4            3  -25.0%
+  == events: one_shot.json vs one_shot_m4.json ==
+    dropped                                               0            0  =
+    emitted                                               4            4  =
 
 Invalid input exits 2 with a one-line diagnostic, never a backtrace:
 

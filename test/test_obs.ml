@@ -163,6 +163,154 @@ let prop_histogram_merge_concat =
         (Obs.Histogram.merge (hist_of xs) (hist_of ys))
         (hist_of (xs @ ys)))
 
+(* ---------- quantile sketch ---------- *)
+
+let sketch_of xs =
+  let s = Obs.Sketch.make () in
+  List.iter (Obs.Sketch.observe s) xs;
+  s
+
+let test_sketch_basics () =
+  let s = Obs.Sketch.make () in
+  Alcotest.(check int) "empty count" 0 (Obs.Sketch.count s);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Obs.Sketch.quantile s 0.5);
+  Alcotest.(check int) "empty min" 0 (Obs.Sketch.min_value s);
+  List.iter (Obs.Sketch.observe s) [ 5; 1; 9; 9 ];
+  Alcotest.(check int) "count" 4 (Obs.Sketch.count s);
+  Alcotest.(check int) "sum" 24 (Obs.Sketch.sum s);
+  Alcotest.(check int) "min" 1 (Obs.Sketch.min_value s);
+  Alcotest.(check int) "max" 9 (Obs.Sketch.max_value s);
+  Alcotest.(check (float 0.0)) "q=0 is the min" 1.0 (Obs.Sketch.quantile s 0.0);
+  Alcotest.(check (float 0.0)) "q=1 is the max" 9.0 (Obs.Sketch.quantile s 1.0);
+  Alcotest.(check bool) "negative observation rejected" true
+    (match Obs.Sketch.observe s (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* a single value is every quantile *)
+  let one = sketch_of [ 42 ] in
+  Alcotest.(check (float 0.0)) "singleton p50" 42.0
+    (Obs.Sketch.quantile one 0.5)
+
+(* the accuracy contract: the interpolated estimate lands within one
+   bucket width of the exact sorted-array quantile (the sketch walks to
+   the same bucket that holds the exact rank-statistic, and both the
+   estimate and the exact value lie inside it) *)
+let exact_quantile xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  a.(max 0 (rank - 1))
+
+let prop_sketch_oracle =
+  QCheck.Test.make ~count:500 ~name:"sketch quantile within one bucket of exact"
+    QCheck.(pair (list_of_size Gen.(int_range 1 200) (int_bound 100000))
+              (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let s = sketch_of xs in
+      let exact = exact_quantile xs q in
+      let lo, hi = Obs.Histogram.bounds (Obs.Histogram.bucket_of exact) in
+      let width = float_of_int (hi - lo + 1) in
+      Float.abs (Obs.Sketch.quantile s q -. float_of_int exact) <= width)
+
+let prop_sketch_merge_comm =
+  QCheck.Test.make ~count:300 ~name:"sketch merge commutes"
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      let a = sketch_of xs and b = sketch_of ys in
+      Obs.Sketch.equal (Obs.Sketch.merge a b) (Obs.Sketch.merge b a))
+
+let prop_sketch_merge_assoc =
+  QCheck.Test.make ~count:300 ~name:"sketch merge associates"
+    QCheck.(triple small_values small_values small_values)
+    (fun (xs, ys, zs) ->
+      let a = sketch_of xs and b = sketch_of ys and c = sketch_of zs in
+      Obs.Sketch.equal
+        (Obs.Sketch.merge (Obs.Sketch.merge a b) c)
+        (Obs.Sketch.merge a (Obs.Sketch.merge b c)))
+
+let prop_sketch_merge_concat =
+  QCheck.Test.make ~count:300
+    ~name:"sketch merge (of xs) (of ys) = of (xs @ ys)"
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      Obs.Sketch.equal
+        (Obs.Sketch.merge (sketch_of xs) (sketch_of ys))
+        (sketch_of (xs @ ys)))
+
+let test_sketch_json () =
+  let j = Obs.Sketch.to_json (sketch_of [ 1; 2; 3 ]) in
+  Alcotest.(check string) "deterministic rendering"
+    {|{"count":3,"sum":6,"min":1,"max":3,"p50":2.5,"p90":3,"p99":3,"buckets":[[1,1,1],[2,3,2]]}|}
+    (J.to_string j)
+
+(* ---------- rolling-window counters ---------- *)
+
+let test_rolling () =
+  let r = Obs.Rolling.make ~window:3 in
+  Alcotest.(check int) "window" 3 (Obs.Rolling.window r);
+  Obs.Rolling.note r ~now:0;
+  Obs.Rolling.note ~by:2 r ~now:1;
+  Obs.Rolling.note r ~now:2;
+  Alcotest.(check int) "all inside the window" 4 (Obs.Rolling.in_window r ~now:2);
+  Alcotest.(check (float 1e-9)) "rate" (4.0 /. 3.0) (Obs.Rolling.rate r ~now:2);
+  (* at now = 3 the note at t=0 ages out: window is (now - w, now] *)
+  Alcotest.(check int) "oldest aged out" 3 (Obs.Rolling.in_window r ~now:3);
+  (* a slot is reclaimed when its clock time comes around again *)
+  Obs.Rolling.note ~by:5 r ~now:6;
+  Alcotest.(check int) "stale slots reclaimed" 5 (Obs.Rolling.in_window r ~now:6);
+  Alcotest.(check int) "lifetime total" 9 (Obs.Rolling.total r);
+  Alcotest.(check bool) "backwards clock rejected" true
+    (match Obs.Rolling.note r ~now:2 with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "window >= 1 enforced" true
+    (match Obs.Rolling.make ~window:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- structured log ---------- *)
+
+let test_log_ring () =
+  let l = Obs.Log.make ~capacity:2 () in
+  Obs.Log.log l ~level:Obs.Log.Info "first";
+  Obs.Log.log l ~level:Obs.Log.Warn ~req:"7" "second";
+  Obs.Log.log l ~level:Obs.Log.Error
+    ~payload:(J.Obj [ ("latency_us", J.Int 9) ])
+    "third";
+  Alcotest.(check int) "emitted" 3 (Obs.Log.emitted l);
+  Alcotest.(check int) "dropped" 1 (Obs.Log.dropped l);
+  (match Obs.Log.records l with
+  | [ a; b ] ->
+      Alcotest.(check string) "oldest retained" "second" a.Obs.Log.name;
+      Alcotest.(check string) "req carried" "7" a.Obs.Log.req;
+      Alcotest.(check int) "seq monotone" 2 b.Obs.Log.seq;
+      Alcotest.(check string) "level rendered" "error"
+        (Obs.Log.level_string b.Obs.Log.level)
+  | other -> Alcotest.failf "expected 2 records, got %d" (List.length other));
+  Alcotest.(check string) "untimed JSON deterministic"
+    {|{"emitted":3,"dropped":1,"items":[{"seq":1,"level":"warn","req":"7","event":"second","payload":null},{"seq":2,"level":"error","req":"","event":"third","payload":{"latency_us":9}}]}|}
+    (J.to_string (Obs.Log.to_json ~times:false l))
+
+let test_log_sink () =
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  let oc = open_out path in
+  let l = Obs.Log.make ~sink:oc () in
+  Obs.Log.log l ~level:Obs.Log.Warn ~req:"42" "serve/slow";
+  (* the sink line is flushed at log time, before any close *)
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  close_out oc;
+  Sys.remove path;
+  match J.parse line with
+  | Error e -> Alcotest.failf "sink line does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "event name" true
+        (J.member "event" j = Some (J.String "serve/slow"));
+      Alcotest.(check bool) "ts present on the sink line" true
+        (J.member "ts" j <> None)
+
 (* ---------- trace ---------- *)
 
 let test_trace_ring () =
@@ -229,6 +377,77 @@ let test_chrome_export () =
               | _ -> Alcotest.fail "event without ts")
             items
       | _ -> Alcotest.fail "no traceEvents array")
+
+let test_trace_drop_marker () =
+  (* a ring that dropped events must say so in-band: both exports carry
+     an explicit marker record, so a consumer can never mistake a
+     truncated trace for a complete one *)
+  let t = Obs.create ~trace_capacity:2 () in
+  Obs.instant t "a";
+  Alcotest.(check bool) "no marker while nothing dropped" true
+    (match J.parse (Obs.emit ~times:false t) with
+    | Ok j -> (
+        match Option.bind (J.member "events" j) (J.member "items") with
+        | Some (J.Arr [ item ]) -> J.member "name" item = Some (J.String "a")
+        | _ -> false)
+    | Error _ -> false);
+  Obs.instant t "b";
+  Obs.instant t "c";
+  Obs.instant t "d";
+  (match J.parse (Obs.emit ~times:false t) with
+  | Error e -> Alcotest.failf "emission does not parse: %s" e
+  | Ok j -> (
+      match Option.bind (J.member "events" j) (J.member "items") with
+      | Some (J.Arr (marker :: rest)) ->
+          Alcotest.(check bool) "marker leads the items" true
+            (J.member "name" marker = Some (J.String "obs/dropped"));
+          Alcotest.(check bool) "marker carries the count" true
+            (J.member "arg" marker = Some (J.Int 2));
+          Alcotest.(check bool) "marker tick is out of band" true
+            (J.member "tick" marker = Some (J.Int (-1)));
+          Alcotest.(check int) "retained events follow" 2 (List.length rest)
+      | _ -> Alcotest.fail "no event items"));
+  match J.member "traceEvents" (Obs.Trace.to_chrome_json (Obs.trace t)) with
+  | Some (J.Arr (marker :: rest)) ->
+      Alcotest.(check bool) "chrome marker instant" true
+        (J.member "name" marker = Some (J.String "obs/dropped"));
+      Alcotest.(check bool) "chrome marker dropped count" true
+        (match J.member "args" marker with
+        | Some args -> J.member "dropped" args = Some (J.Int 2)
+        | None -> false);
+      Alcotest.(check int) "chrome retained events follow" 2 (List.length rest)
+  | _ -> Alcotest.fail "no chrome traceEvents"
+
+let test_inject_absorb () =
+  (* cross-domain stitching: events captured on a worker's registry are
+     absorbed into a session registry under the worker's domain id,
+     re-ticked into the session's logical clock *)
+  let worker = Obs.create () in
+  Obs.begin_event worker "incremental/solve";
+  Obs.end_event worker ~payload:3 "incremental/solve";
+  let session = Obs.create () in
+  Obs.instant session "serve/prologue";
+  Obs.absorb ~into:session ~domain:2
+    (Obs.Trace.events (Obs.trace worker));
+  (match Obs.Trace.events (Obs.trace session) with
+  | [ pro; b; e ] ->
+      Alcotest.(check int) "prologue on the main domain" 0 pro.Obs.domain;
+      Alcotest.(check int) "absorbed events tagged" 2 b.Obs.domain;
+      Alcotest.(check int) "payload carried" 3 e.Obs.payload;
+      Alcotest.(check (list int)) "session ticks are sequential" [ 0; 1; 2 ]
+        (List.map (fun ev -> ev.Obs.tick) [ pro; b; e ])
+  | other -> Alcotest.failf "expected 3 events, got %d" (List.length other));
+  (* the chrome export keys tid off the domain: one track per worker *)
+  match J.member "traceEvents" (Obs.Trace.to_chrome_json (Obs.trace session)) with
+  | Some (J.Arr items) ->
+      let tids =
+        List.filter_map (fun it ->
+            match J.member "tid" it with Some (J.Int i) -> Some i | _ -> None)
+          items
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list int)) "distinct tid tracks" [ 1; 3 ] tids
+  | _ -> Alcotest.fail "no chrome traceEvents"
 
 let test_reset_clears_new_state () =
   let t = Obs.create () in
@@ -419,11 +638,25 @@ let () =
         ] );
       ( "histogram",
         [ Alcotest.test_case "buckets" `Quick test_histogram_buckets ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "basics" `Quick test_sketch_basics;
+          Alcotest.test_case "JSON rendering" `Quick test_sketch_json;
+        ] );
+      ( "rolling",
+        [ Alcotest.test_case "window semantics" `Quick test_rolling ] );
+      ( "log",
+        [
+          Alcotest.test_case "ring drop accounting" `Quick test_log_ring;
+          Alcotest.test_case "sink lines" `Quick test_log_sink;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "ring buffer" `Quick test_trace_ring;
           Alcotest.test_case "phases in JSON" `Quick test_trace_phases_in_json;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "drop marker" `Quick test_trace_drop_marker;
+          Alcotest.test_case "inject and absorb" `Quick test_inject_absorb;
         ] );
       ( "json",
         [
@@ -438,6 +671,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_histogram_merge_comm;
           QCheck_alcotest.to_alcotest prop_histogram_merge_assoc;
           QCheck_alcotest.to_alcotest prop_histogram_merge_concat;
+          QCheck_alcotest.to_alcotest prop_sketch_oracle;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_comm;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_concat;
           QCheck_alcotest.to_alcotest prop_registry_roundtrip;
         ] );
     ]

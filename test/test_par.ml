@@ -52,6 +52,31 @@ let test_clamp_jobs () =
     (Invalid_argument "Par.clamp_jobs: negative jobs") (fun () ->
       ignore (Par.clamp_jobs (-3)))
 
+let test_worker_of () =
+  (* worker_of is the round-robin contract shard/map schedule by — the
+     server uses it to tag trace spans with the executing domain *)
+  Alcotest.(check (list int))
+    "item index to worker, round robin" [ 0; 1; 2; 0; 1; 2; 0 ]
+    (List.map (fun i -> Par.worker_of ~jobs:3 i) [ 0; 1; 2; 3; 4; 5; 6 ]);
+  Alcotest.(check int) "jobs clamps like clamp_jobs" 0
+    (Par.worker_of ~jobs:0 5);
+  Alcotest.(check bool) "negative index rejected" true
+    (match Par.worker_of ~jobs:2 (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* agreement with shard: item i lands in the shard worker_of names *)
+  let shards = Par.shard ~shards:3 [ 0; 1; 2; 3; 4; 5; 6 ] in
+  Array.iteri
+    (fun w items ->
+      List.iter
+        (fun i ->
+          Alcotest.(check int)
+            (Printf.sprintf "shard of item %d" i)
+            w
+            (Par.worker_of ~jobs:3 i))
+        items)
+    shards
+
 let test_run_order_and_width () =
   Alcotest.(check (array int))
     "workers see their own index" [| 0; 10; 20; 30 |]
@@ -312,6 +337,71 @@ let prop_budget_subset_under_truncation =
             rn.Diagnosis.Bsat.solutions)
         widths)
 
+(* ---------- serve observability across widths ---------- *)
+
+(* The server's logical observability — the stats op (cache counters
+   included), the untimed metrics exposition and its sketch-derived
+   effort summaries — must be byte-identical at every jobs width, like
+   the response transcript it describes. *)
+let test_serve_metrics_jobs_equal () =
+  let golden = Netlist.Generators.ripple_carry_adder 6 in
+  let resolve = function
+    | "rca" -> golden
+    | name -> failwith (Printf.sprintf "unknown circuit %S" name)
+  in
+  let diagnose ~seed ~tests =
+    {
+      Serve.Protocol.id = None;
+      circuit = "rca";
+      faulty = None;
+      errors = 1;
+      seed;
+      k = None;
+      tests;
+      max_solutions = 1000;
+      budget = None;
+      certify = false;
+      stats = true;
+    }
+  in
+  let observe jobs =
+    let server = Serve.Server.create ~jobs resolve in
+    let requests =
+      [
+        diagnose ~seed:3 ~tests:4; diagnose ~seed:4 ~tests:4;
+        diagnose ~seed:5 ~tests:4; diagnose ~seed:3 ~tests:6;
+      ]
+    in
+    let batch, _ =
+      Serve.Server.handle server
+        (Serve.Protocol.Batch { id = Some (Obs.Json.Int 1); requests })
+    in
+    let stats, _ =
+      Serve.Server.handle server (Serve.Protocol.Stats { id = None })
+    in
+    let metrics, _ =
+      Serve.Server.handle server
+        (Serve.Protocol.Metrics { id = None; times = false })
+    in
+    ( Obs.Json.to_string batch,
+      Obs.Json.to_string stats,
+      Obs.Json.to_string metrics )
+  in
+  let b1, s1, m1 = observe 1 in
+  List.iter
+    (fun jobs ->
+      let b, s, m = observe jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "batch transcript at jobs %d" jobs)
+        b1 b;
+      Alcotest.(check string)
+        (Printf.sprintf "stats (cache counters) at jobs %d" jobs)
+        s1 s;
+      Alcotest.(check string)
+        (Printf.sprintf "metrics exposition at jobs %d" jobs)
+        m1 m)
+    widths
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "par"
@@ -324,6 +414,7 @@ let () =
           Alcotest.test_case "shard: round-robin layout" `Quick
             test_shard_round_robin;
           Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs;
+          Alcotest.test_case "worker_of round robin" `Quick test_worker_of;
           Alcotest.test_case "run/map order" `Quick test_run_order_and_width;
           Alcotest.test_case "run re-raises lowest worker" `Quick
             test_run_reraises_lowest_worker;
@@ -354,4 +445,9 @@ let () =
             prop_zero_budget_truncates_identically;
             prop_budget_subset_under_truncation;
           ] );
+      ( "serve observability",
+        [
+          Alcotest.test_case "stats and metrics width-invariant" `Quick
+            test_serve_metrics_jobs_equal;
+        ] );
     ]

@@ -140,7 +140,7 @@ let test_parse () =
 (* ---------- LRU cache ---------- *)
 
 let test_cache_lru () =
-  let c = Serve.Cache.create ~capacity:2 in
+  let c = Serve.Cache.create ~capacity:2 () in
   Serve.Cache.add c "a" 1;
   Serve.Cache.add c "b" 2;
   Serve.Cache.add c "c" 3;
@@ -327,6 +327,225 @@ let test_context_eviction_retires () =
       Alcotest.(check int) "cache back at capacity" 1 n
   | _ -> Alcotest.fail "stats response malformed"
 
+(* ---------- observability: metrics, health, slow log, tracing ---------- *)
+
+let exposition_lines s = String.split_on_char '\n' s |> List.filter (( <> ) "")
+
+(* Prometheus text-format well-formedness: every non-comment line is
+   [name{labels} value] with a float-parsable value, and every sample's
+   family name was announced by a preceding [# TYPE] header *)
+let check_exposition s =
+  let announced = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then (
+        match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: name :: _rest ->
+            Hashtbl.replace announced name ()
+        | _ -> Alcotest.failf "malformed comment line: %s" line)
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "sample line without a value: %s" line
+        | Some i ->
+            let name_part = String.sub line 0 i in
+            let value = String.sub line (i + 1) (String.length line - i - 1) in
+            (match float_of_string_opt value with
+            | Some _ -> ()
+            | None -> Alcotest.failf "unparsable sample value: %s" line);
+            let family =
+              match String.index_opt name_part '{' with
+              | Some j -> String.sub name_part 0 j
+              | None -> name_part
+            in
+            let strip suffix name =
+              if
+                String.length name > String.length suffix
+                && String.sub name
+                     (String.length name - String.length suffix)
+                     (String.length suffix)
+                   = suffix
+              then String.sub name 0 (String.length name - String.length suffix)
+              else name
+            in
+            let base = strip "_sum" (strip "_count" family) in
+            if not (Hashtbl.mem announced family || Hashtbl.mem announced base)
+            then Alcotest.failf "sample without a # TYPE header: %s" line)
+    (exposition_lines s)
+
+let test_metrics_op () =
+  let workload server =
+    ignore (Server.handle server (P.Diagnose (req ())));
+    ignore (Server.handle server (P.Diagnose (req ())));
+    match
+      Server.handle server (P.Metrics { id = Some (J.Int 9); times = false })
+    with
+    | resp, true -> resp
+    | _, false -> Alcotest.fail "metrics ended the session"
+  in
+  let resp = workload (Server.create ~jobs:1 resolve) in
+  Alcotest.(check bool) "ok" true (bool_member "ok" resp);
+  let expo =
+    match member "exposition" resp with
+    | J.String s -> s
+    | v -> Alcotest.failf "exposition is not a string: %s" (J.to_string v)
+  in
+  check_exposition expo;
+  Alcotest.(check bool) "served counter rendered" true
+    (contains ~sub:"diagnose_requests_total 2" expo);
+  Alcotest.(check bool) "warm hit rendered" true
+    (contains ~sub:"diagnose_warm_hits_total 1" expo);
+  Alcotest.(check bool) "effort summary quantile rendered" true
+    (contains ~sub:{|diagnose_request_conflicts{quantile="0.5"}|} expo);
+  Alcotest.(check bool) "untimed exposition has no latency family" false
+    (contains ~sub:"diagnose_request_latency_microseconds" expo);
+  (* deterministic across fresh servers under the same request stream *)
+  let resp' = workload (Server.create ~jobs:1 resolve) in
+  Alcotest.(check string) "exposition is reproducible" (J.to_string resp)
+    (J.to_string resp');
+  (* the timed exposition adds wall-clock families and still validates *)
+  let server = Server.create ~jobs:1 resolve in
+  ignore (Server.handle server (P.Diagnose (req ())));
+  let timed, _ = Server.handle server (P.Metrics { id = None; times = true }) in
+  let timed_expo =
+    match member "exposition" timed with J.String s -> s | _ -> ""
+  in
+  check_exposition timed_expo;
+  Alcotest.(check bool) "timed exposition has latency summaries" true
+    (contains ~sub:"diagnose_request_latency_microseconds" timed_expo);
+  Alcotest.(check bool) "timed exposition has rolling rates" true
+    (contains ~sub:"diagnose_requests_per_second" timed_expo)
+
+let test_health_op () =
+  let server = Server.create ~jobs:1 ~context_capacity:5 resolve in
+  ignore (Server.handle server (P.Diagnose (req ())));
+  ignore (Server.handle server (P.Load { id = None; circuit = "zzz" }));
+  let resp, continue = Server.handle server (P.Health { id = Some (J.Int 3) }) in
+  Alcotest.(check bool) "session stays alive" true continue;
+  List.iter
+    (fun (name, expected) ->
+      match member name resp with
+      | J.Bool b -> Alcotest.(check bool) name (expected <> 0) b
+      | J.Int i -> Alcotest.(check int) name expected i
+      | v -> Alcotest.failf "field %S: %s" name (J.to_string v))
+    [
+      (* the failed load is an error but not a served diagnose *)
+      ("ready", 1); ("live", 1); ("in_flight", 0); ("served", 1);
+      ("errors", 1); ("contexts", 1); ("context_capacity", 5);
+    ]
+
+let test_stats_cache_counters () =
+  let server = Server.create ~jobs:1 resolve in
+  ignore (Server.handle server (P.Diagnose (req ())));
+  ignore (Server.handle server (P.Diagnose (req ())));
+  let stats, _ = Server.handle server (P.Stats { id = None }) in
+  List.iter
+    (fun (name, expected) ->
+      match member name stats with
+      | J.Int i -> Alcotest.(check int) name expected i
+      | v -> Alcotest.failf "field %S: %s" name (J.to_string v))
+    [
+      (* request 1 misses the context; request 2 hits it and never
+         re-resolves the circuit *)
+      ("context_misses", 1); ("context_hits", 1); ("context_evictions", 0);
+      ("errors", 0);
+    ]
+
+let test_slow_log () =
+  (* slow_ms = 0: every request is at or above the threshold *)
+  let server = Server.create ~jobs:1 ~slow_ms:0 resolve in
+  ignore (Server.handle server (P.Diagnose (req ())));
+  ignore (Server.handle server (P.Diagnose (req ())));
+  let log = Server.slow_log server in
+  Alcotest.(check int) "both requests logged" 2 (Obs.Log.emitted log);
+  (match Obs.Log.records log with
+  | first :: _ ->
+      Alcotest.(check string) "level" "warn"
+        (Obs.Log.level_string first.Obs.Log.level);
+      Alcotest.(check string) "event name" "serve/slow" first.Obs.Log.name;
+      Alcotest.(check string) "request correlation id" "0" first.Obs.Log.req;
+      Alcotest.(check bool) "payload carries the latency" true
+        (J.member "latency_us" first.Obs.Log.payload <> None)
+  | [] -> Alcotest.fail "slow log is empty");
+  let metrics, _ = Server.handle server (P.Metrics { id = None; times = false }) in
+  match member "exposition" metrics with
+  | J.String expo ->
+      Alcotest.(check bool) "slow counter exported" true
+        (contains ~sub:"diagnose_slow_requests_total 2" expo)
+  | v -> Alcotest.failf "exposition is not a string: %s" (J.to_string v)
+
+let test_trace_stitching () =
+  (* a 2-context batch on 2 workers: the session trace must hold both
+     workers' request spans under their own domain ids, stitched in
+     request order *)
+  let server = Server.create ~jobs:2 ~trace:true resolve in
+  let requests = [ req ~seed:3 ~tests:4 (); req ~seed:4 ~tests:4 () ] in
+  ignore (Server.handle server (P.Batch { id = None; requests }));
+  let events = Obs.Trace.events (Obs.trace (Server.obs server)) in
+  let domains =
+    List.map (fun e -> e.Obs.domain) events |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "spans from both worker domains" [ 1; 2 ] domains;
+  let count name ph =
+    List.length
+      (List.filter (fun e -> e.Obs.name = name && e.Obs.phase = ph) events)
+  in
+  Alcotest.(check int) "one request-begin per request" 2
+    (count "serve/request" Obs.Begin);
+  Alcotest.(check int) "one request-end per request" 2
+    (count "serve/request" Obs.End);
+  Alcotest.(check int) "queue span per request" 2 (count "serve/queue" Obs.Begin);
+  Alcotest.(check bool) "engine events absorbed" true
+    (count "incremental/solve" Obs.Begin = 2);
+  (* each request's span interval carries its trace id as the payload *)
+  let req_payloads =
+    List.filter (fun e -> e.Obs.name = "serve/request") events
+    |> List.map (fun e -> e.Obs.payload)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "trace ids as span payloads" [ 0; 1 ] req_payloads;
+  (* the chrome export shows one tid track per worker *)
+  match
+    J.member "traceEvents"
+      (Obs.Trace.to_chrome_json (Obs.trace (Server.obs server)))
+  with
+  | Some (J.Arr items) ->
+      let tids =
+        List.filter_map
+          (fun it ->
+            match J.member "tid" it with Some (J.Int i) -> Some i | _ -> None)
+          items
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list int)) "two tid tracks" [ 2; 3 ] tids
+  | _ -> Alcotest.fail "no chrome traceEvents"
+
+let test_sketches_accumulate () =
+  let server = Server.create ~jobs:1 resolve in
+  ignore (Server.handle server (P.Diagnose (req ())));
+  ignore (Server.handle server (P.Diagnose (req ())));
+  let sk = Server.sketches server in
+  let sketch name =
+    match List.assoc_opt name sk with
+    | Some s -> s
+    | None -> Alcotest.failf "no sketch named %S" name
+  in
+  Alcotest.(check int) "one cold latency sample" 1
+    (Obs.Sketch.count (sketch "latency_cold_us"));
+  Alcotest.(check int) "one warm latency sample" 1
+    (Obs.Sketch.count (sketch "latency_warm_us"));
+  Alcotest.(check int) "gc sketch sees both requests" 2
+    (Obs.Sketch.count (sketch "gc_allocated_words"));
+  (* effort sketches are logical, hence identical across fresh servers *)
+  let other = Server.create ~jobs:1 resolve in
+  ignore (Server.handle other (P.Diagnose (req ())));
+  ignore (Server.handle other (P.Diagnose (req ())));
+  let conflicts s =
+    Obs.Sketch.to_json (List.assoc "request_conflicts" (Server.sketches s))
+  in
+  Alcotest.(check string) "conflict sketch deterministic"
+    (J.to_string (conflicts server))
+    (J.to_string (conflicts other))
+
 let () =
   Alcotest.run "serve"
     [
@@ -354,5 +573,17 @@ let () =
           Alcotest.test_case "unknown circuit" `Quick test_unknown_circuit;
           Alcotest.test_case "eviction retires and re-serves" `Quick
             test_context_eviction_retires;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics op" `Quick test_metrics_op;
+          Alcotest.test_case "health op" `Quick test_health_op;
+          Alcotest.test_case "stats cache counters" `Quick
+            test_stats_cache_counters;
+          Alcotest.test_case "slow-request log" `Quick test_slow_log;
+          Alcotest.test_case "trace stitching across domains" `Quick
+            test_trace_stitching;
+          Alcotest.test_case "measurement sketches" `Quick
+            test_sketches_accumulate;
         ] );
     ]
