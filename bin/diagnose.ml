@@ -62,7 +62,8 @@ let inject_cmd_run spec scale errors seed out =
 
 (* ---------- run (diagnosis) ---------- *)
 
-type approach = Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist | Inc
+type approach =
+  | Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist | Inc | Hitting
 
 let approach_conv =
   let parse = function
@@ -74,6 +75,7 @@ let approach_conv =
     | "hybrid" -> Ok Hybrid
     | "xlist" -> Ok Xlist
     | "incremental" -> Ok Inc
+    | "hitting" -> Ok Hitting
     | s -> Error (`Msg (Printf.sprintf "unknown approach %S" s))
   in
   let print ppf a =
@@ -81,7 +83,19 @@ let approach_conv =
       (match a with
       | Bsim -> "bsim" | Cov -> "cov" | Bsat -> "bsat" | Advsim -> "advsim"
       | Advsat -> "advsat" | Hybrid -> "hybrid" | Xlist -> "xlist"
-      | Inc -> "incremental")
+      | Inc -> "incremental" | Hitting -> "hitting")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let heuristic_conv =
+  let parse = function
+    | "bfs" -> Ok Core.Hitting.Bfs
+    | "greedy" -> Ok Core.Hitting.Greedy
+    | s -> Error (`Msg (Printf.sprintf "unknown heuristic %S" s))
+  in
+  let print ppf h =
+    Fmt.string ppf
+      (match h with Core.Hitting.Bfs -> "bfs" | Core.Hitting.Greedy -> "greedy")
   in
   Cmdliner.Arg.conv (parse, print)
 
@@ -94,9 +108,9 @@ let report_solutions faulty tests label solutions =
         (if valid then "" else "  [not a valid correction]"))
     solutions
 
-let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
-    max_solutions stats trace_out budget_seconds budget_conflicts certify jobs
-    =
+let run_cmd_run golden_spec faulty_spec scale errors seed approach heuristic k
+    m max_solutions stats trace_out budget_seconds budget_conflicts certify
+    jobs =
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -196,6 +210,16 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach k m
     | Xlist ->
         let r = Core.Xlist.diagnose faulty tests in
         Fmt.pr "Xlist: |union|=%d@." (List.length r.Core.Xlist.union)
+    | Hitting ->
+        let r =
+          Core.Hitting.diagnose ~heuristic ~max_solutions ?budget ?obs
+            ~certify ~jobs ~k faulty tests
+        in
+        report_solutions faulty tests "HITTING" r.Core.Hitting.solutions;
+        Fmt.pr "cores=%d nodes=%d reused=%d pruned=%d@." r.Core.Hitting.cores
+          r.Core.Hitting.nodes r.Core.Hitting.reused r.Core.Hitting.pruned;
+        truncation_notice r.Core.Hitting.truncated;
+        note_cert r.Core.Hitting.cert_checks r.Core.Hitting.cert_failures
     | Inc ->
         (* the exact engine `diagnose serve` runs per request, on a
            cold context — a served response's stats block is
@@ -560,7 +584,8 @@ let inject_cmd =
 
 let run_cmd =
   let faulty = Arg.(value & opt (some string) None & info [ "faulty" ] ~docv:"CIRCUIT" ~doc:"Faulty implementation (default: inject errors into CIRCUIT)") in
-  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist | incremental") in
+  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist | incremental | hitting") in
+  let heuristic = Arg.(value & opt heuristic_conv Core.Hitting.Bfs & info [ "heuristic" ] ~doc:"HSDAG expansion order for --method hitting: bfs (minimal cardinality first) or greedy (most frequent conflict element first)") in
   let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit (default: number of injected errors)") in
   let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
   let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in
@@ -571,7 +596,7 @@ let run_cmd =
   let certify = Arg.(value & flag & info [ "certify" ] ~doc:"Independently verify every SAT-engine solver answer (bsat/advsat): Sat by model evaluation, Unsat by DRUP-checking the solver's proof; exits 3 on a failed check") in
   Cmd.v (Cmd.info "run" ~doc:"Diagnose a faulty circuit against its golden version")
     Term.(const run_cmd_run $ circuit_pos $ faulty $ scale $ errors $ seed
-          $ approach $ k $ m $ max_solutions $ stats $ trace
+          $ approach $ heuristic $ k $ m $ max_solutions $ stats $ trace
           $ budget_seconds $ budget_conflicts $ certify $ jobs)
 
 let coverage_cmd =

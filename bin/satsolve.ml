@@ -10,8 +10,22 @@ let read_file path =
   close_in ic;
   s
 
-let run path print_model proof_file check check_mode check_jobs =
+(* space-separated DIMACS literals, e.g. "1 -3 4"; anything that is not
+   a nonzero integer is invalid input (exit 2) *)
+let parse_assumptions s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+  |> List.map (fun tok ->
+         match int_of_string_opt tok with
+         | Some n when n <> 0 -> Sat.Lit.of_dimacs n
+         | _ -> failwith (Printf.sprintf "invalid assumption literal %S" tok))
+
+let run path assume core print_model proof_file check check_mode check_jobs =
   let cnf = Sat.Cnf.of_dimacs (read_file path) in
+  let assumptions =
+    match assume with None -> [] | Some s -> parse_assumptions s
+  in
   let solver = Sat.Solver.create () in
   (* an in-memory sink serves both --proof (serialized at exit) and
      --check (replayed through the independent checker) *)
@@ -24,7 +38,7 @@ let run path print_model proof_file check check_mode check_jobs =
     else None
   in
   Sat.Solver.add_cnf solver cnf;
-  let result = Sat.Solver.solve solver in
+  let result = Sat.Solver.solve ~assumptions solver in
   (match (proof_file, proof) with
   | Some file, Some p ->
       let oc = open_out file in
@@ -38,7 +52,8 @@ let run path print_model proof_file check check_mode check_jobs =
       | Sat.Solver.Unsat -> (
           let p = Option.get proof in
           match
-            Sat.Drup_check.check_unsat ~mode:check_mode ~jobs:check_jobs cnf
+            Sat.Drup_check.check_unsat ~mode:check_mode ~jobs:check_jobs
+              ~assumptions:(Sat.Solver.unsat_core solver) cnf
               (Sat.Proof.steps p)
           with
           | Ok () ->
@@ -49,18 +64,36 @@ let run path print_model proof_file check check_mode check_jobs =
               Printf.printf "c NOT VERIFIED: %s\n" msg;
               false)
       | Sat.Solver.Sat ->
-          if Sat.Cnf.eval cnf (Sat.Solver.model solver) then begin
+          let model_ok = Sat.Cnf.eval cnf (Sat.Solver.model solver) in
+          let assumptions_ok =
+            List.for_all
+              (fun l ->
+                Sat.Solver.value solver (Sat.Lit.var l) = Sat.Lit.sign l)
+              assumptions
+          in
+          if model_ok && assumptions_ok then begin
             print_endline "c VERIFIED model";
             true
           end
           else begin
-            print_endline "c NOT VERIFIED: model violates a clause";
+            Printf.printf "c NOT VERIFIED: model violates %s\n"
+              (if model_ok then "an assumption" else "a clause");
             false
           end
   in
   match result with
   | Sat.Solver.Unsat ->
       print_endline "s UNSATISFIABLE";
+      if core then begin
+        (* the failed-assumption core, sorted by variable — deterministic;
+           a bare "0" means the clause set is unsatisfiable outright *)
+        let lits =
+          List.map Sat.Lit.to_dimacs (Sat.Solver.unsat_core solver)
+          |> List.sort (fun a b -> compare (abs a, a) (abs b, b))
+        in
+        Printf.printf "c core:%s 0\n"
+          (String.concat "" (List.map (Printf.sprintf " %d") lits))
+      end;
       exit (if verify () then 20 else 1)
   | Sat.Solver.Sat ->
       print_endline "s SATISFIABLE";
@@ -89,6 +122,26 @@ let path =
 
 let model =
   Arg.(value & flag & info [ "model"; "m" ] ~doc:"Print a satisfying assignment")
+
+let assume =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "assume" ] ~docv:"LITS"
+        ~doc:
+          "Solve under assumptions: space-separated DIMACS literals, e.g. \
+           $(b,\"1 -3 4\").  An UNSAT answer then means unsatisfiable \
+           under the assumptions; see $(b,--core).")
+
+let core =
+  Arg.(
+    value & flag
+    & info [ "core" ]
+        ~doc:
+          "After an UNSAT answer, print the failed-assumption core as a \
+           $(b,c core:) comment line (the subset of $(b,--assume) literals \
+           the refutation charged, sorted by variable, 0-terminated; a \
+           bare 0 means the clause set is unsatisfiable outright).")
 
 let proof_file =
   Arg.(
@@ -141,7 +194,8 @@ let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~exits ~doc:"CDCL SAT solver on DIMACS CNF")
     Term.(
-      const run $ path $ model $ proof_file $ check $ check_mode $ check_jobs)
+      const run $ path $ assume $ core $ model $ proof_file $ check
+      $ check_mode $ check_jobs)
 
 (* malformed DIMACS (Cnf.of_dimacs) and unreadable files must not
    escape as backtraces with exit 125 *)

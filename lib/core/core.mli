@@ -38,6 +38,7 @@ module Path_trace = Diagnosis.Path_trace
 module Bsim = Diagnosis.Bsim
 module Cover = Diagnosis.Cover
 module Bsat = Diagnosis.Bsat
+module Hitting = Diagnosis.Hitting
 module Validity = Diagnosis.Validity
 module Advanced_sim = Diagnosis.Advanced_sim
 module Advanced_sat = Diagnosis.Advanced_sat

@@ -1,0 +1,456 @@
+type heuristic = Bfs | Greedy
+
+type result = {
+  solutions : int list list;
+  cnf_time : float;
+  one_time : float;
+  all_time : float;
+  truncated : bool;
+  solver_calls : int;
+  cores : int;
+  reused : int;
+  nodes : int;
+  pruned : int;
+  stats : Sat.Solver.stats;
+  cert_checks : int;
+  cert_failures : string list;
+}
+
+(* both lists sorted ascending *)
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+      if x = y then subset a' b' else if y < x then subset a b' else false
+
+let rec disjoint a b =
+  match (a, b) with
+  | [], _ | _, [] -> true
+  | x :: a', y :: b' ->
+      if x = y then false
+      else if x < y then disjoint a' b
+      else disjoint a b'
+
+let rec insert_sorted g = function
+  | [] -> [ g ]
+  | x :: rest as l -> if g < x then g :: l else x :: insert_sorted g rest
+
+let zero_stats =
+  Sat.Solver.
+    {
+      decisions = 0;
+      propagations = 0;
+      conflicts = 0;
+      restarts = 0;
+      learned = 0;
+      learned_total = 0;
+      deleted = 0;
+      subsumed = 0;
+      strengthened = 0;
+      vivified = 0;
+      eliminated = 0;
+    }
+
+let sum_stats (a : Sat.Solver.stats) (b : Sat.Solver.stats) =
+  Sat.Solver.
+    {
+      decisions = a.decisions + b.decisions;
+      propagations = a.propagations + b.propagations;
+      conflicts = a.conflicts + b.conflicts;
+      restarts = a.restarts + b.restarts;
+      learned = a.learned + b.learned;
+      learned_total = a.learned_total + b.learned_total;
+      deleted = a.deleted + b.deleted;
+      subsumed = a.subsumed + b.subsumed;
+      strengthened = a.strengthened + b.strengthened;
+      vivified = a.vivified + b.vivified;
+      eliminated = a.eliminated + b.eliminated;
+    }
+
+(* One solver + encoding per worker domain; [synced] counts the global
+   blocking clauses already replayed into [inst]. *)
+type wstate = {
+  solver : Sat.Solver.t;
+  inst : Encode.Muxed.t;
+  reg : Obs.t option;
+  ncalls : int ref;
+  synced : int ref;
+  ban_gate : (int, int) Hashtbl.t; (* code of a negated select -> gate *)
+  cnf_time : float;
+}
+
+(* An HSDAG node: [path] is the sorted set of gates along the edges from
+   the root.  [seq] is the global creation index (unique, the
+   deterministic tie-break); [prio] is the creation-edge label's conflict
+   frequency, the Greedy expansion key. *)
+type node = { path : int list; depth : int; seq : int; prio : int }
+
+type label = Conflict of int list | Exhausted | Interrupted
+
+type outcome = { found : int list list; label : label }
+
+let diagnose ?candidates ?force_zero ?(heuristic = Bfs)
+    ?(max_solutions = max_int) ?(time_limit = infinity) ?budget ?obs
+    ?(obs_prefix = "hitting") ?(certify = false) ?(jobs = 1) ~k c tests =
+  let budget =
+    match budget with Some b -> b | None -> Sat.Budget.unlimited ()
+  in
+  let jobs = Par.clamp_jobs jobs in
+  let found = Atomic.make 0 in
+  let states =
+    Par.run ~jobs (fun _ ->
+        let reg =
+          if jobs = 1 then obs else Option.map (fun _ -> Obs.create ()) obs
+        in
+        let solver = Sat.Solver.create () in
+        Option.iter (Sat.Solver.attach_obs solver) reg;
+        let t0 = Obs.Clock.wall () in
+        let inst =
+          Telemetry.phase reg (obs_prefix ^ "/cnf") (fun () ->
+              Encode.Muxed.build ?candidates ?force_zero ~certify ~max_k:k
+                solver c tests)
+        in
+        let ban_gate = Hashtbl.create 64 in
+        Array.iter
+          (fun g ->
+            Hashtbl.replace ban_gate
+              (Sat.Lit.code (Sat.Lit.negate (Encode.Muxed.select_lit inst g)))
+              g)
+          (Encode.Muxed.candidate_gates inst);
+        {
+          solver;
+          inst;
+          reg;
+          ncalls = ref 0;
+          synced = ref 0;
+          ban_gate;
+          cnf_time = Obs.Clock.wall () -. t0;
+        })
+  in
+  let cnf_time =
+    Array.fold_left (fun acc st -> Float.max acc st.cnf_time) 0.0 states
+  in
+  let cands = Encode.Muxed.candidate_gates states.(0).inst in
+  Option.iter (fun o -> Obs.begin_event o (obs_prefix ^ "/solve")) obs;
+  let start = Obs.Clock.wall () in
+  (* shared enumeration state, touched only on the main domain between
+     rounds *)
+  let solutions = ref [] (* newest first, each sorted *) in
+  let nsol = ref 0 in
+  let one_time = ref 0.0 in
+  let blocks = ref [] (* = !solutions; the worker replay log *) in
+  let nblocks = ref 0 in
+  let conflicts = ref [] (* known conflict sets, discovery order *) in
+  let conflict_seen = Hashtbl.create 32 in
+  let freq = Hashtbl.create 64 in
+  let freq_of g = Option.value ~default:0 (Hashtbl.find_opt freq g) in
+  let seen = Hashtbl.create 64 in
+  let frontier = ref [] in
+  let seqr = ref 0 in
+  let nodes = ref 0 in
+  let cores = ref 0 in
+  let reused = ref 0 in
+  let pruned = ref 0 in
+  let truncated = ref false in
+  let done_ = ref false in
+  let stop = ref false in
+  let record f =
+    if !nsol = 0 then one_time := Obs.Clock.wall () -. start;
+    solutions := f :: !solutions;
+    incr nsol;
+    blocks := f :: !blocks;
+    incr nblocks
+  in
+  let note_conflict cset =
+    if not (Hashtbl.mem conflict_seen cset) then begin
+      Hashtbl.replace conflict_seen cset ();
+      conflicts := !conflicts @ [ cset ];
+      List.iter (fun g -> Hashtbl.replace freq g (freq_of g + 1)) cset;
+      Telemetry.observe obs (obs_prefix ^ "/core_size") (List.length cset)
+    end
+  in
+  (* children only below depth k: a node deeper than k cannot lie on the
+     path of any diagnosis of size <= k *)
+  let expand node cset =
+    if node.depth < k then begin
+      let order =
+        match heuristic with
+        | Bfs -> List.sort Int.compare cset
+        | Greedy ->
+            List.sort
+              (fun a b ->
+                match Int.compare (freq_of b) (freq_of a) with
+                | 0 -> Int.compare a b
+                | n -> n)
+              cset
+      in
+      List.iter
+        (fun g ->
+          let path = insert_sorted g node.path in
+          if Hashtbl.mem seen path then incr pruned
+          else begin
+            Hashtbl.replace seen path ();
+            incr seqr;
+            frontier :=
+              { path; depth = node.depth + 1; seq = !seqr; prio = freq_of g }
+              :: !frontier
+          end)
+        order
+    end
+  in
+  let node_key n =
+    match heuristic with Bfs -> (n.depth, n.seq) | Greedy -> (-n.prio, n.seq)
+  in
+  let pop_best () =
+    match !frontier with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun acc n -> if node_key n < node_key acc then n else acc)
+            first rest
+        in
+        frontier := List.filter (fun n -> n.seq <> best.seq) !frontier;
+        Some best
+  in
+  let out_of_budget () =
+    !nsol >= max_solutions
+    || Obs.Clock.wall () -. start > time_limit
+    || Sat.Budget.exhausted budget
+  in
+  (* ---- per-worker node processing ---- *)
+  let sync st =
+    let missing = !nblocks - !(st.synced) in
+    if missing > 0 then begin
+      let rec replay n l =
+        if n > 0 then
+          match l with
+          | [] -> ()
+          | f :: rest ->
+              Encode.Muxed.block st.inst f;
+              replay (n - 1) rest
+      in
+      replay missing !blocks;
+      st.synced := !nblocks
+    end
+  in
+  let gates_of st lits =
+    List.filter_map
+      (fun l -> Hashtbl.find_opt st.ban_gate (Sat.Lit.code l))
+      lits
+  in
+  (* Bsat-style deletion shrink, except that a budget death mid-shrink
+     discards the set: only globally inclusion-minimal diagnoses are ever
+     recorded, so a truncated run's output stays a subset of the full
+     run's. *)
+  let shrink_solution st sol =
+    let all = Array.to_list cands in
+    let rec drop kept_rev = function
+      | [] -> Some (List.sort Int.compare (List.rev kept_rev))
+      | g :: rest -> (
+          let candidate = List.rev_append kept_rev rest in
+          let in_candidate = Hashtbl.create 16 in
+          List.iter (fun h -> Hashtbl.replace in_candidate h ()) candidate;
+          let extra =
+            List.map (Encode.Muxed.select_lit st.inst) candidate
+            @ List.filter_map
+                (fun h ->
+                  if Hashtbl.mem in_candidate h then None
+                  else
+                    Some (Sat.Lit.negate (Encode.Muxed.select_lit st.inst h)))
+                all
+          in
+          incr st.ncalls;
+          match
+            Encode.Muxed.solve_at_most_limited ~extra ~budget st.inst
+              (List.length candidate)
+          with
+          | Sat.Solver.Solved Sat.Solver.Sat -> drop kept_rev rest
+          | Sat.Solver.Solved Sat.Solver.Unsat -> drop (g :: kept_rev) rest
+          | Sat.Solver.Unknown -> None)
+    in
+    drop [] sol
+  in
+  let process st path =
+    let in_path = Hashtbl.create 8 in
+    List.iter (fun g -> Hashtbl.replace in_path g ()) path;
+    let bans =
+      Array.to_list cands
+      |> List.filter_map (fun g ->
+             if Hashtbl.mem in_path g then None
+             else
+               Some (Sat.Lit.negate (Encode.Muxed.select_lit st.inst g)))
+    in
+    let stop_now () =
+      Atomic.get found >= max_solutions
+      || Obs.Clock.wall () -. start > time_limit
+      || Sat.Budget.exhausted budget
+    in
+    let rec loop found_here =
+      if stop_now () then { found = List.rev found_here; label = Interrupted }
+      else begin
+        incr st.ncalls;
+        match Encode.Muxed.solve_at_most_limited ~extra:bans ~budget st.inst k with
+        | Sat.Solver.Solved Sat.Solver.Sat -> (
+            match shrink_solution st (Encode.Muxed.solution st.inst) with
+            | Some f ->
+                Encode.Muxed.block st.inst f;
+                Atomic.incr found;
+                loop (f :: found_here)
+            | None -> { found = List.rev found_here; label = Interrupted })
+        | Sat.Solver.Solved Sat.Solver.Unsat -> (
+            match gates_of st (Sat.Solver.unsat_core st.solver) with
+            | [] -> { found = List.rev found_here; label = Exhausted }
+            | gates ->
+                let lits =
+                  List.map
+                    (fun g ->
+                      Sat.Lit.negate (Encode.Muxed.select_lit st.inst g))
+                    gates
+                in
+                let shrunk =
+                  Sat.Solver.shrink_core
+                    ~solve:(fun assumptions ->
+                      incr st.ncalls;
+                      Encode.Muxed.solve_at_most_limited ~extra:assumptions
+                        ~budget st.inst k)
+                    st.solver lits
+                in
+                let cset = List.sort Int.compare (gates_of st shrunk) in
+                if cset = [] then
+                  { found = List.rev found_here; label = Exhausted }
+                else { found = List.rev found_here; label = Conflict cset })
+        | Sat.Solver.Unknown ->
+            { found = List.rev found_here; label = Interrupted }
+      end
+    in
+    loop []
+  in
+  (* ---- synchronous expansion rounds ---- *)
+  (* pull the next up-to-[jobs] nodes that really need a solver call,
+     serving prunes and conflict-set reuses inline *)
+  let rec fill acc n =
+    if n = 0 then List.rev acc
+    else
+      match pop_best () with
+      | None -> List.rev acc
+      | Some node -> (
+          if List.exists (fun r -> subset r node.path) !solutions then begin
+            incr pruned;
+            fill acc n
+          end
+          else
+            match
+              List.find_opt (fun cset -> disjoint cset node.path) !conflicts
+            with
+            | Some cset ->
+                incr reused;
+                expand node cset;
+                fill acc n
+            | None -> fill (node :: acc) (n - 1))
+  in
+  Hashtbl.replace seen [] ();
+  frontier := [ { path = []; depth = 0; seq = 0; prio = 0 } ];
+  while (not !done_) && (not !stop) && !frontier <> [] do
+    if out_of_budget () then begin
+      truncated := true;
+      stop := true
+    end
+    else begin
+      let batch = Array.of_list (fill [] jobs) in
+      if Array.length batch > 0 then begin
+        let outs =
+          Par.run ~jobs (fun w ->
+              let st = states.(w) in
+              sync st;
+              let res = ref [] in
+              Array.iteri
+                (fun i node ->
+                  if i mod jobs = w then
+                    res := (i, process st node.path) :: !res)
+                batch;
+              !res)
+        in
+        let flat =
+          Array.to_list outs |> List.concat
+          |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+        in
+        List.iter
+          (fun (i, out) ->
+            let node = batch.(i) in
+            incr nodes;
+            (* a worker's find is stale when a node merged earlier this
+               round already recorded a subset of it *)
+            List.iter
+              (fun f ->
+                if not (List.exists (fun r -> subset r f) !solutions) then
+                  record f)
+              out.found;
+            match out.label with
+            | Conflict cset ->
+                incr cores;
+                note_conflict cset;
+                expand node cset
+            | Exhausted -> done_ := true
+            | Interrupted ->
+                truncated := true;
+                stop := true)
+          flat;
+        Atomic.set found !nsol
+      end
+    end
+  done;
+  let all_time = Obs.Clock.wall () -. start in
+  let sols = Solutions.canonical (List.rev !solutions) in
+  let ncalls = Array.fold_left (fun a st -> a + !(st.ncalls)) 0 states in
+  let stats =
+    Array.fold_left
+      (fun a st -> sum_stats a (Sat.Solver.stats st.solver))
+      zero_stats states
+  in
+  let cert_checks =
+    Array.fold_left (fun a st -> a + Encode.Muxed.cert_checks st.inst) 0 states
+  in
+  let cert_failures =
+    Array.to_list states
+    |> List.concat_map (fun st -> Encode.Muxed.cert_failures st.inst)
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      Obs.end_event ~payload:!nsol o (obs_prefix ^ "/solve");
+      if jobs > 1 then begin
+        let regs =
+          Array.to_list states
+          |> List.filter_map (fun st -> st.reg)
+          |> Array.of_list
+        in
+        Obs.merge_children ~into:o regs
+      end;
+      List.iter
+        (fun s -> Obs.observe o (obs_prefix ^ "/solution_size") (List.length s))
+        sols;
+      Telemetry.record_run o ~prefix:obs_prefix ~solutions:!nsol
+        ~solver_calls:ncalls ~truncated:!truncated stats;
+      Obs.add o (obs_prefix ^ "/cores") !cores;
+      Obs.add o (obs_prefix ^ "/nodes") !nodes;
+      Obs.add o (obs_prefix ^ "/reused") !reused;
+      Obs.add o (obs_prefix ^ "/pruned") !pruned;
+      Obs.record_span o (obs_prefix ^ "/cnf") cnf_time;
+      Obs.record_span o (obs_prefix ^ "/solve") all_time);
+  {
+    solutions = sols;
+    cnf_time;
+    one_time = !one_time;
+    all_time;
+    truncated = !truncated;
+    solver_calls = ncalls;
+    cores = !cores;
+    reused = !reused;
+    nodes = !nodes;
+    pruned = !pruned;
+    stats;
+    cert_checks;
+    cert_failures;
+  }

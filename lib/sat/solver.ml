@@ -1516,6 +1516,33 @@ let unsat_core s =
   | None -> invalid_arg "Solver.unsat_core: last answer was not Unsat"
   | Some codes -> List.map Lit.of_code codes
 
+(* Deletion-based core minimization.  The working set only ever
+   shrinks, so every intermediate set is a superset of the result; a
+   candidate whose removal still answers Unsat is dropped (and the
+   fresh failed-assumption core — intersected with the remaining
+   candidates, so callback-injected extras cannot leak in — may drop
+   several more at once); Sat or Unknown keeps it. *)
+let shrink_core ?solve ?budget s core =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let resolve assumptions =
+    match solve with
+    | Some f -> f assumptions
+    | None -> solve_limited ~assumptions ~budget s
+  in
+  let rec shrink kept_rev = function
+    | [] -> List.rev kept_rev
+    | l :: rest -> (
+        (* same membership order as the quadratic kept @ rest original *)
+        let candidate = List.rev_append kept_rev rest in
+        match resolve candidate with
+        | Solved Unsat ->
+            let refined = unsat_core s in
+            let mem x = List.exists (Lit.equal x) refined in
+            shrink (List.filter mem kept_rev) (List.filter mem rest)
+        | Solved Sat | Unknown -> shrink (l :: kept_rev) rest)
+  in
+  if core = [] then [] else shrink [] core
+
 let activity_of s v = if v < s.nvars then s.activity.(v) else 0.0
 
 let bump_priority s v amount =

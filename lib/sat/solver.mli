@@ -65,6 +65,28 @@ val unsat_core : t -> Lit.t list
     certified by {!Drup_check.check_unsat}.
     @raise Invalid_argument if the last call did not answer [Unsat]. *)
 
+val shrink_core :
+  ?solve:(Lit.t list -> limited_result) ->
+  ?budget:Budget.t ->
+  t ->
+  Lit.t list ->
+  Lit.t list
+(** Deletion-based minimization of a failed-assumption core: each
+    literal is dropped in turn and the remainder re-solved; an [Unsat]
+    answer discards it (and refines the remainder by the fresh
+    {!unsat_core}, which may discard several literals at once), a [Sat]
+    or [Unknown] answer keeps it.  On an unlimited [budget] the result
+    is irreducible — no proper subset of it is a core; when the budget
+    dies mid-shrink the result is still a core, just possibly
+    non-minimal (every kept literal set is a superset of a core).
+
+    [solve] replaces the default [solve_limited ~assumptions ~budget]
+    re-solve, so a caller holding extra context (activation literals, a
+    cardinality bound, a certifying wrapper) can route the re-solves
+    through it; the callback must solve on [t] itself, as the
+    refinement step reads [t]'s {!unsat_core} (extra assumptions the
+    callback injects are filtered back out). *)
+
 val set_proof : t -> Proof.t option -> unit
 (** Attach (or detach) a DRUP proof sink.  The solver then records every
     learned clause post-minimization, every learnt-DB deletion, and the

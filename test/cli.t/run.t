@@ -197,6 +197,67 @@ certificates compose, so wider runs just verify more answers:
     {n20}
   certified: 8 solver answer(s) verified
 
+The implicit hitting-set engine reaches the same minimal diagnoses
+from the dual side — conflict sets out of failed-assumption cores,
+hitting-set DAG on top — so its solution list is byte-identical to
+BSAT's canonical output.  --certify verifies every node check and
+every shrink step (Sat by model evaluation, Unsat by DRUP):
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --certify
+  8 failing test(s) found
+  HITTING: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  cores=3 nodes=4 reused=0 pruned=0
+  certified: 18 solver answer(s) verified
+
+The greedy most-frequent-element heuristic explores the HSDAG in a
+different order but records the same set:
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting --heuristic greedy -k 1 -m 8
+  8 failing test(s) found
+  HITTING: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  cores=3 nodes=4 reused=0 pruned=0
+
+Its stats block is deterministic and pinned like the other engines':
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --stats
+  8 failing test(s) found
+  HITTING: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  cores=3 nodes=4 reused=0 pruned=0
+  {"counters":{"hitting/conflicts":3,"hitting/cores":3,"hitting/decisions":1370,"hitting/deleted":0,"hitting/eliminated":0,"hitting/learned":2,"hitting/learned_total":3,"hitting/nodes":4,"hitting/propagations":6204,"hitting/pruned":0,"hitting/restarts":0,"hitting/reused":0,"hitting/solutions":3,"hitting/solver_calls":18,"hitting/strengthened":0,"hitting/subsumed":0,"hitting/truncated":0,"hitting/vivified":0},"histograms":{"hitting/core_size":{"count":3,"buckets":[[1,1,1],[2,3,2]]},"hitting/solution_size":{"count":3,"buckets":[[1,1,3]]},"sat/backtrack":{"count":3,"buckets":[[1,1,2],[2,3,1]]},"sat/conflict_gap":{"count":3,"buckets":[[256,511,1],[512,1023,1],[1024,2047,1]]},"sat/learnt_len":{"count":3,"buckets":[[1,1,1],[4,7,2]]}},"events":{"emitted":4,"dropped":0,"items":[{"tick":0,"name":"hitting/cnf","ph":"B","arg":0},{"tick":1,"name":"hitting/cnf","ph":"E","arg":0},{"tick":2,"name":"hitting/solve","ph":"B","arg":0},{"tick":3,"name":"hitting/solve","ph":"E","arg":3}]}}
+
+Parallel node expansion returns the identical solution set, and two
+runs at the same width emit byte-identical stats blocks:
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --jobs 4
+  8 failing test(s) found
+  HITTING: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+  cores=4 nodes=4 reused=0 pruned=0
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --stats --jobs 4 | tail -1 > hit1.json
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --stats --jobs 4 | tail -1 > hit2.json
+  $ cmp hit1.json hit2.json
+
+A zero conflict budget truncates before the first node check; the
+empty result is still a valid (empty) prefix of the minimal set:
+
+  $ diagnose run rca4 --faulty faulty.bench --method hitting -k 1 -m 8 --budget-conflicts 0
+  8 failing test(s) found
+  HITTING: 0 solution(s)
+  cores=0 nodes=0 reused=0 pruned=0
+  budget exhausted: enumeration truncated (solutions above are still valid)
+
 The incremental engine (encode once, enumerate per request) is the
 CLI's SAT method behind diagnose serve; one-shot runs pin its stats
 block:
@@ -342,6 +403,36 @@ before exiting:
   0
   $ satsolve sat.cnf --check 2>/dev/null | tail -1
   c VERIFIED model
+
+--assume solves under assumptions (space-separated DIMACS literals);
+--core then prints the failed-assumption core of an UNSAT answer as a
+deterministic one-line comment (sorted by variable, 0-terminated), and
+--check verifies the core-backed refutation:
+
+  $ satsolve sat.cnf --assume=-2 --core --check
+  s UNSATISFIABLE
+  c core: -2 0
+  c VERIFIED unsat (1 proof steps)
+  [20]
+
+A bare "c core: 0" means the clause set is unsatisfiable outright —
+no assumption is charged:
+
+  $ satsolve unsat.cnf --assume=1 --core
+  s UNSATISFIABLE
+  c core: 0
+  [20]
+
+A satisfying model under assumptions verifies the assumptions too:
+
+  $ satsolve sat.cnf --assume=2 --check 2>/dev/null | tail -1
+  c VERIFIED model
+
+An invalid assumption literal is invalid input (exit 2):
+
+  $ satsolve sat.cnf --assume "1 x"
+  satsolve: invalid assumption literal "x"
+  [2]
 
 Fault-simulation coverage and SAT-based ATPG (deterministic seeds):
 

@@ -724,6 +724,131 @@ let prop_xlist_contains_all_singleton_corrections =
             gates)
         tests)
 
+(* ---------- hitting (implicit hitting sets) ---------- *)
+
+(* the examples' circuit families at toy scale, plus the paper circuits:
+   every duality claim below is checked on each of these *)
+let hitting_circuits () =
+  let inject name golden =
+    let faulty, _ = Sim.Injector.inject ~seed:5 ~num_errors:2 golden in
+    let tests =
+      Sim.Testgen.generate ~seed:7 ~max_vectors:4096 ~wanted:6 ~golden ~faulty
+    in
+    (name, faulty, tests)
+  in
+  let paper name (c, t) = (name, c, [ t ]) in
+  paper "fig5a" Bench_suite.Paper_circuits.fig5a
+  :: paper "fig5b" Bench_suite.Paper_circuits.fig5b
+  :: List.map
+       (fun (name, c) -> inject name c)
+       [
+         ("c17", Netlist.Generators.c17 ());
+         ("rca4", Netlist.Generators.ripple_carry_adder 4);
+         ("alu2", Netlist.Generators.alu 2);
+         ("parity8", Netlist.Generators.parity_tree 8);
+       ]
+
+let canon sols = Diagnosis.Solutions.canonical sols
+
+(* duality, exhaustively on the example circuits: the hitting-set
+   engine's minimal diagnoses equal BSAT's essential solutions — as
+   canonical lists, so byte-comparable — at k = 1..3, at jobs 1/2/4,
+   under both expansion heuristics, with every solver answer certified *)
+let test_hitting_equals_bsat_examples () =
+  List.iter
+    (fun (name, faulty, tests) ->
+      for k = 1 to 3 do
+        let bsat =
+          canon (Diagnosis.Bsat.diagnose ~k faulty tests).Diagnosis.Bsat.solutions
+        in
+        List.iter
+          (fun jobs ->
+            List.iter
+              (fun heuristic ->
+                let r =
+                  Diagnosis.Hitting.diagnose ~heuristic ~certify:true ~jobs ~k
+                    faulty tests
+                in
+                let tag =
+                  Printf.sprintf "%s k=%d jobs=%d" name k jobs
+                in
+                Alcotest.(check (list (list int)))
+                  (tag ^ ": Hitting = BSAT") bsat r.Diagnosis.Hitting.solutions;
+                Alcotest.(check (list string)) (tag ^ ": no cert failures") []
+                  r.Diagnosis.Hitting.cert_failures;
+                Alcotest.(check bool) (tag ^ ": certified something") true
+                  (r.Diagnosis.Hitting.cert_checks > 0);
+                Alcotest.(check bool) (tag ^ ": complete") false
+                  r.Diagnosis.Hitting.truncated)
+              [ Diagnosis.Hitting.Bfs; Diagnosis.Hitting.Greedy ])
+          [ 1; 2; 4 ]
+      done)
+    (hitting_circuits ())
+
+(* ⊇-subsumption of COV: every COV solution that is a valid correction
+   contains a minimal diagnosis, so the hitting-set enumeration at the
+   same k finds a subset of it (Lemma 1 direction of the duality) *)
+let test_hitting_subsumes_valid_covers () =
+  List.iter
+    (fun (name, faulty, tests) ->
+      for k = 1 to 3 do
+        let hit =
+          (Diagnosis.Hitting.diagnose ~k faulty tests).Diagnosis.Hitting
+            .solutions
+        in
+        let covers =
+          (Diagnosis.Cover.diagnose ~k faulty tests).Diagnosis.Cover.solutions
+        in
+        List.iter
+          (fun s ->
+            if Diagnosis.Validity.check_sat faulty tests s then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s k=%d: diagnosis inside valid cover" name k)
+                true
+                (List.exists
+                   (fun d -> List.for_all (fun g -> List.mem g s) d)
+                   hit))
+          covers
+      done)
+    (hitting_circuits ())
+
+let prop_hitting_equals_bsat =
+  QCheck.Test.make ~count:15
+    ~name:"duality: Hitting minimal diagnoses = BSAT solutions" workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let bsat =
+        canon (Diagnosis.Bsat.diagnose ~k:p faulty tests).Diagnosis.Bsat.solutions
+      in
+      List.for_all
+        (fun heuristic ->
+          (Diagnosis.Hitting.diagnose ~heuristic ~k:p faulty tests)
+            .Diagnosis.Hitting.solutions = bsat)
+        [ Diagnosis.Hitting.Bfs; Diagnosis.Hitting.Greedy ])
+
+let prop_hitting_subsumes_valid_covers =
+  QCheck.Test.make ~count:15
+    ~name:"duality: valid COV solutions contain a hitting diagnosis"
+    workload_gen
+    (fun (seed, p) ->
+      let _, faulty, _, tests = workload seed p in
+      QCheck.assume (tests <> []);
+      let hit =
+        (Diagnosis.Hitting.diagnose ~k:p faulty tests).Diagnosis.Hitting
+          .solutions
+      in
+      let covers =
+        (Diagnosis.Cover.diagnose ~k:p faulty tests).Diagnosis.Cover.solutions
+      in
+      List.for_all
+        (fun s ->
+          (not (Diagnosis.Validity.check_sat faulty tests s))
+          || List.exists
+               (fun d -> List.for_all (fun g -> List.mem g s) d)
+               hit)
+        covers)
+
 (* ---------- metrics ---------- *)
 
 let test_metrics_distances () =
@@ -800,6 +925,8 @@ let qtests =
       prop_hybrid_guided_same_solutions;
       prop_hybrid_repair_valid;
       prop_incremental_matches_scratch;
+      prop_hitting_equals_bsat;
+      prop_hitting_subsumes_valid_covers;
       prop_xlist_contains_single_error;
       prop_xlist_contains_all_singleton_corrections;
     ]
@@ -867,6 +994,13 @@ let () =
             test_incremental_reenumeration_stable;
           Alcotest.test_case "certified lifetime" `Quick
             test_incremental_certified;
+        ] );
+      ( "hitting",
+        [
+          Alcotest.test_case "duality: Hitting = BSAT on examples" `Quick
+            test_hitting_equals_bsat_examples;
+          Alcotest.test_case "duality: valid covers subsumed" `Quick
+            test_hitting_subsumes_valid_covers;
         ] );
       ( "metrics",
         [

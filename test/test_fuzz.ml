@@ -259,6 +259,69 @@ let prop_containment_relations =
                   bsat.Diagnosis.Bsat.solutions))
         [ 1; 4 ])
 
+(* The hitting-set engine against three independent referees: BSAT's
+   direct enumeration, a brute-force subset oracle on the smaller
+   instances, and its own budget-truncated runs — at jobs 1/2/4 and
+   under both expansion heuristics, with every solver answer certified.
+   Reuses the netlist-dumping shrinker above, so a counterexample prints
+   as reproducible .bench text. *)
+
+let prop_hitting_differential =
+  QCheck.Test.make ~count:25
+    ~name:"hitting differential: BSAT, brute force, widths, budgets" diag_gen
+    (fun ((_, _, ng, p) as params) ->
+      let golden, faulty, _ = diag_workload params in
+      let tests =
+        Sim.Testgen.generate ~seed:17 ~max_vectors:1024 ~wanted:5 ~golden
+          ~faulty
+      in
+      QCheck.assume (tests <> []);
+      let bsat =
+        Diagnosis.Solutions.canonical
+          (Diagnosis.Bsat.diagnose ~k:p faulty tests).Diagnosis.Bsat.solutions
+      in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun heuristic ->
+              let r =
+                Diagnosis.Hitting.diagnose ~heuristic ~certify:true ~jobs ~k:p
+                  faulty tests
+              in
+              r.Diagnosis.Hitting.solutions = bsat
+              && r.Diagnosis.Hitting.cert_failures = []
+              && not r.Diagnosis.Hitting.truncated)
+            [ Diagnosis.Hitting.Bfs; Diagnosis.Hitting.Greedy ])
+        [ 1; 2; 4 ]
+      && (ng > 25
+         ||
+         (* brute force: all subsets up to size p, valid and essential *)
+         let gates = Array.to_list (C.gate_ids faulty) in
+         let check s = Diagnosis.Validity.check_sim faulty tests s in
+         let subsets_1 = List.map (fun g -> [ g ]) gates in
+         let subsets_2 =
+           if p < 2 then []
+           else
+             List.concat_map
+               (fun g ->
+                 List.filter_map
+                   (fun h -> if h > g then Some [ g; h ] else None)
+                   gates)
+               gates
+         in
+         let expected =
+           List.filter check (subsets_1 @ subsets_2)
+           |> List.filter (fun s -> Diagnosis.Validity.essential ~check s)
+           |> Diagnosis.Solutions.canonical
+         in
+         bsat = expected)
+      &&
+      (* a starved budget yields a subset of the full enumeration: the
+         budget stops the search, it must not steer it *)
+      let budget = Sat.Budget.create ~conflicts:8 () in
+      let r = Diagnosis.Hitting.diagnose ~budget ~k:p faulty tests in
+      List.for_all (fun s -> List.mem s bsat) r.Diagnosis.Hitting.solutions)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -274,4 +337,6 @@ let () =
           ] );
       ( "containment",
         List.map QCheck_alcotest.to_alcotest [ prop_containment_relations ] );
+      ( "hitting",
+        List.map QCheck_alcotest.to_alcotest [ prop_hitting_differential ] );
     ]

@@ -263,6 +263,32 @@ let prop_incremental_equivalent =
         (fun jobs -> Diagnosis.Incremental.solutions ~jobs inc = s1)
         widths)
 
+let prop_hitting_equivalent =
+  QCheck.Test.make ~count:15
+    ~name:"hitting: parallel HSDAG rounds = jobs=1, both heuristics"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      List.for_all
+        (fun heuristic ->
+          let r1 =
+            Diagnosis.Hitting.diagnose ~heuristic ~jobs:1 ~k:p faulty tests
+          in
+          List.for_all
+            (fun jobs ->
+              let rn =
+                Diagnosis.Hitting.diagnose ~heuristic ~jobs ~k:p faulty tests
+              in
+              (* node/core/reuse counters legitimately differ across
+                 widths (a round checks up to [jobs] nodes at once); the
+                 solution list is the contract *)
+              rn.Diagnosis.Hitting.solutions = r1.Diagnosis.Hitting.solutions
+              && rn.Diagnosis.Hitting.truncated
+                 = r1.Diagnosis.Hitting.truncated)
+            widths)
+        [ Diagnosis.Hitting.Bfs; Diagnosis.Hitting.Greedy ])
+
 (* ---------- fault simulation ---------- *)
 
 let prop_fault_sim_equivalent =
@@ -336,6 +362,44 @@ let prop_budget_subset_under_truncation =
               List.mem s full.Diagnosis.Bsat.solutions && check s)
             rn.Diagnosis.Bsat.solutions)
         widths)
+
+let prop_hitting_zero_budget_identical =
+  QCheck.Test.make ~count:15
+    ~name:"hitting: exhausted budget truncates identically at every width"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let run jobs =
+        let budget = Sat.Budget.create ~conflicts:0 () in
+        Diagnosis.Hitting.diagnose ~budget ~jobs ~k:p faulty tests
+      in
+      let r1 = run 1 in
+      r1.Diagnosis.Hitting.truncated
+      && List.for_all
+           (fun jobs ->
+             let rn = run jobs in
+             rn.Diagnosis.Hitting.truncated
+             && rn.Diagnosis.Hitting.solutions = r1.Diagnosis.Hitting.solutions)
+           widths)
+
+let prop_hitting_budget_subset =
+  QCheck.Test.make ~count:15
+    ~name:"hitting: tight budget yields ⊆ of the full minimal set, all valid"
+    workload_gen
+    (fun params ->
+      let faulty, tests, p = make_workload params in
+      QCheck.assume (tests <> []);
+      let full = Diagnosis.Hitting.diagnose ~k:p faulty tests in
+      let check = Diagnosis.Validity.check_sat faulty tests in
+      List.for_all
+        (fun jobs ->
+          let budget = Sat.Budget.create ~conflicts:30 () in
+          let rn = Diagnosis.Hitting.diagnose ~budget ~jobs ~k:p faulty tests in
+          List.for_all
+            (fun s -> List.mem s full.Diagnosis.Hitting.solutions && check s)
+            rn.Diagnosis.Hitting.solutions)
+        (1 :: widths))
 
 (* ---------- serve observability across widths ---------- *)
 
@@ -436,6 +500,7 @@ let () =
             prop_advanced_equivalent;
             prop_hybrid_equivalent;
             prop_incremental_equivalent;
+            prop_hitting_equivalent;
           ] );
       ( "fault sim",
         q [ prop_fault_sim_equivalent ] );
@@ -444,6 +509,8 @@ let () =
           [
             prop_zero_budget_truncates_identically;
             prop_budget_subset_under_truncation;
+            prop_hitting_zero_budget_identical;
+            prop_hitting_budget_subset;
           ] );
       ( "serve observability",
         [

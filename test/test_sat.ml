@@ -369,6 +369,32 @@ let test_unsat_core_requires_unsat () =
     (Invalid_argument "Solver.unsat_core: last answer was not Unsat")
     (fun () -> ignore (Sat.Solver.unsat_core s))
 
+let test_shrink_core_redundant () =
+  (* crafted so the raw core is NOT minimal: assuming b first propagates
+     x through (-b | x), then assuming a falsifies (-a | -x), so
+     analyzeFinal charges BOTH assumptions — but a alone already
+     conflicts through (-a | x) and (-a | -x).  The known minimum is
+     {a}. *)
+  let s = solver_of_lists [ [ -2; 3 ]; [ -1; -3 ]; [ -1; 3 ] ] in
+  let b = Sat.Lit.of_dimacs 2 and a = Sat.Lit.of_dimacs 1 in
+  Alcotest.(check bool) "unsat under [b; a]" true
+    (Sat.Solver.solve ~assumptions:[ b; a ] s = Sat.Solver.Unsat);
+  let raw =
+    List.sort compare (List.map Sat.Lit.to_dimacs (Sat.Solver.unsat_core s))
+  in
+  Alcotest.(check (list int)) "raw core keeps the redundant b" [ 1; 2 ] raw;
+  let shrunk =
+    Sat.Solver.shrink_core s [ a; b ]
+    |> List.map Sat.Lit.to_dimacs |> List.sort compare
+  in
+  Alcotest.(check (list int)) "shrinks to the known minimum {a}" [ 1 ] shrunk;
+  (* the other deletion order converges to the same minimum *)
+  let shrunk' =
+    Sat.Solver.shrink_core s [ b; a ]
+    |> List.map Sat.Lit.to_dimacs |> List.sort compare
+  in
+  Alcotest.(check (list int)) "order-independent minimum" [ 1 ] shrunk'
+
 (* ---------- activity seeding ---------- *)
 
 let test_bump_priority_rescale () =
@@ -830,6 +856,39 @@ let prop_unsat_core_sound =
                (Sat.Proof.steps proof)
              = Ok ())
 
+let prop_shrink_core_irreducible =
+  QCheck.Test.make ~count:200 ~name:"shrink_core yields an irreducible core"
+    (QCheck.make ~print:cnf_print random_cnf_gen)
+    (fun (nvars, cls) ->
+      let mk () =
+        let s = Sat.Solver.create () in
+        Sat.Solver.ensure_vars s nvars;
+        List.iter (Sat.Solver.add_clause s) cls;
+        s
+      in
+      let assumptions =
+        List.init (min 4 nvars) (fun v -> Sat.Lit.make v (v mod 2 = 0))
+      in
+      let s = mk () in
+      match Sat.Solver.solve ~assumptions s with
+      | Sat.Solver.Sat -> true
+      | Sat.Solver.Unsat ->
+          let raw = Sat.Solver.unsat_core s in
+          let shrunk = Sat.Solver.shrink_core s raw in
+          (* a subset of the raw core... *)
+          List.for_all (fun l -> List.exists (Sat.Lit.equal l) raw) shrunk
+          (* ...still a core (checked on a fresh solver)... *)
+          && Sat.Solver.solve ~assumptions:shrunk (mk ()) = Sat.Solver.Unsat
+          (* ...and irreducible: dropping any one literal regains Sat
+             (assumption sets are monotone, so drop-one suffices) *)
+          && List.for_all
+               (fun l ->
+                 let rest =
+                   List.filter (fun x -> not (Sat.Lit.equal x l)) shrunk
+                 in
+                 Sat.Solver.solve ~assumptions:rest (mk ()) = Sat.Solver.Sat)
+               shrunk)
+
 let prop_simplify_agrees_with_dpll =
   QCheck.Test.make ~count:150
     ~name:"simplify preserves satisfiability, models and certification"
@@ -937,6 +996,7 @@ let qsuite =
       prop_solver_reusable_after_assumptions;
       prop_solve_limited_agrees;
       prop_unsat_core_sound;
+      prop_shrink_core_irreducible;
       prop_simplify_agrees_with_dpll;
       prop_deletion_heavy_proofs;
     ]
@@ -1004,6 +1064,8 @@ let () =
             test_assumption_core_global;
           Alcotest.test_case "core requires unsat" `Quick
             test_unsat_core_requires_unsat;
+          Alcotest.test_case "redundant assumption shrinks" `Quick
+            test_shrink_core_redundant;
         ] );
       ( "activity",
         [
