@@ -20,7 +20,8 @@
    ablation (advanced SAT heuristics), hybrid (§6 decision hints and
    seed repair), sequential (time-frame expansion), incremental
    (growing test sets on one live instance), hitting (implicit
-   hitting-set engine vs BSAT), serve (cold vs warm request throughput
+   hitting-set engine vs BSAT), adaptive (generated distinguishing
+   tests vs the fixed m-test regime), serve (cold vs warm request throughput
    of the diagnose serve layer), related (BDD space vs SAT), resolution
    (random vs ATPG test sets), micro (Bechamel +
    simulation-throughput JSON baseline). *)
@@ -264,7 +265,8 @@ let hybrid cfg =
           match cov.Diagnosis.Cover.solutions with
           | [] -> "no seed"
           | seed :: _ -> (
-              match Diagnosis.Hybrid.repair ~k ~seed faulty tests with
+              let out = Diagnosis.Hybrid.repair ~k ~seed faulty tests in
+              match out.Diagnosis.Hybrid.repaired with
               | None -> "unrepairable"
               | Some r ->
                   Printf.sprintf "kept %d, +%d"
@@ -485,6 +487,171 @@ let hitting cfg =
     specs;
   add_block "hitting" (Obs.Json.Obj (List.rev !blocks));
   Fmt.pr "@."
+
+(* ---------- adaptive sequential diagnosis ---------------------------- *)
+
+(* Tests-to-unique-diagnosis: the paper's fixed regime diagnoses with
+   m ∈ {4,8,16,32} pre-generated tests and hopes ambiguity shrinks; the
+   adaptive loop starts from m = 4 and *generates* distinguishing tests
+   until the answer is unique or provably indistinguishable.  Each cell
+   records where the fixed regime first reaches a unique diagnosis
+   (sentinel 33 = never, even with all 32 tests) against the adaptive
+   loop's total measured tests and its verdict.  All counts are
+   deterministic; [agree] re-runs the loop at [cfg.jobs] and demands the
+   identical committed sequence. *)
+let adaptive cfg =
+  Fmt.pr "== Adaptive: generated distinguishing tests vs the fixed regime ==@.";
+  Fmt.pr "%-10s | %5s %5s %5s | %6s %6s %6s | %-16s | %s@." "circuit" "fixed"
+    "adapt" "rnds" "surv" "twinq" "gen" "verdict" "better";
+  Fmt.pr "%s@." (String.make 78 '-');
+  let specs =
+    Bench_suite.Workload.small_specs ()
+    @ [
+        {
+          Bench_suite.Workload.label = "rand300e4";
+          circuit =
+            Netlist.Generators.random_dag ~seed:300 ~num_inputs:24
+              ~num_gates:300 ~num_outputs:12 ();
+          num_errors = 4;
+          test_counts = [ 4; 8; 16; 32 ];
+          seed = 205;
+        };
+      ]
+  in
+  let cap = 300 in
+  let never = 33 (* sentinel: > every m of the fixed regime *) in
+  let blocks = ref [] in
+  let wins_le2 = ref 0 and cells_le2 = ref 0 in
+  List.iter
+    (fun spec ->
+      let w = Bench_suite.Workload.prepare spec in
+      let golden = spec.Bench_suite.Workload.circuit in
+      let faulty = w.Bench_suite.Workload.faulty in
+      let all_tests = w.Bench_suite.Workload.tests in
+      let k = spec.Bench_suite.Workload.num_errors in
+      let prefix m = List.filteri (fun i _ -> i < m) all_tests in
+      if prefix 4 <> [] then begin
+        (* fixed regime: first m whose enumeration is a singleton *)
+        let fixed_first_unique =
+          List.fold_left
+            (fun acc m ->
+              if acc < never then acc
+              else
+                let r =
+                  Diagnosis.Bsat.diagnose ~max_solutions:cap ~k faulty
+                    (prefix m)
+                in
+                if
+                  (not r.Diagnosis.Bsat.truncated)
+                  && List.length r.Diagnosis.Bsat.solutions = 1
+                then m
+                else acc)
+            never spec.Bench_suite.Workload.test_counts
+        in
+        (* adaptive loop from the same 4-test prefix; the conflicts
+           budget is a deterministic safety net for the large cells *)
+        let run jobs =
+          let budget = Sat.Budget.create ~conflicts:2_000_000 () in
+          Diagnosis.Adaptive.diagnose ~budget ~max_solutions:cap ~jobs ~k
+            ~golden faulty (prefix 4)
+        in
+        let r = run 1 in
+        let definitive =
+          match r.Diagnosis.Adaptive.verdict with
+          | Diagnosis.Adaptive.Unique | Diagnosis.Adaptive.Indistinguishable ->
+              true
+          | _ -> false
+        in
+        let total =
+          r.Diagnosis.Adaptive.initial_tests
+          + r.Diagnosis.Adaptive.tests_committed
+        in
+        let better = definitive && total < fixed_first_unique in
+        (* a capped (truncated) run is a width-dependent prefix, so the
+           cross-width identity is only meaningful on complete runs —
+           same caveat as the hitting experiment's capped cells *)
+        let agree =
+          cfg.jobs = 1
+          || r.Diagnosis.Adaptive.truncated
+          ||
+          let rn = run cfg.jobs in
+          rn.Diagnosis.Adaptive.solutions = r.Diagnosis.Adaptive.solutions
+          && rn.Diagnosis.Adaptive.verdict = r.Diagnosis.Adaptive.verdict
+          && List.map
+               (fun rd -> rd.Diagnosis.Adaptive.vector)
+               rn.Diagnosis.Adaptive.rounds
+             = List.map
+                 (fun rd -> rd.Diagnosis.Adaptive.vector)
+                 r.Diagnosis.Adaptive.rounds
+        in
+        if k <= 2 then begin
+          incr cells_le2;
+          if better then incr wins_le2
+        end;
+        let verdict_name =
+          match r.Diagnosis.Adaptive.verdict with
+          | Diagnosis.Adaptive.Unique -> "unique"
+          | Diagnosis.Adaptive.No_diagnosis -> "no-diagnosis"
+          | Diagnosis.Adaptive.Indistinguishable -> "indistinguish."
+          | Diagnosis.Adaptive.Stalled -> "stalled"
+          | Diagnosis.Adaptive.Exhausted -> "exhausted"
+        in
+        blocks :=
+          ( spec.Bench_suite.Workload.label,
+            Obs.Json.Obj
+              [
+                ( "initial_tests",
+                  Obs.Json.Int r.Diagnosis.Adaptive.initial_tests );
+                ("generated", Obs.Json.Int r.Diagnosis.Adaptive.tests_committed);
+                ("total_tests", Obs.Json.Int total);
+                ( "rounds",
+                  Obs.Json.Int (List.length r.Diagnosis.Adaptive.rounds) );
+                ( "survivors",
+                  Obs.Json.Int (List.length r.Diagnosis.Adaptive.solutions) );
+                ("twin_calls", Obs.Json.Int r.Diagnosis.Adaptive.twin_calls);
+                ( "unique",
+                  Obs.Json.Int
+                    (if r.Diagnosis.Adaptive.verdict = Diagnosis.Adaptive.Unique
+                     then 1
+                     else 0) );
+                ( "indistinguishable",
+                  Obs.Json.Int
+                    (if
+                       r.Diagnosis.Adaptive.verdict
+                       = Diagnosis.Adaptive.Indistinguishable
+                     then 1
+                     else 0) );
+                ("fixed_first_unique", Obs.Json.Int fixed_first_unique);
+                ("adaptive_better", Obs.Json.Int (if better then 1 else 0));
+                ( "truncated",
+                  Obs.Json.Int (if r.Diagnosis.Adaptive.truncated then 1 else 0)
+                );
+                ("agree", Obs.Json.Int (if agree then 1 else 0));
+              ] )
+          :: !blocks;
+        Fmt.pr "%-10s | %5s %5d %5d | %6d %6d %6d | %-16s | %s@."
+          spec.Bench_suite.Workload.label
+          (if fixed_first_unique = never then ">32"
+           else string_of_int fixed_first_unique)
+          total
+          (List.length r.Diagnosis.Adaptive.rounds)
+          (List.length r.Diagnosis.Adaptive.solutions)
+          r.Diagnosis.Adaptive.twin_calls r.Diagnosis.Adaptive.tests_committed
+          verdict_name
+          (if agree then (if better then "true" else "false") else "DISAGREE")
+      end)
+    specs;
+  blocks :=
+    ( "summary",
+      Obs.Json.Obj
+        [
+          ("wins_le2", Obs.Json.Int !wins_le2);
+          ("cells_le2", Obs.Json.Int !cells_le2);
+        ] )
+    :: !blocks;
+  add_block "adaptive" (Obs.Json.Obj (List.rev !blocks));
+  Fmt.pr "adaptive beats the fixed regime on %d/%d cells with <= 2 errors@.@."
+    !wins_le2 !cells_le2
 
 (* ---------- diagnosis as a service (warm pooled contexts) ------------- *)
 
@@ -1131,7 +1298,8 @@ let () =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("figure5", figure5); ("figure6", figure6); ("ablation", ablation);
       ("hybrid", hybrid); ("sequential", sequential); ("incremental", incremental);
-      ("hitting", hitting); ("serve", serve); ("related", related);
+      ("hitting", hitting); ("adaptive", adaptive); ("serve", serve);
+      ("related", related);
       ("resolution", resolution); ("micro", micro) ]
   in
   (* selectable by name but excluded from the default sweep: gates that

@@ -64,6 +64,7 @@ let inject_cmd_run spec scale errors seed out =
 
 type approach =
   | Bsim | Cov | Bsat | Advsim | Advsat | Hybrid | Xlist | Inc | Hitting
+  | Adaptive
 
 let approach_conv =
   let parse = function
@@ -76,6 +77,7 @@ let approach_conv =
     | "xlist" -> Ok Xlist
     | "incremental" -> Ok Inc
     | "hitting" -> Ok Hitting
+    | "adaptive" -> Ok Adaptive
     | s -> Error (`Msg (Printf.sprintf "unknown approach %S" s))
   in
   let print ppf a =
@@ -83,7 +85,7 @@ let approach_conv =
       (match a with
       | Bsim -> "bsim" | Cov -> "cov" | Bsat -> "bsat" | Advsim -> "advsim"
       | Advsat -> "advsat" | Hybrid -> "hybrid" | Xlist -> "xlist"
-      | Inc -> "incremental" | Hitting -> "hitting")
+      | Inc -> "incremental" | Hitting -> "hitting" | Adaptive -> "adaptive")
   in
   Cmdliner.Arg.conv (parse, print)
 
@@ -111,6 +113,10 @@ let report_solutions faulty tests label solutions =
 let run_cmd_run golden_spec faulty_spec scale errors seed approach heuristic k
     m max_solutions stats trace_out budget_seconds budget_conflicts certify
     jobs =
+  (* flags that only one method honors are rejected, not ignored: a
+     silently dropped flag reads as a different experiment than it ran *)
+  if heuristic <> None && approach <> Hitting then
+    Fmt.failwith "--heuristic only applies to --method hitting";
   let golden = load_circuit ~scale golden_spec in
   let faulty, injected =
     match faulty_spec with
@@ -193,24 +199,37 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach heuristic k
           r.Core.Advanced_sat.cert_failures
     | Hybrid ->
         let cov =
-          Core.Cover.diagnose ~max_solutions:1 ?obs ~jobs ~k faulty tests
+          Core.Cover.diagnose ~max_solutions:1 ?time_limit ?obs ~jobs ~k
+            faulty tests
         in
         (match cov.Core.Cover.solutions with
-        | [] -> Fmt.pr "no COV seed available@."
-        | seed_sol :: _ -> (
+        | [] ->
+            Fmt.pr "no COV seed available@.";
+            truncation_notice cov.Core.Cover.truncated
+        | seed_sol :: _ ->
             Fmt.pr "COV seed: %a@." (pp_solution faulty) seed_sol;
-            match
-              Core.Hybrid.repair ?budget ?obs ~k ~seed:seed_sol faulty tests
-            with
+            let r =
+              Core.Hybrid.repair ?budget ?obs ~certify ~jobs ~k
+                ~seed:seed_sol faulty tests
+            in
+            (match r.Core.Hybrid.repaired with
+            | None when r.Core.Hybrid.exhausted -> ()
             | None -> Fmt.pr "no valid correction of size <= %d@." k
-            | Some r ->
+            | Some rr ->
                 Fmt.pr "repaired: %a (dropped %d, added %d)@."
-                  (pp_solution faulty) r.Core.Hybrid.correction
-                  r.Core.Hybrid.dropped r.Core.Hybrid.added))
+                  (pp_solution faulty) rr.Core.Hybrid.correction
+                  rr.Core.Hybrid.dropped rr.Core.Hybrid.added);
+            (* the seed enumeration is capped at one solution on purpose,
+               so its truncated flag is not an exhaustion signal *)
+            truncation_notice r.Core.Hybrid.exhausted;
+            note_cert r.Core.Hybrid.cert_checks r.Core.Hybrid.cert_failures)
     | Xlist ->
         let r = Core.Xlist.diagnose faulty tests in
         Fmt.pr "Xlist: |union|=%d@." (List.length r.Core.Xlist.union)
     | Hitting ->
+        let heuristic =
+          Option.value ~default:Core.Hitting.Bfs heuristic
+        in
         let r =
           Core.Hitting.diagnose ~heuristic ~max_solutions ?budget ?obs
             ~certify ~jobs ~k faulty tests
@@ -232,7 +251,39 @@ let run_cmd_run golden_spec faulty_spec scale errors seed approach heuristic k
           r.Core.Serve.Engine.solutions;
         truncation_notice r.Core.Serve.Engine.truncated;
         note_cert r.Core.Serve.Engine.cert_checks
-          r.Core.Serve.Engine.cert_failures);
+          r.Core.Serve.Engine.cert_failures
+    | Adaptive ->
+        let r =
+          Core.Adaptive.diagnose ~max_solutions ?budget ?obs ~certify ~jobs
+            ~k ~golden faulty tests
+        in
+        List.iter
+          (fun (round : Core.Adaptive.round) ->
+            Fmt.pr
+              "round: %d -> %d survivor(s), %d new test(s), killed %d \
+               (entropy %.3f)@."
+              round.Core.Adaptive.survivors_before
+              round.Core.Adaptive.survivors_after
+              (List.length round.Core.Adaptive.triples)
+              (List.length round.Core.Adaptive.killed)
+              round.Core.Adaptive.score)
+          r.Core.Adaptive.rounds;
+        Fmt.pr "adaptive: %d initial + %d generated test(s), %d twin quer%s@."
+          r.Core.Adaptive.initial_tests r.Core.Adaptive.tests_committed
+          r.Core.Adaptive.twin_calls
+          (if r.Core.Adaptive.twin_calls = 1 then "y" else "ies");
+        Fmt.pr "verdict: %s@."
+          (match r.Core.Adaptive.verdict with
+          | Core.Adaptive.Unique -> "unique diagnosis"
+          | Core.Adaptive.No_diagnosis ->
+              Printf.sprintf "no correction of size <= %d" k
+          | Core.Adaptive.Indistinguishable ->
+              "survivors provably indistinguishable"
+          | Core.Adaptive.Stalled -> "stalled (no vector splits the survivors)"
+          | Core.Adaptive.Exhausted -> "exhausted (budget or round limit)");
+        report_solutions faulty tests "ADAPTIVE" r.Core.Adaptive.solutions;
+        truncation_notice r.Core.Adaptive.truncated;
+        note_cert r.Core.Adaptive.cert_checks r.Core.Adaptive.cert_failures);
     (match injected with
     | [] -> ()
     | errs ->
@@ -584,8 +635,8 @@ let inject_cmd =
 
 let run_cmd =
   let faulty = Arg.(value & opt (some string) None & info [ "faulty" ] ~docv:"CIRCUIT" ~doc:"Faulty implementation (default: inject errors into CIRCUIT)") in
-  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist | incremental | hitting") in
-  let heuristic = Arg.(value & opt heuristic_conv Core.Hitting.Bfs & info [ "heuristic" ] ~doc:"HSDAG expansion order for --method hitting: bfs (minimal cardinality first) or greedy (most frequent conflict element first)") in
+  let approach = Arg.(value & opt approach_conv Bsat & info [ "method" ] ~doc:"bsim | cov | bsat | advsim | advsat | hybrid | xlist | incremental | hitting | adaptive") in
+  let heuristic = Arg.(value & opt (some heuristic_conv) None & info [ "heuristic" ] ~doc:"HSDAG expansion order for --method hitting: bfs (minimal cardinality first) or greedy (most frequent conflict element first); rejected for any other --method") in
   let k = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Correction size limit (default: number of injected errors)") in
   let m = Arg.(value & opt int 16 & info [ "tests"; "m" ] ~doc:"Number of failing tests to use") in
   let max_solutions = Arg.(value & opt int 1000 & info [ "max-solutions" ] ~doc:"Stop after this many solutions") in

@@ -54,7 +54,9 @@ let () =
   in
   Fmt.pr "COV seed  : %a (valid correction: %b)@." pp_sol seed_sol
     (Core.Validity.check_sat faulty tests seed_sol);
-  (match Core.Hybrid.repair ~k:p ~seed:seed_sol faulty tests with
+  (match
+     (Core.Hybrid.repair ~k:p ~seed:seed_sol faulty tests).Core.Hybrid.repaired
+   with
   | None -> Fmt.pr "no valid correction of size <= %d exists@." p
   | Some r ->
       Fmt.pr "repaired  : %a (kept %d seed gates, dropped %d, added %d)@."

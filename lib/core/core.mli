@@ -53,6 +53,8 @@ module Fault_sim = Sim.Fault_sim
 module Connection = Sim.Connection
 module Dictionary = Diagnosis.Dictionary
 module Miter = Encode.Miter
+module Twin = Encode.Twin
+module Adaptive = Diagnosis.Adaptive
 module Rectify = Diagnosis.Rectify
 module Atpg = Diagnosis.Atpg
 module Incremental = Diagnosis.Incremental

@@ -46,10 +46,17 @@ type repair_result = {
   added : int;
 }
 
-let repair ?marks ?budget ?obs ~k ~seed c tests =
+type repair_outcome = {
+  repaired : repair_result option;
+  exhausted : bool;
+  cert_checks : int;
+  cert_failures : string list;
+}
+
+let repair ?marks ?budget ?obs ?(certify = false) ?jobs ~k ~seed c tests =
   Telemetry.phase obs "hybrid/repair"
     ~payload:(fun r ->
-      match r with None -> 0 | Some r -> List.length r.correction)
+      match r.repaired with None -> 0 | Some r -> List.length r.correction)
   @@ fun () ->
   let budget =
     match budget with Some b -> b | None -> Sat.Budget.unlimited ()
@@ -57,10 +64,10 @@ let repair ?marks ?budget ?obs ~k ~seed c tests =
   let marks =
     match marks with
     | Some m -> m
-    | None -> (Bsim.diagnose c tests).Bsim.marks
+    | None -> (Bsim.diagnose ?jobs c tests).Bsim.marks
   in
   let solver = Sat.Solver.create () in
-  let inst = Encode.Muxed.build ~max_k:k solver c tests in
+  let inst = Encode.Muxed.build ~certify ~max_k:k solver c tests in
   let is_candidate g =
     match Encode.Muxed.select_lit inst g with
     | _ -> true
@@ -74,10 +81,18 @@ let repair ?marks ?budget ?obs ~k ~seed c tests =
   let truncated_seed =
     List.filteri (fun i _ -> i < k) ordered_seed
   in
+  let finish repaired ~exhausted =
+    {
+      repaired;
+      exhausted;
+      cert_checks = Encode.Muxed.cert_checks inst;
+      cert_failures = Encode.Muxed.cert_failures inst;
+    }
+  in
   let rec attempt kept =
     let extra = List.map (Encode.Muxed.select_lit inst) kept in
     match Encode.Muxed.solve_at_most_limited ~extra ~budget inst k with
-    | Sat.Solver.Unknown -> None
+    | Sat.Solver.Unknown -> finish None ~exhausted:true
     | Sat.Solver.Solved Sat.Solver.Sat ->
         let sol = Encode.Muxed.solution inst in
         let correction =
@@ -85,19 +100,20 @@ let repair ?marks ?budget ?obs ~k ~seed c tests =
             sol
         in
         let kept_final = List.filter (fun g -> List.mem g seed) correction in
-        Some
-          {
-            seed;
-            kept = kept_final;
-            correction;
-            dropped = List.length seed - List.length kept_final;
-            added =
-              List.length
-                (List.filter (fun g -> not (List.mem g seed)) correction);
-          }
+        finish ~exhausted:false
+          (Some
+             {
+               seed;
+               kept = kept_final;
+               correction;
+               dropped = List.length seed - List.length kept_final;
+               added =
+                 List.length
+                   (List.filter (fun g -> not (List.mem g seed)) correction);
+             })
     | Sat.Solver.Solved Sat.Solver.Unsat -> (
         match List.rev kept with
-        | [] -> None
+        | [] -> finish None ~exhausted:false
         | _least :: rest_rev -> attempt (List.rev rest_rev))
   in
   attempt truncated_seed

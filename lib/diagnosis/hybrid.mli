@@ -48,20 +48,32 @@ type repair_result = {
   added : int;              (** gates the SAT engine added *)
 }
 
+type repair_outcome = {
+  repaired : repair_result option;
+      (** [None] when no valid correction of size <= k extends any seed
+          suffix — or when the budget died mid-repair (see
+          [exhausted]): a truncated repair is not a correction *)
+  exhausted : bool;
+      (** the [budget] ran out before the search concluded *)
+  cert_checks : int;  (** solver answers verified (with [~certify]) *)
+  cert_failures : string list;
+}
+
 val repair :
   ?marks:int array ->
   ?budget:Sat.Budget.t ->
   ?obs:Obs.t ->
+  ?certify:bool ->
+  ?jobs:int ->
   k:int ->
   seed:int list ->
   Netlist.Circuit.t ->
   Sim.Testgen.test list ->
-  repair_result option
-(** [None] when no valid correction of size <= k exists at all — or,
-    when a [budget] is given and exhausted mid-repair, the search is
-    abandoned and [None] is returned (indistinguishable by design: a
-    truncated repair is not a correction).
-    [marks] orders seed dropping (least-marked first); defaults to
-    running BSIM internally.  [obs] brackets the whole repair with a
-    ["hybrid/repair"] [Begin]/[End] event pair ([End] payload = final
-    correction size, 0 on failure). *)
+  repair_outcome
+(** [marks] orders seed dropping (least-marked first); defaults to
+    running BSIM internally — [jobs] parallelizes that marking pass
+    (the repair search itself is a sequential assumption ladder on one
+    live instance).  [certify] verifies every solver answer of the
+    ladder with the {!Encode.Muxed} DRUP discipline.  [obs] brackets
+    the whole repair with a ["hybrid/repair"] [Begin]/[End] event pair
+    ([End] payload = final correction size, 0 on failure). *)

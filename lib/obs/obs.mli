@@ -144,7 +144,11 @@ module Sketch : sig
       linearly interpolated inside it, clamped to the observed
       [min..max] range.  The estimate is within one bucket width of the
       exact sorted-array quantile (see the differential oracle in
-      [test_obs]).  Returns [0.0] on an empty sketch. *)
+      [test_obs], which covers the empty case).
+
+      An empty sketch has no interpolation interval; every quantile of
+      it is the defined value [0.0] — the min = max = 0 convention of
+      {!min_value}/{!max_value}, never a division by a zero count. *)
 
   val merge : s -> s -> s
   (** A fresh sketch holding both inputs' observations — associative,

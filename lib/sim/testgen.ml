@@ -75,6 +75,16 @@ let from_vectors ~golden ~faulty vectors =
     vectors;
   List.rev !acc
 
+let split_entropy ~total ~killed =
+  if killed < 0 || killed > total then
+    invalid_arg "Testgen.split_entropy: killed outside 0..total";
+  if total = 0 || killed = 0 || killed = total then 0.0
+  else begin
+    let p = float_of_int killed /. float_of_int total in
+    let h x = -.x *. (Float.log x /. Float.log 2.0) in
+    h p +. h (1.0 -. p)
+  end
+
 let exhaustive ~golden ~faulty =
   let num_inputs = Circuit.num_inputs golden in
   if num_inputs > 20 then invalid_arg "Testgen.exhaustive: too many inputs";

@@ -43,3 +43,12 @@ val from_vectors :
   bool array list -> test list
 (** Failing triples of the given vectors (e.g. an ATPG-generated or
     manufacturing test set), in vector order. *)
+
+val split_entropy : total:int -> killed:int -> float
+(** Information gained by a test that splits [total] surviving diagnosis
+    candidates into [killed] invalidated and [total - killed] surviving
+    ones: the binary entropy (in bits) of the partition, maximal
+    ([1.0]) at an even split and [0.0] when nothing (or everything) is
+    killed.  The adaptive test-selection loop ranks candidate vectors by
+    this score (halving the survivor lattice first).
+    @raise Invalid_argument when [killed] is outside [0..total]. *)

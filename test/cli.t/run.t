@@ -258,6 +258,77 @@ empty result is still a valid (empty) prefix of the minimal set:
   cores=0 nodes=0 reused=0 pruned=0
   budget exhausted: enumeration truncated (solutions above are still valid)
 
+--heuristic is an HSDAG knob; any other method rejects it as invalid
+input:
+
+  $ diagnose run rca4 --faulty faulty.bench --method bsat --heuristic greedy -k 1 -m 8
+  diagnose: --heuristic only applies to --method hitting
+  [2]
+
+The hybrid engine seeds a repair from the first COV cover; a clean run
+prints no truncation notice (the seed enumeration is deliberately
+capped at one solution) and --certify verifies the repair's SAT
+answer:
+
+  $ diagnose run rca4 --faulty faulty.bench --method hybrid -k 1 -m 8 --certify
+  8 failing test(s) found
+  COV seed: {n19}
+  repaired: {n19} (dropped 0, added 0)
+  certified: 1 solver answer(s) verified
+
+A zero conflict budget aborts the repair and says so:
+
+  $ diagnose run rca4 --faulty faulty.bench --method hybrid -k 1 -m 8 --budget-conflicts 0
+  8 failing test(s) found
+  COV seed: {n19}
+  budget exhausted: enumeration truncated (solutions above are still valid)
+
+The adaptive engine closes the measure->diagnose loop: when the
+initial tests leave several survivors, it generates distinguishing
+vectors from directed twin instances, commits the best splitter and
+re-diagnoses on the warm incremental context until the answer is
+unique or provably indistinguishable.  On this rca4 instance, 4 tests
+leave 4 survivors; one generated test kills one, and the remaining 3
+are proven inseparable:
+
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 4
+  4 failing test(s) found
+  round: 4 -> 3 survivor(s), 1 new test(s), killed 1 (entropy 0.811)
+  adaptive: 4 initial + 1 generated test(s), 27 twin queries
+  verdict: survivors provably indistinguishable
+  ADAPTIVE: 3 solution(s)
+    {n19}
+    {n18}
+    {n20}
+
+The committed test sequence is identical at every --jobs width:
+
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 4 > ad1.out
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 4 --jobs 4 > ad4.out
+  $ cmp ad1.out ad4.out
+
+--certify verifies every enumeration answer and every twin query:
+
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 4 --certify | tail -1
+  certified: 36 solver answer(s) verified
+
+Its stats block is deterministic and pinned like the other engines'
+(adaptive counters, the killed histogram and the generate/round phase
+events ride along):
+
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 4 --stats | tail -1
+  {"counters":{"adaptive/rounds":1,"adaptive/solutions":3,"adaptive/tests_committed":1,"adaptive/truncated":0,"adaptive/twin_calls":27},"histograms":{"adaptive/killed":{"count":1,"buckets":[[1,1,1]]},"incremental/backtrack":{"count":4,"buckets":[[1,1,2],[2,3,1],[4,7,1]]},"incremental/conflict_gap":{"count":4,"buckets":[[128,255,1],[512,1023,2],[1024,2047,1]]},"incremental/learnt_len":{"count":4,"buckets":[[1,1,2],[2,3,2]]}},"events":{"emitted":15,"dropped":0,"items":[{"tick":0,"name":"incremental/cnf","ph":"B","arg":0},{"tick":1,"name":"incremental/cnf","ph":"E","arg":0},{"tick":2,"name":"incremental/solve","ph":"B","arg":0},{"tick":3,"name":"incremental/solve","ph":"E","arg":4},{"tick":4,"name":"adaptive/generate","ph":"B","arg":0},{"tick":5,"name":"adaptive/generate","ph":"E","arg":8},{"tick":6,"name":"adaptive/score","ph":"B","arg":0},{"tick":7,"name":"adaptive/score","ph":"E","arg":8},{"tick":8,"name":"adaptive/round","ph":"B","arg":0},{"tick":9,"name":"incremental/add_tests","ph":"i","arg":1},{"tick":10,"name":"incremental/solve","ph":"B","arg":0},{"tick":11,"name":"incremental/solve","ph":"E","arg":3},{"tick":12,"name":"adaptive/generate","ph":"B","arg":0},{"tick":13,"name":"adaptive/generate","ph":"E","arg":0},{"tick":14,"name":"adaptive/round","ph":"E","arg":1}]}}
+
+A zero conflict budget exhausts before the first enumeration; the
+empty survivor set is still a valid partial answer:
+
+  $ diagnose run rca4 --faulty faulty.bench --method adaptive -k 1 -m 8 --budget-conflicts 0
+  8 failing test(s) found
+  adaptive: 8 initial + 0 generated test(s), 0 twin queries
+  verdict: exhausted (budget or round limit)
+  ADAPTIVE: 0 solution(s)
+  budget exhausted: enumeration truncated (solutions above are still valid)
+
 The incremental engine (encode once, enumerate per request) is the
 CLI's SAT method behind diagnose serve; one-shot runs pin its stats
 block:

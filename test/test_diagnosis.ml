@@ -463,8 +463,9 @@ let test_hybrid_budget_truncates () =
 let test_hybrid_repair_exhausted_budget () =
   let _, faulty, _, tests = workload 26 1 in
   let budget = Sat.Budget.create ~conflicts:0 () in
+  let out = Diagnosis.Hybrid.repair ~budget ~k:1 ~seed:[] faulty tests in
   Alcotest.(check bool) "exhausted budget aborts the repair" true
-    (Diagnosis.Hybrid.repair ~budget ~k:1 ~seed:[] faulty tests = None)
+    (out.Diagnosis.Hybrid.repaired = None && out.Diagnosis.Hybrid.exhausted)
 
 let test_incremental_budget () =
   let _, faulty, _, tests = workload 27 2 in
@@ -573,7 +574,10 @@ let test_hybrid_repair_fig5a () =
   (* seed {B} (invalid cover) is repaired into a valid correction *)
   let c, t = Bench_suite.Paper_circuits.fig5a in
   let g n = Bench_suite.Paper_circuits.gate c n in
-  match Diagnosis.Hybrid.repair ~k:1 ~seed:[ g "B" ] c [ t ] with
+  match
+    (Diagnosis.Hybrid.repair ~k:1 ~seed:[ g "B" ] c [ t ])
+      .Diagnosis.Hybrid.repaired
+  with
   | None -> Alcotest.fail "repair must succeed"
   | Some r ->
       Alcotest.(check bool) "result valid" true
@@ -590,7 +594,8 @@ let prop_hybrid_repair_valid =
       | [] -> true
       | seed_sol :: _ -> (
           match
-            Diagnosis.Hybrid.repair ~k:p ~seed:seed_sol faulty tests
+            (Diagnosis.Hybrid.repair ~k:p ~seed:seed_sol faulty tests)
+              .Diagnosis.Hybrid.repaired
           with
           | None ->
               (* only acceptable when BSAT finds nothing either *)
@@ -849,6 +854,119 @@ let prop_hitting_subsumes_valid_covers =
                hit)
         covers)
 
+(* ---------- adaptive ---------- *)
+
+(* a small workload with several ambiguous single-gate diagnoses: the
+   alu-4 seeds below are known (by probing) to start with separable
+   survivor pairs, so the adaptive loop actually generates tests *)
+let adaptive_workload seed =
+  let golden = Netlist.Generators.alu 4 in
+  let faulty, _ = Sim.Injector.inject ~seed ~num_errors:1 golden in
+  let tests =
+    Sim.Testgen.generate ~seed:(seed + 1) ~max_vectors:4096 ~wanted:6 ~golden
+      ~faulty
+  in
+  (golden, faulty, tests)
+
+let test_adaptive_resolves_definitively () =
+  let golden, faulty, tests = adaptive_workload 86 in
+  let r = Diagnosis.Adaptive.diagnose ~certify:true ~k:1 ~golden faulty tests in
+  Alcotest.(check bool) "verdict is definitive" true
+    (match r.Diagnosis.Adaptive.verdict with
+    | Diagnosis.Adaptive.Unique | Diagnosis.Adaptive.Indistinguishable -> true
+    | _ -> false);
+  Alcotest.(check bool) "made progress" true
+    (r.Diagnosis.Adaptive.rounds <> []
+    || List.length r.Diagnosis.Adaptive.solutions <= 1
+    || r.Diagnosis.Adaptive.verdict = Diagnosis.Adaptive.Indistinguishable);
+  Alcotest.(check bool) "certified answers" true
+    (r.Diagnosis.Adaptive.cert_checks > 0);
+  Alcotest.(check (list string)) "no cert failures" []
+    r.Diagnosis.Adaptive.cert_failures;
+  (* every survivor still explains the full measured test set *)
+  let measured =
+    tests
+    @ List.concat_map
+        (fun rd -> rd.Diagnosis.Adaptive.triples)
+        r.Diagnosis.Adaptive.rounds
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "survivor valid on all measured tests" true
+        (Diagnosis.Validity.check_sat faulty measured s))
+    r.Diagnosis.Adaptive.solutions
+
+(* per-round oracle: each committed vector's kill list is confirmed by
+   resimulation + an independent validity check, and each round's
+   bookkeeping is internally consistent *)
+let test_adaptive_round_oracle () =
+  List.iter
+    (fun seed ->
+      let golden, faulty, tests = adaptive_workload seed in
+      let r = Diagnosis.Adaptive.diagnose ~k:1 ~golden faulty tests in
+      List.iter
+        (fun rd ->
+          Alcotest.(check bool) "committed vector killed someone" true
+            (rd.Diagnosis.Adaptive.killed <> []);
+          Alcotest.(check bool) "committed vector is a failing test" true
+            (rd.Diagnosis.Adaptive.triples <> []);
+          (* the recorded triples are exactly the vector's failing ones *)
+          let resim =
+            Sim.Testgen.from_vectors ~golden ~faulty
+              [ rd.Diagnosis.Adaptive.vector ]
+          in
+          Alcotest.(check int) "triples match resimulation"
+            (List.length resim)
+            (List.length rd.Diagnosis.Adaptive.triples);
+          List.iter
+            (fun s ->
+              Alcotest.(check bool) "killed survivor fails check_sat" false
+                (Diagnosis.Validity.check_sat faulty
+                   rd.Diagnosis.Adaptive.triples s))
+            rd.Diagnosis.Adaptive.killed;
+          Alcotest.(check bool) "survivor count shrinks" true
+            (rd.Diagnosis.Adaptive.survivors_after
+            < rd.Diagnosis.Adaptive.survivors_before);
+          Alcotest.(check bool) "score positive" true
+            (rd.Diagnosis.Adaptive.score > 0.0))
+        r.Diagnosis.Adaptive.rounds)
+    [ 86; 90 ]
+
+(* x -> NOT g1 -> NOT g2 with g1 flipped to BUF: {g1} and {g2} are both
+   valid single-gate diagnoses and no measurement can ever split them —
+   the loop must prove Indistinguishable, not stall or loop *)
+let test_adaptive_indistinguishable_chain () =
+  let b = Netlist.Builder.create ~name:"notnot" in
+  let x = Netlist.Builder.input b in
+  let g1 = Netlist.Builder.not_ b x in
+  let g2 = Netlist.Builder.not_ b g1 in
+  Netlist.Builder.output b g2;
+  let golden = Netlist.Builder.build b in
+  let faulty = C.with_kinds golden [ (g1, Netlist.Gate.Buf) ] in
+  let tests = Sim.Testgen.exhaustive ~golden ~faulty in
+  let r = Diagnosis.Adaptive.diagnose ~k:1 ~golden faulty tests in
+  Alcotest.(check bool) "verdict Indistinguishable" true
+    (r.Diagnosis.Adaptive.verdict = Diagnosis.Adaptive.Indistinguishable);
+  Alcotest.(check (list (list int))) "both chain gates survive"
+    [ [ g1 ]; [ g2 ] ]
+    (canon r.Diagnosis.Adaptive.solutions);
+  Alcotest.(check int) "no test was committed" 0
+    (List.length r.Diagnosis.Adaptive.rounds)
+
+let test_adaptive_budget_exhausted () =
+  let golden, faulty, tests = adaptive_workload 86 in
+  let budget = Sat.Budget.create ~conflicts:0 () in
+  let r = Diagnosis.Adaptive.diagnose ~budget ~k:1 ~golden faulty tests in
+  Alcotest.(check bool) "verdict Exhausted" true
+    (r.Diagnosis.Adaptive.verdict = Diagnosis.Adaptive.Exhausted);
+  Alcotest.(check bool) "truncated flag" true r.Diagnosis.Adaptive.truncated;
+  (* whatever survived the cut must still be valid *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "partial survivor valid" true
+        (Diagnosis.Validity.check_sat faulty tests s))
+    r.Diagnosis.Adaptive.solutions
+
 (* ---------- metrics ---------- *)
 
 let test_metrics_distances () =
@@ -1001,6 +1119,16 @@ let () =
             test_hitting_equals_bsat_examples;
           Alcotest.test_case "duality: valid covers subsumed" `Quick
             test_hitting_subsumes_valid_covers;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "resolves definitively" `Quick
+            test_adaptive_resolves_definitively;
+          Alcotest.test_case "round oracle" `Quick test_adaptive_round_oracle;
+          Alcotest.test_case "indistinguishable chain" `Quick
+            test_adaptive_indistinguishable_chain;
+          Alcotest.test_case "budget exhausted" `Quick
+            test_adaptive_budget_exhausted;
         ] );
       ( "metrics",
         [

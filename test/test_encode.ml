@@ -332,6 +332,211 @@ let test_muxed_export_dimacs () =
   Alcotest.(check bool) "equisatisfiable" true
     (Sat.Solver.solve s2 = Encode.Muxed.solve_at_most inst 1)
 
+(* ---------- miter counterexamples ---------- *)
+
+(* every counterexample triple is a real failing test of the
+   implementation (resimulation oracle), carries the specification's
+   value as its expectation, and the witness vectors are pairwise
+   distinct (each one is blocked before the next solve) *)
+let prop_miter_counterexamples =
+  QCheck.Test.make ~count:50
+    ~name:"miter counterexamples are distinct failing tests of the impl"
+    QCheck.(pair (int_bound 1000) (int_range 1 2))
+    (fun (seed, num_errors) ->
+      let spec =
+        Netlist.Generators.random_dag ~seed ~num_inputs:6 ~num_gates:30
+          ~num_outputs:3 ()
+      in
+      let impl, _ = Sim.Injector.inject ~seed:(seed + 1) ~num_errors spec in
+      let cxs = Encode.Miter.counterexamples ~limit:8 ~spec ~impl () in
+      let vectors =
+        List.map (fun t -> Array.to_list t.Sim.Testgen.vector) cxs
+      in
+      List.length (List.sort_uniq compare vectors) = List.length vectors
+      && List.for_all (Sim.Testgen.fails impl) cxs
+      && List.for_all
+           (fun t -> Sim.Testgen.response spec t = t.Sim.Testgen.expected)
+           cxs)
+
+(* ---------- twin ---------- *)
+
+(* brute-force oracle: the achievable output rows of [c] at [x] with the
+   gates of [sites] forced to every value combination *)
+let achievable c x sites =
+  let base = Sim.Simulator.eval c x in
+  let n = List.length sites in
+  let rows = ref [] in
+  for m = 0 to (1 lsl n) - 1 do
+    let forced = List.mapi (fun i g -> (g, m land (1 lsl i) <> 0)) sites in
+    let row =
+      Array.init
+        (Array.length c.C.outputs)
+        (fun o -> Sim.Event_sim.output_after c base forced o)
+    in
+    if not (List.mem row !rows) then rows := row :: !rows
+  done;
+  List.sort compare !rows
+
+let test_twin_vector_oracle () =
+  let faulty, _, _ = faulty_adder () in
+  let non_inputs =
+    Array.to_list faulty.C.topo
+    |> List.filter (fun g -> not (C.is_input faulty g))
+  in
+  let a = [ List.nth non_inputs 0 ] and b = [ List.nth non_inputs 1 ] in
+  let solver = Sat.Solver.create () in
+  let twin = Encode.Twin.build solver faulty ~a ~b in
+  let rec collect n acc =
+    if n = 0 then List.rev acc
+    else
+      match Encode.Twin.next_vector twin with
+      | Encode.Twin.Vector v -> collect (n - 1) (v :: acc)
+      | _ -> List.rev acc
+  in
+  let vs = collect 5 [] in
+  Alcotest.(check bool) "some separating vector" true (vs <> []);
+  let keys = List.map Array.to_list vs in
+  Alcotest.(check int) "vectors pairwise distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun v ->
+      (* the sides can disagree at v unless both achievable sets are the
+         same singleton *)
+      let ra = achievable faulty v a and rb = achievable faulty v b in
+      Alcotest.(check bool) "oracle confirms separability" true
+        (not (ra = rb && List.length ra = 1)))
+    vs
+
+(* x -> NOT g1 -> NOT g2: flipping g1 to BUF makes {g1} and {g2} equally
+   valid single-gate diagnoses that no measurement can ever split — the
+   weak twin still separates them (each freed gate spans both output
+   values), the directed twin proves them tied *)
+let notnot_pair () =
+  let b = Netlist.Builder.create ~name:"notnot" in
+  let x = Netlist.Builder.input b in
+  let g1 = Netlist.Builder.not_ b x in
+  let g2 = Netlist.Builder.not_ b g1 in
+  Netlist.Builder.output b g2;
+  let golden = Netlist.Builder.build b in
+  let faulty = C.with_kinds golden [ (g1, Netlist.Gate.Buf) ] in
+  (golden, faulty, g1, g2)
+
+let test_twin_directed_inseparable_chain () =
+  let golden, faulty, g1, g2 = notnot_pair () in
+  let s0 = Sat.Solver.create () in
+  let weak = Encode.Twin.build s0 faulty ~a:[ g1 ] ~b:[ g2 ] in
+  (match Encode.Twin.next_vector weak with
+  | Encode.Twin.Vector _ -> ()
+  | _ -> Alcotest.fail "weak twin must find a separating vector");
+  List.iter
+    (fun (sv, vt) ->
+      let s = Sat.Solver.create () in
+      let d =
+        Encode.Twin.build_directed ~golden s faulty ~survivor:[ sv ]
+          ~victim:[ vt ]
+      in
+      Alcotest.(check bool) "directed inseparable" true
+        (Encode.Twin.next_vector d = Encode.Twin.Inseparable))
+    [ (g1, g2); (g2, g1) ]
+
+(* the directed guarantee, against the resimulation oracle: a model is a
+   failing vector whose triples the victim cannot explain and the
+   survivor can *)
+let test_twin_directed_guaranteed_kill () =
+  let checked = ref 0 in
+  for seed = 77 to 90 do
+    let golden = Netlist.Generators.alu 4 in
+    let faulty, _ = Sim.Injector.inject ~seed ~num_errors:1 golden in
+    let tests =
+      Sim.Testgen.generate ~seed:(seed + 1) ~max_vectors:4096 ~wanted:6
+        ~golden ~faulty
+    in
+    let sols =
+      (Diagnosis.Bsat.diagnose ~k:1 faulty tests).Diagnosis.Bsat.solutions
+    in
+    List.iter
+      (fun survivor ->
+        List.iter
+          (fun victim ->
+            if survivor <> victim then begin
+              let s = Sat.Solver.create () in
+              let d =
+                Encode.Twin.build_directed ~golden s faulty ~survivor ~victim
+              in
+              match Encode.Twin.next_vector d with
+              | Encode.Twin.Vector v ->
+                  incr checked;
+                  let triples =
+                    Sim.Testgen.from_vectors ~golden ~faulty [ v ]
+                  in
+                  Alcotest.(check bool) "vector is a failing test" true
+                    (triples <> []);
+                  Alcotest.(check bool) "victim killed" false
+                    (Diagnosis.Validity.check_sat faulty triples victim);
+                  Alcotest.(check bool) "survivor survives" true
+                    (Diagnosis.Validity.check_sat faulty triples survivor)
+              | Encode.Twin.Inseparable -> ()
+              | Encode.Twin.Unknown -> Alcotest.fail "no budget was given"
+            end)
+          sols)
+      sols
+  done;
+  Alcotest.(check bool) "at least one directed kill exercised" true
+    (!checked > 0)
+
+let test_twin_certified () =
+  let golden, faulty, g1, g2 = notnot_pair () in
+  let s = Sat.Solver.create () in
+  let twin =
+    Encode.Twin.build ~certify:true ~golden s faulty ~a:[ g1 ] ~b:[ g2 ]
+  in
+  let rec drain () =
+    match Encode.Twin.next_vector twin with
+    | Encode.Twin.Vector _ -> drain ()
+    | Encode.Twin.Inseparable -> ()
+    | Encode.Twin.Unknown -> Alcotest.fail "no budget was given"
+  in
+  drain ();
+  (* both Sat answers (the two failing vectors) and the final Unsat were
+     independently verified *)
+  Alcotest.(check int) "weak twin checks" 3 (Encode.Twin.cert_checks twin);
+  Alcotest.(check (list string)) "no failures" []
+    (Encode.Twin.cert_failures twin);
+  let s2 = Sat.Solver.create () in
+  let d =
+    Encode.Twin.build_directed ~certify:true ~golden s2 faulty
+      ~survivor:[ g1 ] ~victim:[ g2 ]
+  in
+  (match Encode.Twin.next_vector d with
+  | Encode.Twin.Inseparable -> ()
+  | _ -> Alcotest.fail "chain pair must be inseparable");
+  Alcotest.(check int) "directed check" 1 (Encode.Twin.cert_checks d);
+  Alcotest.(check (list string)) "directed no failures" []
+    (Encode.Twin.cert_failures d)
+
+let test_twin_rejects_invalid () =
+  let golden, faulty, g1, _ = notnot_pair () in
+  let rejects f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "input site rejected" true
+    (rejects (fun () ->
+         Encode.Twin.build (Sat.Solver.create ()) faulty
+           ~a:[ faulty.C.inputs.(0) ]
+           ~b:[ g1 ]));
+  Alcotest.(check bool) "oversized victim rejected" true
+    (rejects (fun () ->
+         Encode.Twin.build_directed ~golden
+           (Sat.Solver.create ())
+           faulty ~survivor:[ g1 ]
+           ~victim:(List.init 11 (fun i -> i + 1))));
+  let wide = Netlist.Generators.parity_tree 4 in
+  Alcotest.(check bool) "golden arity mismatch rejected" true
+    (rejects (fun () ->
+         Encode.Twin.build ~golden:wide
+           (Sat.Solver.create ())
+           faulty ~a:[ g1 ] ~b:[ g1 ]))
+
 let () =
   Alcotest.run "encode"
     [
@@ -365,5 +570,18 @@ let () =
           Alcotest.test_case "inputs rejected" `Quick
             test_muxed_rejects_input_candidates;
           Alcotest.test_case "dimacs export" `Quick test_muxed_export_dimacs;
+        ] );
+      ("miter", [ QCheck_alcotest.to_alcotest prop_miter_counterexamples ]);
+      ( "twin",
+        [
+          Alcotest.test_case "vectors vs brute-force oracle" `Quick
+            test_twin_vector_oracle;
+          Alcotest.test_case "directed inseparable chain" `Quick
+            test_twin_directed_inseparable_chain;
+          Alcotest.test_case "directed guaranteed kill" `Quick
+            test_twin_directed_guaranteed_kill;
+          Alcotest.test_case "certified answers" `Quick test_twin_certified;
+          Alcotest.test_case "invalid arguments" `Quick
+            test_twin_rejects_invalid;
         ] );
     ]

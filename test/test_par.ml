@@ -289,6 +289,46 @@ let prop_hitting_equivalent =
             widths)
         [ Diagnosis.Hitting.Bfs; Diagnosis.Hitting.Greedy ])
 
+let prop_adaptive_equivalent =
+  QCheck.Test.make ~count:8
+    ~name:"adaptive: committed test sequence and verdict = jobs=1"
+    workload_gen
+    (fun (seed, ni, ng, p) ->
+      (* adaptive needs the golden reference, so rebuild the workload
+         rather than going through make_workload *)
+      let golden =
+        Netlist.Generators.random_dag ~seed ~num_inputs:ni ~num_gates:ng
+          ~num_outputs:(max 2 (ni / 2)) ()
+      in
+      let faulty, _ =
+        Sim.Injector.inject ~seed:(seed + 1) ~num_errors:p golden
+      in
+      let tests =
+        Sim.Testgen.generate ~seed:(seed + 2) ~max_vectors:1024 ~wanted:6
+          ~golden ~faulty
+      in
+      QCheck.assume (tests <> []);
+      let round_key rd =
+        ( rd.Diagnosis.Adaptive.vector,
+          rd.Diagnosis.Adaptive.killed,
+          rd.Diagnosis.Adaptive.survivors_after )
+      in
+      let r1 = Diagnosis.Adaptive.diagnose ~jobs:1 ~k:p ~golden faulty tests in
+      List.for_all
+        (fun jobs ->
+          let rn =
+            Diagnosis.Adaptive.diagnose ~jobs ~k:p ~golden faulty tests
+          in
+          rn.Diagnosis.Adaptive.solutions = r1.Diagnosis.Adaptive.solutions
+          && rn.Diagnosis.Adaptive.verdict = r1.Diagnosis.Adaptive.verdict
+          && List.map round_key rn.Diagnosis.Adaptive.rounds
+             = List.map round_key r1.Diagnosis.Adaptive.rounds
+          && rn.Diagnosis.Adaptive.tests_committed
+             = r1.Diagnosis.Adaptive.tests_committed
+          && rn.Diagnosis.Adaptive.twin_calls
+             = r1.Diagnosis.Adaptive.twin_calls)
+        widths)
+
 (* ---------- fault simulation ---------- *)
 
 let prop_fault_sim_equivalent =
@@ -501,6 +541,7 @@ let () =
             prop_hybrid_equivalent;
             prop_incremental_equivalent;
             prop_hitting_equivalent;
+            prop_adaptive_equivalent;
           ] );
       ( "fault sim",
         q [ prop_fault_sim_equivalent ] );
